@@ -1,0 +1,29 @@
+//! E7: exhaustive Conjecture 1 verification per `k` (the paper's
+//! Section 7 experiment; `k = 5`'s 7.8M functions run in the
+//! `conjecture1` example rather than under Criterion's repetitions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intext_boolfn::enumerate;
+use intext_matching::verify_conjecture1_monotone;
+use std::hint::black_box;
+
+fn bench_conjecture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conjecture1");
+    g.sample_size(10);
+    for n in [3u8, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("verify_all_monotone_k", n - 1), &n, |b, &n| {
+            b.iter(|| {
+                let rep = verify_conjecture1_monotone(n);
+                assert!(rep.holds());
+                black_box(rep.euler_zero)
+            });
+        });
+    }
+    g.bench_function("enumerate_monotone_n5", |b| {
+        b.iter(|| black_box(enumerate::monotone_tables(5).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conjecture);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Euler characteristic computation (Definition 2.2) across arities,
+//! for both the bitset `BoolFn` path and the `u64` fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intext_boolfn::{small, BoolFn};
+use std::hint::black_box;
+
+fn bench_euler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("euler");
+    g.sample_size(20);
+    for n in [4u8, 6, 10, 16, 20] {
+        let f = BoolFn::from_fn(n, |v| v.wrapping_mul(0x9e37_79b9) & 0b101 == 0b100);
+        g.bench_with_input(BenchmarkId::new("boolfn", n), &f, |b, f| {
+            b.iter(|| black_box(f.euler_characteristic()));
+        });
+    }
+    for n in [4u8, 5, 6] {
+        let t = 0x9e37_79b9_7f4a_7c15u64 & small::full_mask(n);
+        g.bench_with_input(BenchmarkId::new("u64_table", n), &t, |b, &t| {
+            b.iter(|| black_box(small::euler(n, t)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_euler);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E15 (extensional side): lifted inference for `φ9` across domain
+//! sizes — Möbius inversion plus run-factorized closed forms, PTIME.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use intext_bench::{bench_tid, DOMAIN_SWEEP};
+use intext_boolfn::phi9;
+use intext_extensional::{neg_h_probability, pqe_extensional};
+use intext_query::HQuery;
+use std::hint::black_box;
+
+fn bench_extensional(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensional");
+    g.sample_size(20);
+    for domain in DOMAIN_SWEEP {
+        let tid = bench_tid(3, domain, 23);
+        let q = HQuery::new(phi9());
+        g.throughput(Throughput::Elements(tid.len() as u64));
+        g.bench_with_input(BenchmarkId::new("pqe_phi9", domain), &tid, |b, tid| {
+            b.iter(|| black_box(pqe_extensional(&q, tid).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("neg_h_term", domain), &tid, |b, tid| {
+            // One inclusion–exclusion term: N({0,1}) with an R-anchored run.
+            b.iter(|| black_box(neg_h_probability(tid, 0b0011)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensional);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7: perfect-matching checks on `G_V[φ]` — the per-function cost of
+//! the Conjecture 1 verification (`u64` fast path vs the generic
+//! Hopcroft–Karp path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intext_boolfn::{max_euler_fn, phi9, phi_no_pm, small, BoolFn};
+use intext_matching::{induced_has_perfect_matching, sat_has_pm};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(20);
+    for (name, phi) in [
+        ("phi9", phi9()),
+        ("phi_no_pm", phi_no_pm()),
+        ("max_euler_5", max_euler_fn(6)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("table_pm", name), &phi, |b, phi| {
+            b.iter(|| black_box(sat_has_pm(phi)));
+        });
+    }
+    // Generic graph path on the full hypercube induced subgraph.
+    for n in [4u8, 5, 6] {
+        let t = 0xF0F0_A5A5_C3C3_9696u64 & small::full_mask(n);
+        let phi = BoolFn::from_table_u64(n, t);
+        let nodes = phi.sat_vec();
+        g.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &nodes, |b, nodes| {
+            b.iter(|| black_box(induced_has_perfect_matching(n, nodes)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

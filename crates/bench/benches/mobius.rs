@@ -1,0 +1,30 @@
+//! CNF-lattice construction and Möbius computation (Definition 3.4,
+//! Figure 2) for the paper's functions and threshold families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intext_boolfn::{phi9, threshold_fn};
+use intext_lattice::{cnf_lattice, mobius_euler};
+use std::hint::black_box;
+
+fn bench_mobius(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mobius");
+    g.sample_size(20);
+    g.bench_function("phi9_cnf_lattice", |b| {
+        let phi = phi9();
+        b.iter(|| black_box(cnf_lattice(&phi).mobius_bottom_top()));
+    });
+    g.bench_function("phi9_all_three_quantities", |b| {
+        let phi = phi9();
+        b.iter(|| black_box(mobius_euler(&phi)));
+    });
+    for n in [4u8, 5, 6] {
+        let phi = threshold_fn(n, u32::from(n) / 2);
+        g.bench_with_input(BenchmarkId::new("threshold_lattice", n), &phi, |b, phi| {
+            b.iter(|| black_box(cnf_lattice(phi).mobius_bottom_top()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mobius);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E9: the full Theorem 5.2 pipeline — fragmentation + leaf OBDDs +
+//! template assembly — on `φ9`, swept over the domain size (should be
+//! polynomial, the paper's headline claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use intext_bench::{bench_tid, DOMAIN_SWEEP};
+use intext_boolfn::phi9;
+use intext_core::{compile_dd, Fragmentation};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dd_pipeline");
+    g.sample_size(20);
+    for domain in DOMAIN_SWEEP {
+        let tid = bench_tid(3, domain, 11);
+        g.throughput(Throughput::Elements(tid.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compile_phi9", domain), &tid, |b, tid| {
+            b.iter(|| black_box(compile_dd(&phi9(), tid.database()).unwrap()));
+        });
+    }
+    // Fragmentation alone (data-independent, fixed cost per φ).
+    g.bench_function("fragment_phi9", |b| {
+        b.iter(|| black_box(Fragmentation::of(&phi9()).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Section 2's tractability claim: probability computation on a d-D is
+//! one linear bottom-up pass — measured on compiled `φ9` lineages of
+//! growing size, in both `f64` and exact-rational arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use intext_bench::{bench_tid, DOMAIN_SWEEP};
+use intext_boolfn::phi9;
+use intext_core::compile_dd;
+use std::hint::black_box;
+
+fn bench_probability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dd_probability");
+    g.sample_size(20);
+    for domain in DOMAIN_SWEEP {
+        let tid = bench_tid(3, domain, 47);
+        let dd = compile_dd(&phi9(), tid.database()).unwrap();
+        g.throughput(Throughput::Elements(dd.stats().gates as u64));
+        g.bench_with_input(BenchmarkId::new("f64", domain), &tid, |b, tid| {
+            b.iter(|| black_box(dd.probability_f64(tid)));
+        });
+        g.bench_with_input(BenchmarkId::new("exact_rational", domain), &tid, |b, tid| {
+            b.iter(|| black_box(dd.probability_exact(tid)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probability);
+criterion_main!(benches);

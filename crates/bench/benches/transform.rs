@@ -1,0 +1,49 @@
+//! E11: the transformation engine — `steps_to_bottom` (Proposition 5.9)
+//! and `steps_between` (Proposition 6.1) across arities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intext_boolfn::{max_euler_fn, phi9, BoolFn};
+use intext_core::{steps_between, steps_to_bottom, Fragmentation};
+use std::hint::black_box;
+
+fn dense_zero_euler(n: u8) -> BoolFn {
+    // Half the even and half the odd valuations: a worst-ish case for
+    // the number of chainkills.
+    BoolFn::from_fn(n, |v| v % 4 < 2)
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform");
+    g.sample_size(20);
+    g.bench_function("steps_to_bottom_phi9", |b| {
+        let phi = phi9();
+        b.iter(|| black_box(steps_to_bottom(&phi).unwrap()));
+    });
+    for n in [4u8, 5, 6] {
+        let phi = dense_zero_euler(n);
+        assert_eq!(phi.euler_characteristic(), 0);
+        g.bench_with_input(BenchmarkId::new("steps_to_bottom_dense", n), &phi, |b, phi| {
+            b.iter(|| black_box(steps_to_bottom(phi).unwrap()));
+        });
+    }
+    g.bench_function("steps_between_high_euler_pair", |b| {
+        // Two distinct e = 6 functions (first six / last six of the eight
+        // even-size valuations on four variables), connected through the
+        // canonical form. (e = 2^k = 8 admits a *unique* function, so the
+        // largest non-trivial class at k = 3 is e = 6.)
+        let f = BoolFn::from_sat(4, [0b0000u32, 0b0011, 0b0101, 0b0110, 0b1001, 0b1010]);
+        let g2 = BoolFn::from_sat(4, [0b0101u32, 0b0110, 0b1001, 0b1010, 0b1100, 0b1111]);
+        assert_eq!(f.euler_characteristic(), 6);
+        assert_eq!(g2.euler_characteristic(), 6);
+        b.iter(|| black_box(steps_between(&f, &g2).unwrap()));
+    });
+    // The unique-maximum sanity fact stays checked outside the hot loop.
+    assert_eq!(max_euler_fn(4).euler_characteristic(), 8);
+    g.bench_function("fragmentation_phi9", |b| {
+        b.iter(|| black_box(Fragmentation::of(&phi9()).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

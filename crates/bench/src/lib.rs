@@ -1,0 +1,45 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! One bench target per reproduced experiment (see `EXPERIMENTS.md`):
+//!
+//! | bench        | experiment | measures |
+//! |--------------|------------|----------|
+//! | `euler`      | Def 2.2    | Euler characteristic across k |
+//! | `mobius`     | E1/E8      | CNF lattice + Möbius values |
+//! | `obdd`       | E16        | Prop 3.7 lineage OBDD construction vs domain |
+//! | `pipeline`   | E9         | Theorem 5.2 d-D compilation vs domain |
+//! | `extensional`| E15        | lifted inference vs domain |
+//! | `scaling`    | E15        | brute force vs the polynomial engines |
+//! | `transform`  | E11        | `steps_to_bottom` / `steps_between` |
+//! | `matching`   | E7         | perfect-matching checks on `G_V[φ]` |
+//! | `conjecture` | E7         | exhaustive Conjecture 1 verification per k |
+//! | `probability`| §2         | linear-time d-D probability evaluation |
+
+use intext_tid::{random_database, random_tid, DbGenConfig, Tid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reproducible random TID for benchmark input.
+pub fn bench_tid(k: u8, domain_size: u32, seed: u64) -> Tid {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_database(
+        &DbGenConfig { k, domain_size, density: 0.8, prob_denominator: 10 },
+        &mut rng,
+    );
+    random_tid(db, 10, &mut rng)
+}
+
+/// The domain sizes swept by the data-complexity benchmarks.
+pub const DOMAIN_SWEEP: [u32; 4] = [2, 4, 8, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_reproducible() {
+        let a = bench_tid(3, 4, 1);
+        let b = bench_tid(3, 4, 1);
+        assert_eq!(a.len(), b.len());
+    }
+}

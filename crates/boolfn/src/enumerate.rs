@@ -1,0 +1,127 @@
+//! Enumeration of Boolean functions for the exhaustive experiments.
+//!
+//! * [`monotone_tables`] generates every monotone function on `n <= 6`
+//!   variables (the Dedekind numbers M(1)=3 ... M(6)=7,828,354), used for
+//!   the Conjecture 1 verification the paper ran with a SAT solver.
+//! * [`all_tables`] iterates all `2^(2^n)` functions for `n <= 4`,
+//!   used for the footnote-6 census and the Figure 1 region map.
+//! * [`non_isomorphic_count`] reduces a table set modulo variable
+//!   permutation, matching the paper's "non-isomorphic" counts.
+
+use crate::small;
+
+/// All monotone Boolean functions on `n` variables, as `u64` truth tables.
+///
+/// Built recursively: a function on `n` variables is monotone iff its two
+/// cofactors `f0 = f[x_{n-1}:=0]` and `f1 = f[x_{n-1}:=1]` are monotone
+/// and `f0 <= f1` pointwise; the table is `f0 | (f1 << 2^(n-1))`.
+///
+/// # Panics
+/// Panics unless `1 <= n <= 6`.
+pub fn monotone_tables(n: u8) -> Vec<u64> {
+    assert!((1..=6).contains(&n), "monotone_tables supports 1 <= n <= 6, got {n}");
+    // Base: the three monotone functions on one variable.
+    let mut cur: Vec<u64> = vec![0b00, 0b10, 0b11];
+    for m in 2..=n {
+        let half = 1u32 << (m - 1);
+        let mut next =
+            Vec::with_capacity(cur.len() * 3); // loose lower-bound guess
+        for &f1 in &cur {
+            for &f0 in &cur {
+                // f0 <= f1 pointwise.
+                if f0 & !f1 == 0 {
+                    next.push(f0 | (f1 << half));
+                }
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// The Dedekind numbers `M(n)` for `1 <= n <= 6` (count of monotone
+/// functions), used to validate [`monotone_tables`].
+pub const DEDEKIND: [u64; 6] = [3, 6, 20, 168, 7581, 7_828_354];
+
+/// Iterates over all `2^(2^n)` truth tables on `n` variables.
+///
+/// # Panics
+/// Panics unless `1 <= n <= 4` (beyond that the space is unenumerable).
+pub fn all_tables(n: u8) -> impl Iterator<Item = u64> {
+    assert!((1..=4).contains(&n), "all_tables supports 1 <= n <= 4, got {n}");
+    let count: u64 = 1u64 << (1u32 << n);
+    0..count
+}
+
+/// Counts the functions among `tables` that are pairwise non-isomorphic
+/// under variable permutation.
+pub fn non_isomorphic_count(n: u8, tables: impl IntoIterator<Item = u64>) -> usize {
+    let perms = small::permutations(n);
+    let mut canon = std::collections::HashSet::new();
+    for t in tables {
+        canon.insert(small::canonical(n, t, &perms));
+    }
+    canon.len()
+}
+
+/// Counts the functions on `n` variables with zero Euler characteristic by
+/// exhaustive enumeration (`n <= 4`); footnote 6 of the paper gives the
+/// closed form `sum_j C(2^k, j)^2 = C(2^(k+1), 2^k)` with `n = k + 1`.
+pub fn count_euler_zero(n: u8) -> u64 {
+    all_tables(n).filter(|&t| small::euler(n, t) == 0).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::small;
+
+    #[test]
+    fn monotone_counts_match_dedekind() {
+        // n = 6 takes ~57M subset checks; keep tests at n <= 5 (the n = 6
+        // path is exercised by the conjecture1 example in release mode).
+        for n in 1..=5u8 {
+            let tables = monotone_tables(n);
+            assert_eq!(tables.len() as u64, DEDEKIND[usize::from(n) - 1], "M({n})");
+        }
+    }
+
+    #[test]
+    fn monotone_tables_are_monotone_and_distinct() {
+        let tables = monotone_tables(4);
+        let set: std::collections::HashSet<_> = tables.iter().collect();
+        assert_eq!(set.len(), tables.len(), "no duplicates");
+        for &t in &tables {
+            assert!(small::is_monotone(4, t), "table {t:#x}");
+            assert!(t & !small::full_mask(4) == 0, "no stray bits");
+        }
+    }
+
+    #[test]
+    fn all_tables_covers_the_space() {
+        assert_eq!(all_tables(2).count(), 16);
+        assert_eq!(all_tables(3).count(), 256);
+    }
+
+    #[test]
+    fn euler_zero_census_matches_footnote_6() {
+        // #{phi on k+1 vars : e(phi) = 0} = C(2^(k+1), 2^k).
+        for n in 1..=3u8 {
+            let k = n - 1;
+            let expect = intext_numeric::binomial(1 << n, 1 << k)
+                .to_u64()
+                .expect("small enough");
+            assert_eq!(count_euler_zero(n), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn non_isomorphic_reduction() {
+        // On 2 variables: 16 functions fall into 12 classes (the two
+        // projections x0/x1 merge, as do their negations, x0∧¬x1 pairs,
+        // and ¬x0∧x1 pairs).
+        assert_eq!(non_isomorphic_count(2, all_tables(2)), 12);
+        // Non-isomorphic monotone functions on 3 variables: 10 classes.
+        assert_eq!(non_isomorphic_count(3, monotone_tables(3)), 10);
+    }
+}

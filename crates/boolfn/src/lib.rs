@@ -1,0 +1,540 @@
+//! Boolean functions on small variable sets.
+//!
+//! The `H`-queries of Monet (PODS 2020) are parameterized by a Boolean
+//! function `phi` on the fixed variable set `V = {0, ..., k}`; everything
+//! the paper does to queries is first done to these functions: the Euler
+//! characteristic (Definition 2.2), dependency and degeneracy
+//! (Definition 2.1), monotonicity and minimized DNF/CNF representations
+//! (Section 2), and the valuation graph underlying the transformation of
+//! Section 5.
+//!
+//! The central type is [`BoolFn`], a complete truth table stored as a
+//! bitset (one bit per valuation, valuations encoded as integer bitmasks).
+//! For the exhaustive-enumeration experiments (footnote 6, Conjecture 1,
+//! Theorem C.2) the companion module [`small`] offers allocation-free
+//! `u64`-table versions of the hot predicates for functions on at most six
+//! variables, and [`enumerate`] generates all (monotone) functions.
+//!
+//! Variables are numbered `0..n`. A *valuation* is a subset of variables,
+//! encoded as the `u32` bitmask of its members ([`Valuation`]).
+
+mod named;
+mod valuation;
+
+pub mod enumerate;
+pub mod small;
+
+pub use named::{
+    max_euler_fn, monotone_euler_range, monotone_with_euler, phi9, phi_no_pm, threshold_fn,
+};
+pub use valuation::Valuation;
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A Boolean function on `n` variables, represented by its full truth
+/// table (bit `v` of the table is the value on valuation `v`).
+///
+/// Supports up to 26 variables (a 64 MiB table); the paper's functions
+/// live on `k + 1 <= 6` variables, where the table is a single word.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BoolFn {
+    n: u8,
+    /// `ceil(2^n / 64)` words, little-endian bit order; bits at positions
+    /// `>= 2^n` (only possible in the last word when `n < 6`) are zero.
+    words: Vec<u64>,
+}
+
+/// Largest supported variable count.
+pub const MAX_VARS: u8 = 26;
+
+impl BoolFn {
+    fn word_count(n: u8) -> usize {
+        if n < 6 {
+            1
+        } else {
+            1usize << (n - 6)
+        }
+    }
+
+    /// Mask selecting the valid table bits of the last word.
+    fn tail_mask(n: u8) -> u64 {
+        if n < 6 {
+            (1u64 << (1u32 << n)) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn assert_vars(n: u8) {
+        assert!((1..=MAX_VARS).contains(&n), "variable count {n} out of range 1..={MAX_VARS}");
+    }
+
+    /// The constant-false function `⊥` on `n` variables.
+    pub fn bottom(n: u8) -> Self {
+        Self::assert_vars(n);
+        BoolFn { n, words: vec![0; Self::word_count(n)] }
+    }
+
+    /// The constant-true function `⊤` on `n` variables.
+    pub fn top(n: u8) -> Self {
+        Self::assert_vars(n);
+        let mut words = vec![u64::MAX; Self::word_count(n)];
+        *words.last_mut().expect("at least one word") = Self::tail_mask(n);
+        BoolFn { n, words }
+    }
+
+    /// The projection function of variable `var` on `n` variables.
+    pub fn var(n: u8, var: u8) -> Self {
+        Self::assert_vars(n);
+        assert!(var < n, "variable {var} out of range for {n}-variable function");
+        Self::from_fn(n, |v| v & (1 << var) != 0)
+    }
+
+    /// Builds from a predicate on valuation bitmasks.
+    pub fn from_fn(n: u8, pred: impl Fn(u32) -> bool) -> Self {
+        Self::assert_vars(n);
+        let mut f = Self::bottom(n);
+        for v in 0..(1u32 << n) {
+            if pred(v) {
+                f.set(v, true);
+            }
+        }
+        f
+    }
+
+    /// Builds from an explicit set of satisfying valuations.
+    pub fn from_sat<I: IntoIterator<Item = u32>>(n: u8, sat: I) -> Self {
+        let mut f = Self::bottom(n);
+        for v in sat {
+            f.set(v, true);
+        }
+        f
+    }
+
+    /// Builds an `n <= 6` variable function directly from a `u64` table.
+    ///
+    /// # Panics
+    /// Panics if `n > 6` or the table has bits beyond position `2^n`.
+    pub fn from_table_u64(n: u8, table: u64) -> Self {
+        Self::assert_vars(n);
+        assert!(n <= 6, "from_table_u64 requires n <= 6");
+        assert!(
+            table & !Self::tail_mask(n) == 0,
+            "table has bits beyond the 2^{n} valuations"
+        );
+        BoolFn { n, words: vec![table] }
+    }
+
+    /// The `u64` truth table of an `n <= 6` variable function.
+    ///
+    /// # Panics
+    /// Panics if `n > 6`.
+    pub fn table_u64(&self) -> u64 {
+        assert!(self.n <= 6, "table_u64 requires n <= 6");
+        self.words[0]
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u8 {
+        self.n
+    }
+
+    /// The paper's `k` (variables are `V = {0, ..., k}`, so `k = n - 1`).
+    pub fn k(&self) -> u8 {
+        self.n - 1
+    }
+
+    /// Value on the valuation `v`.
+    pub fn eval(&self, v: u32) -> bool {
+        debug_assert!(v < (1u32 << self.n));
+        (self.words[(v >> 6) as usize] >> (v & 63)) & 1 == 1
+    }
+
+    /// Sets the value on valuation `v`.
+    pub fn set(&mut self, v: u32, value: bool) {
+        assert!(v < (1u32 << self.n), "valuation {v:#b} out of range");
+        let w = &mut self.words[(v >> 6) as usize];
+        if value {
+            *w |= 1u64 << (v & 63);
+        } else {
+            *w &= !(1u64 << (v & 63));
+        }
+    }
+
+    /// Number of satisfying valuations (`#phi`).
+    pub fn sat_count(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Returns `true` iff the function is `⊥`.
+    pub fn is_bottom(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` iff the function is `⊤`.
+    pub fn is_top(&self) -> bool {
+        self.sat_count() == 1u64 << self.n
+    }
+
+    /// Iterates over the satisfying valuations in increasing bitmask order.
+    pub fn sat_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..(1u32 << self.n)).filter(move |&v| self.eval(v))
+    }
+
+    /// Collects the satisfying valuations.
+    pub fn sat_vec(&self) -> Vec<u32> {
+        self.sat_iter().collect()
+    }
+
+    /// The Euler characteristic `e(phi) = sum_{v |= phi} (-1)^{|v|}`
+    /// (Definition 2.2).
+    pub fn euler_characteristic(&self) -> i64 {
+        let mut even: i64 = 0;
+        let mut odd: i64 = 0;
+        for (i, &w) in self.words.iter().enumerate() {
+            // Parity of |v| splits as parity(word index) xor parity(bit index).
+            let (e_bits, o_bits) = (w & small::EVEN_PARITY_MASK, w & !small::EVEN_PARITY_MASK);
+            if (i as u32).count_ones().is_multiple_of(2) {
+                even += i64::from(e_bits.count_ones());
+                odd += i64::from(o_bits.count_ones());
+            } else {
+                even += i64::from(o_bits.count_ones());
+                odd += i64::from(e_bits.count_ones());
+            }
+        }
+        even - odd
+    }
+
+    /// Does the function depend on variable `l` (Definition 2.1)?
+    pub fn depends_on(&self, l: u8) -> bool {
+        assert!(l < self.n, "variable {l} out of range");
+        let bit = 1u32 << l;
+        for v in 0..(1u32 << self.n) {
+            if v & bit == 0 && self.eval(v) != self.eval(v | bit) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The dependency set `DEP(phi)` as a variable bitmask.
+    pub fn support(&self) -> u32 {
+        (0..self.n).filter(|&l| self.depends_on(l)).map(|l| 1u32 << l).sum()
+    }
+
+    /// Returns `true` iff `DEP(phi)` is a proper subset of the variables
+    /// (Definition 2.1). Degenerate functions are exactly the `H`-queries
+    /// in `OBDD(PTIME)` (Proposition 3.7).
+    pub fn is_degenerate(&self) -> bool {
+        self.support() != (1u32 << self.n) - 1
+    }
+
+    /// Returns some variable the function does not depend on, if any.
+    pub fn independent_var(&self) -> Option<u8> {
+        (0..self.n).find(|&l| !self.depends_on(l))
+    }
+
+    /// Is the function monotone (`v ⊆ v'` implies `phi(v) <= phi(v')`)?
+    pub fn is_monotone(&self) -> bool {
+        for l in 0..self.n {
+            let bit = 1u32 << l;
+            for v in 0..(1u32 << self.n) {
+                if v & bit == 0 && self.eval(v) && !self.eval(v | bit) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Are `self` and `other` disjoint (`phi ∧ phi' = ⊥`)?
+    pub fn is_disjoint(&self, other: &BoolFn) -> bool {
+        assert_eq!(self.n, other.n, "variable count mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// The cofactor `phi[l := value]`, still on `n` variables (the result
+    /// no longer depends on `l`).
+    pub fn cofactor(&self, l: u8, value: bool) -> BoolFn {
+        assert!(l < self.n, "variable {l} out of range");
+        let bit = 1u32 << l;
+        Self::from_fn(self.n, |v| self.eval(if value { v | bit } else { v & !bit }))
+    }
+
+    /// Renames variables: variable `i` of the result plays the role of
+    /// variable `perm[i]` of `self`.
+    pub fn permute_vars(&self, perm: &[u8]) -> BoolFn {
+        assert_eq!(perm.len(), usize::from(self.n), "permutation length mismatch");
+        Self::from_fn(self.n, |v| {
+            let mut mapped = 0u32;
+            for (i, &p) in perm.iter().enumerate() {
+                if v & (1 << i) != 0 {
+                    mapped |= 1 << p;
+                }
+            }
+            self.eval(mapped)
+        })
+    }
+
+    /// The minimized DNF of a monotone function, as clauses = variable
+    /// bitmasks (each clause is the conjunction of its variables); these
+    /// are exactly the minimal satisfying valuations.
+    ///
+    /// # Panics
+    /// Panics if the function is not monotone.
+    pub fn monotone_dnf(&self) -> Vec<u32> {
+        assert!(self.is_monotone(), "monotone_dnf on non-monotone function");
+        let mut out: Vec<u32> = self
+            .sat_iter()
+            .filter(|&v| {
+                // Minimal satisfying valuation: dropping any one element
+                // falsifies (sufficient under monotonicity).
+                (0..self.n).all(|l| v & (1 << l) == 0 || !self.eval(v & !(1 << l)))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The minimized CNF of a monotone function, as clauses = variable
+    /// bitmasks (each clause is the disjunction of its variables).
+    ///
+    /// A maximal non-satisfying valuation `v` yields the clause `V \ v`.
+    ///
+    /// # Panics
+    /// Panics if the function is not monotone.
+    pub fn monotone_cnf(&self) -> Vec<u32> {
+        assert!(self.is_monotone(), "monotone_cnf on non-monotone function");
+        let full = (1u32 << self.n) - 1;
+        let mut out: Vec<u32> = (0..=full)
+            .filter(|&v| {
+                !self.eval(v)
+                    && (0..self.n).all(|l| v & (1 << l) != 0 || self.eval(v | (1 << l)))
+            })
+            .map(|v| full & !v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl Not for &BoolFn {
+    type Output = BoolFn;
+
+    fn not(self) -> BoolFn {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        *words.last_mut().expect("nonempty") &= BoolFn::tail_mask(self.n);
+        BoolFn { n: self.n, words }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &BoolFn {
+            type Output = BoolFn;
+
+            fn $method(self, rhs: &BoolFn) -> BoolFn {
+                assert_eq!(self.n, rhs.n, "variable count mismatch");
+                let words = self
+                    .words
+                    .iter()
+                    .zip(&rhs.words)
+                    .map(|(a, b)| a $op b)
+                    .collect();
+                BoolFn { n: self.n, words }
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+impl fmt::Debug for BoolFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoolFn(n={}, SAT={{", self.n)?;
+        for (i, v) in self.sat_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", Valuation(v))?;
+        }
+        write!(f, "}})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let bot = BoolFn::bottom(3);
+        let top = BoolFn::top(3);
+        assert!(bot.is_bottom() && !bot.is_top());
+        assert!(top.is_top() && !top.is_bottom());
+        assert_eq!(bot.sat_count(), 0);
+        assert_eq!(top.sat_count(), 8);
+    }
+
+    #[test]
+    fn var_projection() {
+        let x1 = BoolFn::var(3, 1);
+        assert!(x1.eval(0b010));
+        assert!(x1.eval(0b111));
+        assert!(!x1.eval(0b101));
+        assert_eq!(x1.sat_count(), 4);
+    }
+
+    #[test]
+    fn algebra_de_morgan() {
+        let a = BoolFn::var(4, 0);
+        let b = BoolFn::var(4, 2);
+        let lhs = !&(&a & &b);
+        let rhs = &(!&a) | &(!&b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn tail_mask_keeps_small_tables_clean() {
+        let f = BoolFn::top(2);
+        assert_eq!(f.table_u64(), 0b1111);
+        let g = !&f;
+        assert!(g.is_bottom());
+    }
+
+    #[test]
+    fn euler_characteristic_basics() {
+        // e(⊤) on n vars = sum over all subsets of (-1)^|v| = 0.
+        assert_eq!(BoolFn::top(4).euler_characteristic(), 0);
+        assert_eq!(BoolFn::bottom(4).euler_characteristic(), 0);
+        // Singleton on the empty valuation: e = +1.
+        assert_eq!(BoolFn::from_sat(3, [0u32]).euler_characteristic(), 1);
+        // Singleton on a size-1 valuation: e = -1.
+        assert_eq!(BoolFn::from_sat(3, [0b100u32]).euler_characteristic(), -1);
+    }
+
+    #[test]
+    fn euler_negation_and_disjoint_union_laws() {
+        // e(¬phi) = -e(phi) (since e(⊤) = 0), and additivity on disjoint
+        // functions (used by Proposition 4.6).
+        let phi = phi9();
+        assert_eq!((!&phi).euler_characteristic(), -phi.euler_characteristic());
+        let a = BoolFn::from_sat(3, [0u32, 0b11]);
+        let b = BoolFn::from_sat(3, [0b1u32, 0b111]);
+        assert!(a.is_disjoint(&b));
+        assert_eq!(
+            (&a | &b).euler_characteristic(),
+            a.euler_characteristic() + b.euler_characteristic()
+        );
+    }
+
+    #[test]
+    fn euler_matches_naive_on_words_boundary() {
+        // Cross the 64-bit word boundary (n = 7) to exercise the word-index
+        // parity logic.
+        let f = BoolFn::from_fn(7, |v| v % 3 == 0);
+        let naive: i64 = f
+            .sat_iter()
+            .map(|v| if v.count_ones() % 2 == 0 { 1 } else { -1 })
+            .sum();
+        assert_eq!(f.euler_characteristic(), naive);
+    }
+
+    #[test]
+    fn dependency_and_degeneracy() {
+        let f = BoolFn::var(4, 2);
+        assert!(f.depends_on(2));
+        assert!(!f.depends_on(0));
+        assert_eq!(f.support(), 0b0100);
+        assert!(f.is_degenerate());
+        assert!(BoolFn::bottom(3).is_degenerate());
+        assert_eq!(f.independent_var(), Some(0));
+        assert!(!phi9().is_degenerate());
+        assert_eq!(phi9().independent_var(), None);
+    }
+
+    #[test]
+    fn monotonicity() {
+        assert!(BoolFn::top(3).is_monotone());
+        assert!(BoolFn::bottom(3).is_monotone());
+        assert!(BoolFn::var(3, 1).is_monotone());
+        assert!(phi9().is_monotone());
+        assert!(!(!&BoolFn::var(3, 1)).is_monotone());
+    }
+
+    #[test]
+    fn cofactor_removes_dependency() {
+        let f = phi9();
+        let g = f.cofactor(3, true);
+        assert!(!g.depends_on(3));
+        // phi9 with 3 := true satisfies every clause containing 3; the CNF
+        // reduces to (0 ∨ 1 ∨ 2).
+        for v in 0..16u32 {
+            assert_eq!(g.eval(v), v & 0b0111 != 0, "v={v:#b}");
+        }
+    }
+
+    #[test]
+    fn permute_vars_round_trip() {
+        let f = phi9();
+        let perm = [2u8, 0, 3, 1];
+        let mut inv = [0u8; 4];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[usize::from(p)] = i as u8;
+        }
+        assert_eq!(f.permute_vars(&perm).permute_vars(&inv), f);
+    }
+
+    #[test]
+    fn phi9_normal_forms_match_paper() {
+        // Example 3.3: phi9 = (2∨3) ∧ (0∨3) ∧ (1∨3) ∧ (0∨1∨2).
+        let cnf = phi9().monotone_cnf();
+        assert_eq!(cnf, vec![0b0111, 0b1001, 0b1010, 0b1100]);
+        // The minimized DNF of phi9 happens to use the same clause sets.
+        let dnf = phi9().monotone_dnf();
+        assert_eq!(dnf, vec![0b0111, 0b1001, 0b1010, 0b1100]);
+    }
+
+    #[test]
+    fn dnf_cnf_evaluate_back_to_function() {
+        for f in [phi9(), BoolFn::var(4, 1), threshold_fn(4, 2)] {
+            let dnf = f.monotone_dnf();
+            #[allow(clippy::manual_contains)] // mask inclusion, not membership
+            let from_dnf = BoolFn::from_fn(4, |v| dnf.iter().any(|&c| v & c == c));
+            assert_eq!(from_dnf, f, "DNF round trip");
+            let cnf = f.monotone_cnf();
+            let from_cnf = BoolFn::from_fn(4, |v| cnf.iter().all(|&c| v & c != 0));
+            assert_eq!(from_cnf, f, "CNF round trip");
+        }
+    }
+
+    #[test]
+    fn phi9_sat_set_matches_example_4_3() {
+        // Example 4.3 lists SAT(phi9) via the four disjoint pieces
+        // 0∧¬2∧3, ¬1∧2∧3, ¬0∧1∧3, 0∧1∧2.
+        let mut expect: Vec<u32> = vec![
+            0b1001, 0b1011, // 0∧¬2∧3 : {0,3}, {0,1,3}
+            0b1100, 0b1101, // ¬1∧2∧3 : {2,3}, {0,2,3}
+            0b1010, 0b1110, // ¬0∧1∧3 : {1,3}, {1,2,3}
+            0b0111, 0b1111, // 0∧1∧2  : {0,1,2}, {0,1,2,3}
+        ];
+        expect.sort_unstable();
+        assert_eq!(phi9().sat_vec(), expect);
+        assert_eq!(phi9().euler_characteristic(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_vars_rejected() {
+        let _ = BoolFn::bottom(27);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mixed_arity_ops_rejected() {
+        let _ = &BoolFn::top(3) & &BoolFn::top(4);
+    }
+}

@@ -1,0 +1,228 @@
+//! The named Boolean functions of the paper, and the constructive pieces
+//! of Appendix C (Lemma C.1, Theorem C.2).
+
+use crate::BoolFn;
+
+/// The function `φ9` of Example 3.3 (Dalvi and Suciu's query `q9`):
+/// `(2∨3) ∧ (0∨3) ∧ (1∨3) ∧ (0∨1∨2)` on `V = {0,1,2,3}`.
+///
+/// The simplest safe `H⁺`-query for which the extensional algorithm needs
+/// the Möbius inversion formula — and the flagship example of the paper.
+pub fn phi9() -> BoolFn {
+    let clauses: [u32; 4] = [0b1100, 0b1001, 0b1010, 0b0111];
+    BoolFn::from_fn(4, move |v| clauses.iter().all(|&c| v & c != 0))
+}
+
+/// A function with the properties of `φ_no-PM` from Figure 5 (`k = 4`):
+/// zero Euler characteristic, yet *neither* the subgraph of `G_V[φ]`
+/// induced by the satisfying valuations *nor* the one induced by the
+/// non-satisfying valuations has a perfect matching.
+///
+/// The paper specifies `φ_no-PM` only through a colored figure (the
+/// coloring is not recoverable from the text), so we construct a witness
+/// with exactly the stated properties: the satisfying valuation `{3,4}` is
+/// isolated among satisfying valuations, and the non-satisfying valuation
+/// `{0,3,4}` is isolated among non-satisfying ones — each isolation makes
+/// the respective perfect matching impossible. All properties are verified
+/// by tests (see also `intext-matching`).
+pub fn phi_no_pm() -> BoolFn {
+    let even_sat: [u32; 5] = [
+        0b11000, // {3,4} — isolated among satisfying valuations
+        0b01001, // {0,3}
+        0b10001, // {0,4}
+        0b11011, // {0,1,3,4}
+        0b11101, // {0,2,3,4}
+    ];
+    let odd_sat: [u32; 5] = [
+        0b00001, // {0}
+        0b00010, // {1}
+        0b00100, // {2}
+        0b00111, // {0,1,2}
+        0b10011, // {0,1,4}
+    ];
+    BoolFn::from_sat(5, even_sat.into_iter().chain(odd_sat))
+}
+
+/// The function `φ_max-Euler` (Section 6.1): satisfied exactly by the
+/// valuations of even size; its Euler characteristic `2^k` exceeds what
+/// any monotone function can reach.
+pub fn max_euler_fn(n: u8) -> BoolFn {
+    BoolFn::from_fn(n, |v| v.count_ones() % 2 == 0)
+}
+
+/// The threshold function `|ν| >= t` on `n` variables; always monotone.
+/// Theorem C.2 shows the monotone functions of extremal Euler
+/// characteristic are exactly (certain) thresholds.
+pub fn threshold_fn(n: u8, t: u32) -> BoolFn {
+    BoolFn::from_fn(n, move |v| v.count_ones() >= t)
+}
+
+/// The range `[min, max]` of the Euler characteristic over all *monotone*
+/// Boolean functions on `V = {0, ..., k}` (i.e. `k+1` variables).
+///
+/// By Theorem C.2 the extrema are attained by threshold functions, whose
+/// Euler characteristic has the closed form
+/// `e(τ_t) = (-1)^t C(k, t-1)` for `t >= 1` (partial alternating binomial
+/// sums), so we simply scan the thresholds.
+pub fn monotone_euler_range(k: u8) -> (i64, i64) {
+    let n = k + 1;
+    let mut min = 0i64;
+    let mut max = 0i64;
+    for t in 0..=u32::from(n) + 1 {
+        let e = threshold_fn(n, t).euler_characteristic();
+        min = min.min(e);
+        max = max.max(e);
+    }
+    (min, max)
+}
+
+/// Constructs a *monotone* function on `V = {0, ..., k}` with the given
+/// Euler characteristic, if one exists (Lemma C.1's constructive walk).
+///
+/// Starting from the extremal threshold function on the correct side, we
+/// repeatedly remove one subset-minimal satisfying valuation — which
+/// preserves monotonicity (satisfying sets are *upward* closed, so the
+/// safe removals are at the bottom) and changes `e` by exactly `±1` —
+/// until the walk (which ends at `⊥` with `e = 0`) hits the target.
+/// (Lemma C.1's proof phrases the walk in simplicial-complex terms, where
+/// complexes are downward closed and the removable faces are the maximal
+/// ones; minimal satisfying valuations are their mirror image.)
+pub fn monotone_with_euler(k: u8, target: i64) -> Option<BoolFn> {
+    let n = k + 1;
+    if target == 0 {
+        return Some(BoolFn::bottom(n));
+    }
+    let (min, max) = monotone_euler_range(k);
+    if target < min || target > max {
+        return None;
+    }
+    // Pick the extremal threshold on the target's side.
+    let mut best: Option<(i64, BoolFn)> = None;
+    for t in 0..=u32::from(n) + 1 {
+        let f = threshold_fn(n, t);
+        let e = f.euler_characteristic();
+        let dominates = if target > 0 { e >= target } else { e <= target };
+        if dominates && best.as_ref().is_none_or(|(be, _)| e.abs() < be.abs()) {
+            best = Some((e, f));
+        }
+    }
+    let (mut e, mut f) = best.expect("range check guarantees a starting threshold");
+    while e != target {
+        // Remove one satisfying valuation of minimal size (hence
+        // subset-minimal, so upward closure survives).
+        let v = f
+            .sat_iter()
+            .min_by_key(|v| v.count_ones())
+            .expect("e != 0 implies a satisfying valuation exists");
+        f.set(v, false);
+        e -= if v.count_ones() % 2 == 0 { 1 } else { -1 };
+        debug_assert!(f.is_monotone());
+    }
+    Some(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::small;
+
+    #[test]
+    fn phi9_is_the_paper_function() {
+        let f = phi9();
+        assert_eq!(f.num_vars(), 4);
+        assert!(f.is_monotone());
+        assert!(!f.is_degenerate());
+        assert_eq!(f.sat_count(), 8);
+        assert_eq!(f.euler_characteristic(), 0);
+    }
+
+    #[test]
+    fn phi_no_pm_has_the_stated_properties() {
+        let f = phi_no_pm();
+        assert_eq!(f.num_vars(), 5);
+        assert_eq!(f.euler_characteristic(), 0, "zero Euler characteristic");
+        assert!(!f.is_monotone(), "Figure 5 witnesses need non-monotonicity");
+        // {3,4} is satisfying and isolated among satisfying valuations.
+        let v34: u32 = 0b11000;
+        assert!(f.eval(v34));
+        for l in 0..5u8 {
+            assert!(!f.eval(v34 ^ (1 << l)), "neighbor of {{3,4}} flipping {l}");
+        }
+        // {0,3,4} is non-satisfying and isolated among non-satisfying ones.
+        let v034: u32 = 0b11001;
+        assert!(!f.eval(v034));
+        for l in 0..5u8 {
+            assert!(f.eval(v034 ^ (1 << l)), "neighbor of {{0,3,4}} flipping {l}");
+        }
+    }
+
+    #[test]
+    fn max_euler_value_is_two_to_the_k() {
+        for k in 1..=5u8 {
+            let f = max_euler_fn(k + 1);
+            assert_eq!(f.euler_characteristic(), 1i64 << k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn threshold_euler_closed_form() {
+        // e(τ_t) = (-1)^t C(k, t-1) for t >= 1 (and 0 for t = 0).
+        fn c(n: u64, r: u64) -> i64 {
+            i64::try_from(
+                intext_numeric::binomial(n, r).to_u64().expect("small binomial"),
+            )
+            .expect("fits")
+        }
+        for k in 1..=5u8 {
+            let n = k + 1;
+            assert_eq!(threshold_fn(n, 0).euler_characteristic(), 0, "t=0");
+            for t in 1..=u32::from(n) {
+                let e = threshold_fn(n, t).euler_characteristic();
+                let sign = if t % 2 == 0 { 1 } else { -1 };
+                assert_eq!(e, sign * c(u64::from(k), u64::from(t) - 1), "k={k}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_range_is_exhaustively_tight_for_small_k() {
+        // Verify Theorem C.2's consequence against brute force: no monotone
+        // function on k+1 <= 5 variables beats the threshold extrema.
+        for k in 1..=3u8 {
+            let n = k + 1;
+            let (min, max) = monotone_euler_range(k);
+            let mut seen_min = i64::MAX;
+            let mut seen_max = i64::MIN;
+            for t in crate::enumerate::monotone_tables(n) {
+                let e = i64::from(small::euler(n, t));
+                seen_min = seen_min.min(e);
+                seen_max = seen_max.max(e);
+            }
+            assert_eq!((seen_min, seen_max), (min, max), "k={k}");
+        }
+    }
+
+    #[test]
+    fn monotone_with_euler_hits_every_value_in_range() {
+        for k in 1..=4u8 {
+            let (min, max) = monotone_euler_range(k);
+            for target in min..=max {
+                let f = monotone_with_euler(k, target)
+                    .unwrap_or_else(|| panic!("k={k}, target={target} should be reachable"));
+                assert!(f.is_monotone(), "k={k}, target={target}");
+                assert_eq!(f.euler_characteristic(), target, "k={k}, target={target}");
+            }
+            assert!(monotone_with_euler(k, max + 1).is_none());
+            assert!(monotone_with_euler(k, min - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn max_euler_fn_is_out_of_monotone_reach() {
+        // Section 6.1: e(φ_max-Euler) = 2^k is not attainable monotonically.
+        for k in 2..=5u8 {
+            let (_, max) = monotone_euler_range(k);
+            assert!(max < (1i64 << k), "k={k}: monotone max {max} < 2^{k}");
+        }
+    }
+}

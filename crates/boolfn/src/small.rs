@@ -1,0 +1,219 @@
+//! Allocation-free predicates on Boolean functions of at most 6 variables.
+//!
+//! The exhaustive experiments (footnote 6 count, Conjecture 1 for `k <= 5`,
+//! Theorem C.2) iterate over millions of functions; building a [`BoolFn`]
+//! per candidate would dominate the running time. A function on `n <= 6`
+//! variables is a single `u64` truth table (bit `v` = value on valuation
+//! `v`), and all the hot predicates are bit-parallel.
+//!
+//! [`BoolFn`]: crate::BoolFn
+
+/// Bit `p` is set iff `popcount(p)` is even; splits a truth-table word
+/// into even-size and odd-size valuations.
+pub const EVEN_PARITY_MASK: u64 = {
+    let mut m = 0u64;
+    let mut p = 0u32;
+    while p < 64 {
+        if p.count_ones().is_multiple_of(2) {
+            m |= 1u64 << p;
+        }
+        p += 1;
+    }
+    m
+};
+
+/// `LOW_MASK[l]`: bit `p` set iff valuation `p` does not contain
+/// variable `l` (the classic "magic masks").
+const LOW_MASK: [u64; 6] = [
+    0x5555_5555_5555_5555,
+    0x3333_3333_3333_3333,
+    0x0f0f_0f0f_0f0f_0f0f,
+    0x00ff_00ff_00ff_00ff,
+    0x0000_ffff_0000_ffff,
+    0x0000_0000_ffff_ffff,
+];
+
+fn assert_small(n: u8) {
+    assert!((1..=6).contains(&n), "small-table helpers require 1 <= n <= 6, got {n}");
+}
+
+/// Mask of the `2^n` valid table bits.
+pub fn full_mask(n: u8) -> u64 {
+    assert_small(n);
+    if n == 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1u32 << n)) - 1
+    }
+}
+
+/// Number of satisfying valuations.
+pub fn sat_count(table: u64) -> u32 {
+    table.count_ones()
+}
+
+/// Euler characteristic `e(phi)` of the table (Definition 2.2).
+pub fn euler(n: u8, table: u64) -> i32 {
+    debug_assert!(table & !full_mask(n) == 0);
+    let even = (table & EVEN_PARITY_MASK).count_ones() as i32;
+    let odd = (table & !EVEN_PARITY_MASK).count_ones() as i32;
+    even - odd
+}
+
+/// Does the function depend on variable `l` (Definition 2.1)?
+pub fn depends_on(n: u8, table: u64, l: u8) -> bool {
+    assert_small(n);
+    assert!(l < n);
+    let shift = 1u32 << l;
+    let m = LOW_MASK[usize::from(l)] & full_mask(n);
+    (table & m) != ((table >> shift) & m)
+}
+
+/// Is the function degenerate (independent of some variable)?
+pub fn is_degenerate(n: u8, table: u64) -> bool {
+    (0..n).any(|l| !depends_on(n, table, l))
+}
+
+/// The dependency set `DEP(phi)` as a variable bitmask.
+pub fn support(n: u8, table: u64) -> u32 {
+    (0..n).filter(|&l| depends_on(n, table, l)).map(|l| 1u32 << l).sum()
+}
+
+/// Is the function monotone?
+pub fn is_monotone(n: u8, table: u64) -> bool {
+    assert_small(n);
+    for l in 0..n {
+        let shift = 1u32 << l;
+        let m = LOW_MASK[usize::from(l)] & full_mask(n);
+        // A satisfying valuation without l whose l-extension falsifies.
+        if table & m & !(table >> shift) != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Applies a variable permutation to the table: variable `i` of the result
+/// plays the role of variable `perm[i]` of the input.
+pub fn permute(n: u8, table: u64, perm: &[u8]) -> u64 {
+    assert_small(n);
+    assert_eq!(perm.len(), usize::from(n));
+    let mut out = 0u64;
+    for v in 0..(1u32 << n) {
+        let mut mapped = 0u32;
+        for (i, &p) in perm.iter().enumerate() {
+            if v & (1 << i) != 0 {
+                mapped |= 1 << p;
+            }
+        }
+        if (table >> mapped) & 1 == 1 {
+            out |= 1u64 << v;
+        }
+    }
+    out
+}
+
+/// All permutations of `0..n` (Heap's algorithm).
+pub fn permutations(n: u8) -> Vec<Vec<u8>> {
+    fn heap(k: usize, arr: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        if k <= 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, arr, out);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    let mut arr: Vec<u8> = (0..n).collect();
+    let mut out = Vec::new();
+    heap(usize::from(n), &mut arr, &mut out);
+    out
+}
+
+/// Canonical representative of the function's isomorphism class under
+/// variable permutation: the minimal table over all `n!` renamings.
+pub fn canonical(n: u8, table: u64, perms: &[Vec<u8>]) -> u64 {
+    perms.iter().map(|p| permute(n, table, p)).min().unwrap_or(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoolFn;
+
+    #[test]
+    fn even_parity_mask_spot_checks() {
+        // popcount(0)=0 even, popcount(1)=1 odd, popcount(3)=2 even.
+        assert_eq!(EVEN_PARITY_MASK & 1, 1);
+        assert_eq!((EVEN_PARITY_MASK >> 1) & 1, 0);
+        assert_eq!((EVEN_PARITY_MASK >> 3) & 1, 1);
+        assert_eq!(EVEN_PARITY_MASK.count_ones(), 32);
+    }
+
+    #[test]
+    fn predicates_agree_with_boolfn() {
+        // Exhaustive on n = 3 (256 functions), sampled on n = 5.
+        for t in 0..256u64 {
+            let f = BoolFn::from_table_u64(3, t);
+            assert_eq!(euler(3, t) as i64, f.euler_characteristic(), "euler {t}");
+            assert_eq!(is_monotone(3, t), f.is_monotone(), "mono {t}");
+            assert_eq!(is_degenerate(3, t), f.is_degenerate(), "degen {t}");
+            assert_eq!(support(3, t), f.support(), "support {t}");
+        }
+        let samples = [0u64, u64::MAX >> 32, 0x0123_4567_89ab_cdef & 0xffff_ffff];
+        for &t in &samples {
+            let t = t & full_mask(5);
+            let f = BoolFn::from_table_u64(5, t);
+            assert_eq!(euler(5, t) as i64, f.euler_characteristic());
+            assert_eq!(is_monotone(5, t), f.is_monotone());
+            assert_eq!(support(5, t), f.support());
+        }
+    }
+
+    #[test]
+    fn permute_matches_boolfn() {
+        let t = crate::phi9().table_u64();
+        for perm in permutations(4) {
+            let via_small = permute(4, t, &perm);
+            let via_boolfn = crate::phi9().permute_vars(&perm).table_u64();
+            assert_eq!(via_small, via_boolfn, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn permutations_count_and_distinctness() {
+        let perms = permutations(4);
+        assert_eq!(perms.len(), 24);
+        let set: std::collections::HashSet<_> = perms.iter().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn canonical_is_invariant_under_renaming() {
+        let perms = permutations(4);
+        let t = crate::phi9().table_u64();
+        let c = canonical(4, t, &perms);
+        for p in &perms {
+            assert_eq!(canonical(4, permute(4, t, p), &perms), c);
+        }
+    }
+
+    #[test]
+    fn full_mask_values() {
+        assert_eq!(full_mask(1), 0b11);
+        assert_eq!(full_mask(2), 0xf);
+        assert_eq!(full_mask(5), u64::from(u32::MAX));
+        assert_eq!(full_mask(6), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= n <= 6")]
+    fn oversized_n_rejected() {
+        let _ = full_mask(7);
+    }
+}

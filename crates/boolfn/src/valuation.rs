@@ -1,0 +1,131 @@
+//! Valuations: subsets of the variable set, encoded as bitmasks.
+
+use std::fmt;
+
+/// A Boolean valuation of a variable set `V = {0, ..., n-1}`: the subset
+/// of variables assigned `true`, encoded as a bitmask.
+///
+/// Displayed in the paper's set notation: `{0, 2, 3}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Valuation(pub u32);
+
+impl Valuation {
+    /// The empty valuation.
+    pub const EMPTY: Valuation = Valuation(0);
+
+    /// Number of variables assigned `true` (the paper's `|ν|`).
+    pub fn size(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `(-1)^{|ν|}` as `+1` / `-1`.
+    pub fn sign(self) -> i64 {
+        if self.size().is_multiple_of(2) {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// `true` iff `|ν|` is even.
+    pub fn is_even(self) -> bool {
+        self.size().is_multiple_of(2)
+    }
+
+    /// The paper's `ν^(l)`: membership of variable `l` flipped.
+    pub fn flip(self, l: u8) -> Valuation {
+        Valuation(self.0 ^ (1 << l))
+    }
+
+    /// Does the valuation contain variable `l`?
+    pub fn contains(self, l: u8) -> bool {
+        self.0 & (1 << l) != 0
+    }
+
+    /// Is `self` a subset of `other`?
+    pub fn is_subset_of(self, other: Valuation) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Hamming distance (the graph distance in `G_V`).
+    pub fn distance(self, other: Valuation) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Are the two valuations adjacent in `G_V` (differ in one variable)?
+    pub fn is_adjacent(self, other: Valuation) -> bool {
+        self.distance(other) == 1
+    }
+
+    /// Iterates over member variables in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..32u8).filter(move |&l| self.contains(l))
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<u32> for Valuation {
+    fn from(mask: u32) -> Self {
+        Valuation(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_sign_parity() {
+        assert_eq!(Valuation(0b1011).size(), 3);
+        assert_eq!(Valuation(0b1011).sign(), -1);
+        assert_eq!(Valuation(0b0011).sign(), 1);
+        assert!(Valuation::EMPTY.is_even());
+    }
+
+    #[test]
+    fn flip_is_involutive_and_adjacent() {
+        let v = Valuation(0b0101);
+        let w = v.flip(1);
+        assert_eq!(w.0, 0b0111);
+        assert_eq!(w.flip(1), v);
+        assert!(v.is_adjacent(w));
+        assert!(!v.is_adjacent(v));
+    }
+
+    #[test]
+    fn subset_and_distance() {
+        assert!(Valuation(0b001).is_subset_of(Valuation(0b011)));
+        assert!(!Valuation(0b100).is_subset_of(Valuation(0b011)));
+        assert_eq!(Valuation(0b110).distance(Valuation(0b011)), 2);
+    }
+
+    #[test]
+    fn display_set_notation() {
+        assert_eq!(Valuation(0b1101).to_string(), "{0,2,3}");
+        assert_eq!(Valuation::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn iter_members() {
+        let v: Vec<u8> = Valuation(0b10101).iter().collect();
+        assert_eq!(v, vec![0, 2, 4]);
+    }
+}

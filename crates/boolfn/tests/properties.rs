@@ -1,0 +1,103 @@
+//! Property-based tests for the Boolean-function substrate.
+
+use intext_boolfn::{small, BoolFn, Valuation};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary function on `n` variables as a masked u64 table.
+fn table(n: u8) -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(move |t| t & small::full_mask(n))
+}
+
+proptest! {
+    #[test]
+    fn euler_of_negation_is_opposite(t in table(5)) {
+        let f = BoolFn::from_table_u64(5, t);
+        prop_assert_eq!(
+            (!&f).euler_characteristic(),
+            -f.euler_characteristic()
+        );
+    }
+
+    #[test]
+    fn euler_additive_on_disjoint(t in table(5), u in table(5)) {
+        let f = BoolFn::from_table_u64(5, t & !u);
+        let g = BoolFn::from_table_u64(5, u & !t);
+        prop_assert!(f.is_disjoint(&g));
+        prop_assert_eq!(
+            (&f | &g).euler_characteristic(),
+            f.euler_characteristic() + g.euler_characteristic()
+        );
+    }
+
+    #[test]
+    fn euler_inclusion_exclusion(t in table(5), u in table(5)) {
+        // e(f ∨ g) = e(f) + e(g) - e(f ∧ g) for arbitrary f, g.
+        let f = BoolFn::from_table_u64(5, t);
+        let g = BoolFn::from_table_u64(5, u);
+        prop_assert_eq!(
+            (&f | &g).euler_characteristic() + (&f & &g).euler_characteristic(),
+            f.euler_characteristic() + g.euler_characteristic()
+        );
+    }
+
+    #[test]
+    fn euler_invariant_under_permutation(t in table(5), seed in any::<u64>()) {
+        let perms = small::permutations(5);
+        let perm = &perms[(seed as usize) % perms.len()];
+        prop_assert_eq!(small::euler(5, t), small::euler(5, small::permute(5, t, perm)));
+    }
+
+    #[test]
+    fn small_predicates_match_boolfn(t in table(6)) {
+        let f = BoolFn::from_table_u64(6, t);
+        prop_assert_eq!(i64::from(small::euler(6, t)), f.euler_characteristic());
+        prop_assert_eq!(small::is_monotone(6, t), f.is_monotone());
+        prop_assert_eq!(small::is_degenerate(6, t), f.is_degenerate());
+        prop_assert_eq!(small::support(6, t), f.support());
+        prop_assert_eq!(u64::from(small::sat_count(t)), f.sat_count());
+    }
+
+    #[test]
+    fn cofactors_shannon_expand(t in table(4), l in 0u8..4) {
+        // f = (x_l ∧ f[l:=1]) ∨ (¬x_l ∧ f[l:=0]).
+        let f = BoolFn::from_table_u64(4, t);
+        let x = BoolFn::var(4, l);
+        let hi = &x & &f.cofactor(l, true);
+        let lo = &(!&x) & &f.cofactor(l, false);
+        prop_assert_eq!(&hi | &lo, f);
+    }
+
+    #[test]
+    fn monotone_dnf_cnf_agree(seed in any::<u64>()) {
+        // Pick a pseudo-random monotone function by upward-closing a set.
+        let raw = seed & small::full_mask(4);
+        let mut f = BoolFn::bottom(4);
+        for v in 0..16u32 {
+            if (raw >> v) & 1 == 1 {
+                for sup in 0..16u32 {
+                    if sup & v == v {
+                        f.set(sup, true);
+                    }
+                }
+            }
+        }
+        prop_assert!(f.is_monotone());
+        let dnf = f.monotone_dnf();
+        let cnf = f.monotone_cnf();
+        for v in 0..16u32 {
+            #[allow(clippy::manual_contains)] // mask inclusion, not membership
+            let by_dnf = dnf.iter().any(|&c| v & c == c);
+            let by_cnf = cnf.iter().all(|&c| v & c != 0);
+            prop_assert_eq!(f.eval(v), by_dnf);
+            prop_assert_eq!(f.eval(v), by_cnf);
+        }
+    }
+
+    #[test]
+    fn valuation_flip_walks_one_step(v in 0u32..32, l in 0u8..5) {
+        let val = Valuation(v);
+        let flipped = val.flip(l);
+        prop_assert_eq!(val.distance(flipped), 1);
+        prop_assert_ne!(val.sign(), flipped.sign());
+    }
+}

@@ -1,0 +1,27 @@
+//! Knowledge compilation formalisms (Section 2 of Monet, PODS 2020).
+//!
+//! The intensional approach to probabilistic query evaluation represents
+//! the lineage of a query in a formalism whose structure makes weighted
+//! model counting linear:
+//!
+//! * **deterministic decomposable circuits (d-Ds)** — Boolean circuits
+//!   where every `∧`-gate has inputs on disjoint variable sets
+//!   (*decomposability* = probabilistic independence) and every `∨`-gate
+//!   has pairwise disjoint inputs (*determinism* = disjoint events). The
+//!   probability of a d-D is computed bottom-up with `×`, `+`, `1 - x`.
+//! * **OBDDs** — ordered binary decision diagrams, a restricted d-D with
+//!   constant-time equivalence checking and polynomial `apply`.
+//!
+//! This crate implements both from scratch: an arena [`Circuit`] type
+//! with structural decomposability checking and semantic determinism
+//! verification ([`verify`]), and a reduced-ordered [`ObddManager`] with
+//! the standard `apply`/negate algorithms, exact and floating probability
+//! computation, model counting, and conversion into d-D circuits.
+
+mod circuit;
+mod models;
+mod obdd;
+pub mod verify;
+
+pub use circuit::{Circuit, CircuitStats, Gate, GateId};
+pub use obdd::{NodeRef, ObddManager};

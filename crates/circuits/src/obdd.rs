@@ -1,0 +1,614 @@
+//! Reduced ordered binary decision diagrams (OBDDs).
+//!
+//! The classical formalism of Bryant (1986), used by the paper through
+//! Proposition 3.7: degenerate `H`-queries have lineage OBDDs computable
+//! in polynomial time. An OBDD is in particular a d-D — each decision
+//! node is the deterministic disjunction `(x ∧ hi) ∨ (¬x ∧ lo)` with
+//! decomposable conjunctions — so probability computation is linear and
+//! [`ObddManager::to_circuit`] embeds OBDDs into the circuit world.
+
+use std::collections::HashMap;
+
+use intext_numeric::{BigRational, BigUint};
+
+use crate::{Circuit, GateId};
+
+/// Reference to an OBDD node or terminal: `0` = false, `1` = true,
+/// otherwise index + 2 into the manager's arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// The constant-false terminal.
+    pub const FALSE: NodeRef = NodeRef(0);
+    /// The constant-true terminal.
+    pub const TRUE: NodeRef = NodeRef(1);
+
+    /// Is this a terminal?
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    fn index(self) -> usize {
+        debug_assert!(!self.is_terminal());
+        (self.0 - 2) as usize
+    }
+
+    fn from_index(i: usize) -> NodeRef {
+        NodeRef(u32::try_from(i + 2).expect("node count fits u32"))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    level: u32,
+    lo: NodeRef,
+    hi: NodeRef,
+}
+
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// Shared manager for reduced OBDDs over a fixed variable order.
+///
+/// All functions built through one manager share the node arena and the
+/// unique table, so structural equality of [`NodeRef`]s is semantic
+/// equivalence (canonicity of reduced OBDDs).
+#[derive(Debug)]
+pub struct ObddManager {
+    order: Vec<u32>,
+    level_of: HashMap<u32, u32>,
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, NodeRef, NodeRef), NodeRef>,
+}
+
+impl ObddManager {
+    /// Creates a manager for the given variable order (level 0 is tested
+    /// first / closest to the root).
+    ///
+    /// # Panics
+    /// Panics if the order repeats a variable.
+    pub fn new(order: Vec<u32>) -> Self {
+        let mut level_of = HashMap::with_capacity(order.len());
+        for (l, &v) in order.iter().enumerate() {
+            let prev = level_of.insert(v, l as u32);
+            assert!(prev.is_none(), "variable {v} appears twice in the order");
+        }
+        ObddManager { order, level_of, nodes: Vec::new(), unique: HashMap::new() }
+    }
+
+    /// The variable order.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The level of a variable in the order.
+    pub fn level_of(&self, var: u32) -> Option<u32> {
+        self.level_of.get(&var).copied()
+    }
+
+    /// Total nodes allocated in the arena (all functions together).
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn level(&self, r: NodeRef) -> u32 {
+        if r.is_terminal() {
+            TERMINAL_LEVEL
+        } else {
+            self.nodes[r.index()].level
+        }
+    }
+
+    /// `(level, lo, hi)` of a decision node (not a terminal).
+    pub(crate) fn node_parts(&self, r: NodeRef) -> (u32, NodeRef, NodeRef) {
+        let n = self.nodes[r.index()];
+        (n.level, n.lo, n.hi)
+    }
+
+    /// The level of a reference, with terminals resolving to one past the
+    /// last variable level (useful for skipped-variable spans).
+    pub(crate) fn resolve_level(&self, r: NodeRef) -> u32 {
+        if r.is_terminal() {
+            self.order.len() as u32
+        } else {
+            self.nodes[r.index()].level
+        }
+    }
+
+    /// The unique reduced node `(level, lo, hi)`; the workhorse shared by
+    /// all construction paths (including the lineage unroller in
+    /// `intext-lineage`).
+    ///
+    /// # Panics
+    /// Panics if children live at levels `<= level` (order violation).
+    pub fn mk(&mut self, level: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        assert!(
+            self.level(lo) > level && self.level(hi) > level,
+            "children must be strictly below level {level}"
+        );
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(level, lo, hi)) {
+            return r;
+        }
+        let r = NodeRef::from_index(self.nodes.len());
+        self.nodes.push(Node { level, lo, hi });
+        self.unique.insert((level, lo, hi), r);
+        r
+    }
+
+    /// The literal `var` (or its negation).
+    ///
+    /// # Panics
+    /// Panics if `var` is not in the order.
+    pub fn literal(&mut self, var: u32, positive: bool) -> NodeRef {
+        let level = self.level_of(var).unwrap_or_else(|| panic!("variable {var} not in order"));
+        if positive {
+            self.mk(level, NodeRef::FALSE, NodeRef::TRUE)
+        } else {
+            self.mk(level, NodeRef::TRUE, NodeRef::FALSE)
+        }
+    }
+
+    fn cofactors(&self, r: NodeRef, level: u32) -> (NodeRef, NodeRef) {
+        if self.level(r) == level {
+            let n = self.nodes[r.index()];
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    fn apply(
+        &mut self,
+        a: NodeRef,
+        b: NodeRef,
+        op: fn(bool, bool) -> bool,
+        memo: &mut HashMap<(NodeRef, NodeRef), NodeRef>,
+    ) -> NodeRef {
+        if a.is_terminal() && b.is_terminal() {
+            return if op(a == NodeRef::TRUE, b == NodeRef::TRUE) {
+                NodeRef::TRUE
+            } else {
+                NodeRef::FALSE
+            };
+        }
+        if let Some(&r) = memo.get(&(a, b)) {
+            return r;
+        }
+        let level = self.level(a).min(self.level(b));
+        let (alo, ahi) = self.cofactors(a, level);
+        let (blo, bhi) = self.cofactors(b, level);
+        let lo = self.apply(alo, blo, op, memo);
+        let hi = self.apply(ahi, bhi, op, memo);
+        let r = self.mk(level, lo, hi);
+        memo.insert((a, b), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        self.apply(a, b, |x, y| x && y, &mut HashMap::new())
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        self.apply(a, b, |x, y| x || y, &mut HashMap::new())
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        self.apply(a, b, |x, y| x ^ y, &mut HashMap::new())
+    }
+
+    /// Generalized multi-way apply: combines `inputs` under an arbitrary
+    /// Boolean combinator `f` (evaluated on the co-factored terminal
+    /// values). The classical product construction — worst case the
+    /// product of the input sizes, hence best reserved for constantly
+    /// many inputs (it is the textbook route to Proposition 3.7, kept as
+    /// an ablation baseline for the automaton unrolling).
+    pub fn combine_many(
+        &mut self,
+        inputs: &[NodeRef],
+        f: &impl Fn(&[bool]) -> bool,
+    ) -> NodeRef {
+        let mut memo: HashMap<Vec<NodeRef>, NodeRef> = HashMap::new();
+        self.combine_rec(inputs, f, &mut memo)
+    }
+
+    fn combine_rec(
+        &mut self,
+        inputs: &[NodeRef],
+        f: &impl Fn(&[bool]) -> bool,
+        memo: &mut HashMap<Vec<NodeRef>, NodeRef>,
+    ) -> NodeRef {
+        if inputs.iter().all(|r| r.is_terminal()) {
+            let values: Vec<bool> = inputs.iter().map(|&r| r == NodeRef::TRUE).collect();
+            return if f(&values) { NodeRef::TRUE } else { NodeRef::FALSE };
+        }
+        if let Some(&r) = memo.get(inputs) {
+            return r;
+        }
+        let level = inputs.iter().map(|&r| self.level(r)).min().expect("nonempty");
+        let lo: Vec<NodeRef> = inputs.iter().map(|&r| self.cofactors(r, level).0).collect();
+        let hi: Vec<NodeRef> = inputs.iter().map(|&r| self.cofactors(r, level).1).collect();
+        let lo_r = self.combine_rec(&lo, f, memo);
+        let hi_r = self.combine_rec(&hi, f, memo);
+        let out = self.mk(level, lo_r, hi_r);
+        memo.insert(inputs.to_vec(), out);
+        out
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: NodeRef) -> NodeRef {
+        fn rec(
+            m: &mut ObddManager,
+            a: NodeRef,
+            memo: &mut HashMap<NodeRef, NodeRef>,
+        ) -> NodeRef {
+            match a {
+                NodeRef::FALSE => NodeRef::TRUE,
+                NodeRef::TRUE => NodeRef::FALSE,
+                _ => {
+                    if let Some(&r) = memo.get(&a) {
+                        return r;
+                    }
+                    let n = m.nodes[a.index()];
+                    let lo = rec(m, n.lo, memo);
+                    let hi = rec(m, n.hi, memo);
+                    let r = m.mk(n.level, lo, hi);
+                    memo.insert(a, r);
+                    r
+                }
+            }
+        }
+        rec(self, a, &mut HashMap::new())
+    }
+
+    /// Evaluates the function under a variable assignment.
+    pub fn eval(&self, mut r: NodeRef, assignment: &impl Fn(u32) -> bool) -> bool {
+        while !r.is_terminal() {
+            let n = self.nodes[r.index()];
+            let var = self.order[n.level as usize];
+            r = if assignment(var) { n.hi } else { n.lo };
+        }
+        r == NodeRef::TRUE
+    }
+
+    /// Number of decision nodes reachable from `r`.
+    pub fn size(&self, r: NodeRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![r];
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let n = self.nodes[x.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    /// Probability of the function under independent per-variable
+    /// probabilities (linear in the OBDD size; reduction-skipped
+    /// variables marginalize out automatically).
+    pub fn probability_f64(&self, r: NodeRef, prob: &impl Fn(u32) -> f64) -> f64 {
+        fn rec(
+            m: &ObddManager,
+            r: NodeRef,
+            prob: &impl Fn(u32) -> f64,
+            memo: &mut HashMap<NodeRef, f64>,
+        ) -> f64 {
+            match r {
+                NodeRef::FALSE => 0.0,
+                NodeRef::TRUE => 1.0,
+                _ => {
+                    if let Some(&p) = memo.get(&r) {
+                        return p;
+                    }
+                    let n = m.nodes[r.index()];
+                    let pv = prob(m.order[n.level as usize]);
+                    let p = pv * rec(m, n.hi, prob, memo)
+                        + (1.0 - pv) * rec(m, n.lo, prob, memo);
+                    memo.insert(r, p);
+                    p
+                }
+            }
+        }
+        rec(self, r, prob, &mut HashMap::new())
+    }
+
+    /// Exact-rational variant of [`Self::probability_f64`].
+    pub fn probability_exact(
+        &self,
+        r: NodeRef,
+        prob: &impl Fn(u32) -> BigRational,
+    ) -> BigRational {
+        fn rec(
+            m: &ObddManager,
+            r: NodeRef,
+            prob: &impl Fn(u32) -> BigRational,
+            memo: &mut HashMap<NodeRef, BigRational>,
+        ) -> BigRational {
+            match r {
+                NodeRef::FALSE => BigRational::zero(),
+                NodeRef::TRUE => BigRational::one(),
+                _ => {
+                    if let Some(p) = memo.get(&r) {
+                        return p.clone();
+                    }
+                    let n = m.nodes[r.index()];
+                    let pv = prob(m.order[n.level as usize]);
+                    let hi = rec(m, n.hi, prob, memo);
+                    let lo = rec(m, n.lo, prob, memo);
+                    let p = &(&pv * &hi) + &(&pv.complement() * &lo);
+                    memo.insert(r, p.clone());
+                    p
+                }
+            }
+        }
+        rec(self, r, prob, &mut HashMap::new())
+    }
+
+    /// Number of satisfying assignments over **all** variables of the
+    /// order (level-aware: reduction-skipped variables count double).
+    pub fn model_count(&self, r: NodeRef) -> BigUint {
+        fn two_pow(e: u32) -> BigUint {
+            BigUint::from(1u64).shl_bits(u64::from(e))
+        }
+        fn rec(
+            m: &ObddManager,
+            r: NodeRef,
+            from_level: u32,
+            memo: &mut HashMap<NodeRef, BigUint>,
+        ) -> BigUint {
+            // Returns the count over variables at levels >= from_level,
+            // where level(r) >= from_level.
+            let total_levels = m.order.len() as u32;
+            match r {
+                NodeRef::FALSE => BigUint::zero(),
+                NodeRef::TRUE => two_pow(total_levels - from_level),
+                _ => {
+                    let n = m.nodes[r.index()];
+                    let at_node = if let Some(c) = memo.get(&r) {
+                        c.clone()
+                    } else {
+                        let hi = rec(m, n.hi, n.level + 1, memo);
+                        let lo = rec(m, n.lo, n.level + 1, memo);
+                        let c = &hi + &lo;
+                        memo.insert(r, c.clone());
+                        c
+                    };
+                    // Scale by the levels skipped above this node.
+                    &at_node * &two_pow(n.level - from_level)
+                }
+            }
+        }
+        rec(self, r, 0, &mut HashMap::new())
+    }
+
+    /// Embeds the function as a d-D circuit: every decision node becomes
+    /// `(x ∧ hi) ∨ (¬x ∧ lo)` — deterministic and decomposable by the
+    /// OBDD ordering invariant.
+    pub fn to_circuit(&self, r: NodeRef) -> (Circuit, GateId) {
+        let mut c = Circuit::new();
+        let root = self.copy_into_circuit(r, &mut c);
+        (c, root)
+    }
+
+    /// Copies the function's gates into an existing circuit arena
+    /// (hash-consing merges shared structure), returning the root gate.
+    /// Used to plug many OBDDs into one `¬`-`∨`-template.
+    pub fn copy_into_circuit(&self, r: NodeRef, c: &mut Circuit) -> GateId {
+        let mut memo: HashMap<NodeRef, GateId> = HashMap::new();
+        self.to_circuit_rec(r, c, &mut memo)
+    }
+
+    fn to_circuit_rec(
+        &self,
+        r: NodeRef,
+        c: &mut Circuit,
+        memo: &mut HashMap<NodeRef, GateId>,
+    ) -> GateId {
+        if let Some(&g) = memo.get(&r) {
+            return g;
+        }
+        let g = match r {
+            NodeRef::FALSE => c.constant(false),
+            NodeRef::TRUE => c.constant(true),
+            _ => {
+                let n = self.nodes[r.index()];
+                let var = self.order[n.level as usize];
+                let hi = self.to_circuit_rec(n.hi, c, memo);
+                let lo = self.to_circuit_rec(n.lo, c, memo);
+                let v = c.var(var);
+                let nv = c.not(v);
+                let left = c.and(vec![v, hi]);
+                let right = c.and(vec![nv, lo]);
+                c.or(vec![left, right])
+            }
+        };
+        memo.insert(r, g);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(bits: u32) -> impl Fn(u32) -> bool {
+        move |v| (bits >> v) & 1 == 1
+    }
+
+    #[test]
+    fn literals_and_terminals() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x0 = m.literal(0, true);
+        let nx0 = m.literal(0, false);
+        assert!(m.eval(x0, &assignment(0b001)));
+        assert!(!m.eval(x0, &assignment(0b000)));
+        assert!(m.eval(nx0, &assignment(0b000)));
+        assert!(NodeRef::TRUE.is_terminal());
+    }
+
+    #[test]
+    fn apply_matches_truth_table() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        let x2 = m.literal(2, true);
+        let f = m.and(x0, x1);
+        let g = m.or(f, x2); // (x0∧x1)∨x2
+        for bits in 0..8u32 {
+            let expect = ((bits & 1 != 0) && (bits & 2 != 0)) || (bits & 4 != 0);
+            assert_eq!(m.eval(g, &assignment(bits)), expect, "bits={bits:#05b}");
+        }
+        let x = m.xor(x0, x1);
+        for bits in 0..4u32 {
+            assert_eq!(m.eval(x, &assignment(bits)), (bits & 1 != 0) ^ (bits & 2 != 0));
+        }
+    }
+
+    #[test]
+    fn combine_many_matches_pairwise_apply() {
+        let mut m = ObddManager::new(vec![0, 1, 2, 3]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        let x2 = m.literal(2, true);
+        let x3 = m.literal(3, true);
+        // majority(x0,x1,x2) ⊕ x3 two ways.
+        let combined = m.combine_many(&[x0, x1, x2, x3], &|v| {
+            (u8::from(v[0]) + u8::from(v[1]) + u8::from(v[2]) >= 2) ^ v[3]
+        });
+        let a = m.and(x0, x1);
+        let b = m.and(x0, x2);
+        let c = m.and(x1, x2);
+        let ab = m.or(a, b);
+        let maj = m.or(ab, c);
+        let pairwise = m.xor(maj, x3);
+        assert_eq!(combined, pairwise, "canonicity makes equal functions equal refs");
+    }
+
+    #[test]
+    fn canonicity_equal_functions_equal_refs() {
+        let mut m = ObddManager::new(vec![0, 1]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        // x0 ∨ x1 built two different ways.
+        let a = m.or(x0, x1);
+        let n0 = m.literal(0, false);
+        let n1 = m.literal(1, false);
+        let both_false = m.and(n0, n1);
+        let b = m.not(both_false);
+        assert_eq!(a, b, "reduced OBDDs are canonical");
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x0 = m.literal(0, true);
+        let x2 = m.literal(2, true);
+        let f = m.or(x0, x2);
+        let nn = m.not(f);
+        let back = m.not(nn);
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn reduction_collapses_redundant_tests() {
+        let mut m = ObddManager::new(vec![0, 1]);
+        let x1 = m.literal(1, true);
+        // Node testing var 0 with equal children must reduce away.
+        let r = m.mk(0, x1, x1);
+        assert_eq!(r, x1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly below")]
+    fn order_violation_detected() {
+        let mut m = ObddManager::new(vec![0, 1]);
+        let x0 = m.literal(0, true);
+        let _ = m.mk(1, x0, NodeRef::TRUE); // child above the node's level
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_order_rejected() {
+        let _ = ObddManager::new(vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn probability_marginalizes_skipped_levels() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x2 = m.literal(2, true); // skips levels 0 and 1 entirely
+        let p = m.probability_f64(x2, &|v| if v == 2 { 0.3 } else { 0.9 });
+        assert!((p - 0.3).abs() < 1e-12);
+        let exact = m.probability_exact(x2, &|_| BigRational::from_ratio(3, 10));
+        assert_eq!(exact, BigRational::from_ratio(3, 10));
+    }
+
+    #[test]
+    fn probability_of_compound_function() {
+        let mut m = ObddManager::new(vec![0, 1]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        let f = m.or(x0, x1);
+        // Pr = 1 - (1-p0)(1-p1) with p0 = 1/2, p1 = 1/3 → 2/3.
+        let exact = m.probability_exact(f, &|v| {
+            BigRational::from_ratio(1, if v == 0 { 2 } else { 3 })
+        });
+        assert_eq!(exact, BigRational::from_ratio(2, 3));
+    }
+
+    #[test]
+    fn model_count_with_skipped_variables() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x1 = m.literal(1, true);
+        // x1 over 3 variables: 4 models.
+        assert_eq!(m.model_count(x1).to_u64(), Some(4));
+        let x0 = m.literal(0, true);
+        let f = m.or(x0, x1);
+        assert_eq!(m.model_count(f).to_u64(), Some(6));
+        assert_eq!(m.model_count(NodeRef::TRUE).to_u64(), Some(8));
+        assert_eq!(m.model_count(NodeRef::FALSE).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn to_circuit_is_an_equivalent_dd() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        let x2 = m.literal(2, true);
+        let t = m.and(x0, x1);
+        let f = m.xor(t, x2);
+        let (c, root) = m.to_circuit(f);
+        crate::verify::check_dd(&c, root).expect("OBDD converts to a valid d-D");
+        for bits in 0..8u32 {
+            assert_eq!(
+                c.eval(root, &|v| (bits >> v) & 1 == 1),
+                m.eval(f, &assignment(bits)),
+                "bits={bits:#05b}"
+            );
+        }
+        let pm = m.probability_f64(f, &|_| 0.5);
+        let pc = c.probability_f64(root, &|_| 0.5);
+        assert!((pm - pc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_counts_reachable_nodes_only() {
+        let mut m = ObddManager::new(vec![0, 1, 2, 3]);
+        let a = m.literal(0, true);
+        let b = m.literal(1, true);
+        let c = m.literal(2, true);
+        let ab = m.and(a, b);
+        let abc = m.and(ab, c);
+        assert!(m.size(abc) >= 3);
+        assert!(m.size(a) == 1);
+        assert_eq!(m.size(NodeRef::TRUE), 0);
+        assert!(m.arena_size() >= m.size(abc));
+    }
+}

@@ -1,0 +1,215 @@
+//! Verification of the d-D conditions (Section 2 of the paper).
+//!
+//! *Decomposability* is a purely structural property (`Vars` of `∧`-gate
+//! inputs pairwise disjoint) and is checked exactly in linear time.
+//! *Determinism* is semantic (inputs of each `∨`-gate pairwise disjoint
+//! as Boolean functions) and coNP-hard in general, so we offer an
+//! exhaustive checker for circuits on few variables — ample for tests,
+//! where instances are small by construction — plus the constructions in
+//! `intext-core` are deterministic *by design* (the paper's proofs carry
+//! the disjointness invariants).
+
+use std::collections::HashMap;
+
+use crate::{Circuit, Gate, GateId};
+
+/// A violation of the d-D conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DdViolation {
+    /// An `∧`-gate with two inputs sharing a variable.
+    NotDecomposable {
+        /// The offending gate.
+        gate: GateId,
+        /// A shared variable.
+        var: u32,
+    },
+    /// An `∨`-gate with two overlapping inputs, witnessed by an assignment.
+    NotDeterministic {
+        /// The offending gate.
+        gate: GateId,
+        /// An assignment (bitmask over `vars`) satisfying two inputs.
+        witness: u64,
+    },
+    /// Too many variables for exhaustive determinism checking.
+    TooManyVariables(usize),
+}
+
+impl std::fmt::Display for DdViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DdViolation::NotDecomposable { gate, var } => {
+                write!(f, "∧-gate {gate:?} not decomposable (shares variable {var})")
+            }
+            DdViolation::NotDeterministic { gate, witness } => {
+                write!(f, "∨-gate {gate:?} not deterministic (witness {witness:#b})")
+            }
+            DdViolation::TooManyVariables(n) => {
+                write!(f, "exhaustive determinism check supports <= 22 variables, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DdViolation {}
+
+/// Checks decomposability of every `∧`-gate reachable from `root`.
+pub fn check_decomposable(c: &Circuit, root: GateId) -> Result<(), DdViolation> {
+    let vars = c.vars_per_gate();
+    let reachable = reachable_gates(c, root);
+    for &id in &reachable {
+        if let Gate::And(xs) = c.gate(id) {
+            for (i, a) in xs.iter().enumerate() {
+                for b in &xs[i + 1..] {
+                    if let Some(&v) = vars[a.0 as usize].intersection(&vars[b.0 as usize]).next()
+                    {
+                        return Err(DdViolation::NotDecomposable { gate: id, var: v });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks determinism of every `∨`-gate reachable from `root` by
+/// exhausting all assignments of the circuit's variables (`<= 22`).
+pub fn check_deterministic_exhaustive(c: &Circuit, root: GateId) -> Result<(), DdViolation> {
+    let all_vars: Vec<u32> = {
+        let mut v: Vec<u32> = c.vars(root).into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    if all_vars.len() > 22 {
+        return Err(DdViolation::TooManyVariables(all_vars.len()));
+    }
+    let index: HashMap<u32, usize> =
+        all_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let reachable = reachable_gates(c, root);
+    let or_gates: Vec<GateId> = reachable
+        .iter()
+        .copied()
+        .filter(|&id| matches!(c.gate(id), Gate::Or(xs) if xs.len() >= 2))
+        .collect();
+    for bits in 0..(1u64 << all_vars.len()) {
+        // Evaluate every gate once per assignment.
+        let mut values = vec![false; c.len()];
+        for i in 0..c.len() {
+            values[i] = match c.gate(GateId(i as u32)) {
+                Gate::Const(b) => *b,
+                Gate::Var(v) => index.get(v).is_some_and(|&j| (bits >> j) & 1 == 1),
+                Gate::And(xs) => xs.iter().all(|x| values[x.0 as usize]),
+                Gate::Or(xs) => xs.iter().any(|x| values[x.0 as usize]),
+                Gate::Not(x) => !values[x.0 as usize],
+            };
+        }
+        for &id in &or_gates {
+            let Gate::Or(xs) = c.gate(id) else { unreachable!("filtered to Or") };
+            let live = xs.iter().filter(|x| values[x.0 as usize]).count();
+            if live >= 2 {
+                return Err(DdViolation::NotDeterministic { gate: id, witness: bits });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Full d-D check: decomposability (structural) plus determinism
+/// (exhaustive; requires `<= 22` variables below `root`).
+pub fn check_dd(c: &Circuit, root: GateId) -> Result<(), DdViolation> {
+    check_decomposable(c, root)?;
+    check_deterministic_exhaustive(c, root)
+}
+
+fn reachable_gates(c: &Circuit, root: GateId) -> Vec<GateId> {
+    let mut seen = vec![false; c.len()];
+    let mut stack = vec![root];
+    let mut out = Vec::new();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut seen[id.0 as usize], true) {
+            continue;
+        }
+        out.push(id);
+        match c.gate(id) {
+            Gate::And(xs) | Gate::Or(xs) => stack.extend(xs.iter().copied()),
+            Gate::Not(x) => stack.push(*x),
+            Gate::Const(_) | Gate::Var(_) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_dd_passes() {
+        // x0 ∨ (¬x0 ∧ x1).
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let n0 = c.not(x0);
+        let a = c.and(vec![n0, x1]);
+        let root = c.or(vec![x0, a]);
+        assert_eq!(check_dd(&c, root), Ok(()));
+    }
+
+    #[test]
+    fn non_decomposable_and_detected() {
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let n0 = c.not(x0);
+        let root = c.and(vec![x0, n0]); // shares variable 0
+        assert_eq!(
+            check_decomposable(&c, root),
+            Err(DdViolation::NotDecomposable { gate: root, var: 0 })
+        );
+    }
+
+    #[test]
+    fn non_deterministic_or_detected() {
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let root = c.or(vec![x0, x1]); // overlap at x0 = x1 = 1
+        let err = check_deterministic_exhaustive(&c, root).unwrap_err();
+        match err {
+            DdViolation::NotDeterministic { gate, witness } => {
+                assert_eq!(gate, root);
+                assert_eq!(witness, 0b11);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_garbage_is_ignored() {
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let n0 = c.not(x0);
+        let _garbage = c.and(vec![x0, n0]); // invalid but unreachable
+        let x1 = c.var(1);
+        let root = c.and(vec![x0, x1]);
+        assert_eq!(check_dd(&c, root), Ok(()));
+    }
+
+    #[test]
+    fn deterministic_or_with_constants() {
+        let mut c = Circuit::new();
+        let f = c.constant(false);
+        let x = c.var(3);
+        let root = c.or(vec![f, x]);
+        assert_eq!(check_dd(&c, root), Ok(()));
+    }
+
+    #[test]
+    fn too_many_variables_reported() {
+        let mut c = Circuit::new();
+        let vars: Vec<GateId> = (0..23).map(|v| c.var(v)).collect();
+        let root = c.and(vars);
+        assert_eq!(
+            check_deterministic_exhaustive(&c, root),
+            Err(DdViolation::TooManyVariables(23))
+        );
+    }
+}

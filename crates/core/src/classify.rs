@@ -1,0 +1,131 @@
+//! The region map of Figure 1: where every `H`-query lives.
+
+use intext_boolfn::{monotone_euler_range, BoolFn};
+
+/// The regions of the paper's Figure 1, as decided by this library.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Region {
+    /// Blue rectangle: `φ` degenerate — `Q_φ ∈ OBDD(PTIME)`
+    /// (Proposition 3.7; lower bound from Beame et al. \[6\]).
+    DegenerateObdd,
+    /// Dashed green: `e(φ) = 0` and nondegenerate — `Q_φ ∈ d-D(PTIME)`
+    /// by the paper's technique (Theorem 5.2); includes every safe
+    /// nondegenerate `H⁺`-query (Corollary 5.3).
+    ZeroEulerDD,
+    /// Solid red: monotone with `e(φ) ≠ 0` — `PQE(Q_φ)` is `#P`-hard by
+    /// the Dalvi–Suciu dichotomy (Corollary 3.9).
+    HardMonotone,
+    /// Dashed red: non-monotone, `e(φ) ≠ 0`, but within the Euler range
+    /// achievable by monotone functions — `#P`-hard by the transfer
+    /// reduction (Proposition 6.4 / Lemma C.1).
+    HardByTransfer,
+    /// Dotted gray: non-monotone with `e(φ)` beyond the monotone range
+    /// (e.g. `φ_max-Euler`) — conjectured `#P`-hard (Open problem 1).
+    ConjecturedHard,
+}
+
+impl Region {
+    /// Does the paper give a PTIME compilation for this region?
+    pub fn is_tractable(self) -> bool {
+        matches!(self, Region::DegenerateObdd | Region::ZeroEulerDD)
+    }
+
+    /// Does the paper prove `#P`-hardness for this region?
+    pub fn is_proven_hard(self) -> bool {
+        matches!(self, Region::HardMonotone | Region::HardByTransfer)
+    }
+}
+
+/// Proposition 6.4's constructive content: for a (possibly non-monotone)
+/// `φ` with `e(φ) ≠ 0` inside the monotone-achievable Euler range,
+/// produces a *monotone* function with the same Euler characteristic —
+/// `#P`-hard by Corollary 3.9 and `≃`-connected to `φ` by
+/// Proposition 6.1, so `PQE(Q_φ)` inherits the hardness through
+/// Theorem 6.2 (a).
+pub fn hardness_witness(phi: &BoolFn) -> Option<BoolFn> {
+    let e = phi.euler_characteristic();
+    if e == 0 {
+        return None; // tractable, nothing to transfer
+    }
+    intext_boolfn::monotone_with_euler(phi.k(), e)
+}
+
+/// Places an `H`-query's defining function in its Figure 1 region.
+pub fn classify(phi: &BoolFn) -> Region {
+    if phi.is_degenerate() {
+        return Region::DegenerateObdd;
+    }
+    let e = phi.euler_characteristic();
+    if e == 0 {
+        return Region::ZeroEulerDD;
+    }
+    if phi.is_monotone() {
+        return Region::HardMonotone;
+    }
+    let (min, max) = monotone_euler_range(phi.k());
+    if (min..=max).contains(&e) {
+        Region::HardByTransfer
+    } else {
+        Region::ConjecturedHard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{max_euler_fn, phi9, phi_no_pm, threshold_fn, BoolFn};
+
+    #[test]
+    fn canonical_examples_land_in_their_regions() {
+        assert_eq!(classify(&BoolFn::var(4, 2)), Region::DegenerateObdd);
+        assert_eq!(classify(&BoolFn::bottom(3)), Region::DegenerateObdd);
+        assert_eq!(classify(&phi9()), Region::ZeroEulerDD);
+        assert_eq!(classify(&phi_no_pm()), Region::ZeroEulerDD);
+        // The hard chain query h_k: one CNF clause with everything.
+        let hard = BoolFn::from_fn(4, |v| v != 0);
+        assert_eq!(classify(&hard), Region::HardMonotone);
+        assert_eq!(classify(&max_euler_fn(4)), Region::ConjecturedHard);
+    }
+
+    #[test]
+    fn transfer_hard_example() {
+        // A non-monotone function with small nonzero Euler characteristic
+        // sits in the dashed red region.
+        let phi = BoolFn::from_sat(3, [0b001u32, 0b010, 0b000]);
+        assert!(!phi.is_monotone());
+        assert_eq!(phi.euler_characteristic(), -1);
+        assert_eq!(classify(&phi), Region::HardByTransfer);
+    }
+
+    #[test]
+    fn region_predicates() {
+        assert!(Region::DegenerateObdd.is_tractable());
+        assert!(Region::ZeroEulerDD.is_tractable());
+        assert!(!Region::HardMonotone.is_tractable());
+        assert!(Region::HardMonotone.is_proven_hard());
+        assert!(Region::HardByTransfer.is_proven_hard());
+        assert!(!Region::ConjecturedHard.is_proven_hard());
+        assert!(!Region::ConjecturedHard.is_tractable());
+    }
+
+    #[test]
+    fn hardness_witness_matches_euler_and_connects() {
+        // A dashed-red function: the witness is monotone with equal e,
+        // hence ≃-connected (Proposition 6.1 / Theorem 6.2(a)).
+        let phi = BoolFn::from_sat(3, [0b001u32, 0b010, 0b000]);
+        let w = hardness_witness(&phi).expect("within monotone range");
+        assert!(w.is_monotone());
+        assert_eq!(w.euler_characteristic(), phi.euler_characteristic());
+        assert!(crate::transform::steps_between(&phi, &w).is_ok());
+        // Gray-region functions have no witness; tractable ones neither.
+        assert!(hardness_witness(&max_euler_fn(4)).is_none());
+        assert!(hardness_witness(&phi9()).is_none());
+    }
+
+    #[test]
+    fn thresholds_span_regions() {
+        // τ_0 = ⊤ degenerate; middle thresholds are hard monotone.
+        assert_eq!(classify(&threshold_fn(4, 0)), Region::DegenerateObdd);
+        assert_eq!(classify(&threshold_fn(4, 1)), Region::HardMonotone);
+    }
+}

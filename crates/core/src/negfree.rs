@@ -1,0 +1,123 @@
+//! "Using fewer negations" (Section 7 of the paper).
+//!
+//! The paper observes that `φ ∼▷⁻* ⊥` — reachable from `φ` by *removals
+//! alone* — holds iff the subgraph of `G_V[φ]` induced by the satisfying
+//! valuations has a perfect matching, and that in this case `Q_φ` is in
+//! `d-DNNF(PTIME)`: the template needs no `¬` gates at all (this was the
+//! approach of Monet–Olteanu \[26\]). Conjecture 1 states that monotone
+//! functions with `e(φ) = 0` always admit a matching on one of the two
+//! sides; `φ_no-PM` (Figure 5) shows general functions may admit neither,
+//! which is why the two-sided transformation of Section 5 is needed.
+//!
+//! This module makes the matching-based route executable: extract a
+//! perfect matching, turn it into a removal-only step sequence, and build
+//! the corresponding negation-free fragmentation.
+
+use intext_boolfn::BoolFn;
+use intext_matching::{hopcroft_karp, induced_subgraph_labeled};
+
+use crate::template::Fragmentation;
+use crate::transform::{invert_steps, Step, StepKind};
+
+/// A removal-only sequence `φ ∼▷⁻* ⊥`, if one exists — i.e. iff the
+/// satisfying valuations admit a perfect matching in `G_V`.
+///
+/// The matched pairs are pairwise disjoint, so removing them in any
+/// order satisfies the step preconditions.
+pub fn removal_only_steps(phi: &BoolFn) -> Option<Vec<Step>> {
+    let sat = phi.sat_vec();
+    let n = phi.num_vars();
+    let (g, left_labels, right_labels) = induced_subgraph_labeled(n, &sat);
+    if left_labels.len() != right_labels.len() {
+        return None;
+    }
+    let matching = hopcroft_karp(&g);
+    if matching.size != left_labels.len() {
+        return None;
+    }
+    let mut steps = Vec::with_capacity(left_labels.len());
+    for (u_idx, v_idx) in matching.pair_left.iter().enumerate() {
+        let v_idx = v_idx.expect("perfect matching saturates the left side");
+        let (a, b) = (left_labels[u_idx], right_labels[v_idx as usize]);
+        debug_assert_eq!((a ^ b).count_ones(), 1, "matched nodes are adjacent");
+        steps.push(Step {
+            kind: StepKind::Remove,
+            nu: a,
+            var: (a ^ b).trailing_zeros() as u8,
+        });
+    }
+    Some(steps)
+}
+
+/// A negation-free fragmentation (pure `∨`-template over degenerate
+/// pairs), if the colored side of `G_V[φ]` has a perfect matching. The
+/// resulting compiled lineage is a d-DNNF — negations occur only on
+/// input variables inside the leaf OBDD gadgets.
+pub fn negation_free_fragmentation(phi: &BoolFn) -> Option<Fragmentation> {
+    let removals = removal_only_steps(phi)?;
+    let build_up = invert_steps(&removals);
+    let frag = Fragmentation::from_steps(phi.num_vars(), &build_up);
+    debug_assert_eq!(frag.template.negation_count(), 0);
+    Some(frag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::apply_steps;
+    use intext_boolfn::{enumerate, phi9, phi_no_pm, small};
+
+    #[test]
+    fn phi9_admits_a_removal_only_sequence() {
+        let steps = removal_only_steps(&phi9()).expect("phi9's colored side matches");
+        assert!(steps.iter().all(|s| s.kind == StepKind::Remove));
+        assert_eq!(steps.len(), 4, "8 satisfying valuations in 4 pairs");
+        let end = apply_steps(&phi9(), &steps).unwrap();
+        assert!(end.is_bottom());
+    }
+
+    #[test]
+    fn phi9_negation_free_fragmentation() {
+        let frag = negation_free_fragmentation(&phi9()).unwrap();
+        assert_eq!(frag.template.negation_count(), 0);
+        assert!(frag.is_deterministic());
+        assert_eq!(frag.to_boolfn(), phi9());
+    }
+
+    #[test]
+    fn phi_no_pm_has_no_removal_only_route() {
+        // Figure 5's whole point.
+        assert!(removal_only_steps(&phi_no_pm()).is_none());
+        assert!(negation_free_fragmentation(&phi_no_pm()).is_none());
+    }
+
+    #[test]
+    fn conjectured_route_works_for_all_safe_monotone_k3() {
+        // By Conjecture 1 (verified exhaustively for k <= 5), every safe
+        // monotone function has a matching on the colored or uncolored
+        // side; when it is the colored side, the negation-free route must
+        // succeed and round-trip.
+        for t in enumerate::monotone_tables(4) {
+            if small::euler(4, t) != 0 {
+                continue;
+            }
+            let phi = BoolFn::from_table_u64(4, t);
+            if let Some(frag) = negation_free_fragmentation(&phi) {
+                assert_eq!(frag.to_boolfn(), phi, "t={t:#x}");
+                assert!(frag.is_deterministic(), "t={t:#x}");
+            } else {
+                // Then the uncolored side must match (Conjecture 1).
+                assert!(
+                    removal_only_steps(&!&phi).is_some(),
+                    "Conjecture 1 violated at t={t:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn odd_sat_count_cannot_be_removal_only() {
+        let phi = BoolFn::from_sat(3, [0b000u32, 0b001, 0b011]);
+        assert!(removal_only_steps(&phi).is_none());
+    }
+}

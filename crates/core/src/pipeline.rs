@@ -1,0 +1,249 @@
+//! The end-to-end d-D compilation pipeline (Theorem 5.2 /
+//! Proposition 4.4): `e(φ) = 0  ⟹  Q_φ ∈ d-D(PTIME)`.
+//!
+//! Fragmentation produces a `¬`-`∨`-template over degenerate
+//! pair-functions; each leaf is compiled to an OBDD by `intext-lineage`
+//! (Proposition 3.7), embedded as circuit gates, and the template is
+//! replayed on top. Determinism of the template's `∨` gates holds by
+//! construction: the lineage map `α ↦ Lin(Q_α, D)` is a homomorphism
+//! from Boolean functions over `V` to Boolean functions over tuples, so
+//! disjointness at the `φ` level transfers to the lineage level.
+
+use std::fmt;
+
+use intext_boolfn::BoolFn;
+use intext_circuits::{Circuit, CircuitStats, GateId};
+use intext_lineage::{compile_degenerate_obdd, LineageError};
+use intext_numeric::BigRational;
+use intext_tid::{Database, Tid, TupleId};
+
+use crate::template::{Fragmentation, Template};
+use crate::transform::TransformError;
+
+/// Errors from the pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The technique applies exactly to `e(φ) = 0` (Theorem 5.2 /
+    /// Corollary 5.4); other functions are `#P`-hard or open (Figure 1).
+    NonZeroEuler(i64),
+    /// A leaf failed to compile (vocabulary mismatch).
+    Lineage(LineageError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NonZeroEuler(e) => {
+                write!(f, "d-D pipeline requires e(φ) = 0, got {e} (query is not safe)")
+            }
+            CompileError::Lineage(e) => write!(f, "leaf compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LineageError> for CompileError {
+    fn from(e: LineageError) -> Self {
+        CompileError::Lineage(e)
+    }
+}
+
+impl From<TransformError> for CompileError {
+    fn from(e: TransformError) -> Self {
+        match e {
+            TransformError::NonZeroEuler(v) => CompileError::NonZeroEuler(v),
+            other => unreachable!("steps_to_bottom only fails on Euler: {other:?}"),
+        }
+    }
+}
+
+/// A compiled lineage: a deterministic decomposable circuit for
+/// `Lin(Q_φ, D)`, plus the fragmentation it was built from.
+#[derive(Debug)]
+pub struct CompiledLineage {
+    /// The circuit arena.
+    pub circuit: Circuit,
+    /// Root gate of the lineage function.
+    pub root: GateId,
+    /// The fragmentation witness (template + degenerate leaves).
+    pub fragmentation: Fragmentation,
+}
+
+impl CompiledLineage {
+    /// Exact probability under the TID's tuple probabilities — one
+    /// bottom-up pass over the d-D.
+    pub fn probability_exact(&self, tid: &Tid) -> BigRational {
+        self.circuit
+            .probability_exact(self.root, &|v| tid.prob(TupleId(v)).clone())
+    }
+
+    /// Floating-point probability.
+    pub fn probability_f64(&self, tid: &Tid) -> f64 {
+        self.circuit.probability_f64(self.root, &|v| tid.prob_f64(TupleId(v)))
+    }
+
+    /// Circuit statistics (size of the compiled representation).
+    pub fn stats(&self) -> CircuitStats {
+        self.circuit.stats()
+    }
+
+    /// Evaluates the lineage on a concrete world (tuple-presence mask).
+    pub fn eval_world(&self, world: u64) -> bool {
+        self.circuit.eval(self.root, &|v| (world >> v) & 1 == 1)
+    }
+}
+
+/// Theorem 5.2: compiles `Lin(Q_φ, D)` into a d-D in polynomial time,
+/// for any `φ` with `e(φ) = 0` (in particular every safe `H⁺`-query,
+/// Corollary 5.3).
+pub fn compile_dd(phi: &BoolFn, db: &Database) -> Result<CompiledLineage, CompileError> {
+    let frag = Fragmentation::of(phi)?;
+    let mut circuit = Circuit::new();
+    // Compile every degenerate leaf to an OBDD, then into shared gates.
+    let mut leaf_gates = Vec::with_capacity(frag.leaves.len());
+    for leaf in &frag.leaves {
+        let lin = compile_degenerate_obdd(leaf, db)?;
+        leaf_gates.push(lin.manager.copy_into_circuit(lin.root, &mut circuit));
+    }
+    let root = instantiate(&frag.template, &leaf_gates, &mut circuit);
+    Ok(CompiledLineage { circuit, root, fragmentation: frag })
+}
+
+fn instantiate(t: &Template, leaf_gates: &[GateId], c: &mut Circuit) -> GateId {
+    match t {
+        Template::Hole(i) => leaf_gates[*i],
+        Template::Or(a, b) => {
+            let ga = instantiate(a, leaf_gates, c);
+            let gb = instantiate(b, leaf_gates, c);
+            c.or(vec![ga, gb])
+        }
+        Template::Not(a) => {
+            let ga = instantiate(a, leaf_gates, c);
+            c.not(ga)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{max_euler_fn, phi9, phi_no_pm, small};
+    use intext_circuits::verify;
+    use intext_extensional::pqe_extensional;
+    use intext_query::{pqe_brute_force, HQuery};
+    use intext_tid::{complete_database, random_database, random_tid, DbGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn phi9_compiles_to_a_valid_dd() {
+        let db = complete_database(3, 1); // small enough for exhaustive d-D check
+        let compiled = compile_dd(&phi9(), &db).unwrap();
+        verify::check_dd(&compiled.circuit, compiled.root).expect("valid d-D");
+        // Lineage semantics on every world.
+        let q = HQuery::new(phi9());
+        for world in 0..(1u64 << db.len()) {
+            assert_eq!(compiled.eval_world(world), q.lineage_eval(&db, world));
+        }
+    }
+
+    #[test]
+    fn phi9_probability_matches_extensional_and_brute_force() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let db = random_database(
+            &DbGenConfig { k: 3, domain_size: 2, density: 0.7, prob_denominator: 7 },
+            &mut rng,
+        );
+        let tid = random_tid(db, 7, &mut rng);
+        let compiled = compile_dd(&phi9(), tid.database()).unwrap();
+        let q = HQuery::new(phi9());
+        let intensional = compiled.probability_exact(&tid);
+        let extensional = pqe_extensional(&q, &tid).unwrap();
+        let brute = pqe_brute_force(&q, &tid).unwrap();
+        assert_eq!(intensional, extensional, "intensional vs extensional");
+        assert_eq!(intensional, brute, "intensional vs brute force");
+    }
+
+    #[test]
+    fn non_monotone_zero_euler_queries_compile() {
+        // The paper's point: the technique covers H-queries beyond UCQs.
+        let phi = phi_no_pm(); // non-monotone, e = 0, k = 4
+        let mut rng = StdRng::seed_from_u64(13);
+        let db = random_database(
+            &DbGenConfig { k: 4, domain_size: 2, density: 0.4, prob_denominator: 5 },
+            &mut rng,
+        );
+        let tid = random_tid(db, 5, &mut rng);
+        let compiled = compile_dd(&phi, tid.database()).unwrap();
+        let q = HQuery::new(phi);
+        let brute = pqe_brute_force(&q, &tid).unwrap();
+        assert_eq!(compiled.probability_exact(&tid), brute);
+    }
+
+    #[test]
+    fn hard_queries_rejected() {
+        let db = complete_database(3, 2);
+        let err = compile_dd(&max_euler_fn(4), &db).unwrap_err();
+        assert_eq!(err, CompileError::NonZeroEuler(8));
+    }
+
+    #[test]
+    fn all_zero_euler_functions_k2_compile_and_agree() {
+        // Exhaustive Theorem 5.2 check at k = 2 against brute force.
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = random_database(
+            &DbGenConfig { k: 2, domain_size: 2, density: 0.75, prob_denominator: 4 },
+            &mut rng,
+        );
+        let tid = random_tid(db, 4, &mut rng);
+        let mut compiled_count = 0;
+        for t in 0..256u64 {
+            if small::euler(3, t) != 0 {
+                continue;
+            }
+            let phi = BoolFn::from_table_u64(3, t);
+            let compiled = compile_dd(&phi, tid.database()).unwrap();
+            let q = HQuery::new(phi);
+            let brute = pqe_brute_force(&q, &tid).unwrap();
+            assert_eq!(compiled.probability_exact(&tid), brute, "t={t:#x}");
+            compiled_count += 1;
+        }
+        assert_eq!(compiled_count, 70, "C(8,4) zero-Euler functions at k=2");
+    }
+
+    #[test]
+    fn circuit_grows_polynomially_with_domain() {
+        let sizes: Vec<usize> = [1u32, 2, 4]
+            .iter()
+            .map(|&n| {
+                let db = complete_database(3, n);
+                compile_dd(&phi9(), &db).unwrap().stats().gates
+            })
+            .collect();
+        // Tuple count grows 4x per doubling (S relations dominate); the
+        // circuit should track that, not blow up exponentially.
+        assert!(sizes[1] < sizes[0] * 8, "{sizes:?}");
+        assert!(sizes[2] < sizes[1] * 8, "{sizes:?}");
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn compiled_lineage_reuse_probability_updates() {
+        // The knowledge-compilation motivation: update tuple
+        // probabilities and re-evaluate without recompiling.
+        let mut rng = StdRng::seed_from_u64(99);
+        let db = random_database(
+            &DbGenConfig { k: 3, domain_size: 2, density: 0.8, prob_denominator: 9 },
+            &mut rng,
+        );
+        let mut tid = random_tid(db, 9, &mut rng);
+        let compiled = compile_dd(&phi9(), tid.database()).unwrap();
+        let before = compiled.probability_exact(&tid);
+        tid.set_prob(TupleId(0), BigRational::from_ratio(1, 97)).unwrap();
+        let after = compiled.probability_exact(&tid);
+        let q = HQuery::new(phi9());
+        assert_eq!(after, pqe_brute_force(&q, &tid).unwrap());
+        assert_ne!(before, after, "the update must be visible");
+    }
+}

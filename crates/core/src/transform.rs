@@ -1,0 +1,589 @@
+//! The valuation transformation `∼▷±` (Section 5 of the paper).
+//!
+//! A [`Step`] adds or removes a pair of *adjacent* valuations (differing
+//! in exactly one variable) to/from the satisfying set; [`Step::apply`]
+//! machine-checks the preconditions of Definition 5.5, so every sequence
+//! produced here is verifiable. On top of the elementary steps:
+//!
+//! * [`fetch_path`] — the fetching lemma (5.11): a path between two
+//!   opposite-parity satisfying valuations with non-satisfying interior;
+//! * chainkilling / chainswapping (Lemma 5.10) as step generators;
+//! * [`steps_to_bottom`] — Proposition 5.9 (`e(φ)=0 ⟹ φ ≃ ⊥`);
+//! * [`steps_to_even_only`] — Lemma 6.5;
+//! * [`steps_to_canonical`] — Lemma 6.7, via *hole routing*: in an
+//!   even-only function the whole odd layer of the hypercube is free, so
+//!   moving one satisfying valuation anywhere reduces to cascaded
+//!   chainswaps along an arbitrary hypercube path (only the endpoints'
+//!   membership changes; see DESIGN.md for why this replaces the paper's
+//!   case analysis soundly);
+//! * [`steps_between`] — Proposition 6.1 (`e(φ)=e(φ′) ⟺ φ ≃ φ′`),
+//!   by canonicalizing both sides (dualized through complements when the
+//!   Euler characteristic is negative).
+
+use std::fmt;
+
+use intext_boolfn::{BoolFn, Valuation};
+
+/// Direction of an elementary transformation step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// `∼▷⁺`: color two adjacent non-satisfying valuations.
+    Add,
+    /// `∼▷⁻`: uncolor two adjacent satisfying valuations.
+    Remove,
+}
+
+/// One elementary step `∼▷±(ν, l)` of Definition 5.5, acting on the pair
+/// `{ν, ν^(l)}`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Step {
+    /// Add or remove.
+    pub kind: StepKind,
+    /// The valuation `ν`.
+    pub nu: u32,
+    /// The flipped variable `l`.
+    pub var: u8,
+}
+
+/// Violations of the step preconditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// An `Add` step on a valuation already satisfying, or a `Remove`
+    /// step on a non-satisfying one.
+    Precondition(Step),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::Precondition(s) => write!(
+                f,
+                "step {:?}({}, {}) violates Definition 5.5 preconditions",
+                s.kind,
+                Valuation(s.nu),
+                s.var
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+impl Step {
+    /// The partner valuation `ν^(l)`.
+    pub fn partner(&self) -> u32 {
+        self.nu ^ (1u32 << self.var)
+    }
+
+    /// Applies the step to `phi`, checking Definition 5.5: both
+    /// valuations must be non-satisfying for `Add` / satisfying for
+    /// `Remove`.
+    pub fn apply(&self, phi: &BoolFn) -> Result<BoolFn, StepError> {
+        let (a, b) = (self.nu, self.partner());
+        let want = match self.kind {
+            StepKind::Add => false,
+            StepKind::Remove => true,
+        };
+        if phi.eval(a) != want || phi.eval(b) != want {
+            return Err(StepError::Precondition(*self));
+        }
+        let mut out = phi.clone();
+        out.set(a, !want);
+        out.set(b, !want);
+        Ok(out)
+    }
+
+    /// The inverse step (swaps `Add` and `Remove`).
+    pub fn inverse(&self) -> Step {
+        Step {
+            kind: match self.kind {
+                StepKind::Add => StepKind::Remove,
+                StepKind::Remove => StepKind::Add,
+            },
+            ..*self
+        }
+    }
+
+    /// The step acting on the complement function (`Add` on `φ` is
+    /// `Remove` on `¬φ`), used to dualize sequences.
+    pub fn complemented(&self) -> Step {
+        self.inverse()
+    }
+}
+
+/// Applies a sequence of steps, validating each one.
+pub fn apply_steps(phi: &BoolFn, steps: &[Step]) -> Result<BoolFn, StepError> {
+    let mut cur = phi.clone();
+    for s in steps {
+        cur = s.apply(&cur)?;
+    }
+    Ok(cur)
+}
+
+/// The inverse sequence: reversed order, each step inverted.
+pub fn invert_steps(steps: &[Step]) -> Vec<Step> {
+    steps.iter().rev().map(Step::inverse).collect()
+}
+
+/// Errors from the transformation algorithms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransformError {
+    /// `steps_to_bottom` requires `e(φ) = 0`.
+    NonZeroEuler(i64),
+    /// `steps_between` requires `e(φ) = e(φ′)`.
+    EulerMismatch(i64, i64),
+    /// Arities differ.
+    ArityMismatch(u8, u8),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NonZeroEuler(e) => {
+                write!(f, "transformation to ⊥ requires e(φ) = 0, got {e}")
+            }
+            TransformError::EulerMismatch(a, b) => {
+                write!(f, "e(φ) = {a} ≠ {b} = e(φ′): functions are not ≃-equivalent")
+            }
+            TransformError::ArityMismatch(a, b) => {
+                write!(f, "variable counts differ: {a} vs {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// A canonical simple path in the hypercube from `from` to `to`: flip the
+/// differing bits in increasing order.
+pub fn hypercube_path(from: u32, to: u32) -> Vec<u32> {
+    let mut path = vec![from];
+    let mut cur = from;
+    let mut diff = from ^ to;
+    while diff != 0 {
+        let bit = diff & diff.wrapping_neg();
+        cur ^= bit;
+        path.push(cur);
+        diff &= !bit;
+    }
+    path
+}
+
+/// The variable flipped between two adjacent valuations.
+fn flipped_var(a: u32, b: u32) -> u8 {
+    debug_assert_eq!((a ^ b).count_ones(), 1, "valuations must be adjacent");
+    (a ^ b).trailing_zeros() as u8
+}
+
+/// Chainkill (Lemma 5.10): the path's endpoints are satisfying with
+/// opposite parity, the interior is non-satisfying; emits steps that
+/// uncolor both endpoints (coloring and uncoloring the interior on the
+/// way). Mutates `phi` and appends the validated steps.
+fn chainkill(phi: &mut BoolFn, path: &[u32], steps: &mut Vec<Step>) {
+    let m = path.len() - 1;
+    debug_assert!(m % 2 == 1, "chainkill path must have opposite-parity endpoints");
+    let emit = |phi: &mut BoolFn, kind: StepKind, a: u32, b: u32, steps: &mut Vec<Step>| {
+        let s = Step { kind, nu: a, var: flipped_var(a, b) };
+        *phi = s.apply(phi).expect("chainkill step precondition");
+        steps.push(s);
+    };
+    // Color the interior in adjacent pairs (1,2), (3,4), ..., (m-2,m-1)...
+    let mut j = 1;
+    while j + 2 <= m {
+        emit(phi, StepKind::Add, path[j], path[j + 1], steps);
+        j += 2;
+    }
+    // ... then uncolor everything in shifted pairs (0,1), ..., (m-1,m).
+    let mut j = 0;
+    while j < m {
+        emit(phi, StepKind::Remove, path[j], path[j + 1], steps);
+        j += 2;
+    }
+}
+
+/// Chainswap (Lemma 5.10): the last node of the path is satisfying, all
+/// others (including the first) are not, and the endpoints have equal
+/// parity; emits steps that move the satisfying valuation from the end
+/// of the path to its start.
+fn chainswap(phi: &mut BoolFn, path: &[u32], steps: &mut Vec<Step>) {
+    let m = path.len() - 1;
+    debug_assert!(m.is_multiple_of(2), "chainswap path must have equal-parity endpoints");
+    debug_assert!(m >= 2, "chainswap needs at least one intermediate node");
+    let emit = |phi: &mut BoolFn, kind: StepKind, a: u32, b: u32, steps: &mut Vec<Step>| {
+        let s = Step { kind, nu: a, var: flipped_var(a, b) };
+        *phi = s.apply(phi).expect("chainswap step precondition");
+        steps.push(s);
+    };
+    // Color (q0,q1), (q2,q3), ..., (q_{m-2}, q_{m-1}) ...
+    let mut j = 0;
+    while j < m - 1 {
+        emit(phi, StepKind::Add, path[j], path[j + 1], steps);
+        j += 2;
+    }
+    // ... then uncolor (q1,q2), (q3,q4), ..., (q_{m-1}, q_m).
+    let mut j = 1;
+    while j < m {
+        emit(phi, StepKind::Remove, path[j], path[j + 1], steps);
+        j += 2;
+    }
+}
+
+/// The fetching lemma (5.11): whenever `#φ ≠ |e(φ)|`, returns a simple
+/// path whose endpoints are satisfying valuations of opposite parity and
+/// whose interior is non-satisfying.
+pub fn fetch_path(phi: &BoolFn) -> Option<Vec<u32>> {
+    // Two satisfying valuations of opposite parity must exist.
+    let even = phi.sat_iter().find(|v| v.count_ones() % 2 == 0)?;
+    let odd = phi.sat_iter().find(|v| v.count_ones() % 2 == 1)?;
+    let path = hypercube_path(even, odd);
+    let m = path.len() - 1;
+    let parity = |v: u32| v.count_ones() % 2;
+    // i: last index < m with the start's parity that satisfies phi.
+    let i = (0..m)
+        .rev()
+        .find(|&j| parity(path[j]) == parity(path[0]) && phi.eval(path[j]))
+        .expect("index 0 qualifies");
+    // i': first index > i with the end's parity that satisfies phi.
+    let ip = (i + 1..=m)
+        .find(|&j| parity(path[j]) == parity(path[m]) && phi.eval(path[j]))
+        .expect("index m qualifies");
+    Some(path[i..=ip].to_vec())
+}
+
+/// Proposition 5.9: for `e(φ) = 0`, a validated step sequence
+/// transforming `φ` into `⊥`.
+pub fn steps_to_bottom(phi: &BoolFn) -> Result<Vec<Step>, TransformError> {
+    let e = phi.euler_characteristic();
+    if e != 0 {
+        return Err(TransformError::NonZeroEuler(e));
+    }
+    let mut cur = phi.clone();
+    let mut steps = Vec::new();
+    while cur.sat_count() > 0 {
+        let path = fetch_path(&cur).expect("e = 0 and #φ > 0 imply both parities present");
+        chainkill(&mut cur, &path, &mut steps);
+    }
+    debug_assert!(cur.is_bottom());
+    Ok(steps)
+}
+
+/// Lemma 6.5: for `e(φ) >= 0`, steps to an equivalent function whose
+/// satisfying valuations all have even size. Returns the steps and the
+/// resulting function (whose satisfying count is exactly `e(φ)`).
+pub fn steps_to_even_only(phi: &BoolFn) -> Result<(Vec<Step>, BoolFn), TransformError> {
+    let e = phi.euler_characteristic();
+    if e < 0 {
+        return Err(TransformError::NonZeroEuler(e));
+    }
+    let mut cur = phi.clone();
+    let mut steps = Vec::new();
+    while cur.sat_iter().any(|v| v.count_ones() % 2 == 1) {
+        let path = fetch_path(&cur).expect("odd satisfying valuations imply #φ > |e|");
+        chainkill(&mut cur, &path, &mut steps);
+    }
+    debug_assert_eq!(cur.sat_count() as i64, e);
+    Ok((steps, cur))
+}
+
+/// The canonical function with Euler characteristic `e >= 0` on `n`
+/// variables: the first `e` even-size valuations in (size, value) order.
+/// This is in canonical form per Definition 6.6.
+pub fn canonical_function(n: u8, e: i64) -> BoolFn {
+    assert!(e >= 0, "canonical_function is defined for e >= 0");
+    let mut evens: Vec<u32> = (0..(1u32 << n)).filter(|v| v.count_ones() % 2 == 0).collect();
+    evens.sort_by_key(|&v| (v.count_ones(), v));
+    assert!(
+        (e as usize) <= evens.len(),
+        "e = {e} exceeds the number of even valuations"
+    );
+    BoolFn::from_sat(n, evens.into_iter().take(e as usize))
+}
+
+/// Definition 6.6: only even-size satisfying valuations, and no
+/// "bad pair" (a satisfying valuation strictly larger than some
+/// non-satisfying even valuation).
+pub fn is_canonical(phi: &BoolFn) -> bool {
+    if phi.sat_iter().any(|v| v.count_ones() % 2 == 1) {
+        return false;
+    }
+    let max_sat = phi.sat_iter().map(|v| v.count_ones()).max().unwrap_or(0);
+    // Every even valuation strictly smaller than the largest satisfying
+    // one must itself satisfy.
+    (0..(1u32 << phi.num_vars()))
+        .filter(|v| v.count_ones() % 2 == 0 && v.count_ones() < max_sat)
+        .all(|v| phi.eval(v))
+}
+
+/// Moves one satisfying valuation from `from` to the non-satisfying
+/// `to` (both of even size, in an even-only function), by cascaded
+/// chainswaps along a hypercube path. Only the two endpoints change
+/// membership; the odd layer is used as free routing space.
+fn route_token(phi: &mut BoolFn, from: u32, to: u32, steps: &mut Vec<Step>) {
+    debug_assert!(phi.eval(from) && !phi.eval(to));
+    let path = hypercube_path(to, from);
+    let mut hole = 0usize; // index of the current hole on the path
+    while hole < path.len() - 1 {
+        // Next satisfying node along the path (even indices only; odd
+        // path positions have odd parity and are free by the invariant).
+        let j = (hole + 1..path.len())
+            .find(|&j| phi.eval(path[j]))
+            .expect("the far endpoint satisfies");
+        chainswap(phi, &path[hole..=j], steps);
+        hole = j;
+    }
+}
+
+/// Lemma 6.7 (constructive): steps transforming an even-only function
+/// into the canonical function with the same Euler characteristic.
+fn even_only_to_canonical(phi: &BoolFn, steps: &mut Vec<Step>) -> BoolFn {
+    let target = canonical_function(phi.num_vars(), phi.sat_count() as i64);
+    let mut cur = phi.clone();
+    loop {
+        let from = cur.sat_iter().find(|&v| !target.eval(v));
+        let to = target.sat_iter().find(|&v| !cur.eval(v));
+        match (from, to) {
+            (Some(f), Some(t)) => route_token(&mut cur, f, t, steps),
+            (None, None) => break,
+            _ => unreachable!("equal satisfying counts"),
+        }
+    }
+    debug_assert_eq!(cur, target);
+    cur
+}
+
+/// Steps from `φ` to the canonical form of its ≃-class (Lemmas 6.5 + 6.7;
+/// requires `e(φ) >= 0` — for negative values the callers dualize).
+pub fn steps_to_canonical(phi: &BoolFn) -> Result<(Vec<Step>, BoolFn), TransformError> {
+    let (mut steps, even_only) = steps_to_even_only(phi)?;
+    let canonical = even_only_to_canonical(&even_only, &mut steps);
+    Ok((steps, canonical))
+}
+
+/// Proposition 6.1 (constructive direction): a validated step sequence
+/// from `φ` to `φ′` whenever `e(φ) = e(φ′)`.
+pub fn steps_between(phi: &BoolFn, phi2: &BoolFn) -> Result<Vec<Step>, TransformError> {
+    if phi.num_vars() != phi2.num_vars() {
+        return Err(TransformError::ArityMismatch(phi.num_vars(), phi2.num_vars()));
+    }
+    let (e1, e2) = (phi.euler_characteristic(), phi2.euler_characteristic());
+    if e1 != e2 {
+        return Err(TransformError::EulerMismatch(e1, e2));
+    }
+    if e1 < 0 {
+        // Dualize: steps on the complements with Add/Remove swapped.
+        let steps = steps_between(&!phi, &!phi2)?;
+        return Ok(steps.iter().map(Step::complemented).collect());
+    }
+    let (forward, c1) = steps_to_canonical(phi)?;
+    let (backward, c2) = steps_to_canonical(phi2)?;
+    debug_assert_eq!(c1, c2, "canonical forms coincide for equal Euler characteristic");
+    let mut steps = forward;
+    steps.extend(invert_steps(&backward));
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{max_euler_fn, phi9, phi_no_pm, small};
+
+    #[test]
+    fn step_apply_and_inverse() {
+        let bot = BoolFn::bottom(3);
+        let s = Step { kind: StepKind::Add, nu: 0b000, var: 2 };
+        let phi = s.apply(&bot).unwrap();
+        assert_eq!(phi.sat_vec(), vec![0b000, 0b100]);
+        let back = s.inverse().apply(&phi).unwrap();
+        assert!(back.is_bottom());
+    }
+
+    #[test]
+    fn step_preconditions_enforced() {
+        let bot = BoolFn::bottom(3);
+        let bad = Step { kind: StepKind::Remove, nu: 0, var: 0 };
+        assert!(matches!(bad.apply(&bot), Err(StepError::Precondition(_))));
+        let top = BoolFn::top(3);
+        let bad2 = Step { kind: StepKind::Add, nu: 0, var: 0 };
+        assert!(bad2.apply(&top).is_err());
+        // Half-colored pair is invalid in both directions.
+        let half = BoolFn::from_sat(3, [0u32]);
+        assert!(Step { kind: StepKind::Add, nu: 0, var: 1 }.apply(&half).is_err());
+        assert!(Step { kind: StepKind::Remove, nu: 0, var: 1 }.apply(&half).is_err());
+    }
+
+    #[test]
+    fn steps_never_change_euler() {
+        let phi = phi9();
+        let steps = steps_to_bottom(&phi).unwrap();
+        let mut cur = phi.clone();
+        for s in &steps {
+            cur = s.apply(&cur).unwrap();
+            assert_eq!(cur.euler_characteristic(), 0, "after {s:?}");
+        }
+        assert!(cur.is_bottom());
+    }
+
+    #[test]
+    fn hypercube_path_is_simple_and_adjacent() {
+        let p = hypercube_path(0b0011, 0b1100);
+        assert_eq!(p.first(), Some(&0b0011));
+        assert_eq!(p.last(), Some(&0b1100));
+        for w in p.windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+        let set: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(set.len(), p.len(), "path is simple");
+    }
+
+    #[test]
+    fn fetch_path_contract() {
+        let phi = phi9();
+        let path = fetch_path(&phi).expect("phi9 has both parities");
+        let first = *path.first().unwrap();
+        let last = *path.last().unwrap();
+        assert!(phi.eval(first) && phi.eval(last));
+        assert_ne!(first.count_ones() % 2, last.count_ones() % 2);
+        for &v in &path[1..path.len() - 1] {
+            assert!(!phi.eval(v), "interior must be non-satisfying");
+        }
+    }
+
+    #[test]
+    fn phi9_reaches_bottom() {
+        let steps = steps_to_bottom(&phi9()).unwrap();
+        let end = apply_steps(&phi9(), &steps).unwrap();
+        assert!(end.is_bottom());
+        // And the reverse builds phi9 from ⊥.
+        let back = apply_steps(&BoolFn::bottom(4), &invert_steps(&steps)).unwrap();
+        assert_eq!(back, phi9());
+    }
+
+    #[test]
+    fn phi_no_pm_reaches_bottom_despite_no_matching() {
+        // Figure 5's function: e = 0 but no one-sided matching — the
+        // two-sided transformation still reaches ⊥ (the whole point of
+        // Definition 5.5 having both directions).
+        let phi = phi_no_pm();
+        let steps = steps_to_bottom(&phi).unwrap();
+        assert!(apply_steps(&phi, &steps).unwrap().is_bottom());
+        // A pure-removal sequence is impossible (no perfect matching on
+        // the colored side), so Add steps must appear.
+        assert!(
+            steps.iter().any(|s| s.kind == StepKind::Add),
+            "φ_no-PM requires additions"
+        );
+    }
+
+    #[test]
+    fn nonzero_euler_rejected_by_to_bottom() {
+        let f = max_euler_fn(3);
+        assert_eq!(
+            steps_to_bottom(&f).unwrap_err(),
+            TransformError::NonZeroEuler(4)
+        );
+    }
+
+    #[test]
+    fn to_bottom_exhaustive_k2() {
+        // Every function on 3 variables with e = 0 reaches ⊥.
+        for t in 0..256u64 {
+            if small::euler(3, t) != 0 {
+                continue;
+            }
+            let phi = BoolFn::from_table_u64(3, t);
+            let steps = steps_to_bottom(&phi).unwrap();
+            assert!(apply_steps(&phi, &steps).unwrap().is_bottom(), "t={t:#x}");
+        }
+    }
+
+    #[test]
+    fn even_only_form() {
+        let phi = max_euler_fn(3); // already even-only
+        let (steps, out) = steps_to_even_only(&phi).unwrap();
+        assert!(steps.is_empty());
+        assert_eq!(out, phi);
+        // A mixed function gets reduced.
+        let mixed = BoolFn::from_sat(3, [0b000u32, 0b001, 0b011, 0b010, 0b101, 0b110]);
+        let e = mixed.euler_characteristic();
+        assert!(e >= 0);
+        let (steps, out) = steps_to_even_only(&mixed).unwrap();
+        assert_eq!(apply_steps(&mixed, &steps).unwrap(), out);
+        assert!(out.sat_iter().all(|v| v.count_ones() % 2 == 0));
+        assert_eq!(out.sat_count() as i64, e);
+    }
+
+    #[test]
+    fn canonical_function_shape() {
+        let c = canonical_function(3, 3);
+        // First three evens in (size, value) order: {}, {0,1}, {0,2}.
+        assert_eq!(c.sat_vec(), vec![0b000, 0b011, 0b101]);
+        assert!(is_canonical(&c));
+        assert!(!is_canonical(&BoolFn::from_sat(3, [0b011u32]))); // hole at ∅
+        assert!(!is_canonical(&BoolFn::from_sat(3, [0b001u32]))); // odd size
+        assert!(is_canonical(&BoolFn::bottom(3)));
+    }
+
+    #[test]
+    fn canonicalization_exhaustive_k2_nonnegative() {
+        for t in 0..256u64 {
+            if small::euler(3, t) < 0 {
+                continue;
+            }
+            let phi = BoolFn::from_table_u64(3, t);
+            let (steps, canon) = steps_to_canonical(&phi).unwrap();
+            assert_eq!(apply_steps(&phi, &steps).unwrap(), canon, "t={t:#x}");
+            assert!(is_canonical(&canon), "t={t:#x}");
+            assert_eq!(
+                canon,
+                canonical_function(3, phi.euler_characteristic()),
+                "t={t:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn steps_between_exhaustive_k1() {
+        // All pairs of functions on 2 variables.
+        for t1 in 0..16u64 {
+            for t2 in 0..16u64 {
+                let f = BoolFn::from_table_u64(2, t1);
+                let g = BoolFn::from_table_u64(2, t2);
+                let result = steps_between(&f, &g);
+                if f.euler_characteristic() == g.euler_characteristic() {
+                    let steps = result.unwrap();
+                    assert_eq!(apply_steps(&f, &steps).unwrap(), g, "{t1:#x}->{t2:#x}");
+                } else {
+                    assert!(matches!(result, Err(TransformError::EulerMismatch(_, _))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steps_between_negative_euler_via_duality() {
+        // Two functions with e = -2 on 3 variables.
+        let f = BoolFn::from_sat(3, [0b001u32, 0b010]);
+        let g = BoolFn::from_sat(3, [0b100u32, 0b111, 0b001, 0b011]);
+        assert_eq!(f.euler_characteristic(), -2);
+        assert_eq!(g.euler_characteristic(), -2);
+        let steps = steps_between(&f, &g).unwrap();
+        assert_eq!(apply_steps(&f, &steps).unwrap(), g);
+    }
+
+    #[test]
+    fn steps_between_phi9_and_bottom_and_top_class() {
+        let steps = steps_between(&phi9(), &BoolFn::bottom(4)).unwrap();
+        assert!(apply_steps(&phi9(), &steps).unwrap().is_bottom());
+        // ⊤ also has e = 0 — same class.
+        let steps = steps_between(&phi9(), &BoolFn::top(4)).unwrap();
+        assert!(apply_steps(&phi9(), &steps).unwrap().is_top());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        assert_eq!(
+            steps_between(&BoolFn::bottom(3), &BoolFn::bottom(4)).unwrap_err(),
+            TransformError::ArityMismatch(3, 4)
+        );
+    }
+}

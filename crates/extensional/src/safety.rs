@@ -1,0 +1,104 @@
+//! The safety criterion for `H⁺`-queries.
+//!
+//! Proposition 3.5 (Dalvi–Suciu specialized by [6]): a monotone `φ` is
+//! safe iff it is degenerate or `µ_CNF(0̂, 1̂) = 0`. Corollary 3.9 (the
+//! paper's reformulation): safe iff `e(φ) = 0`. Both are implemented and
+//! tested equal.
+
+use std::fmt;
+
+use intext_boolfn::BoolFn;
+use intext_lattice::cnf_lattice;
+
+/// Errors from the safety test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SafetyError {
+    /// The dichotomy of Proposition 3.5 only covers UCQs, i.e. monotone `φ`.
+    NotMonotone,
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyError::NotMonotone => write!(f, "safety dichotomy requires a monotone φ"),
+        }
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Safety via the Möbius criterion of Proposition 3.5: degenerate
+/// functions are safe; nondegenerate ones are safe iff `µ_CNF(0̂,1̂) = 0`.
+pub fn is_safe(phi: &BoolFn) -> Result<bool, SafetyError> {
+    if !phi.is_monotone() {
+        return Err(SafetyError::NotMonotone);
+    }
+    if phi.is_degenerate() {
+        return Ok(true);
+    }
+    Ok(cnf_lattice(phi).mobius_bottom_top() == 0)
+}
+
+/// Safety via the paper's Euler-characteristic criterion
+/// (Corollary 3.9): safe iff `e(φ) = 0`.
+pub fn is_safe_euler(phi: &BoolFn) -> Result<bool, SafetyError> {
+    if !phi.is_monotone() {
+        return Err(SafetyError::NotMonotone);
+    }
+    Ok(phi.euler_characteristic() == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{enumerate, phi9, small, threshold_fn};
+
+    #[test]
+    fn phi9_is_safe_by_both_criteria() {
+        assert_eq!(is_safe(&phi9()), Ok(true));
+        assert_eq!(is_safe_euler(&phi9()), Ok(true));
+    }
+
+    #[test]
+    fn the_hard_chain_query_is_unsafe() {
+        // φ = 0 ∨ 1 ∨ ... ∨ k is Dalvi–Suciu's #P-hard query h_k.
+        let phi = BoolFn::from_fn(4, |v| v != 0);
+        assert_eq!(is_safe(&phi), Ok(false));
+        assert_eq!(is_safe_euler(&phi), Ok(false));
+    }
+
+    #[test]
+    fn criteria_agree_on_every_monotone_function_small_k() {
+        // Corollary 3.9 == Proposition 3.5 exhaustively for k <= 3.
+        for n in 1..=4u8 {
+            for t in enumerate::monotone_tables(n) {
+                let phi = BoolFn::from_table_u64(n, t);
+                assert_eq!(
+                    is_safe(&phi).unwrap(),
+                    is_safe_euler(&phi).unwrap(),
+                    "n={n}, t={t:#x}"
+                );
+                assert_eq!(
+                    is_safe_euler(&phi).unwrap(),
+                    small::euler(n, t) == 0,
+                    "n={n}, t={t:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_monotone_rejected() {
+        let phi = !&phi9();
+        assert_eq!(is_safe(&phi), Err(SafetyError::NotMonotone));
+        assert_eq!(is_safe_euler(&phi), Err(SafetyError::NotMonotone));
+    }
+
+    #[test]
+    fn thresholds_classified() {
+        // |ν| >= 1 on k=2 is the hard h_2; |ν| >= 3 (all three h's) is
+        // also unsafe; degenerate cases are safe.
+        assert_eq!(is_safe(&threshold_fn(3, 1)), Ok(false));
+        assert_eq!(is_safe(&threshold_fn(3, 0)), Ok(true)); // ⊤, degenerate
+    }
+}

@@ -1,0 +1,228 @@
+//! The characteristic polynomials of Lemma B.5.
+//!
+//! For a nondegenerate monotone `phi` on `V = {0..k}`, the probability of
+//! `phi` under the uniform assignment `π_t` (every variable true with
+//! probability `t`) is a polynomial `P_phi(t)`, and the Möbius inversion
+//! formula applied to the CNF and DNF lattices yields two alternative
+//! expressions `P_CNF` and `P_DNF`. Lemma B.5 proves the three are equal;
+//! comparing leading coefficients then gives Lemma 3.8
+//! (`e(phi) = µ_CNF(0̂,1̂) = (-1)^k µ_DNF(0̂,1̂)`).
+
+use intext_boolfn::BoolFn;
+use intext_numeric::BigRational;
+
+use crate::{cnf_lattice, dnf_lattice};
+
+/// A dense univariate polynomial with integer coefficients
+/// (`coeffs[i]` multiplies `t^i`; no trailing zeros).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polynomial {
+    coeffs: Vec<i64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: i64) -> Self {
+        Polynomial::from_coeffs(vec![c])
+    }
+
+    /// Builds from coefficients (`coeffs[i]` multiplies `t^i`).
+    pub fn from_coeffs(mut coeffs: Vec<i64>) -> Self {
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficient of `t^i` (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> i64 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        Polynomial::from_coeffs((0..len).map(|i| self.coeff(i) + other.coeff(i)).collect())
+    }
+
+    /// Product.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return Polynomial::zero();
+        }
+        let mut out = vec![0i64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::from_coeffs(out)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, c: i64) -> Polynomial {
+        Polynomial::from_coeffs(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// `(1 - t)^m`.
+    pub fn one_minus_t_pow(m: u32) -> Polynomial {
+        let base = Polynomial::from_coeffs(vec![1, -1]);
+        let mut acc = Polynomial::constant(1);
+        for _ in 0..m {
+            acc = acc.mul(&base);
+        }
+        acc
+    }
+
+    /// `t^m`.
+    pub fn t_pow(m: u32) -> Polynomial {
+        let mut coeffs = vec![0i64; m as usize + 1];
+        coeffs[m as usize] = 1;
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Exact evaluation at a rational point (Horner).
+    pub fn eval(&self, t: &BigRational) -> BigRational {
+        let mut acc = BigRational::zero();
+        for &c in self.coeffs.iter().rev() {
+            acc = &(&acc * t) + &BigRational::from_int(c);
+        }
+        acc
+    }
+}
+
+/// `P_phi(t) = Pr(phi, π_t) = Σ_{ν |= phi} t^{|ν|} (1-t)^{n-|ν|}`.
+pub fn p_phi(phi: &BoolFn) -> Polynomial {
+    let n = u32::from(phi.num_vars());
+    // Group satisfying valuations by size.
+    let mut count_by_size = vec![0i64; n as usize + 1];
+    for v in phi.sat_iter() {
+        count_by_size[v.count_ones() as usize] += 1;
+    }
+    let mut acc = Polynomial::zero();
+    for (s, &c) in count_by_size.iter().enumerate() {
+        if c != 0 {
+            let term = Polynomial::t_pow(s as u32)
+                .mul(&Polynomial::one_minus_t_pow(n - s as u32))
+                .scale(c);
+            acc = acc.add(&term);
+        }
+    }
+    acc
+}
+
+/// `P_CNF(t) = Σ_{x = d_s ∈ L_CNF} µ(x, 1̂) (1-t)^{|d_s|}` (Definition B.4).
+///
+/// # Panics
+/// Panics if `phi` is not monotone.
+pub fn p_cnf(phi: &BoolFn) -> Polynomial {
+    let lat = cnf_lattice(phi);
+    let mut acc = Polynomial::zero();
+    for (i, &d) in lat.elements.iter().enumerate() {
+        let mu = lat.mobius_to_top[i];
+        if mu != 0 {
+            acc = acc.add(&Polynomial::one_minus_t_pow(d.count_ones()).scale(mu));
+        }
+    }
+    acc
+}
+
+/// `P_DNF(t) = 1 - Σ_{x = d'_s ∈ L_DNF} µ(x, 1̂) t^{|d'_s|}` (Definition B.4).
+///
+/// # Panics
+/// Panics if `phi` is not monotone.
+pub fn p_dnf(phi: &BoolFn) -> Polynomial {
+    let lat = dnf_lattice(phi);
+    let mut acc = Polynomial::constant(1);
+    for (i, &d) in lat.elements.iter().enumerate() {
+        let mu = lat.mobius_to_top[i];
+        if mu != 0 {
+            acc = acc.add(&Polynomial::t_pow(d.count_ones()).scale(-mu));
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{enumerate, phi9, small};
+
+    #[test]
+    fn polynomial_arithmetic() {
+        let p = Polynomial::from_coeffs(vec![1, 2]); // 1 + 2t
+        let q = Polynomial::from_coeffs(vec![0, 0, 3]); // 3t^2
+        assert_eq!(p.add(&q).coeffs(), &[1, 2, 3]);
+        assert_eq!(p.mul(&q).coeffs(), &[0, 0, 3, 6]);
+        assert_eq!(p.scale(-2).coeffs(), &[-2, -4]);
+        assert_eq!(Polynomial::from_coeffs(vec![0, 0]).degree(), None);
+    }
+
+    #[test]
+    fn one_minus_t_pow_expands_binomially() {
+        assert_eq!(Polynomial::one_minus_t_pow(0).coeffs(), &[1]);
+        assert_eq!(Polynomial::one_minus_t_pow(3).coeffs(), &[1, -3, 3, -1]);
+    }
+
+    #[test]
+    fn eval_horner_exact() {
+        let p = Polynomial::from_coeffs(vec![1, -3, 3, -1]); // (1 - t)^3
+        let t = BigRational::from_ratio(1, 3);
+        assert_eq!(p.eval(&t), BigRational::from_ratio(8, 27));
+    }
+
+    #[test]
+    fn p_phi_at_half_counts_models() {
+        // Pr under π_{1/2} = #phi / 2^n.
+        let p = p_phi(&phi9());
+        let half = BigRational::from_ratio(1, 2);
+        assert_eq!(p.eval(&half), BigRational::from_ratio(8, 16));
+    }
+
+    #[test]
+    fn lemma_b5_on_phi9() {
+        let phi = phi9();
+        let p = p_phi(&phi);
+        assert_eq!(p, p_cnf(&phi), "P_phi = P_CNF");
+        assert_eq!(p, p_dnf(&phi), "P_phi = P_DNF");
+    }
+
+    #[test]
+    fn lemma_b5_exhaustive_small_k() {
+        for n in 2..=4u8 {
+            for t in enumerate::monotone_tables(n) {
+                if small::is_degenerate(n, t) {
+                    continue;
+                }
+                let phi = intext_boolfn::BoolFn::from_table_u64(n, t);
+                let p = p_phi(&phi);
+                assert_eq!(p, p_cnf(&phi), "CNF n={n} t={t:#x}");
+                assert_eq!(p, p_dnf(&phi), "DNF n={n} t={t:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_coefficients_give_lemma_3_8() {
+        // [t^n] P_phi = (-1)^n e(phi); [t^n] P_CNF = (-1)^n µ_CNF(0̂,1̂).
+        let phi = phi9();
+        let n = usize::from(phi.num_vars());
+        let sign = if n % 2 == 0 { 1 } else { -1 };
+        assert_eq!(p_phi(&phi).coeff(n), sign * phi.euler_characteristic());
+    }
+}

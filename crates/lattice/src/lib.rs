@@ -1,0 +1,106 @@
+//! Finite posets, Möbius functions, and the CNF/DNF lattices of monotone
+//! Boolean functions (Monet 2020, Section 3; Dalvi–Suciu's safety test).
+//!
+//! The extensional algorithm for `H⁺`-queries decides safety by computing
+//! the Möbius value `µ_CNF(0̂, 1̂)` of the *CNF lattice* (Definition 3.4):
+//! the poset of all unions of minimized-CNF clauses under reversed
+//! inclusion. Lemma 3.8 — the paper's reformulation — states that for a
+//! nondegenerate monotone function this value equals the Euler
+//! characteristic, and `(-1)^k` times the DNF-lattice value. This crate
+//! builds both lattices, computes Möbius functions on arbitrary finite
+//! posets, verifies the lemma, and implements the characteristic
+//! polynomials of Lemma B.5 that its proof goes through.
+
+mod charpoly;
+mod poset;
+mod query_lattice;
+
+pub use charpoly::{p_cnf, p_dnf, p_phi, Polynomial};
+pub use poset::{Poset, PosetError};
+pub use query_lattice::{cnf_lattice, dnf_lattice, render_hasse, QueryLattice};
+
+use intext_boolfn::BoolFn;
+
+/// The three quantities related by Lemma 3.8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MobiusEuler {
+    /// `e(phi)` (Definition 2.2).
+    pub euler: i64,
+    /// `µ_CNF(0̂, 1̂)` of the CNF lattice.
+    pub mobius_cnf: i64,
+    /// `µ_DNF(0̂, 1̂)` of the DNF lattice.
+    pub mobius_dnf: i64,
+}
+
+/// Computes the Euler characteristic and both lattice Möbius values of a
+/// monotone function. For nondegenerate input, Lemma 3.8 guarantees
+/// `euler == mobius_cnf == (-1)^k * mobius_dnf`.
+///
+/// # Panics
+/// Panics if `phi` is not monotone.
+pub fn mobius_euler(phi: &BoolFn) -> MobiusEuler {
+    MobiusEuler {
+        euler: phi.euler_characteristic(),
+        mobius_cnf: cnf_lattice(phi).mobius_bottom_top(),
+        mobius_dnf: dnf_lattice(phi).mobius_bottom_top(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{enumerate, phi9, small, threshold_fn, BoolFn};
+
+    #[test]
+    fn lemma_3_8_on_phi9() {
+        let me = mobius_euler(&phi9());
+        assert_eq!(me.euler, 0);
+        assert_eq!(me.mobius_cnf, 0);
+        assert_eq!(me.mobius_dnf, 0);
+    }
+
+    #[test]
+    fn lemma_3_8_exhaustive_small_k() {
+        // For every nondegenerate monotone function on k+1 <= 5 variables:
+        // e(phi) = µ_CNF(0̂,1̂) = (-1)^k µ_DNF(0̂,1̂).
+        for n in 2..=5u8 {
+            let k = n - 1;
+            let sign = if k % 2 == 0 { 1 } else { -1 };
+            let mut checked = 0u32;
+            for t in enumerate::monotone_tables(n) {
+                if small::is_degenerate(n, t) {
+                    continue;
+                }
+                let phi = BoolFn::from_table_u64(n, t);
+                let me = mobius_euler(&phi);
+                assert_eq!(me.euler, me.mobius_cnf, "CNF side, n={n}, t={t:#x}");
+                assert_eq!(me.euler, sign * me.mobius_dnf, "DNF side, n={n}, t={t:#x}");
+                checked += 1;
+            }
+            assert!(checked > 0, "no nondegenerate monotone functions found for n={n}");
+        }
+    }
+
+    #[test]
+    fn degenerate_functions_have_zero_euler() {
+        // Used by Corollary 3.9: degenerate => e = 0 (so the e-criterion
+        // subsumes Prop 3.5's degenerate case).
+        for t in enumerate::monotone_tables(4) {
+            if small::is_degenerate(4, t) {
+                assert_eq!(small::euler(4, t), 0, "t={t:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_mobius_matches_euler() {
+        for t in 1..=4u32 {
+            let phi = threshold_fn(4, t);
+            if phi.is_degenerate() {
+                continue;
+            }
+            let me = mobius_euler(&phi);
+            assert_eq!(me.euler, me.mobius_cnf, "threshold t={t}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Generic finite posets and their Möbius functions.
+
+use std::fmt;
+
+/// Errors raised when a relation fails the partial-order axioms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PosetError {
+    /// `u <= u` fails for the reported element.
+    NotReflexive(usize),
+    /// `u <= v` and `v <= u` for distinct `u`, `v`.
+    NotAntisymmetric(usize, usize),
+    /// `u <= v <= w` but not `u <= w`.
+    NotTransitive(usize, usize, usize),
+}
+
+impl fmt::Display for PosetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PosetError::NotReflexive(u) => write!(f, "relation not reflexive at {u}"),
+            PosetError::NotAntisymmetric(u, v) => {
+                write!(f, "relation not antisymmetric at ({u}, {v})")
+            }
+            PosetError::NotTransitive(u, v, w) => {
+                write!(f, "relation not transitive at ({u}, {v}, {w})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PosetError {}
+
+/// A finite poset on elements `0..len`, stored as a dense `<=` matrix.
+#[derive(Clone, Debug)]
+pub struct Poset {
+    len: usize,
+    /// Row-major: `leq[u * len + v]` iff `u <= v`.
+    leq: Vec<bool>,
+}
+
+impl Poset {
+    /// Builds a poset from a comparison predicate, validating the axioms.
+    pub fn new(len: usize, leq_fn: impl Fn(usize, usize) -> bool) -> Result<Self, PosetError> {
+        let mut leq = vec![false; len * len];
+        for u in 0..len {
+            for v in 0..len {
+                leq[u * len + v] = leq_fn(u, v);
+            }
+        }
+        let p = Poset { len, leq };
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn validate(&self) -> Result<(), PosetError> {
+        for u in 0..self.len {
+            if !self.leq(u, u) {
+                return Err(PosetError::NotReflexive(u));
+            }
+        }
+        for u in 0..self.len {
+            for v in 0..self.len {
+                if u != v && self.leq(u, v) && self.leq(v, u) {
+                    return Err(PosetError::NotAntisymmetric(u, v));
+                }
+            }
+        }
+        for u in 0..self.len {
+            for v in 0..self.len {
+                if !self.leq(u, v) {
+                    continue;
+                }
+                for w in 0..self.len {
+                    if self.leq(v, w) && !self.leq(u, w) {
+                        return Err(PosetError::NotTransitive(u, v, w));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the poset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The order relation.
+    pub fn leq(&self, u: usize, v: usize) -> bool {
+        self.leq[u * self.len + v]
+    }
+
+    /// Strict order `u < v`.
+    pub fn lt(&self, u: usize, v: usize) -> bool {
+        u != v && self.leq(u, v)
+    }
+
+    /// The greatest element, if one exists.
+    pub fn top(&self) -> Option<usize> {
+        (0..self.len).find(|&t| (0..self.len).all(|u| self.leq(u, t)))
+    }
+
+    /// The least element, if one exists.
+    pub fn bottom(&self) -> Option<usize> {
+        (0..self.len).find(|&b| (0..self.len).all(|u| self.leq(b, u)))
+    }
+
+    /// The Möbius function `µ(u, v)` for all `u` at a fixed `v`
+    /// (Stanley; Section 2 of the paper): `µ(v, v) = 1` and
+    /// `µ(u, v) = -Σ_{u < w <= v} µ(w, v)`.
+    ///
+    /// Returns `None` at positions `u` with `u ≰ v` (where µ is undefined).
+    pub fn mobius_to(&self, v: usize) -> Vec<Option<i64>> {
+        let mut mu: Vec<Option<i64>> = vec![None; self.len];
+        // Process elements of the down-set of v from v downward: order by
+        // the size of the interval [u, v] (smaller interval first), which
+        // is a linear extension of the reversed order on [0̂, v].
+        let mut order: Vec<usize> = (0..self.len).filter(|&u| self.leq(u, v)).collect();
+        order.sort_by_key(|&u| (0..self.len).filter(|&w| self.leq(u, w) && self.leq(w, v)).count());
+        for &u in &order {
+            if u == v {
+                mu[u] = Some(1);
+                continue;
+            }
+            let mut sum = 0i64;
+            #[allow(clippy::needless_range_loop)] // w indexes both the relation and mu
+            for w in 0..self.len {
+                if w != u && self.lt(u, w) && self.leq(w, v) {
+                    sum += mu[w].expect("interval order guarantees µ(w, v) is ready");
+                }
+            }
+            mu[u] = Some(-sum);
+        }
+        mu
+    }
+
+    /// A single Möbius value `µ(u, v)`; `None` when `u ≰ v`.
+    pub fn mobius_pair(&self, u: usize, v: usize) -> Option<i64> {
+        self.mobius_to(v)[u]
+    }
+
+    /// The least upper bound of `u` and `v`, if it exists.
+    pub fn join(&self, u: usize, v: usize) -> Option<usize> {
+        let uppers: Vec<usize> =
+            (0..self.len).filter(|&w| self.leq(u, w) && self.leq(v, w)).collect();
+        uppers.iter().copied().find(|&m| uppers.iter().all(|&w| self.leq(m, w)))
+    }
+
+    /// The greatest lower bound of `u` and `v`, if it exists.
+    pub fn meet(&self, u: usize, v: usize) -> Option<usize> {
+        let lowers: Vec<usize> =
+            (0..self.len).filter(|&w| self.leq(w, u) && self.leq(w, v)).collect();
+        lowers.iter().copied().find(|&m| lowers.iter().all(|&w| self.leq(w, m)))
+    }
+
+    /// Is the poset a lattice (every pair has a meet and a join)?
+    /// Definition 3.4 remarks that `L^φ_CNF` is one; this checks it.
+    pub fn is_lattice(&self) -> bool {
+        (0..self.len).all(|u| {
+            (u..self.len).all(|v| self.join(u, v).is_some() && self.meet(u, v).is_some())
+        })
+    }
+
+    /// Cover relations `(u, v)` with `u < v` and no element in between —
+    /// the edges of the Hasse diagram.
+    pub fn hasse_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..self.len {
+            for v in 0..self.len {
+                if self.lt(u, v)
+                    && !(0..self.len).any(|w| self.lt(u, w) && self.lt(w, v))
+                {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Boolean lattice on subsets of {0,1,2} (8 elements), ordered by ⊆.
+    fn boolean_lattice() -> Poset {
+        Poset::new(8, |u, v| u & !v == 0).expect("valid poset")
+    }
+
+    #[test]
+    fn validation_rejects_bad_relations() {
+        assert_eq!(
+            Poset::new(2, |_, _| false).unwrap_err(),
+            PosetError::NotReflexive(0)
+        );
+        assert_eq!(
+            Poset::new(2, |_, _| true).unwrap_err(),
+            PosetError::NotAntisymmetric(0, 1)
+        );
+        // 0 <= 1 <= 2 but 0 ≰ 2.
+        let r = |u: usize, v: usize| u == v || (u == 0 && v == 1) || (u == 1 && v == 2);
+        assert_eq!(Poset::new(3, r).unwrap_err(), PosetError::NotTransitive(0, 1, 2));
+    }
+
+    #[test]
+    fn boolean_lattice_mobius_is_signed_inclusion() {
+        // µ(u, v) = (-1)^{|v \ u|} on the subset lattice.
+        let p = boolean_lattice();
+        let top = 0b111usize;
+        let mu = p.mobius_to(top);
+        #[allow(clippy::needless_range_loop)] // u is both a set and an index
+        for u in 0..8usize {
+            let diff = (top & !u).count_ones();
+            let expect = if diff.is_multiple_of(2) { 1 } else { -1 };
+            assert_eq!(mu[u], Some(expect), "u={u:#b}");
+        }
+    }
+
+    #[test]
+    fn mobius_undefined_outside_downset() {
+        let p = boolean_lattice();
+        let mu = p.mobius_to(0b011);
+        assert_eq!(mu[0b100], None);
+        assert_eq!(mu[0b011], Some(1));
+    }
+
+    #[test]
+    fn mobius_inversion_delta_identity() {
+        // Σ_{y <= u <= x} µ(u, x) = [y = x].
+        let p = boolean_lattice();
+        for x in 0..8usize {
+            let mu = p.mobius_to(x);
+            for y in 0..8usize {
+                if !p.leq(y, x) {
+                    continue;
+                }
+                let total: i64 = (0..8)
+                    .filter(|&u| p.leq(y, u) && p.leq(u, x))
+                    .map(|u| mu[u].expect("in interval"))
+                    .sum();
+                assert_eq!(total, i64::from(y == x), "y={y}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_bottom_and_hasse() {
+        let p = boolean_lattice();
+        assert_eq!(p.top(), Some(0b111));
+        assert_eq!(p.bottom(), Some(0));
+        let hasse = p.hasse_edges();
+        // Hypercube edges: 3 * 2^2 = 12.
+        assert_eq!(hasse.len(), 12);
+        for (u, v) in hasse {
+            assert_eq!((u ^ v).count_ones(), 1, "cover edges flip one bit");
+        }
+    }
+
+    #[test]
+    fn boolean_lattice_is_a_lattice_with_set_ops() {
+        let p = boolean_lattice();
+        assert!(p.is_lattice());
+        assert_eq!(p.join(0b001, 0b010), Some(0b011));
+        assert_eq!(p.meet(0b011, 0b110), Some(0b010));
+    }
+
+    #[test]
+    fn antichain_pair_is_not_a_lattice() {
+        // Two incomparable elements with no bounds at all.
+        let p = Poset::new(2, |u, v| u == v).expect("valid");
+        assert!(!p.is_lattice());
+        assert_eq!(p.join(0, 1), None);
+    }
+
+    #[test]
+    fn chain_mobius() {
+        // Chain 0 < 1 < 2 < 3: µ(u, v) is 1 on equality, -1 on covers, 0 else.
+        let p = Poset::new(4, |u, v| u <= v).expect("chain");
+        let mu = p.mobius_to(3);
+        assert_eq!(mu, vec![Some(0), Some(0), Some(-1), Some(1)]);
+    }
+}

@@ -1,0 +1,208 @@
+//! The CNF and DNF lattices of a monotone Boolean function
+//! (Definition 3.4 of the paper; Figure 2 shows `L^φ9_CNF`).
+
+use intext_boolfn::{BoolFn, Valuation};
+
+use crate::Poset;
+
+/// The CNF (or DNF) lattice of a monotone function: the distinct unions
+/// `d_s = ∪_{i∈s} C_i` of minimized clauses, ordered by **reversed**
+/// inclusion (so `1̂ = ∅` and `0̂ = DEP(phi)` for nondegenerate `phi`).
+#[derive(Clone)]
+pub struct QueryLattice {
+    /// The clause sets the lattice was generated from (variable bitmasks).
+    pub clauses: Vec<u32>,
+    /// Element `i` is the union `d_i` (variable bitmask); sorted by
+    /// (popcount, value), so index 0 is always `∅ = 1̂`.
+    pub elements: Vec<u32>,
+    /// The order: `u <= v` iff `elements[u] ⊇ elements[v]`.
+    pub poset: Poset,
+    /// `µ(u, 1̂)` for every element (all are `<= 1̂ = ∅`).
+    pub mobius_to_top: Vec<i64>,
+}
+
+impl QueryLattice {
+    fn build(clauses: Vec<u32>) -> QueryLattice {
+        // Closure of {∅} under union with single clauses = all unions d_s.
+        let mut elements: Vec<u32> = vec![0];
+        let mut seen = std::collections::HashSet::from([0u32]);
+        let mut frontier = vec![0u32];
+        while let Some(d) = frontier.pop() {
+            for &c in &clauses {
+                let u = d | c;
+                if seen.insert(u) {
+                    elements.push(u);
+                    frontier.push(u);
+                }
+            }
+        }
+        elements.sort_unstable_by_key(|&d| (d.count_ones(), d));
+        let poset = Poset::new(elements.len(), |u, v| {
+            // Reversed inclusion: d_u ⊇ d_v.
+            elements[v] & !elements[u] == 0
+        })
+        .expect("reversed inclusion is a partial order");
+        let top = poset.top().expect("∅ is the greatest element");
+        debug_assert_eq!(elements[top], 0);
+        let mobius_to_top = poset
+            .mobius_to(top)
+            .into_iter()
+            .map(|m| m.expect("every element is <= 1̂"))
+            .collect();
+        QueryLattice { clauses, elements, poset, mobius_to_top }
+    }
+
+    /// Index of the greatest element `1̂ = ∅`.
+    pub fn top(&self) -> usize {
+        0
+    }
+
+    /// Index of the least element `0̂` (the union of all clauses).
+    pub fn bottom(&self) -> usize {
+        self.poset.bottom().expect("the union of all clauses is least")
+    }
+
+    /// The safety quantity `µ(0̂, 1̂)` (Proposition 3.5).
+    pub fn mobius_bottom_top(&self) -> i64 {
+        self.mobius_to_top[self.bottom()]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` iff the lattice is trivial (single element).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+/// Builds the CNF lattice `L^phi_CNF` (Definition 3.4) from the unique
+/// minimized CNF of a monotone function.
+///
+/// # Panics
+/// Panics if `phi` is not monotone.
+pub fn cnf_lattice(phi: &BoolFn) -> QueryLattice {
+    QueryLattice::build(phi.monotone_cnf())
+}
+
+/// Builds the DNF lattice (footnote 4) from the unique minimized DNF.
+///
+/// # Panics
+/// Panics if `phi` is not monotone.
+pub fn dnf_lattice(phi: &BoolFn) -> QueryLattice {
+    QueryLattice::build(phi.monotone_dnf())
+}
+
+/// Renders the Hasse diagram of a lattice with its Möbius values, layer by
+/// layer — the textual analogue of the paper's Figure 2.
+pub fn render_hasse(lat: &QueryLattice) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let mut by_size: Vec<Vec<usize>> = Vec::new();
+    for (i, &d) in lat.elements.iter().enumerate() {
+        let s = d.count_ones() as usize;
+        if by_size.len() <= s {
+            by_size.resize(s + 1, Vec::new());
+        }
+        by_size[s].push(i);
+    }
+    for layer in &by_size {
+        if layer.is_empty() {
+            continue;
+        }
+        let row: Vec<String> = layer
+            .iter()
+            .map(|&i| {
+                format!("{} [µ={}]", Valuation(lat.elements[i]), lat.mobius_to_top[i])
+            })
+            .collect();
+        writeln!(out, "{}", row.join("   ")).expect("write to String");
+    }
+    let covers = lat.poset.hasse_edges();
+    writeln!(out, "covers (lower ⋖ upper in reversed inclusion): {}", covers.len())
+        .expect("write to String");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::phi9;
+
+    #[test]
+    fn phi9_cnf_lattice_matches_figure_2() {
+        // Figure 2: nine elements; µ values per node; µ(0̂, 1̂) = 0.
+        let lat = cnf_lattice(&phi9());
+        assert_eq!(lat.len(), 9);
+        let find = |d: u32| {
+            lat.elements
+                .iter()
+                .position(|&e| e == d)
+                .unwrap_or_else(|| panic!("element {d:#b} missing"))
+        };
+        let expect: [(u32, i64); 9] = [
+            (0b0000, 1),  // ∅ = 1̂
+            (0b0111, -1), // {0,1,2}
+            (0b1001, -1), // {0,3}
+            (0b1011, 1),  // {0,1,3}
+            (0b1010, -1), // {1,3}
+            (0b1101, 1),  // {0,2,3}
+            (0b1100, -1), // {2,3}
+            (0b1110, 1),  // {1,2,3}
+            (0b1111, 0),  // {0,1,2,3} = 0̂
+        ];
+        for (d, mu) in expect {
+            assert_eq!(lat.mobius_to_top[find(d)], mu, "µ at {d:#b}");
+        }
+        assert_eq!(lat.mobius_bottom_top(), 0);
+        assert_eq!(lat.elements[lat.top()], 0);
+        assert_eq!(lat.elements[lat.bottom()], 0b1111);
+    }
+
+    #[test]
+    fn phi9_dnf_lattice_value() {
+        // Lemma 3.8 with k = 3: µ_DNF(0̂,1̂) = (-1)^3 e(phi9) = 0.
+        let lat = dnf_lattice(&phi9());
+        assert_eq!(lat.mobius_bottom_top(), 0);
+    }
+
+    #[test]
+    fn single_clause_function_lattice() {
+        // phi = x0 ∨ x1 on 2 vars: one CNF clause {0,1}; lattice = {∅, {0,1}}.
+        let phi = BoolFn::from_fn(2, |v| v != 0);
+        let lat = cnf_lattice(&phi);
+        assert_eq!(lat.elements, vec![0b00, 0b11]);
+        assert_eq!(lat.mobius_bottom_top(), -1);
+    }
+
+    #[test]
+    fn hasse_rendering_mentions_every_element() {
+        let lat = cnf_lattice(&phi9());
+        let s = render_hasse(&lat);
+        for &d in &lat.elements {
+            assert!(s.contains(&Valuation(d).to_string()), "missing {d:#b} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn cnf_and_dnf_lattices_really_are_lattices() {
+        // Definition 3.4's remark, checked for the running example and a
+        // threshold function.
+        assert!(cnf_lattice(&phi9()).poset.is_lattice());
+        assert!(dnf_lattice(&phi9()).poset.is_lattice());
+        let thr = intext_boolfn::threshold_fn(4, 2);
+        assert!(cnf_lattice(&thr).poset.is_lattice());
+    }
+
+    #[test]
+    fn duplicate_unions_are_merged() {
+        // For phi = (0∨1) ∧ (1∨2), d_{0,1} = {0,1,2} just like the union
+        // of all clauses; the lattice must deduplicate.
+        let phi = BoolFn::from_fn(3, |v| (v & 0b011 != 0) && (v & 0b110 != 0));
+        let lat = cnf_lattice(&phi);
+        assert_eq!(lat.elements, vec![0b000, 0b011, 0b110, 0b111]);
+    }
+}

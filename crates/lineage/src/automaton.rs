@@ -1,0 +1,263 @@
+//! The product query automaton and its tuple stream.
+//!
+//! The automaton state packs, into one `u32`:
+//! * bits `0..=k` — "`h_{k,i}` has a witness so far",
+//! * bit [`R_BIT`] — `R(a)` present in the current Π_L group,
+//! * bit [`T_BIT`] — `T(b)` present in the current Π_R group,
+//! * bit [`PREV_BIT`] — the previously-scanned `S` tuple of the current
+//!   `(a,b)` pair was present.
+//!
+//! Transitions are pure functions of `(state, step, present)`; resets are
+//! explicit stream steps, which keeps the per-slot logic branch-free with
+//! respect to group boundaries.
+
+use intext_tid::{Database, TupleId};
+
+/// State bit: `R(a)` latch.
+pub(crate) const R_BIT: u32 = 1 << 28;
+/// State bit: `T(b)` latch.
+pub(crate) const T_BIT: u32 = 1 << 29;
+/// State bit: previous `S` of the current pair present.
+pub(crate) const PREV_BIT: u32 = 1 << 30;
+
+/// A relational slot scanned by the automaton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOp {
+    /// `R(a)` in the left stream.
+    R,
+    /// `T(b)` in the right stream.
+    T,
+    /// `S_i(a, b)`; `left` records which half of the order it belongs to.
+    S {
+        /// The relation index `i`.
+        i: u8,
+        /// `true` for `Π_L` slots (`i <= l`), `false` for `Π_R` (`i > l`).
+        left: bool,
+    },
+}
+
+/// One step of the unrolled stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamStep {
+    /// Entering a new `Π_L` group (clears the `R` latch).
+    ResetLeftGroup,
+    /// Entering a new `Π_R` group (clears the `T` latch).
+    ResetRightGroup,
+    /// Entering a new `(a, b)` pair (clears the `prev` latch).
+    ResetPair,
+    /// Scanning a slot; `tuple` is `None` when the database has no tuple
+    /// there (a forced "absent" transition that creates no OBDD node).
+    Read {
+        /// The slot kind.
+        op: ReadOp,
+        /// The database tuple occupying the slot, if any.
+        tuple: Option<TupleId>,
+    },
+}
+
+/// Applies a reset step to a state.
+pub(crate) fn reset(state: u32, step: StreamStep) -> u32 {
+    match step {
+        StreamStep::ResetLeftGroup => state & !R_BIT,
+        StreamStep::ResetRightGroup => state & !T_BIT,
+        StreamStep::ResetPair => state & !PREV_BIT,
+        StreamStep::Read { .. } => unreachable!("reset() only handles reset steps"),
+    }
+}
+
+/// Applies a read transition: the automaton scans slot `op` and observes
+/// whether the tuple is `present`.
+pub(crate) fn read(state: u32, op: ReadOp, present: bool, k: u8) -> u32 {
+    let mut s = state;
+    match op {
+        ReadOp::R => {
+            s = if present { s | R_BIT } else { s & !R_BIT };
+        }
+        ReadOp::T => {
+            s = if present { s | T_BIT } else { s & !T_BIT };
+        }
+        ReadOp::S { i, left } => {
+            if present {
+                if left && i == 1 && s & R_BIT != 0 {
+                    s |= 1; // h_{k,0} = R ∧ S_1
+                }
+                if i >= 2 && s & PREV_BIT != 0 {
+                    s |= 1 << (i - 1); // h_{k,i-1} = S_{i-1} ∧ S_i
+                }
+                if !left && i == k && s & T_BIT != 0 {
+                    s |= 1 << k; // h_{k,k} = S_k ∧ T
+                }
+            }
+            s = if present { s | PREV_BIT } else { s & !PREV_BIT };
+        }
+    }
+    s
+}
+
+/// The witness bitmask of a final state (which `h_{k,i}` hold).
+pub(crate) fn witnesses(state: u32) -> u32 {
+    state & !(R_BIT | T_BIT | PREV_BIT)
+}
+
+/// Builds the full `Π_L · Π_R` stream of a database for split variable
+/// `l`: all slots of the left-grouped relations `R, S_1..S_l`, then all
+/// slots of the right-grouped `T, S_{l+1}..S_k`.
+pub fn slot_stream(db: &Database, l: u8) -> Vec<StreamStep> {
+    let k = db.k();
+    debug_assert!(l <= k);
+    let n = db.domain_size();
+    let mut steps = Vec::new();
+    // Π_L: group by first attribute.
+    if l >= 1 {
+        for a in 0..n {
+            steps.push(StreamStep::ResetLeftGroup);
+            steps.push(StreamStep::Read { op: ReadOp::R, tuple: db.r_tuple(a) });
+            for b in 0..n {
+                steps.push(StreamStep::ResetPair);
+                for i in 1..=l {
+                    steps.push(StreamStep::Read {
+                        op: ReadOp::S { i, left: true },
+                        tuple: db.s_tuple(i, a, b),
+                    });
+                }
+            }
+        }
+    }
+    // Π_R: group by second attribute.
+    if l < k {
+        for b in 0..n {
+            steps.push(StreamStep::ResetRightGroup);
+            steps.push(StreamStep::Read { op: ReadOp::T, tuple: db.t_tuple(b) });
+            for a in 0..n {
+                steps.push(StreamStep::ResetPair);
+                for i in (l + 1)..=k {
+                    steps.push(StreamStep::Read {
+                        op: ReadOp::S { i, left: false },
+                        tuple: db.s_tuple(i, a, b),
+                    });
+                }
+            }
+        }
+    }
+    steps
+}
+
+/// Runs the automaton over a stream on a *concrete world* (presence
+/// bitmask over tuple ids), returning the witness mask. This is the
+/// reference semantics the OBDD unrolling is validated against.
+#[cfg(test)]
+pub(crate) fn run_concrete(steps: &[StreamStep], k: u8, world: u64) -> u32 {
+    let mut s = 0u32;
+    for &step in steps {
+        match step {
+            StreamStep::Read { op, tuple } => {
+                let present = tuple.is_some_and(|t| (world >> t.0) & 1 == 1);
+                s = read(s, op, present, k);
+            }
+            r => s = reset(s, r),
+        }
+    }
+    witnesses(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_query::h_witnesses;
+    use intext_tid::{complete_database, random_database, DbGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Witness mask computed the slow way, directly from `h_witnesses`.
+    fn expected_witnesses(db: &Database, world: u64, skip: u8) -> u32 {
+        let mut mask = 0u32;
+        for i in 0..=db.k() {
+            if i == skip {
+                continue;
+            }
+            let holds = h_witnesses(db, i).iter().any(|&(t1, t2)| {
+                (world >> t1.0) & 1 == 1 && (world >> t2.0) & 1 == 1
+            });
+            if holds {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn automaton_tracks_all_h_queries_on_complete_db() {
+        // k = 3, every split l, every world of a tiny complete database.
+        let db = complete_database(3, 1); // 2 + 3 = 5 tuples
+        for l in 0..=3u8 {
+            let steps = slot_stream(&db, l);
+            for world in 0..(1u64 << db.len()) {
+                let got = run_concrete(&steps, 3, world) & !(1 << l);
+                let expect = expected_witnesses(&db, world, l);
+                assert_eq!(got, expect, "l={l}, world={world:#07b}");
+            }
+        }
+    }
+
+    #[test]
+    fn automaton_on_random_sparse_databases() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in 1..=4u8 {
+            for trial in 0..5 {
+                let db = random_database(
+                    &DbGenConfig {
+                        k,
+                        domain_size: 2,
+                        density: 0.6,
+                        prob_denominator: 10,
+                    },
+                    &mut rng,
+                );
+                if db.len() >= 20 {
+                    continue; // keep worlds enumerable
+                }
+                for l in 0..=k {
+                    let steps = slot_stream(&db, l);
+                    for world in 0..(1u64 << db.len()) {
+                        let got = run_concrete(&steps, k, world) & !(1 << l);
+                        let expect = expected_witnesses(&db, world, l);
+                        assert_eq!(got, expect, "k={k} l={l} trial={trial} world={world:b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_mentions_each_tuple_at_most_once() {
+        let db = complete_database(3, 2);
+        for l in 0..=3u8 {
+            let steps = slot_stream(&db, l);
+            let mut seen = std::collections::HashSet::new();
+            for s in &steps {
+                if let StreamStep::Read { tuple: Some(t), .. } = s {
+                    assert!(seen.insert(*t), "tuple {t:?} twice in stream (l={l})");
+                }
+            }
+            // With 0 < l < k every tuple is covered; at the extremes the
+            // irrelevant unary relation is skipped.
+            let expected = match l {
+                0 => db.len() - db.domain_size() as usize, // no R slots
+                _ if l == 3 => db.len() - db.domain_size() as usize, // no T slots
+                _ => db.len(),
+            };
+            assert_eq!(seen.len(), expected, "l={l}");
+        }
+    }
+
+    #[test]
+    fn empty_database_stream_has_no_variables() {
+        let db = Database::new(2, 2);
+        let steps = slot_stream(&db, 1);
+        assert!(steps.iter().all(|s| !matches!(
+            s,
+            StreamStep::Read { tuple: Some(_), .. }
+        )));
+        assert_eq!(run_concrete(&steps, 2, 0), 0);
+    }
+}

@@ -1,0 +1,486 @@
+//! Unrolling the product automaton into a reduced OBDD.
+
+use std::fmt;
+
+use intext_boolfn::BoolFn;
+use intext_circuits::{Circuit, GateId, NodeRef, ObddManager};
+use intext_numeric::BigRational;
+use intext_tid::{Database, Tid, TupleId};
+
+use crate::automaton::{self, witnesses, StreamStep};
+
+/// Errors from the degenerate-lineage compiler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineageError {
+    /// The function depends on all of its variables (Proposition 3.7
+    /// needs a variable to split the vocabulary on).
+    NotDegenerate,
+    /// The database's `k` does not match the function's `k`.
+    VocabularyMismatch {
+        /// `k` expected by the function.
+        expected: u8,
+        /// `k` of the database.
+        got: u8,
+    },
+}
+
+impl fmt::Display for LineageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LineageError::NotDegenerate => {
+                write!(f, "function depends on all variables; Prop 3.7 needs a split variable")
+            }
+            LineageError::VocabularyMismatch { expected, got } => {
+                write!(f, "function is over k={expected} but database has k={got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LineageError {}
+
+/// A compiled lineage: a reduced OBDD over the tuple variables of the
+/// database, in the grouped order `Π_L · Π_R`.
+#[derive(Debug)]
+pub struct DegenerateLineage {
+    /// The OBDD manager holding the lineage (order = `Π_L · Π_R`,
+    /// restricted to tuples present in the database).
+    pub manager: ObddManager,
+    /// Root of the lineage function.
+    pub root: NodeRef,
+    /// The split variable `l` that was used.
+    pub split: u8,
+}
+
+impl DegenerateLineage {
+    /// OBDD node count.
+    pub fn size(&self) -> usize {
+        self.manager.size(self.root)
+    }
+
+    /// Exact probability of the query under the TID's probabilities.
+    pub fn probability_exact(&self, tid: &Tid) -> BigRational {
+        self.manager
+            .probability_exact(self.root, &|v| tid.prob(TupleId(v)).clone())
+    }
+
+    /// Floating-point probability.
+    pub fn probability_f64(&self, tid: &Tid) -> f64 {
+        self.manager.probability_f64(self.root, &|v| tid.prob_f64(TupleId(v)))
+    }
+
+    /// Embeds the OBDD as a d-D circuit (for template plugging).
+    pub fn to_circuit(&self) -> (Circuit, GateId) {
+        self.manager.to_circuit(self.root)
+    }
+}
+
+/// A reusable compiler for a fixed database and split variable `l`:
+/// compiles any function independent of `l` into the **shared** manager
+/// (same order `Π_L · Π_R`), so results can be combined with OBDD
+/// operations.
+pub struct SplitCompiler {
+    manager: ObddManager,
+    steps: Vec<StreamStep>,
+    k: u8,
+    l: u8,
+}
+
+impl SplitCompiler {
+    /// Prepares the slot stream and variable order for split variable `l`.
+    ///
+    /// # Panics
+    /// Panics if `l > db.k()`.
+    pub fn new(db: &Database, l: u8) -> Self {
+        assert!(l <= db.k(), "split variable {l} out of range");
+        let steps = automaton::slot_stream(db, l);
+        let order: Vec<u32> = steps
+            .iter()
+            .filter_map(|s| match s {
+                StreamStep::Read { tuple: Some(t), .. } => Some(t.0),
+                _ => None,
+            })
+            .collect();
+        SplitCompiler { manager: ObddManager::new(order), steps, k: db.k(), l }
+    }
+
+    /// The shared manager.
+    pub fn manager(&self) -> &ObddManager {
+        &self.manager
+    }
+
+    /// Consumes the compiler, yielding the manager.
+    pub fn into_manager(self) -> ObddManager {
+        self.manager
+    }
+
+    /// The split variable.
+    pub fn split(&self) -> u8 {
+        self.l
+    }
+
+    /// Unrolls the product automaton for `psi` (which must not depend on
+    /// the split variable) into a reduced OBDD; `O(2^k · |D|)`.
+    pub fn compile(&mut self, psi: &BoolFn) -> Result<NodeRef, LineageError> {
+        if psi.k() != self.k {
+            return Err(LineageError::VocabularyMismatch { expected: psi.k(), got: self.k });
+        }
+        if psi.depends_on(self.l) {
+            return Err(LineageError::NotDegenerate);
+        }
+        let k = self.k;
+        let num_levels = self.manager.order().len();
+
+        // Compact state indexing: witness bits 0..=k, then r/t/prev.
+        let nbits = u32::from(k) + 1;
+        let total_states = 1usize << (nbits + 3);
+        let decode = |idx: usize| -> u32 {
+            let idx = idx as u32;
+            let mut s = idx & ((1 << nbits) - 1);
+            if idx & (1 << nbits) != 0 {
+                s |= automaton::R_BIT;
+            }
+            if idx & (1 << (nbits + 1)) != 0 {
+                s |= automaton::T_BIT;
+            }
+            if idx & (1 << (nbits + 2)) != 0 {
+                s |= automaton::PREV_BIT;
+            }
+            s
+        };
+        let encode = |s: u32| -> usize {
+            let mut idx = witnesses(s);
+            if s & automaton::R_BIT != 0 {
+                idx |= 1 << nbits;
+            }
+            if s & automaton::T_BIT != 0 {
+                idx |= 1 << (nbits + 1);
+            }
+            if s & automaton::PREV_BIT != 0 {
+                idx |= 1 << (nbits + 2);
+            }
+            idx as usize
+        };
+
+        // Backward pass: `cur[idx]` = OBDD of the residual stream as a
+        // function of the remaining tuple variables, per automaton state.
+        let mut cur: Vec<NodeRef> = (0..total_states)
+            .map(|idx| {
+                if psi.eval(witnesses(decode(idx))) {
+                    NodeRef::TRUE
+                } else {
+                    NodeRef::FALSE
+                }
+            })
+            .collect();
+        let mut next = vec![NodeRef::FALSE; total_states];
+        let mut level = num_levels;
+
+        for &step in self.steps.iter().rev() {
+            match step {
+                StreamStep::Read { op, tuple: Some(_) } => {
+                    level -= 1;
+                    for (idx, slot) in next.iter_mut().enumerate() {
+                        let s = decode(idx);
+                        let lo = cur[encode(automaton::read(s, op, false, k))];
+                        let hi = cur[encode(automaton::read(s, op, true, k))];
+                        *slot = self.manager.mk(level as u32, lo, hi);
+                    }
+                }
+                StreamStep::Read { op, tuple: None } => {
+                    for (idx, slot) in next.iter_mut().enumerate() {
+                        let s = decode(idx);
+                        *slot = cur[encode(automaton::read(s, op, false, k))];
+                    }
+                }
+                reset_step => {
+                    for (idx, slot) in next.iter_mut().enumerate() {
+                        let s = decode(idx);
+                        *slot = cur[encode(automaton::reset(s, reset_step))];
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        debug_assert_eq!(level, 0, "every variable level consumed");
+        Ok(cur[encode(0)])
+    }
+}
+
+/// Compiles the lineage `Lin(Q_ψ, D)` of a degenerate `H`-query into a
+/// reduced OBDD in time `O(2^k · |D|)` — linear in the database
+/// (Proposition 3.7).
+///
+/// The split variable is any `l ∉ DEP(ψ)`; the automaton state space has
+/// `2^(k+4)` states (constant in data complexity), and the backward
+/// unrolling touches each stream slot once per state.
+pub fn compile_degenerate_obdd(
+    psi: &BoolFn,
+    db: &Database,
+) -> Result<DegenerateLineage, LineageError> {
+    let k = psi.k();
+    if db.k() != k {
+        return Err(LineageError::VocabularyMismatch { expected: k, got: db.k() });
+    }
+    let l = psi.independent_var().ok_or(LineageError::NotDegenerate)?;
+    let mut compiler = SplitCompiler::new(db, l);
+    let root = compiler.compile(psi)?;
+    Ok(DegenerateLineage { manager: compiler.into_manager(), root, split: l })
+}
+
+/// Ablation baseline for Proposition 3.7: build one OBDD per `h_{k,i}`
+/// (`i ≠ l`) with the automaton, then combine them under `ψ` with the
+/// textbook multi-way `apply` (product construction) instead of
+/// unrolling the product automaton directly. Same output function; the
+/// benchmarks compare the two routes.
+pub fn compile_degenerate_obdd_apply(
+    psi: &BoolFn,
+    db: &Database,
+) -> Result<DegenerateLineage, LineageError> {
+    let k = psi.k();
+    if db.k() != k {
+        return Err(LineageError::VocabularyMismatch { expected: k, got: db.k() });
+    }
+    let l = psi.independent_var().ok_or(LineageError::NotDegenerate)?;
+    let mut compiler = SplitCompiler::new(db, l);
+    // One OBDD per h-index the function can see.
+    let mut indices = Vec::new();
+    let mut roots = Vec::new();
+    for i in 0..=k {
+        if i == l {
+            continue;
+        }
+        indices.push(i);
+        let hi = BoolFn::var(k + 1, i);
+        roots.push(compiler.compile(&hi).expect("h_i ignores the split variable"));
+    }
+    let mut manager = compiler.into_manager();
+    let root = manager.combine_many(&roots, &|values: &[bool]| {
+        let mut mask = 0u32;
+        for (pos, &i) in indices.iter().enumerate() {
+            if values[pos] {
+                mask |= 1 << i;
+            }
+        }
+        psi.eval(mask)
+    });
+    Ok(DegenerateLineage { manager, root, split: l })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_query::{pqe_brute_force, HQuery};
+    use intext_tid::{complete_database, random_database, random_tid, DbGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Exhaustively compare the OBDD against the query's lineage
+    /// semantics on every world.
+    fn assert_lineage_correct(psi: &BoolFn, db: &Database) {
+        let lin = compile_degenerate_obdd(psi, db).expect("compiles");
+        let q = HQuery::new(psi.clone());
+        for world in 0..(1u64 << db.len()) {
+            let via_obdd = lin.manager.eval(lin.root, &|v| (world >> v) & 1 == 1);
+            let via_query = q.lineage_eval(db, world);
+            assert_eq!(via_obdd, via_query, "world={world:#b}");
+        }
+    }
+
+    #[test]
+    fn single_h_queries_compile_correctly() {
+        // psi = variable i alone: Q = h_{k,i}; degenerate for k >= 1.
+        let db = complete_database(2, 1);
+        for i in 0..=2u8 {
+            let psi = BoolFn::var(3, i);
+            assert_lineage_correct(&psi, &db);
+        }
+    }
+
+    #[test]
+    fn boolean_combinations_compile_correctly() {
+        let db = complete_database(3, 1);
+        // (h0 ∧ ¬h2) ∨ h3 — does not depend on variable 1.
+        let h0 = BoolFn::var(4, 0);
+        let h2 = BoolFn::var(4, 2);
+        let h3 = BoolFn::var(4, 3);
+        let psi = &(&h0 & &!&h2) | &h3;
+        assert!(psi.is_degenerate());
+        assert_lineage_correct(&psi, &db);
+    }
+
+    #[test]
+    fn pair_functions_compile_correctly() {
+        // The fragmentation leaves: SAT(ψ) = {ν, ν ∪ {l}}.
+        let db = complete_database(2, 1);
+        for l in 0..=2u8 {
+            for nu in 0..8u32 {
+                let nu = nu & !(1 << l);
+                let psi = BoolFn::from_sat(3, [nu, nu | (1 << l)]);
+                assert_eq!(psi.independent_var(), Some(l));
+                assert_lineage_correct(&psi, &db);
+            }
+        }
+    }
+
+    #[test]
+    fn constants_compile() {
+        let db = complete_database(2, 2);
+        let bot = compile_degenerate_obdd(&BoolFn::bottom(3), &db).unwrap();
+        assert_eq!(bot.root, NodeRef::FALSE);
+        let top = compile_degenerate_obdd(&BoolFn::top(3), &db).unwrap();
+        assert_eq!(top.root, NodeRef::TRUE);
+    }
+
+    #[test]
+    fn sparse_random_databases() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let db = random_database(
+                &DbGenConfig { k: 2, domain_size: 2, density: 0.5, prob_denominator: 10 },
+                &mut rng,
+            );
+            if db.len() >= 16 {
+                continue;
+            }
+            let psi = &BoolFn::var(3, 0) ^ &BoolFn::var(3, 2); // skips var 1
+            let _ = trial;
+            assert_lineage_correct(&psi, &db);
+        }
+    }
+
+    #[test]
+    fn probability_matches_brute_force_exactly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = random_database(
+            &DbGenConfig { k: 3, domain_size: 2, density: 0.7, prob_denominator: 10 },
+            &mut rng,
+        );
+        let tid = random_tid(db, 10, &mut rng);
+        // ¬h0 ∨ (h2 ∧ h3): skips variable 1.
+        let psi = &!&BoolFn::var(4, 0) | &(&BoolFn::var(4, 2) & &BoolFn::var(4, 3));
+        let lin = compile_degenerate_obdd(&psi, tid.database()).unwrap();
+        let q = HQuery::new(psi);
+        let expect = pqe_brute_force(&q, &tid).unwrap();
+        assert_eq!(lin.probability_exact(&tid), expect);
+        assert!((lin.probability_f64(&tid) - expect.to_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nondegenerate_rejected() {
+        let db = complete_database(3, 2);
+        let err = compile_degenerate_obdd(&intext_boolfn::phi9(), &db).unwrap_err();
+        assert_eq!(err, LineageError::NotDegenerate);
+    }
+
+    #[test]
+    fn vocabulary_mismatch_rejected() {
+        let db = complete_database(2, 2);
+        let psi = BoolFn::var(4, 0); // k = 3 function
+        assert_eq!(
+            compile_degenerate_obdd(&psi, &db).unwrap_err(),
+            LineageError::VocabularyMismatch { expected: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn obdd_size_grows_linearly_with_domain() {
+        // Proposition 3.7's point: size is O(|D|). Doubling the domain
+        // should roughly quadruple the tuple count (S relations dominate)
+        // and the OBDD must follow suit, not explode.
+        let psi = &BoolFn::var(3, 0) & &!&BoolFn::var(3, 2);
+        let sizes: Vec<usize> = [2u32, 4, 8]
+            .iter()
+            .map(|&n| {
+                let db = complete_database(2, n);
+                compile_degenerate_obdd(&psi, &db).unwrap().size()
+            })
+            .collect();
+        // Linear in tuple count: size(n=8)/size(n=4) ≈ tuples(8)/tuples(4) ≈ 4.
+        let ratio = sizes[2] as f64 / sizes[1] as f64;
+        assert!(ratio < 6.0, "sizes {sizes:?} grew superlinearly (ratio {ratio})");
+        // And strictly growing.
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn apply_route_matches_automaton_route() {
+        // The ablation baseline computes the same function — and since
+        // both land in managers with the same order, even the same
+        // probabilities and sizes on every tested instance.
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let db = random_database(
+                &DbGenConfig { k: 3, domain_size: 2, density: 0.7, prob_denominator: 9 },
+                &mut rng,
+            );
+            let tid = random_tid(db, 9, &mut rng);
+            let psi = &(&BoolFn::var(4, 0) ^ &BoolFn::var(4, 2)) | &BoolFn::var(4, 3);
+            let a = compile_degenerate_obdd(&psi, tid.database()).unwrap();
+            let b = compile_degenerate_obdd_apply(&psi, tid.database()).unwrap();
+            assert_eq!(a.split, b.split, "trial {trial}");
+            assert_eq!(
+                a.probability_exact(&tid),
+                b.probability_exact(&tid),
+                "trial {trial}"
+            );
+            if tid.len() < 18 {
+                for world in 0..(1u64 << tid.len()) {
+                    assert_eq!(
+                        a.manager.eval(a.root, &|v| (world >> v) & 1 == 1),
+                        b.manager.eval(b.root, &|v| (world >> v) & 1 == 1),
+                        "trial {trial}, world {world:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_compiler_shares_manager_across_functions() {
+        let db = complete_database(2, 2);
+        let mut compiler = SplitCompiler::new(&db, 1);
+        let h0 = compiler.compile(&BoolFn::var(3, 0)).unwrap();
+        let h2 = compiler.compile(&BoolFn::var(3, 2)).unwrap();
+        assert_ne!(h0, h2);
+        // Combining in the shared manager is now a plain apply.
+        let mut manager = compiler.into_manager();
+        let both = manager.and(h0, h2);
+        let direct = compile_degenerate_obdd(
+            &(&BoolFn::var(3, 0) & &BoolFn::var(3, 2)),
+            &db,
+        )
+        .unwrap();
+        for world in 0..(1u64 << db.len().min(20)) {
+            assert_eq!(
+                manager.eval(both, &|v| (world >> v) & 1 == 1),
+                direct.manager.eval(direct.root, &|v| (world >> v) & 1 == 1)
+            );
+        }
+    }
+
+    #[test]
+    fn split_compiler_rejects_dependent_functions() {
+        let db = complete_database(2, 1);
+        let mut compiler = SplitCompiler::new(&db, 1);
+        assert_eq!(
+            compiler.compile(&BoolFn::var(3, 1)).unwrap_err(),
+            LineageError::NotDegenerate
+        );
+    }
+
+    #[test]
+    fn to_circuit_round_trip() {
+        let db = complete_database(2, 1);
+        let psi = BoolFn::from_sat(3, [0b000u32, 0b010]); // skips var 1
+        let lin = compile_degenerate_obdd(&psi, &db).unwrap();
+        let (c, root) = lin.to_circuit();
+        intext_circuits::verify::check_dd(&c, root).expect("valid d-D");
+        for world in 0..(1u64 << db.len()) {
+            assert_eq!(
+                c.eval(root, &|v| (world >> v) & 1 == 1),
+                lin.manager.eval(lin.root, &|v| (world >> v) & 1 == 1)
+            );
+        }
+    }
+}

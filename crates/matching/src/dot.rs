@@ -1,0 +1,65 @@
+//! Graphviz/DOT export of the colored valuation graph `G_V[φ]` — the
+//! machine-readable counterpart of the paper's Figures 3, 5, and 7.
+
+use intext_boolfn::{BoolFn, Valuation};
+
+/// Renders `G_V[φ]` in DOT format: satisfying valuations filled, layers
+/// ranked by valuation size (matching the paper's vertical layout).
+pub fn to_dot(phi: &BoolFn) -> String {
+    use std::fmt::Write as _;
+
+    let n = phi.num_vars();
+    let mut out = String::from("graph g_v_phi {\n  rankdir=BT;\n  node [shape=ellipse];\n");
+    for size in 0..=u32::from(n) {
+        let layer: Vec<u32> =
+            (0..(1u32 << n)).filter(|v| v.count_ones() == size).collect();
+        write!(out, "  {{ rank=same;").expect("write to String");
+        for &v in &layer {
+            let style = if phi.eval(v) {
+                "style=filled, fillcolor=gray70"
+            } else {
+                "style=solid"
+            };
+            write!(out, " \"{}\" [{style}];", Valuation(v)).expect("write to String");
+        }
+        out.push_str(" }\n");
+    }
+    for v in 0..(1u32 << n) {
+        for l in 0..n {
+            let w = v | (1 << l);
+            if w != v {
+                writeln!(out, "  \"{}\" -- \"{}\";", Valuation(v), Valuation(w))
+                    .expect("write to String");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::phi9;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let dot = to_dot(&phi9());
+        assert!(dot.starts_with("graph g_v_phi {"));
+        assert!(dot.ends_with("}\n"));
+        // 16 nodes, each declared once.
+        assert_eq!(dot.matches("style=").count(), 16);
+        // Hypercube Q4 has 4 * 2^3 = 32 edges.
+        assert_eq!(dot.matches(" -- ").count(), 32);
+        // Colored count matches SAT count.
+        assert_eq!(dot.matches("fillcolor=gray70").count(), 8);
+    }
+
+    #[test]
+    fn dot_respects_coloring() {
+        let f = BoolFn::from_sat(2, [0b00u32]);
+        let dot = to_dot(&f);
+        assert!(dot.contains("\"{}\" [style=filled, fillcolor=gray70]"));
+        assert!(dot.contains("\"{0}\" [style=solid]"));
+    }
+}

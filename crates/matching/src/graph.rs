@@ -1,0 +1,275 @@
+//! Bipartite graphs and maximum matching (Hopcroft–Karp).
+
+/// A bipartite graph with `left` and `right` node sets, adjacency stored
+/// from the left side.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    left: usize,
+    right: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+/// A maximum matching: partner of each left node (and its size).
+#[derive(Clone, Debug)]
+pub struct Matching {
+    /// `pair_left[u] = Some(v)` iff left `u` is matched to right `v`.
+    pub pair_left: Vec<Option<u32>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty bipartite graph with the given side sizes.
+    pub fn new(left: usize, right: usize) -> Self {
+        BipartiteGraph { left, right, adj: vec![Vec::new(); left] }
+    }
+
+    /// Adds an edge between left node `u` and right node `v`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.left, "left node {u} out of range");
+        assert!(v < self.right, "right node {v} out of range");
+        self.adj[u].push(v as u32);
+    }
+
+    /// Number of left nodes.
+    pub fn left_count(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right nodes.
+    pub fn right_count(&self) -> usize {
+        self.right
+    }
+
+    /// Neighbors of a left node.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Does the graph admit a perfect matching (all nodes on *both* sides
+    /// matched)?
+    pub fn has_perfect_matching(&self) -> bool {
+        self.left == self.right && hopcroft_karp(self).size == self.left
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Maximum bipartite matching via Hopcroft–Karp: repeated BFS phases
+/// building layered graphs, then DFS along shortest augmenting paths;
+/// `O(E sqrt(V))`.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let (n_left, n_right) = (g.left, g.right);
+    let mut pair_u = vec![NIL; n_left];
+    let mut pair_v = vec![NIL; n_right];
+    let mut dist = vec![u32::MAX; n_left];
+    let mut queue = std::collections::VecDeque::new();
+    let mut size = 0usize;
+
+    loop {
+        // BFS phase: layer the free left nodes.
+        queue.clear();
+        for u in 0..n_left {
+            if pair_u[u] == NIL {
+                dist[u] = 0;
+                queue.push_back(u as u32);
+            } else {
+                dist[u] = u32::MAX;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &g.adj[u as usize] {
+                let w = pair_v[v as usize];
+                if w == NIL {
+                    found_augmenting = true;
+                } else if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase along the layered graph.
+        fn dfs(
+            u: u32,
+            g: &BipartiteGraph,
+            pair_u: &mut [u32],
+            pair_v: &mut [u32],
+            dist: &mut [u32],
+        ) -> bool {
+            for i in 0..g.adj[u as usize].len() {
+                let v = g.adj[u as usize][i];
+                let w = pair_v[v as usize];
+                let ok = if w == NIL {
+                    true
+                } else if dist[w as usize] == dist[u as usize] + 1 {
+                    dfs(w, g, pair_u, pair_v, dist)
+                } else {
+                    false
+                };
+                if ok {
+                    pair_u[u as usize] = v;
+                    pair_v[v as usize] = u;
+                    return true;
+                }
+            }
+            dist[u as usize] = u32::MAX;
+            false
+        }
+        for u in 0..n_left {
+            if pair_u[u] == NIL && dfs(u as u32, g, &mut pair_u, &mut pair_v, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+
+    Matching {
+        pair_left: pair_u
+            .into_iter()
+            .map(|v| if v == NIL { None } else { Some(v) })
+            .collect(),
+        size,
+    }
+}
+
+/// Simple `O(V * E)` augmenting-path matcher, used as the correctness
+/// oracle for Hopcroft–Karp in property tests.
+pub fn max_matching_naive(g: &BipartiteGraph) -> usize {
+    let mut pair_v = vec![NIL; g.right];
+    fn try_augment(
+        u: usize,
+        g: &BipartiteGraph,
+        pair_v: &mut [u32],
+        visited: &mut [bool],
+    ) -> bool {
+        for &v in &g.adj[u] {
+            let v = v as usize;
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            if pair_v[v] == NIL || try_augment(pair_v[v] as usize, g, pair_v, visited) {
+                pair_v[v] = u as u32;
+                return true;
+            }
+        }
+        false
+    }
+    let mut size = 0;
+    for u in 0..g.left {
+        let mut visited = vec![false; g.right];
+        if try_augment(u, g, &mut pair_v, &mut visited) {
+            size += 1;
+        }
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_matches_nothing() {
+        let g = BipartiteGraph::new(3, 3);
+        assert_eq!(hopcroft_karp(&g).size, 0);
+        assert!(!g.has_perfect_matching());
+    }
+
+    #[test]
+    fn complete_bipartite_has_perfect_matching() {
+        let mut g = BipartiteGraph::new(4, 4);
+        for u in 0..4 {
+            for v in 0..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 4);
+        assert!(g.has_perfect_matching());
+        // The matching must be a bijection.
+        let mut seen = std::collections::HashSet::new();
+        for p in m.pair_left.iter().flatten() {
+            assert!(seen.insert(*p));
+        }
+    }
+
+    #[test]
+    fn path_graph_matching() {
+        // Path L0 - R0 - L1 - R1: maximum matching 2.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        assert_eq!(hopcroft_karp(&g).size, 2);
+    }
+
+    #[test]
+    fn hall_violation_detected() {
+        // Two left nodes share one right neighbor.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        assert_eq!(hopcroft_karp(&g).size, 1);
+        assert!(!g.has_perfect_matching());
+    }
+
+    #[test]
+    fn unbalanced_sides_never_perfect() {
+        let mut g = BipartiteGraph::new(2, 3);
+        for u in 0..2 {
+            for v in 0..3 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(hopcroft_karp(&g).size, 2);
+        assert!(!g.has_perfect_matching());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_bounds_checked() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 1);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_graphs() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let left = (next() % 8 + 1) as usize;
+            let right = (next() % 8 + 1) as usize;
+            let mut g = BipartiteGraph::new(left, right);
+            for u in 0..left {
+                for v in 0..right {
+                    if next() % 3 == 0 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            assert_eq!(
+                hopcroft_karp(&g).size,
+                max_matching_naive(&g),
+                "trial {trial}"
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The valuation graph `G_V[φ]` (Definition 5.6) and induced matchings.
+//!
+//! `G_V` is the hypercube on all valuations of `V`, with edges between
+//! valuations differing in exactly one variable; `G_V[φ]` colors the
+//! satisfying valuations. The hypercube is bipartite (even-size vs
+//! odd-size valuations), so induced perfect matchings reduce to bipartite
+//! matching.
+
+use intext_boolfn::{small, BoolFn, Valuation};
+
+use crate::BipartiteGraph;
+
+/// Builds the subgraph of `G_V` (hypercube on `n` variables) induced by
+/// the given valuation set, as a bipartite graph: left = even-size
+/// valuations, right = odd-size ones. Also returns the valuation labels
+/// of the left and right node indices (deterministic: input order).
+pub fn induced_subgraph_labeled(
+    n: u8,
+    nodes: &[u32],
+) -> (BipartiteGraph, Vec<u32>, Vec<u32>) {
+    let mut left_labels = Vec::new();
+    let mut right_labels = Vec::new();
+    let mut right_index = std::collections::HashMap::new();
+    for &v in nodes {
+        if v.count_ones() % 2 == 0 {
+            left_labels.push(v);
+        } else {
+            right_index.insert(v, right_labels.len());
+            right_labels.push(v);
+        }
+    }
+    let mut g = BipartiteGraph::new(left_labels.len(), right_labels.len());
+    for (u_idx, &v) in left_labels.iter().enumerate() {
+        for l in 0..n {
+            let w = v ^ (1u32 << l);
+            if let Some(&v_idx) = right_index.get(&w) {
+                g.add_edge(u_idx, v_idx);
+            }
+        }
+    }
+    (g, left_labels, right_labels)
+}
+
+/// Unlabeled variant of [`induced_subgraph_labeled`].
+pub fn induced_subgraph(n: u8, nodes: &[u32]) -> BipartiteGraph {
+    induced_subgraph_labeled(n, nodes).0
+}
+
+/// Does the subgraph of `G_V` induced by `nodes` have a perfect matching?
+pub fn induced_has_perfect_matching(n: u8, nodes: &[u32]) -> bool {
+    let g = induced_subgraph(n, nodes);
+    g.has_perfect_matching()
+}
+
+/// Does the subgraph induced by the *colored* (satisfying) valuations of
+/// `phi` have a perfect matching? This is the paper's criterion for
+/// `φ ∼▷⁻* ⊥` (Section 7).
+pub fn sat_has_pm(phi: &BoolFn) -> bool {
+    if phi.num_vars() <= 6 {
+        return table_pm(phi.num_vars(), phi.table_u64());
+    }
+    induced_has_perfect_matching(phi.num_vars(), &phi.sat_vec())
+}
+
+/// Does the subgraph induced by the *non-colored* valuations have a
+/// perfect matching? This is the criterion for `φ ∼▷⁺* ⊤`.
+pub fn unsat_has_pm(phi: &BoolFn) -> bool {
+    sat_has_pm(&!phi)
+}
+
+/// Fast path for `n <= 6`: perfect matching on the sub-hypercube induced
+/// by the set bits of `table`, with a stack-allocated matcher.
+///
+/// Used raw by the enumeration experiments; exposed for benchmarks.
+pub fn table_pm(n: u8, table: u64) -> bool {
+    let even = table & small::EVEN_PARITY_MASK;
+    let odd = table & !small::EVEN_PARITY_MASK;
+    if even.count_ones() != odd.count_ones() {
+        return false;
+    }
+    if table == 0 {
+        return true;
+    }
+    // Augmenting-path matching; nodes are valuations 0..2^n (<= 64).
+    const NONE: u8 = u8::MAX;
+    let mut match_of = [NONE; 64]; // partner of each odd node
+    fn augment(
+        u: u32,
+        n: u8,
+        table: u64,
+        visited: &mut u64,
+        match_of: &mut [u8; 64],
+    ) -> bool {
+        for l in 0..n {
+            let v = u ^ (1u32 << l);
+            if (table >> v) & 1 == 0 || (*visited >> v) & 1 == 1 {
+                continue;
+            }
+            *visited |= 1u64 << v;
+            let cur = match_of[v as usize];
+            if cur == NONE
+                || augment(u32::from(cur), n, table, visited, match_of)
+            {
+                match_of[v as usize] = u as u8;
+                return true;
+            }
+        }
+        false
+    }
+    let mut matched = 0u32;
+    for u in 0..(1u32 << n) {
+        if (even >> u) & 1 == 1 {
+            let mut visited = 0u64;
+            if augment(u, n, table, &mut visited, &mut match_of) {
+                matched += 1;
+            } else {
+                return false; // an even node cannot be saturated
+            }
+        }
+    }
+    matched == even.count_ones()
+}
+
+/// Renders `G_V[φ]` layer by layer, marking satisfying valuations with
+/// `●` and non-satisfying ones with `○` — the textual analogue of the
+/// paper's Figures 3, 5 and 7.
+pub fn render_colored_graph(phi: &BoolFn) -> String {
+    use std::fmt::Write as _;
+
+    let n = phi.num_vars();
+    let mut out = String::new();
+    for size in 0..=u32::from(n) {
+        let row: Vec<String> = (0..(1u32 << n))
+            .filter(|v| v.count_ones() == size)
+            .map(|v| {
+                let mark = if phi.eval(v) { "●" } else { "○" };
+                format!("{mark}{}", Valuation(v))
+            })
+            .collect();
+        writeln!(out, "|ν|={size}: {}", row.join(" ")).expect("write to String");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::phi9;
+
+    #[test]
+    fn induced_subgraph_of_full_cube() {
+        let nodes: Vec<u32> = (0..8).collect();
+        let g = induced_subgraph(3, &nodes);
+        assert_eq!(g.left_count(), 4);
+        assert_eq!(g.right_count(), 4);
+        assert_eq!(g.edge_count(), 12); // hypercube Q3 edges
+        assert!(g.has_perfect_matching());
+    }
+
+    #[test]
+    fn table_pm_agrees_with_graph_path() {
+        // Exhaustive for n = 3 (256 node sets), plus a spot check on n = 5.
+        for t in 0..256u64 {
+            let nodes: Vec<u32> = (0..8u32).filter(|&v| (t >> v) & 1 == 1).collect();
+            assert_eq!(
+                table_pm(3, t),
+                induced_has_perfect_matching(3, &nodes),
+                "t={t:#010b}"
+            );
+        }
+        let t = phi9().table_u64();
+        let nodes = phi9().sat_vec();
+        assert_eq!(table_pm(4, t), induced_has_perfect_matching(4, &nodes));
+    }
+
+    #[test]
+    fn odd_sized_sets_never_match() {
+        assert!(!table_pm(3, 0b0000_0111)); // {∅, {0}, {1}}: 1 even, 2 odd
+    }
+
+    #[test]
+    fn two_adjacent_nodes_match() {
+        // {∅, {0}} is a single edge.
+        assert!(table_pm(3, 0b0000_0011));
+        // {∅, {0,1}}: same parity — no edge, no PM.
+        assert!(!table_pm(3, 0b0000_1001));
+    }
+
+    #[test]
+    fn render_marks_all_valuations() {
+        let s = render_colored_graph(&phi9());
+        assert_eq!(s.matches('●').count(), 8);
+        assert_eq!(s.matches('○').count(), 8);
+        assert!(s.contains("|ν|=0"));
+        assert!(s.contains("|ν|=4"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Signed arbitrary-precision integers: a sign plus a [`BigUint`] magnitude.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::BigUint;
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Zero`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// Builds from a sign and magnitude, normalizing zero.
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Returns `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        match self.sign {
+            Sign::Negative => -self.mag.to_f64(),
+            Sign::Zero => 0.0,
+            Sign::Positive => self.mag.to_f64(),
+        }
+    }
+
+    /// Conversion to `i64`, `None` on overflow.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i64::try_from(m).ok(),
+            Sign::Negative => {
+                if m == 1u64 << 63 {
+                    Some(i64::MIN)
+                } else {
+                    i64::try_from(m).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_sign_mag(
+            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            self.mag.clone(),
+        )
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Less => BigInt::from_sign_mag(Sign::Negative, BigUint::from(v.unsigned_abs())),
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(Sign::Positive, BigUint::from(v as u64)),
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(Sign::Positive, BigUint::from(v))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(Sign::Positive, mag)
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+
+    fn neg(self) -> BigInt {
+        match self.sign {
+            Sign::Zero => BigInt::zero(),
+            Sign::Positive => BigInt::from_sign_mag(Sign::Negative, self.mag.clone()),
+            Sign::Negative => BigInt::from_sign_mag(Sign::Positive, self.mag.clone()),
+        }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, &self.mag + &rhs.mag),
+            _ => {
+                // Opposite signs: subtract the smaller magnitude.
+                match self.mag.cmp(&rhs.mag) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag),
+                    Ordering::Less => BigInt::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return BigInt::zero(),
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt::from_sign_mag(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.mag.cmp(&other.mag),
+                Sign::Negative => other.mag.cmp(&self.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            f.pad(&format!("-{}", self.mag))
+        } else {
+            f.pad(&self.mag.to_string())
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn construction_and_signs() {
+        assert!(b(0).is_zero());
+        assert_eq!(b(5).sign(), Sign::Positive);
+        assert_eq!(b(-5).sign(), Sign::Negative);
+        assert_eq!(b(i64::MIN).to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn arithmetic_matches_i128_on_samples() {
+        let vals = [-37i64, -1, 0, 1, 2, 999_999_937, -123_456_789];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(
+                    (&b(x) + &b(y)).to_string(),
+                    (i128::from(x) + i128::from(y)).to_string(),
+                    "{x}+{y}"
+                );
+                assert_eq!(
+                    (&b(x) - &b(y)).to_string(),
+                    (i128::from(x) - i128::from(y)).to_string(),
+                    "{x}-{y}"
+                );
+                assert_eq!(
+                    (&b(x) * &b(y)).to_string(),
+                    (i128::from(x) * i128::from(y)).to_string(),
+                    "{x}*{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_matches_i64() {
+        let vals = [-10i64, -1, 0, 1, 10];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(b(x).cmp(&b(y)), x.cmp(&y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for v in [-3i64, 0, 7] {
+            assert_eq!(-&(-&b(v)), b(v));
+        }
+    }
+
+    #[test]
+    fn display_includes_sign() {
+        assert_eq!(b(-42).to_string(), "-42");
+        assert_eq!(b(42).to_string(), "42");
+        assert_eq!(b(0).to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero magnitude")]
+    fn zero_sign_with_nonzero_magnitude_rejected() {
+        let _ = BigInt::from_sign_mag(Sign::Zero, BigUint::one());
+    }
+}

@@ -1,0 +1,559 @@
+//! Arbitrary-precision unsigned integers with 32-bit limbs.
+//!
+//! Little-endian limb order, always normalized (no trailing zero limbs; the
+//! empty limb vector is zero). Schoolbook algorithms throughout: the
+//! operands in this project are at most a few thousand bits, far below the
+//! crossover where Karatsuba would pay off.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Shl, Sub};
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian 32-bit limbs; invariant: last limb (if any) is nonzero.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Returns `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Builds from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * 32 + (32 - u64::from(top.leading_zeros()))
+            }
+        }
+    }
+
+    /// Tests bit `i` (little-endian position).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 32) as usize;
+        self.limbs
+            .get(limb)
+            .is_some_and(|&w| (w >> (i % 32)) & 1 == 1)
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` with correct magnitude even for values far
+    /// beyond `u64` (uses the top 64 bits plus a power-of-two scale).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.to_u64().expect("fits by bit count") as f64;
+        }
+        // Take the top 64 bits and scale.
+        let shift = bits - 64;
+        let mut top: u64 = 0;
+        for i in (0..64).rev() {
+            top = (top << 1) | u64::from(self.bit(shift + i));
+        }
+        let scale = shift as i32;
+        (top as f64) * 2f64.powi(scale)
+    }
+
+    /// Shifts left by `n` bits.
+    pub fn shl_bits(&self, n: u64) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = (n / 32) as usize;
+        let bit_shift = (n % 32) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &w in &self.limbs {
+                out.push((w << bit_shift) | carry);
+                carry = w >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Shifts right by one bit (used by binary GCD).
+    fn shr1(&mut self) {
+        let mut carry = 0u32;
+        for w in self.limbs.iter_mut().rev() {
+            let new_carry = *w & 1;
+            *w = (*w >> 1) | (carry << 31);
+            carry = new_carry;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Returns `true` iff the value is even (zero counts as even).
+    fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|&w| w & 1 == 0)
+    }
+
+    /// Greatest common divisor (binary GCD: shifts and subtractions only).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let mut shift = 0u64;
+        while a.is_even() && b.is_even() {
+            a.shr1();
+            b.shr1();
+            shift += 1;
+        }
+        while a.is_even() {
+            a.shr1();
+        }
+        loop {
+            while b.is_even() {
+                b.shr1();
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                break;
+            }
+        }
+        a.shl_bits(shift)
+    }
+
+    /// Divides by a single 32-bit limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn div_rem_u32(&self, d: u32) -> (BigUint, u32) {
+        assert!(d != 0, "division by zero");
+        let d64 = u64::from(d);
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for (i, &w) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 32) | u64::from(w);
+            out[i] = (cur / d64) as u32;
+            rem = cur % d64;
+        }
+        (BigUint::from_limbs(out), rem as u32)
+    }
+
+    /// Long division: returns `(quotient, remainder)`.
+    ///
+    /// Bitwise shift-subtract long division: `O(bits(self) * limbs)`.
+    /// Adequate for this project's operand sizes and trivially correct.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if let Some(d) = divisor.to_u64() {
+            if let Ok(d32) = u32::try_from(d) {
+                let (q, r) = self.div_rem_u32(d32);
+                return (q, BigUint::from(u64::from(r)));
+            }
+        }
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        let n = self.bits();
+        let mut quotient_limbs = vec![0u32; self.limbs.len()];
+        let mut rem = BigUint::zero();
+        for i in (0..n).rev() {
+            // rem = rem * 2 + bit_i(self)
+            rem = rem.shl_bits(1);
+            if self.bit(i) {
+                if rem.limbs.is_empty() {
+                    rem.limbs.push(1);
+                } else {
+                    rem.limbs[0] |= 1;
+                }
+            }
+            if rem >= *divisor {
+                rem = &rem - divisor;
+                quotient_limbs[(i / 32) as usize] |= 1 << (i % 32);
+            }
+        }
+        (BigUint::from_limbs(quotient_limbs), rem)
+    }
+
+    /// `self^exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_limbs(vec![v])
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_limbs(vec![v as u32, (v >> 32) as u32])
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let s = u64::from(l) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    /// Panics on underflow (`self < rhs`).
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        assert!(self >= rhs, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = i64::from(self.limbs[i]) - i64::from(rhs.limbs.get(i).copied().unwrap_or(0))
+                + borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = -1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = u64::from(a) * u64::from(b) + u64::from(out[i + j]) + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut idx = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = u64::from(out[idx]) + carry;
+                out[idx] = cur as u32;
+                carry = cur >> 32;
+                idx += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+
+    fn shl(self, n: u64) -> BigUint {
+        self.shl_bits(n)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad("0");
+        }
+        // Peel 9 decimal digits at a time.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u32(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:09}"));
+            }
+        }
+        f.pad(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl std::str::FromStr for BigUint {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut acc = BigUint::zero();
+        let ten9 = BigUint::from(1_000_000_000u64);
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 9).min(bytes.len());
+            let chunk: u32 = s[i..end].parse()?;
+            let width = end - i;
+            let scale = if width == 9 {
+                ten9.clone()
+            } else {
+                BigUint::from(10u64.pow(width as u32))
+            };
+            acc = &(&acc * &scale) + &BigUint::from(u64::from(chunk));
+            i = end;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::one().to_string(), "1");
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = big(u64::from(u32::MAX));
+        let b = big(1);
+        assert_eq!((&a + &b).to_u64(), Some(1 << 32));
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = big(1 << 32);
+        let b = big(1);
+        assert_eq!((&a - &b).to_u64(), Some(u64::from(u32::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &big(1) - &big(2);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0u64, 17u64),
+            (1, 1),
+            (u64::from(u32::MAX), u64::from(u32::MAX)),
+            (123_456_789_012, 987_654_321_098),
+        ];
+        for (x, y) in cases {
+            let prod = &big(x) * &big(y);
+            let expect = u128::from(x) * u128::from(y);
+            assert_eq!(prod.to_string(), expect.to_string());
+        }
+    }
+
+    #[test]
+    fn display_round_trips_via_parse() {
+        let v: BigUint = "123456789012345678901234567890".parse().unwrap();
+        assert_eq!(v.to_string(), "123456789012345678901234567890");
+    }
+
+    #[test]
+    fn div_rem_u32_basics() {
+        let (q, r) = big(1000).div_rem_u32(7);
+        assert_eq!(q.to_u64(), Some(142));
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn div_rem_general() {
+        let a: BigUint = "123456789012345678901234567890".parse().unwrap();
+        let b: BigUint = "98765432109876543210".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        let back = &(&q * &b) + &r;
+        assert_eq!(back, a);
+        assert!(r < b);
+        assert_eq!(q.to_string(), "1249999988");
+    }
+
+    #[test]
+    fn div_rem_smaller_dividend() {
+        let (q, r) = big(5).div_rem(&big(100));
+        assert!(q.is_zero());
+        assert_eq!(r.to_u64(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        fn euclid(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        let cases = [(0, 0), (0, 9), (12, 18), (35, 49), (1 << 40, 3 << 20)];
+        for (x, y) in cases {
+            assert_eq!(big(x).gcd(&big(y)).to_u64(), Some(euclid(x, y)), "gcd({x},{y})");
+        }
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let v = big(0b1011);
+        assert_eq!(v.bits(), 4);
+        assert!(v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3) && !v.bit(63));
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn shl_bits_matches_u128() {
+        let v = big(0xdead_beef);
+        for shift in [0u64, 1, 31, 32, 33, 64, 65] {
+            let got = v.shl_bits(shift);
+            let expect = u128::from(0xdead_beefu64) << shift;
+            assert_eq!(got.to_string(), expect.to_string(), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn pow_repeated_squaring() {
+        assert_eq!(big(2).pow(10).to_u64(), Some(1024));
+        assert_eq!(big(3).pow(0).to_u64(), Some(1));
+        assert_eq!(big(10).pow(20).to_string(), "100000000000000000000");
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let v = big(10).pow(40);
+        let f = v.to_f64();
+        assert!((f / 1e40 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_by_length_then_lex() {
+        assert!(big(1 << 40) > big(u64::from(u32::MAX)));
+        assert!(big(5) < big(6));
+        assert_eq!(big(7).cmp(&big(7)), Ordering::Equal);
+    }
+}

@@ -1,0 +1,307 @@
+//! Exact rational numbers: the probability type of the whole project.
+//!
+//! A [`BigRational`] is kept in lowest terms with a strictly positive
+//! denominator, so structural equality coincides with numeric equality —
+//! which is what lets the integration tests assert that the extensional,
+//! intensional, and brute-force evaluation strategies agree *exactly*.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::{BigInt, BigUint};
+
+/// An exact rational number, always reduced, with positive denominator.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRational {
+    num: BigInt,
+    /// Invariant: nonzero; gcd(|num|, den) = 1; den = 1 when num = 0.
+    den: BigUint,
+}
+
+impl BigRational {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigRational { num: BigInt::zero(), den: BigUint::one() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigRational { num: BigInt::one(), den: BigUint::one() }
+    }
+
+    /// Builds `num / den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return BigRational::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        let (n, rn) = num.magnitude().div_rem(&g);
+        let (d, rd) = den.div_rem(&g);
+        debug_assert!(rn.is_zero() && rd.is_zero());
+        BigRational { num: BigInt::from_sign_mag(num.sign(), n), den: d }
+    }
+
+    /// Builds from machine integers: `num / den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn from_ratio(num: i64, den: u64) -> Self {
+        BigRational::new(BigInt::from(num), BigUint::from(den))
+    }
+
+    /// Builds from an integer.
+    pub fn from_int(v: i64) -> Self {
+        BigRational { num: BigInt::from(v), den: BigUint::one() }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Returns `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.den.is_one() && !self.num.is_negative() && self.num.magnitude().is_one()
+    }
+
+    /// Returns `true` iff the value lies in the closed interval `[0, 1]`
+    /// (i.e., is a valid probability).
+    pub fn is_probability(&self) -> bool {
+        !self.num.is_negative() && self.num.magnitude() <= &self.den
+    }
+
+    /// `1 - self`; the complement probability.
+    pub fn complement(&self) -> BigRational {
+        &BigRational::one() - self
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Align magnitudes so that the division happens between values of
+        // comparable size (both operands could individually overflow f64).
+        let nbits = self.num.magnitude().bits() as i64;
+        let dbits = self.den.bits() as i64;
+        if self.is_zero() {
+            return 0.0;
+        }
+        let shift = nbits - dbits;
+        // Scale denominator by 2^shift so num/den' is in [1/2, 2).
+        let (n, d) = if shift >= 0 {
+            (self.num.magnitude().clone(), self.den.shl_bits(shift as u64))
+        } else {
+            (self.num.magnitude().shl_bits((-shift) as u64), self.den.clone())
+        };
+        let ratio = n.to_f64() / d.to_f64();
+        let v = ratio * 2f64.powi(shift as i32);
+        if self.num.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> BigRational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRational::new(
+            BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
+            self.num.magnitude().clone(),
+        )
+    }
+}
+
+impl Default for BigRational {
+    fn default() -> Self {
+        BigRational::zero()
+    }
+}
+
+impl Add for &BigRational {
+    type Output = BigRational;
+
+    fn add(self, rhs: &BigRational) -> BigRational {
+        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
+            + &(&rhs.num * &BigInt::from(self.den.clone()));
+        BigRational::new(num, &self.den * &rhs.den)
+    }
+}
+
+impl Sub for &BigRational {
+    type Output = BigRational;
+
+    fn sub(self, rhs: &BigRational) -> BigRational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigRational {
+    type Output = BigRational;
+
+    fn mul(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &BigRational {
+    type Output = BigRational;
+
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the reciprocal
+    fn div(self, rhs: &BigRational) -> BigRational {
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+
+    fn neg(self) -> BigRational {
+        BigRational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        let lhs = &self.num * &BigInt::from(other.den.clone());
+        let rhs = &other.num * &BigInt::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            f.pad(&self.num.to_string())
+        } else {
+            f.pad(&format!("{}/{}", self.num, self.den))
+        }
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRational({self})")
+    }
+}
+
+impl From<i64> for BigRational {
+    fn from(v: i64) -> Self {
+        BigRational::from_int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> BigRational {
+        BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn reduction_to_lowest_terms() {
+        let v = r(6, 8);
+        assert_eq!(v.to_string(), "3/4");
+        assert_eq!(r(-6, 8).to_string(), "-3/4");
+        assert_eq!(r(0, 17).to_string(), "0");
+        assert_eq!(r(8, 4).to_string(), "2");
+    }
+
+    #[test]
+    fn structural_equality_is_numeric_equality() {
+        assert_eq!(r(1, 2), r(2, 4));
+        assert_eq!(r(-3, 9), r(-1, 3));
+        assert_ne!(r(1, 2), r(1, 3));
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(1, 2) / &r(1, 4), r(2, 1));
+        assert_eq!(-&r(1, 2), r(-1, 2));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+    }
+
+    #[test]
+    fn complement_of_probability() {
+        assert_eq!(r(3, 10).complement(), r(7, 10));
+        assert_eq!(BigRational::one().complement(), BigRational::zero());
+    }
+
+    #[test]
+    fn probability_range_check() {
+        assert!(r(0, 1).is_probability());
+        assert!(r(1, 1).is_probability());
+        assert!(r(999, 1000).is_probability());
+        assert!(!r(-1, 2).is_probability());
+        assert!(!r(3, 2).is_probability());
+    }
+
+    #[test]
+    fn ordering_cross_multiplies() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == BigRational::one());
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((r(-7, 16).to_f64() + 0.4375).abs() < 1e-15);
+        assert_eq!(BigRational::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn to_f64_huge_values_stay_finite() {
+        // (2/3)^200: far below f64's minimum positive normal times...
+        // actually ~1e-36, fine; also test a huge numerator.
+        let mut v = BigRational::one();
+        let two_thirds = r(2, 3);
+        for _ in 0..200 {
+            v = &v * &two_thirds;
+        }
+        let f = v.to_f64();
+        assert!(f > 0.0 && f.is_finite());
+        assert!((f.ln() - 200.0 * (2f64 / 3.0).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_rejected() {
+        let _ = BigRational::new(BigInt::one(), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_of_zero_panics() {
+        let _ = BigRational::zero().recip();
+    }
+}

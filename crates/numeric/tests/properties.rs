@@ -1,0 +1,99 @@
+//! Property-based tests: the rational type must behave as the field ℚ,
+//! and the integer types as ℤ — cross-checked against native 128-bit
+//! arithmetic on values inside its range.
+
+use intext_numeric::{binomial, BigInt, BigRational, BigUint};
+use proptest::prelude::*;
+
+fn rat(n: i64, d: u64) -> BigRational {
+    BigRational::from_ratio(n, d.max(1))
+}
+
+proptest! {
+    #[test]
+    fn biguint_add_mul_match_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (BigUint::from(a), BigUint::from(b));
+        prop_assert_eq!((&x + &y).to_string(), (u128::from(a) + u128::from(b)).to_string());
+        prop_assert_eq!((&x * &y).to_string(), (u128::from(a) * u128::from(b)).to_string());
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(a in any::<u64>(), b in 1u64..) {
+        let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
+        prop_assert_eq!(q.to_u64(), Some(a / b));
+        prop_assert_eq!(r.to_u64(), Some(a % b));
+    }
+
+    #[test]
+    fn biguint_gcd_divides_both(a in any::<u32>(), b in any::<u32>()) {
+        let g = BigUint::from(u64::from(a)).gcd(&BigUint::from(u64::from(b)));
+        if let Some(g) = g.to_u64() {
+            if g != 0 {
+                prop_assert_eq!(u64::from(a) % g, 0);
+                prop_assert_eq!(u64::from(b) % g, 0);
+            } else {
+                prop_assert_eq!((a, b), (0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn bigint_ring_laws(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+        let (x, y, z) = (BigInt::from(a), BigInt::from(b), BigInt::from(c));
+        // Commutativity and associativity of +, distributivity of *.
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+        prop_assert_eq!(&x + &(-&x), BigInt::zero());
+    }
+
+    #[test]
+    fn rational_field_laws(
+        (an, ad) in (-50i64..50, 1u64..50),
+        (bn, bd) in (-50i64..50, 1u64..50),
+        (cn, cd) in (-50i64..50, 1u64..50),
+    ) {
+        let (a, b, c) = (rat(an, ad), rat(bn, bd), rat(cn, cd));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, BigRational::zero());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+    }
+
+    #[test]
+    fn rational_reduction_invariant(n in -10_000i64..10_000, d in 1u64..10_000) {
+        let r = rat(n, d);
+        // gcd(|num|, den) = 1.
+        let g = r.numer().magnitude().gcd(r.denom());
+        prop_assert!(g.is_one() || r.is_zero());
+    }
+
+    #[test]
+    fn complement_is_involutive_on_probabilities(n in 0i64..100, d in 1u64..100) {
+        prop_assume!(n as u64 <= d);
+        let p = rat(n, d);
+        prop_assert!(p.is_probability());
+        prop_assert_eq!(p.complement().complement(), p);
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in (-100i64..100, 1u64..100), b in (-100i64..100, 1u64..100)) {
+        let (x, y) = (rat(a.0, a.1), rat(b.0, b.1));
+        let (fx, fy) = (x.to_f64(), y.to_f64());
+        if (fx - fy).abs() > 1e-9 {
+            prop_assert_eq!(x < y, fx < fy);
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two(n in 0u64..30) {
+        let mut acc = BigUint::zero();
+        for k in 0..=n {
+            acc = &acc + &binomial(n, k);
+        }
+        prop_assert_eq!(acc.to_u64(), Some(1u64 << n));
+    }
+}

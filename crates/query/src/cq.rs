@@ -1,0 +1,258 @@
+//! A small generic conjunctive-query engine over the `H` vocabulary.
+//!
+//! General enough to express any Boolean CQ on `R, S_1..S_k, T` (with
+//! variables shared across atoms and constants), evaluated by
+//! backtracking. The `h_{k,i}` queries are defined through this engine;
+//! the specialized code paths elsewhere are validated against it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use intext_tid::{Database, Relation};
+
+/// A term: a query variable or a domain constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A query variable, identified by a small index.
+    Var(u8),
+    /// A domain constant.
+    Const(u32),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "x{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A relational atom `Rel(t1)` or `Rel(t1, t2)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: Relation,
+    /// One term for unary `R`/`T`, two for binary `S_i`.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Unary atom.
+    pub fn unary(rel: Relation, t: Term) -> Atom {
+        debug_assert!(matches!(rel, Relation::R | Relation::T));
+        Atom { rel, args: vec![t] }
+    }
+
+    /// Binary atom.
+    pub fn binary(rel: Relation, t1: Term, t2: Term) -> Atom {
+        debug_assert!(matches!(rel, Relation::S(_)));
+        Atom { rel, args: vec![t1, t2] }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A Boolean conjunctive query: an existentially quantified conjunction
+/// of atoms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    /// The atoms of the query body.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a CQ from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery { atoms }
+    }
+
+    /// The set of variables appearing in the query.
+    pub fn variables(&self) -> Vec<u8> {
+        let mut vars: Vec<u8> = self
+            .atoms
+            .iter()
+            .flat_map(|a| a.args.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Does the (deterministic) database satisfy the query?
+    ///
+    /// Backtracking over atoms with a variable binding environment; the
+    /// queries in this project have two atoms and two variables, so no
+    /// join optimization is needed.
+    pub fn eval(&self, db: &Database) -> bool {
+        let mut binding: HashMap<u8, u32> = HashMap::new();
+        self.search(db, 0, &mut binding)
+    }
+
+    fn search(&self, db: &Database, atom_idx: usize, binding: &mut HashMap<u8, u32>) -> bool {
+        let Some(atom) = self.atoms.get(atom_idx) else {
+            return true;
+        };
+        let resolve = |t: &Term, binding: &HashMap<u8, u32>| match t {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => binding.get(v).copied(),
+        };
+        // Candidate argument tuples present in the database for this atom.
+        let candidates: Vec<Vec<u32>> = match atom.rel {
+            Relation::R => db
+                .iter()
+                .filter_map(|(_, t)| match t {
+                    intext_tid::TupleDesc::R(a) => Some(vec![a]),
+                    _ => None,
+                })
+                .collect(),
+            Relation::T => db
+                .iter()
+                .filter_map(|(_, t)| match t {
+                    intext_tid::TupleDesc::T(b) => Some(vec![b]),
+                    _ => None,
+                })
+                .collect(),
+            Relation::S(i) => db.s_facts(i).map(|((a, b), _)| vec![a, b]).collect(),
+        };
+        'cand: for cand in candidates {
+            debug_assert_eq!(cand.len(), atom.args.len(), "arity mismatch");
+            let mut newly_bound: Vec<u8> = Vec::new();
+            for (t, &c) in atom.args.iter().zip(&cand) {
+                match resolve(t, binding) {
+                    Some(bound) if bound != c => {
+                        for v in newly_bound.drain(..) {
+                            binding.remove(&v);
+                        }
+                        continue 'cand;
+                    }
+                    Some(_) => {}
+                    None => {
+                        let Term::Var(v) = t else { unreachable!("consts always resolve") };
+                        binding.insert(*v, c);
+                        newly_bound.push(*v);
+                    }
+                }
+            }
+            if self.search(db, atom_idx + 1, binding) {
+                return true;
+            }
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vars = self.variables();
+        for v in &vars {
+            write!(f, "∃x{v} ")?;
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_tid::TupleDesc;
+
+    fn db_with(tuples: &[TupleDesc]) -> Database {
+        let mut db = Database::new(3, 4);
+        for &t in tuples {
+            db.insert(t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn single_atom_queries() {
+        let q = ConjunctiveQuery::new(vec![Atom::unary(Relation::R, Term::Var(0))]);
+        assert!(!q.eval(&db_with(&[])));
+        assert!(q.eval(&db_with(&[TupleDesc::R(2)])));
+    }
+
+    #[test]
+    fn join_on_shared_variables() {
+        // ∃x∃y S1(x,y) ∧ S2(x,y): both atoms on the SAME pair.
+        let q = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(1)),
+            Atom::binary(Relation::S(2), Term::Var(0), Term::Var(1)),
+        ]);
+        // Present but at different pairs: no.
+        let db = db_with(&[TupleDesc::S(1, 0, 1), TupleDesc::S(2, 1, 0)]);
+        assert!(!q.eval(&db));
+        // Same pair: yes.
+        let db = db_with(&[TupleDesc::S(1, 0, 1), TupleDesc::S(2, 0, 1)]);
+        assert!(q.eval(&db));
+    }
+
+    #[test]
+    fn constants_constrain_matching() {
+        let q = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Const(2), Term::Var(0)),
+        ]);
+        assert!(!q.eval(&db_with(&[TupleDesc::S(1, 0, 1)])));
+        assert!(q.eval(&db_with(&[TupleDesc::S(1, 2, 3)])));
+    }
+
+    #[test]
+    fn variable_reuse_within_atom() {
+        // ∃x S1(x,x): diagonal.
+        let q = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(0)),
+        ]);
+        assert!(!q.eval(&db_with(&[TupleDesc::S(1, 0, 1)])));
+        assert!(q.eval(&db_with(&[TupleDesc::S(1, 3, 3)])));
+    }
+
+    #[test]
+    fn triangle_join_three_atoms() {
+        // ∃x∃y R(x) ∧ S1(x,y) ∧ T(y).
+        let q = ConjunctiveQuery::new(vec![
+            Atom::unary(Relation::R, Term::Var(0)),
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(1)),
+            Atom::unary(Relation::T, Term::Var(1)),
+        ]);
+        let db = db_with(&[TupleDesc::R(0), TupleDesc::S(1, 0, 1)]);
+        assert!(!q.eval(&db));
+        let db = db_with(&[TupleDesc::R(0), TupleDesc::S(1, 0, 1), TupleDesc::T(1)]);
+        assert!(q.eval(&db));
+        // All pieces present but not joinable.
+        let db = db_with(&[TupleDesc::R(0), TupleDesc::S(1, 1, 2), TupleDesc::T(3)]);
+        assert!(!q.eval(&db));
+    }
+
+    #[test]
+    fn display_renders_fo_syntax() {
+        let q = ConjunctiveQuery::new(vec![
+            Atom::unary(Relation::R, Term::Var(0)),
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(1)),
+        ]);
+        assert_eq!(q.to_string(), "∃x0 ∃x1 R(x0) ∧ S1(x0,x1)");
+    }
+}

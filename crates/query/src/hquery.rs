@@ -1,0 +1,236 @@
+//! The `h_{k,i}` queries and the `H`-queries `Q_φ`
+//! (Definitions 3.1 and 3.2 of the paper).
+
+use std::fmt;
+
+use intext_boolfn::BoolFn;
+use intext_tid::{Database, Relation, TupleId};
+
+use crate::{Atom, ConjunctiveQuery, Term};
+
+/// The conjunctive query `h_{k,i}` (Definition 3.1).
+///
+/// # Panics
+/// Panics unless `i <= k` and `k >= 1`.
+pub fn h_cq(k: u8, i: u8) -> ConjunctiveQuery {
+    assert!(k >= 1, "k >= 1 required");
+    assert!(i <= k, "h_{{k,i}} needs 0 <= i <= k");
+    let (x, y) = (Term::Var(0), Term::Var(1));
+    let atoms = if i == 0 {
+        vec![Atom::unary(Relation::R, x), Atom::binary(Relation::S(1), x, y)]
+    } else if i == k {
+        vec![Atom::binary(Relation::S(k), x, y), Atom::unary(Relation::T, y)]
+    } else {
+        vec![
+            Atom::binary(Relation::S(i), x, y),
+            Atom::binary(Relation::S(i + 1), x, y),
+        ]
+    };
+    ConjunctiveQuery::new(atoms)
+}
+
+/// The *witnesses* of `h_{k,i}` on a database: the pairs of tuples whose
+/// joint presence satisfies the query. The lineage of `h_{k,i}` is exactly
+/// the DNF `∨ (t1 ∧ t2)` over these pairs.
+pub fn h_witnesses(db: &Database, i: u8) -> Vec<(TupleId, TupleId)> {
+    let k = db.k();
+    assert!(i <= k, "h_{{k,i}} needs 0 <= i <= k");
+    let mut out = Vec::new();
+    if i == 0 {
+        for ((a, b), s_id) in db.s_facts(1) {
+            let _ = b;
+            if let Some(r_id) = db.r_tuple(a) {
+                out.push((r_id, s_id));
+            }
+        }
+    } else if i == k {
+        for ((_, b), s_id) in db.s_facts(k) {
+            if let Some(t_id) = db.t_tuple(b) {
+                out.push((s_id, t_id));
+            }
+        }
+    } else {
+        for ((a, b), s_id) in db.s_facts(i) {
+            if let Some(s2_id) = db.s_tuple(i + 1, a, b) {
+                out.push((s_id, s2_id));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Evaluates all `h_{k,i}` on a deterministic database, returning the
+/// truth vector as a bitmask (bit `i` = `h_{k,i}` holds).
+pub fn h_truth_vector(db: &Database) -> u32 {
+    (0..=db.k())
+        .filter(|&i| !h_witnesses(db, i).is_empty())
+        .map(|i| 1u32 << i)
+        .sum()
+}
+
+/// An `H`-query `Q_φ` (Definition 3.2): the Boolean combination `φ` of
+/// the queries `h_{k,0}, ..., h_{k,k}`.
+///
+/// When `φ` is monotone, `Q_φ` is (equivalent to) a UCQ and belongs to
+/// the class `H⁺`; otherwise it is a Boolean combination of CQs.
+#[derive(Clone, Debug)]
+pub struct HQuery {
+    phi: BoolFn,
+}
+
+impl HQuery {
+    /// Builds `Q_φ`; the chain length is `k = phi.num_vars() - 1`.
+    pub fn new(phi: BoolFn) -> Self {
+        HQuery { phi }
+    }
+
+    /// The defining Boolean function `φ`.
+    pub fn phi(&self) -> &BoolFn {
+        &self.phi
+    }
+
+    /// The chain length `k`.
+    pub fn k(&self) -> u8 {
+        self.phi.k()
+    }
+
+    /// Is the query a UCQ (i.e. is `φ` monotone)?
+    pub fn is_ucq(&self) -> bool {
+        self.phi.is_monotone()
+    }
+
+    /// Evaluates `Q_φ` on a deterministic database.
+    ///
+    /// # Panics
+    /// Panics if the database's `k` differs from the query's.
+    pub fn eval(&self, db: &Database) -> bool {
+        assert_eq!(db.k(), self.k(), "database vocabulary mismatch");
+        self.phi.eval(h_truth_vector(db))
+    }
+
+    /// Evaluates the query's lineage on one possible world of `db`,
+    /// specified as a tuple-presence bitmask (requires < 64 tuples).
+    ///
+    /// Together with [`h_witnesses`] this is the semantics
+    /// `Lin(Q_φ, D)(D') = [D' |= Q_φ]` used by the brute-force evaluator
+    /// and by the circuit validators.
+    pub fn lineage_eval(&self, db: &Database, world: u64) -> bool {
+        assert!(db.len() < 64, "world bitmask supports < 64 tuples");
+        let mut truth = 0u32;
+        for i in 0..=self.k() {
+            let holds = h_witnesses(db, i).iter().any(|&(t1, t2)| {
+                let m = (1u64 << t1.0) | (1u64 << t2.0);
+                world & m == m
+            });
+            if holds {
+                truth |= 1 << i;
+            }
+        }
+        self.phi.eval(truth)
+    }
+}
+
+impl fmt::Display for HQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q_φ with k={}, φ={:?}", self.k(), self.phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::phi9;
+    use intext_tid::{complete_database, TupleDesc};
+
+    #[test]
+    fn h_cq_shapes_match_definition_3_1() {
+        assert_eq!(h_cq(3, 0).to_string(), "∃x0 ∃x1 R(x0) ∧ S1(x0,x1)");
+        assert_eq!(h_cq(3, 1).to_string(), "∃x0 ∃x1 S1(x0,x1) ∧ S2(x0,x1)");
+        assert_eq!(h_cq(3, 3).to_string(), "∃x0 ∃x1 S3(x0,x1) ∧ T(x1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= i <= k")]
+    fn h_cq_index_out_of_range() {
+        let _ = h_cq(2, 3);
+    }
+
+    #[test]
+    fn witnesses_match_generic_cq_evaluation() {
+        // On assorted small instances, h_{k,i} holds iff it has a witness.
+        let mut db = Database::new(2, 3);
+        db.insert(TupleDesc::R(0)).unwrap();
+        db.insert(TupleDesc::S(1, 0, 1)).unwrap();
+        db.insert(TupleDesc::S(2, 0, 1)).unwrap();
+        db.insert(TupleDesc::S(2, 2, 2)).unwrap();
+        db.insert(TupleDesc::T(1)).unwrap();
+        for i in 0..=2u8 {
+            let via_cq = h_cq(2, i).eval(&db);
+            let via_witness = !h_witnesses(&db, i).is_empty();
+            assert_eq!(via_cq, via_witness, "h_{{2,{i}}}");
+        }
+        assert_eq!(h_truth_vector(&db), 0b111);
+    }
+
+    #[test]
+    fn witnesses_on_empty_and_complete_instances() {
+        let empty = Database::new(3, 3);
+        for i in 0..=3 {
+            assert!(h_witnesses(&empty, i).is_empty());
+        }
+        let full = complete_database(3, 3);
+        for i in 0..=3 {
+            // Complete instance: h_{k,0} has n*n witnesses, the middle ones
+            // n*n, and h_{k,k} n*n.
+            assert_eq!(h_witnesses(&full, i).len(), 9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn hquery_eval_composes_phi() {
+        let q = HQuery::new(phi9());
+        // Complete database satisfies every h, and phi9(1111) = true.
+        assert!(q.eval(&complete_database(3, 2)));
+        // Empty database: truth vector 0000, phi9(0) = false.
+        assert!(!q.eval(&Database::new(3, 2)));
+    }
+
+    #[test]
+    fn lineage_eval_agrees_with_eval_on_sub_databases() {
+        // For every world of a small instance, lineage_eval must equal
+        // evaluating Q_φ on the corresponding sub-database.
+        let mut db = Database::new(2, 2);
+        let tuples = [
+            TupleDesc::R(0),
+            TupleDesc::S(1, 0, 1),
+            TupleDesc::S(2, 0, 1),
+            TupleDesc::T(1),
+        ];
+        for t in tuples {
+            db.insert(t).unwrap();
+        }
+        let phi = BoolFn::from_fn(3, |v| (v & 0b001 != 0) ^ (v & 0b100 != 0));
+        let q = HQuery::new(phi);
+        for world in 0..(1u64 << tuples.len()) {
+            let mut sub = Database::new(2, 2);
+            for (j, t) in tuples.iter().enumerate() {
+                if (world >> j) & 1 == 1 {
+                    sub.insert(*t).unwrap();
+                }
+            }
+            assert_eq!(
+                q.lineage_eval(&db, world),
+                q.eval(&sub),
+                "world {world:#06b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ucq_detection() {
+        assert!(HQuery::new(phi9()).is_ucq());
+        let neg = HQuery::new(!&phi9());
+        assert!(!neg.is_ucq());
+    }
+}

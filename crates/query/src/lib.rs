@@ -1,0 +1,30 @@
+//! Queries: conjunctive queries over the `h_{k,i}` vocabulary, Boolean
+//! combinations thereof, and the `H`-queries `Q_φ` of Monet (PODS 2020).
+//!
+//! Definition 3.1 fixes the building blocks
+//!
+//! * `h_{k,0} = ∃x∃y R(x) ∧ S_1(x,y)`
+//! * `h_{k,i} = ∃x∃y S_i(x,y) ∧ S_{i+1}(x,y)` for `1 <= i < k`
+//! * `h_{k,k} = ∃x∃y S_k(x,y) ∧ T(y)`
+//!
+//! and Definition 3.2 builds `Q_φ = φ[0 ↦ h_{k,0}, ..., k ↦ h_{k,k}]` for
+//! any Boolean function `φ` on `V = {0..k}`. When `φ` is monotone, `Q_φ`
+//! is a UCQ (`H⁺`); in general it is a Boolean combination of CQs.
+//!
+//! This crate provides:
+//! * a small generic conjunctive-query engine ([`ConjunctiveQuery`],
+//!   evaluated by backtracking) used to *define* the `h` queries,
+//! * the specialized [`HQuery`] type with fast witness enumeration,
+//! * brute-force probabilistic evaluation over all possible worlds
+//!   ([`pqe_brute_force`]) — exponential, but the exact ground truth that
+//!   every other engine in the workspace is validated against.
+
+mod brute;
+mod cq;
+mod hardness;
+mod hquery;
+
+pub use brute::{pqe_brute_force, pqe_brute_force_f64, BruteForceError};
+pub use hardness::{pqe_brute_force_cq, Pp2Cnf};
+pub use cq::{Atom, ConjunctiveQuery, Term};
+pub use hquery::{h_cq, h_truth_vector, h_witnesses, HQuery};

@@ -1,0 +1,278 @@
+//! Relational instances over the `H`-query vocabulary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A relation symbol of the `h_{k,i}` vocabulary (Definition 3.1):
+/// unary `R` and `T`, binary `S_1, ..., S_k`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Relation {
+    /// The unary relation `R`.
+    R,
+    /// The binary relation `S_i` (`1 <= i <= k`).
+    S(u8),
+    /// The unary relation `T`.
+    T,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::R => write!(f, "R"),
+            Relation::S(i) => write!(f, "S{i}"),
+            Relation::T => write!(f, "T"),
+        }
+    }
+}
+
+/// Identifier of a tuple inside a [`Database`]; doubles as the Boolean
+/// variable naming that tuple in lineages, circuits and OBDDs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+/// A fully-described tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TupleDesc {
+    /// `R(a)`.
+    R(u32),
+    /// `S_i(a, b)`.
+    S(u8, u32, u32),
+    /// `T(b)`.
+    T(u32),
+}
+
+impl fmt::Display for TupleDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TupleDesc::R(a) => write!(f, "R({a})"),
+            TupleDesc::S(i, a, b) => write!(f, "S{i}({a},{b})"),
+            TupleDesc::T(b) => write!(f, "T({b})"),
+        }
+    }
+}
+
+/// Errors from database construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatabaseError {
+    /// `S_i` index outside `1..=k`.
+    BadRelationIndex(u8),
+    /// Constant outside the declared domain.
+    BadConstant(u32),
+    /// The tuple was already inserted.
+    DuplicateTuple(TupleDesc),
+}
+
+impl fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatabaseError::BadRelationIndex(i) => write!(f, "relation index S{i} out of range"),
+            DatabaseError::BadConstant(c) => write!(f, "constant {c} outside the domain"),
+            DatabaseError::DuplicateTuple(t) => write!(f, "duplicate tuple {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DatabaseError {}
+
+/// A relational instance over the vocabulary `R, S_1..S_k, T` with the
+/// active domain `{0, ..., domain_size - 1}`.
+#[derive(Clone, Debug)]
+pub struct Database {
+    k: u8,
+    domain_size: u32,
+    tuples: Vec<TupleDesc>,
+    r: HashMap<u32, TupleId>,
+    s: Vec<HashMap<(u32, u32), TupleId>>,
+    t: HashMap<u32, TupleId>,
+}
+
+impl Database {
+    /// Creates an empty instance for chain length `k` and the given domain.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: u8, domain_size: u32) -> Self {
+        assert!(k >= 1, "the h_{{k,i}} queries need k >= 1");
+        Database {
+            k,
+            domain_size,
+            tuples: Vec::new(),
+            r: HashMap::new(),
+            s: vec![HashMap::new(); usize::from(k)],
+            t: HashMap::new(),
+        }
+    }
+
+    /// The chain length `k` of the vocabulary.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Size of the active domain.
+    pub fn domain_size(&self) -> u32 {
+        self.domain_size
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff the instance has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    fn check_const(&self, c: u32) -> Result<(), DatabaseError> {
+        if c < self.domain_size {
+            Ok(())
+        } else {
+            Err(DatabaseError::BadConstant(c))
+        }
+    }
+
+    /// Inserts a tuple, returning its fresh [`TupleId`].
+    pub fn insert(&mut self, tuple: TupleDesc) -> Result<TupleId, DatabaseError> {
+        let id = TupleId(u32::try_from(self.tuples.len()).expect("tuple count fits u32"));
+        match tuple {
+            TupleDesc::R(a) => {
+                self.check_const(a)?;
+                if self.r.contains_key(&a) {
+                    return Err(DatabaseError::DuplicateTuple(tuple));
+                }
+                self.r.insert(a, id);
+            }
+            TupleDesc::S(i, a, b) => {
+                if i == 0 || i > self.k {
+                    return Err(DatabaseError::BadRelationIndex(i));
+                }
+                self.check_const(a)?;
+                self.check_const(b)?;
+                let rel = &mut self.s[usize::from(i) - 1];
+                if rel.contains_key(&(a, b)) {
+                    return Err(DatabaseError::DuplicateTuple(tuple));
+                }
+                rel.insert((a, b), id);
+            }
+            TupleDesc::T(b) => {
+                self.check_const(b)?;
+                if self.t.contains_key(&b) {
+                    return Err(DatabaseError::DuplicateTuple(tuple));
+                }
+                self.t.insert(b, id);
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(id)
+    }
+
+    /// Looks up `R(a)`.
+    pub fn r_tuple(&self, a: u32) -> Option<TupleId> {
+        self.r.get(&a).copied()
+    }
+
+    /// Looks up `S_i(a, b)`.
+    pub fn s_tuple(&self, i: u8, a: u32, b: u32) -> Option<TupleId> {
+        debug_assert!(i >= 1 && i <= self.k);
+        self.s[usize::from(i) - 1].get(&(a, b)).copied()
+    }
+
+    /// Looks up `T(b)`.
+    pub fn t_tuple(&self, b: u32) -> Option<TupleId> {
+        self.t.get(&b).copied()
+    }
+
+    /// Generic lookup by description.
+    pub fn tuple_id(&self, tuple: TupleDesc) -> Option<TupleId> {
+        match tuple {
+            TupleDesc::R(a) => self.r_tuple(a),
+            TupleDesc::S(i, a, b) => self.s_tuple(i, a, b),
+            TupleDesc::T(b) => self.t_tuple(b),
+        }
+    }
+
+    /// The description of a tuple id.
+    pub fn describe(&self, id: TupleId) -> TupleDesc {
+        self.tuples[id.0 as usize]
+    }
+
+    /// Iterates over `(id, description)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, TupleDesc)> + '_ {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (TupleId(i as u32), t))
+    }
+
+    /// All facts of `S_i`, as `((a, b), id)`.
+    pub fn s_facts(&self, i: u8) -> impl Iterator<Item = ((u32, u32), TupleId)> + '_ {
+        debug_assert!(i >= 1 && i <= self.k);
+        self.s[usize::from(i) - 1].iter().map(|(&ab, &id)| (ab, id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = Database::new(2, 3);
+        let r0 = db.insert(TupleDesc::R(0)).unwrap();
+        let s = db.insert(TupleDesc::S(1, 0, 2)).unwrap();
+        let t = db.insert(TupleDesc::T(2)).unwrap();
+        assert_eq!(db.r_tuple(0), Some(r0));
+        assert_eq!(db.r_tuple(1), None);
+        assert_eq!(db.s_tuple(1, 0, 2), Some(s));
+        assert_eq!(db.s_tuple(2, 0, 2), None);
+        assert_eq!(db.t_tuple(2), Some(t));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.describe(s), TupleDesc::S(1, 0, 2));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut db = Database::new(1, 2);
+        db.insert(TupleDesc::R(1)).unwrap();
+        assert_eq!(
+            db.insert(TupleDesc::R(1)),
+            Err(DatabaseError::DuplicateTuple(TupleDesc::R(1)))
+        );
+    }
+
+    #[test]
+    fn out_of_domain_rejected() {
+        let mut db = Database::new(1, 2);
+        assert_eq!(db.insert(TupleDesc::T(2)), Err(DatabaseError::BadConstant(2)));
+    }
+
+    #[test]
+    fn bad_relation_index_rejected() {
+        let mut db = Database::new(2, 2);
+        assert_eq!(
+            db.insert(TupleDesc::S(3, 0, 0)),
+            Err(DatabaseError::BadRelationIndex(3))
+        );
+        assert_eq!(
+            db.insert(TupleDesc::S(0, 0, 0)),
+            Err(DatabaseError::BadRelationIndex(0))
+        );
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut db = Database::new(1, 4);
+        for a in 0..4 {
+            assert_eq!(db.insert(TupleDesc::R(a)).unwrap(), TupleId(a));
+        }
+        let ids: Vec<u32> = db.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TupleDesc::S(2, 1, 3).to_string(), "S2(1,3)");
+        assert_eq!(Relation::S(2).to_string(), "S2");
+        assert_eq!(TupleDesc::R(7).to_string(), "R(7)");
+    }
+}

@@ -1,0 +1,156 @@
+//! Workload generators for the experiments.
+//!
+//! The paper's algorithms are data-complexity results, so the experiments
+//! sweep over synthetic instances of growing domain size: complete
+//! instances (every possible tuple present — the worst case for lineage
+//! size) and random sub-instances at a given density, with random
+//! rational probabilities of bounded denominator so exact arithmetic
+//! stays fast.
+
+use intext_numeric::BigRational;
+use rand::{Rng, RngExt};
+
+use crate::{Database, Tid, TupleDesc};
+
+/// Configuration for [`random_database`].
+#[derive(Clone, Copy, Debug)]
+pub struct DbGenConfig {
+    /// Chain length `k` of the vocabulary.
+    pub k: u8,
+    /// Domain size `n` (constants `0..n`).
+    pub domain_size: u32,
+    /// Probability that each potential tuple is present.
+    pub density: f64,
+    /// Probabilities are drawn as `num/denom` with `1 <= num < denom`.
+    pub prob_denominator: u64,
+}
+
+impl Default for DbGenConfig {
+    fn default() -> Self {
+        DbGenConfig { k: 3, domain_size: 3, density: 0.7, prob_denominator: 10 }
+    }
+}
+
+/// The complete instance: all of `R(a)`, `S_i(a,b)`, `T(b)` for the whole
+/// domain — `2n + k·n²` tuples.
+pub fn complete_database(k: u8, domain_size: u32) -> Database {
+    let mut db = Database::new(k, domain_size);
+    for a in 0..domain_size {
+        db.insert(TupleDesc::R(a)).expect("fresh tuple");
+    }
+    for i in 1..=k {
+        for a in 0..domain_size {
+            for b in 0..domain_size {
+                db.insert(TupleDesc::S(i, a, b)).expect("fresh tuple");
+            }
+        }
+    }
+    for b in 0..domain_size {
+        db.insert(TupleDesc::T(b)).expect("fresh tuple");
+    }
+    db
+}
+
+/// A random sub-instance of the complete database, each potential tuple
+/// kept independently with probability `density`.
+pub fn random_database(cfg: &DbGenConfig, rng: &mut impl Rng) -> Database {
+    fn maybe_insert(db: &mut Database, t: TupleDesc, density: f64, rng: &mut impl Rng) {
+        if rng.random::<f64>() < density {
+            db.insert(t).expect("fresh tuple");
+        }
+    }
+    let mut db = Database::new(cfg.k, cfg.domain_size);
+    for a in 0..cfg.domain_size {
+        maybe_insert(&mut db, TupleDesc::R(a), cfg.density, rng);
+    }
+    for i in 1..=cfg.k {
+        for a in 0..cfg.domain_size {
+            for b in 0..cfg.domain_size {
+                maybe_insert(&mut db, TupleDesc::S(i, a, b), cfg.density, rng);
+            }
+        }
+    }
+    for b in 0..cfg.domain_size {
+        maybe_insert(&mut db, TupleDesc::T(b), cfg.density, rng);
+    }
+    db
+}
+
+/// Annotates every tuple with the same probability.
+pub fn uniform_tid(db: Database, p: BigRational) -> Tid {
+    let n = db.len();
+    Tid::new(db, vec![p; n]).expect("uniform probability validated by caller")
+}
+
+/// Annotates tuples with independent random rationals `num/denom`,
+/// `1 <= num < denom` (never 0 or 1, keeping every world possible).
+pub fn random_tid(db: Database, denom: u64, rng: &mut impl Rng) -> Tid {
+    assert!(denom >= 2, "denominator must allow a proper fraction");
+    let probs = (0..db.len())
+        .map(|_| {
+            let num = rng.random_range(1..denom);
+            BigRational::from_ratio(num as i64, denom)
+        })
+        .collect();
+    Tid::new(db, probs).expect("generated probabilities are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_database_counts() {
+        let db = complete_database(3, 4);
+        assert_eq!(db.len(), (2 * 4 + 3 * 16) as usize);
+        assert!(db.r_tuple(3).is_some());
+        assert!(db.s_tuple(2, 3, 0).is_some());
+        assert!(db.t_tuple(0).is_some());
+    }
+
+    #[test]
+    fn random_database_respects_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let all = random_database(
+            &DbGenConfig { k: 2, domain_size: 3, density: 1.0, prob_denominator: 10 },
+            &mut rng,
+        );
+        assert_eq!(all.len(), (2 * 3 + 2 * 9) as usize);
+        let none = random_database(
+            &DbGenConfig { k: 2, domain_size: 3, density: 0.0, prob_denominator: 10 },
+            &mut rng,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn random_tid_probabilities_are_proper() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let tid = random_tid(complete_database(2, 2), 10, &mut rng);
+        for (id, _) in tid.database().iter().collect::<Vec<_>>() {
+            let p = tid.prob(id);
+            assert!(p.is_probability());
+            assert!(!p.is_zero() && !p.is_one());
+        }
+    }
+
+    #[test]
+    fn uniform_tid_assigns_everywhere() {
+        let tid = uniform_tid(complete_database(1, 2), BigRational::from_ratio(1, 2));
+        for (id, _) in tid.database().iter().collect::<Vec<_>>() {
+            assert_eq!(tid.prob(id), &BigRational::from_ratio(1, 2));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let cfg = DbGenConfig { k: 2, domain_size: 4, density: 0.5, prob_denominator: 10 };
+        let a = random_database(&cfg, &mut StdRng::seed_from_u64(1));
+        let b = random_database(&cfg, &mut StdRng::seed_from_u64(1));
+        let ta: Vec<_> = a.iter().map(|(_, t)| t).collect();
+        let tb: Vec<_> = b.iter().map(|(_, t)| t).collect();
+        assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,20 @@
+//! Tuple-independent probabilistic databases (the TID model, Section 2).
+//!
+//! A TID instance is a relational database `D` plus a map `π` assigning
+//! each tuple an independent probability; it induces a distribution over
+//! the sub-databases `D' ⊆ D` by `Pr(D') = Π_{t∈D'} π(t) · Π_{t∉D'}(1-π(t))`.
+//!
+//! The `H`-queries of the paper are formulated over a fixed vocabulary —
+//! a unary `R`, binary `S_1, ..., S_k`, and a unary `T` — so [`Database`]
+//! stores exactly these relations (parameterized by `k`), with dense
+//! tuple identifiers suitable as circuit/OBDD variables. Probabilities
+//! are exact rationals ([`Tid`]); the generators module builds the
+//! synthetic workloads used by the experiments.
+
+mod database;
+mod gen;
+mod tid;
+
+pub use database::{Database, DatabaseError, Relation, TupleDesc, TupleId};
+pub use gen::{complete_database, random_database, random_tid, uniform_tid, DbGenConfig};
+pub use tid::{Tid, TidError};

@@ -1,0 +1,66 @@
+//! Property-based tests: the possible-world semantics of TIDs.
+
+use intext_numeric::BigRational;
+use intext_tid::{random_database, random_tid, DbGenConfig, Tid, TupleId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_tid(seed: u64) -> Tid {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_database(
+        &DbGenConfig { k: 2, domain_size: 2, density: 0.5, prob_denominator: 6 },
+        &mut rng,
+    );
+    random_tid(db, 6, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn world_probabilities_form_a_distribution(seed in any::<u64>()) {
+        let tid = small_tid(seed);
+        prop_assume!(tid.len() <= 14);
+        let mut total = BigRational::zero();
+        for w in 0..(1u64 << tid.len()) {
+            let p = tid.world_probability(w);
+            prop_assert!(p.is_probability());
+            total = &total + &p;
+        }
+        prop_assert!(total.is_one(), "sum = {}", total);
+    }
+
+    #[test]
+    fn full_and_empty_world_probabilities(seed in any::<u64>()) {
+        let tid = small_tid(seed);
+        prop_assume!(tid.len() <= 14 && !tid.is_empty());
+        let full = (1u64 << tid.len()) - 1;
+        let mut expect_full = BigRational::one();
+        let mut expect_empty = BigRational::one();
+        for i in 0..tid.len() {
+            let p = tid.prob(TupleId(i as u32));
+            expect_full = &expect_full * p;
+            expect_empty = &expect_empty * &p.complement();
+        }
+        prop_assert_eq!(tid.world_probability(full), expect_full);
+        prop_assert_eq!(tid.world_probability(0), expect_empty);
+    }
+
+    #[test]
+    fn updates_change_exactly_one_marginal(seed in any::<u64>(), num in 1i64..5) {
+        let mut tid = small_tid(seed);
+        prop_assume!(!tid.is_empty());
+        let before: Vec<BigRational> =
+            (0..tid.len()).map(|i| tid.prob(TupleId(i as u32)).clone()).collect();
+        tid.set_prob(TupleId(0), BigRational::from_ratio(num, 5)).unwrap();
+        for (i, b) in before.iter().enumerate() {
+            let now = tid.prob(TupleId(i as u32));
+            if i == 0 {
+                prop_assert_eq!(now, &BigRational::from_ratio(num, 5));
+            } else {
+                prop_assert_eq!(now, b);
+            }
+        }
+    }
+}

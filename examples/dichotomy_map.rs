@@ -1,0 +1,68 @@
+//! E14: a census of Figure 1 — classify *every* Boolean function on
+//! `V = {0..k}` (k ≤ 3) into the paper's regions, and verify the
+//! footnote-6 closed form for the tractable region's size.
+//!
+//! Run with: `cargo run --release --example dichotomy_map`
+
+use intext::boolfn::{enumerate, small, BoolFn};
+use intext::core::{classify, Region};
+use intext::numeric::binomial;
+
+fn main() {
+    println!("Figure 1 census: regions of the H-queries by defining function φ\n");
+    for n in 2..=4u8 {
+        let k = n - 1;
+        let mut counts = std::collections::HashMap::new();
+        for t in enumerate::all_tables(n) {
+            let phi = BoolFn::from_table_u64(n, t);
+            *counts.entry(classify(&phi)).or_insert(0u64) += 1;
+        }
+        let total: u64 = counts.values().sum();
+        println!("k = {k} ({} functions):", total);
+        for region in [
+            Region::DegenerateObdd,
+            Region::ZeroEulerDD,
+            Region::HardMonotone,
+            Region::HardByTransfer,
+            Region::ConjecturedHard,
+        ] {
+            let c = counts.get(&region).copied().unwrap_or(0);
+            let tag = if region.is_tractable() {
+                "PTIME"
+            } else if region.is_proven_hard() {
+                "#P-hard"
+            } else {
+                "conjectured #P-hard"
+            };
+            println!("  {region:?}: {c}  [{tag}]");
+        }
+        // Footnote 6: tractable region = #{φ : e(φ)=0} = C(2^{k+1}, 2^k).
+        let tractable = counts.get(&Region::DegenerateObdd).copied().unwrap_or(0)
+            + counts.get(&Region::ZeroEulerDD).copied().unwrap_or(0);
+        let expect = binomial(1u64 << n, 1u64 << k);
+        println!(
+            "  tractable (e=0) = {tractable}; footnote-6 closed form C(2^{}, 2^{k}) = {expect}  {}",
+            n,
+            if expect.to_u64() == Some(tractable) { "✓" } else { "✗ MISMATCH" }
+        );
+        println!();
+    }
+
+    println!("Monotone-only census (the H+ fragment, Dalvi–Suciu dichotomy):\n");
+    for n in 2..=5u8 {
+        let k = n - 1;
+        let tables = enumerate::monotone_tables(n);
+        let total = tables.len();
+        let safe = tables.iter().filter(|&&t| small::euler(n, t) == 0).count();
+        println!(
+            "k = {k}: {total} UCQs (M({n}) = {}), safe {safe}, #P-hard {}",
+            enumerate::DEDEKIND[usize::from(n) - 1],
+            total - safe
+        );
+    }
+    println!("\nnon-isomorphic (mod variable permutation) monotone counts:");
+    for n in 2..=5u8 {
+        let classes = enumerate::non_isomorphic_count(n, enumerate::monotone_tables(n));
+        println!("  k = {}: {classes} classes", n - 1);
+    }
+}

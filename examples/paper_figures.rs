@@ -1,0 +1,86 @@
+//! Regenerates the paper's figures as text (EXPERIMENTS.md: E1, E3–E6).
+//!
+//! * Figure 2 — the CNF lattice of `φ9` with Möbius values;
+//! * Figure 3 — the colored valuation graph `G_V[φ9]`;
+//! * Figure 4 — a machine-checked chainswap trace;
+//! * Figure 5 — the `φ_no-PM` witness (e = 0, no perfect matching on
+//!   either side);
+//! * Figure 7 — pass `--k5` to search the 7.8M monotone functions on six
+//!   variables for the minimal `φ_one-neg` witness (several minutes in
+//!   release mode).
+//!
+//! Run with: `cargo run --release --example paper_figures [--k5]`
+
+use intext::boolfn::{phi9, phi_no_pm, BoolFn, Valuation};
+use intext::core::{Step, StepKind};
+use intext::lattice::{cnf_lattice, render_hasse};
+use intext::matching::{find_minimal_one_neg, render_colored_graph, sat_has_pm, unsat_has_pm};
+
+fn main() {
+    let k5 = std::env::args().any(|a| a == "--k5");
+
+    println!("=== Figure 2: Hasse diagram of L^φ9_CNF with Möbius values ===\n");
+    let lat = cnf_lattice(&phi9());
+    print!("{}", render_hasse(&lat));
+    println!("µ(0̂, 1̂) = {}  → PQE(Q_φ9) is PTIME (Example 3.6)\n", lat.mobius_bottom_top());
+
+    println!("=== Figure 3: the colored graph G_V[φ9] (● = satisfying) ===\n");
+    print!("{}", render_colored_graph(&phi9()));
+    println!();
+
+    println!("=== Figure 4: a chainswap along a 5-node path ===\n");
+    figure_4_trace();
+
+    println!("\n=== Figure 5: φ_no-PM — e(φ)=0 but no one-sided matching ===\n");
+    let f = phi_no_pm();
+    print!("{}", render_colored_graph(&f));
+    println!("e(φ_no-PM)              = {}", f.euler_characteristic());
+    println!("colored side has PM?    = {}", sat_has_pm(&f));
+    println!("non-colored side has PM?= {}", unsat_has_pm(&f));
+    println!("(isolated colored {} / isolated non-colored {})", Valuation(0b11000), Valuation(0b11001));
+
+    if k5 {
+        println!("\n=== Figure 7: searching for φ_one-neg at k = 5 (7.8M functions) ===\n");
+        match find_minimal_one_neg(6) {
+            Some(g) => {
+                println!("minimal monotone witness with e=0, colored side unmatched:");
+                println!("  #SAT = {}", g.sat_count());
+                println!("  colored PM: {}   non-colored PM: {}", sat_has_pm(&g), unsat_has_pm(&g));
+                let sat: Vec<String> =
+                    g.sat_iter().map(|v| Valuation(v).to_string()).collect();
+                println!("  SAT = {}", sat.join(" "));
+            }
+            None => println!("no witness found (unexpected — the paper exhibits one)"),
+        }
+    } else {
+        println!("\n(skipping Figure 7's k = 5 search; pass --k5 to run it)");
+    }
+}
+
+fn figure_4_trace() {
+    // The path ν0 ─ ν1 ─ ν2 ─ ν3 ─ ν4 of Figure 4, with the colored
+    // token at ν4 chainswapped to ν0.
+    let path = [0b001u32, 0b000, 0b010, 0b110, 0b100];
+    let mut cur = BoolFn::from_sat(3, [path[4]]);
+    let steps = [
+        Step { kind: StepKind::Add, nu: path[0], var: 0 },
+        Step { kind: StepKind::Add, nu: path[2], var: 2 },
+        Step { kind: StepKind::Remove, nu: path[1], var: 1 },
+        Step { kind: StepKind::Remove, nu: path[3], var: 1 },
+    ];
+    let render = |f: &BoolFn| {
+        path.iter()
+            .map(|&v| if f.eval(v) { format!("●{}", Valuation(v)) } else { format!("○{}", Valuation(v)) })
+            .collect::<Vec<_>>()
+            .join(" ─ ")
+    };
+    println!("    {}", render(&cur));
+    for s in steps {
+        cur = s.apply(&cur).expect("figure 4 steps are valid");
+        let arrow = match s.kind {
+            StepKind::Add => "∼▷⁺",
+            StepKind::Remove => "∼▷⁻",
+        };
+        println!("{arrow} {}", render(&cur));
+    }
+}

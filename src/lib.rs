@@ -1,0 +1,56 @@
+//! `intext` — intensional vs extensional probabilistic query evaluation.
+//!
+//! A from-scratch Rust reproduction of Mikaël Monet, *"Solving a Special
+//! Case of the Intensional vs Extensional Conjecture in Probabilistic
+//! Databases"* (PODS 2020): probabilistic query evaluation for the
+//! `H`-queries over tuple-independent databases, by **both** competing
+//! approaches —
+//!
+//! * the **extensional** route ([`extensional`]): Dalvi–Suciu lifted
+//!   inference with Möbius inversion over the CNF lattice, and
+//! * the **intensional** route ([`core`]): the paper's new technique
+//!   compiling the query lineage into a deterministic decomposable
+//!   circuit (d-D) in polynomial time whenever the defining Boolean
+//!   function has zero Euler characteristic — which covers *all safe
+//!   `H⁺`-queries* and shows that inclusion–exclusion can be simulated
+//!   with determinism, decomposability and negation alone.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use intext::boolfn::phi9;
+//! use intext::core::compile_dd;
+//! use intext::extensional::pqe_extensional;
+//! use intext::numeric::BigRational;
+//! use intext::query::{pqe_brute_force, HQuery};
+//! use intext::tid::{complete_database, uniform_tid};
+//!
+//! // Dalvi–Suciu's q9 on a complete database, every tuple with Pr = 1/2.
+//! let tid = uniform_tid(complete_database(3, 2), BigRational::from_ratio(1, 2));
+//! let q = HQuery::new(phi9());
+//!
+//! // Extensional: Möbius inversion (the inclusion–exclusion route).
+//! let ext = pqe_extensional(&q, &tid).unwrap();
+//! // Intensional: compile a d-D lineage, evaluate bottom-up (Theorem 5.2).
+//! let dd = compile_dd(&phi9(), tid.database()).unwrap();
+//! let int = dd.probability_exact(&tid);
+//! // Ground truth: enumerate all 2^|D| possible worlds.
+//! let brute = pqe_brute_force(&q, &tid).unwrap();
+//!
+//! assert_eq!(ext, int);
+//! assert_eq!(int, brute);
+//! ```
+//!
+//! See `DESIGN.md` for the paper-to-module map and `EXPERIMENTS.md` for
+//! the reproduced figures and claims.
+
+pub use intext_boolfn as boolfn;
+pub use intext_circuits as circuits;
+pub use intext_core as core;
+pub use intext_extensional as extensional;
+pub use intext_lattice as lattice;
+pub use intext_lineage as lineage;
+pub use intext_matching as matching;
+pub use intext_numeric as numeric;
+pub use intext_query as query;
+pub use intext_tid as tid;

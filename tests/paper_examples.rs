@@ -1,0 +1,119 @@
+//! E1–E6: the paper's worked examples and figures, as executable
+//! assertions (see EXPERIMENTS.md for the index).
+
+use intext::boolfn::{phi9, phi_no_pm, BoolFn, Valuation};
+use intext::core::{apply_steps, fetch_path, steps_to_bottom, Step, StepKind};
+use intext::lattice::{cnf_lattice, mobius_euler, p_cnf, p_dnf, p_phi};
+use intext::matching::{check_conjecture1, sat_has_pm, unsat_has_pm, verify_conjecture1_monotone};
+use intext::numeric::BigRational;
+
+#[test]
+fn e1_figure_2_cnf_lattice_of_phi9() {
+    // Nine elements, the exact Möbius values of Figure 2, µ(0̂,1̂) = 0.
+    let lat = cnf_lattice(&phi9());
+    assert_eq!(lat.len(), 9);
+    assert_eq!(lat.mobius_bottom_top(), 0);
+    let mu_of = |d: u32| {
+        let i = lat.elements.iter().position(|&e| e == d).expect("element");
+        lat.mobius_to_top[i]
+    };
+    assert_eq!(mu_of(0b0000), 1);
+    assert_eq!(mu_of(0b0111), -1);
+    assert_eq!(mu_of(0b1001), -1);
+    assert_eq!(mu_of(0b1010), -1);
+    assert_eq!(mu_of(0b1100), -1);
+    assert_eq!(mu_of(0b1011), 1);
+    assert_eq!(mu_of(0b1101), 1);
+    assert_eq!(mu_of(0b1110), 1);
+    assert_eq!(mu_of(0b1111), 0);
+}
+
+#[test]
+fn e2_example_3_6_phi9_is_safe() {
+    // Lemma 3.8 ties the three quantities together on phi9.
+    let me = mobius_euler(&phi9());
+    assert_eq!(me.euler, 0);
+    assert_eq!(me.mobius_cnf, 0);
+    assert_eq!(me.mobius_dnf, 0);
+}
+
+#[test]
+fn e3_figure_3_colored_graph_of_phi9() {
+    // SAT(phi9) per Example 4.3: 8 colored nodes, the ones listed.
+    let f = phi9();
+    let colored: Vec<u32> = f.sat_vec();
+    assert_eq!(colored.len(), 8);
+    for v in [0b1001u32, 0b1011, 0b1100, 0b1101, 0b1010, 0b1110, 0b0111, 0b1111] {
+        assert!(f.eval(v), "{} must be colored", Valuation(v));
+    }
+    // The empty valuation and all singletons are uncolored.
+    for v in [0b0000u32, 0b0001, 0b0010, 0b0100, 0b1000] {
+        assert!(!f.eval(v), "{} must be uncolored", Valuation(v));
+    }
+}
+
+#[test]
+fn e4_figure_4_chainswap_trace() {
+    // A 5-node path with one colored endpoint, as in Figure 4: the
+    // transformation moves the colored node to the other end in four
+    // elementary steps (2 additions + 2 removals), every intermediate
+    // function valid per Definition 5.5.
+    // Path in the 3-cube: {0} - {} - {1} - {1,2} - {2} ... must alternate
+    // adjacency: 001 - 000 - 010 - 110 - 100.
+    let path = [0b001u32, 0b000, 0b010, 0b110, 0b100];
+    for w in path.windows(2) {
+        assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+    }
+    let start = BoolFn::from_sat(3, [path[4]]); // colored at the far end
+    let steps = vec![
+        Step { kind: StepKind::Add, nu: path[0], var: 0 },  // color ν0,ν1
+        Step { kind: StepKind::Add, nu: path[2], var: 2 },  // color ν2,ν3
+        Step { kind: StepKind::Remove, nu: path[1], var: 1 }, // uncolor ν1,ν2
+        Step { kind: StepKind::Remove, nu: path[3], var: 1 }, // uncolor ν3,ν4
+    ];
+    let end = apply_steps(&start, &steps).expect("all four steps valid");
+    assert_eq!(end.sat_vec(), vec![path[0]], "token moved across the path");
+}
+
+#[test]
+fn e5_figure_5_phi_no_pm_witness() {
+    let f = phi_no_pm();
+    assert_eq!(f.euler_characteristic(), 0);
+    assert!(!sat_has_pm(&f), "colored side has no perfect matching");
+    assert!(!unsat_has_pm(&f), "non-colored side has no perfect matching");
+    // Yet the two-sided transformation reaches ⊥ (Proposition 5.9):
+    let steps = steps_to_bottom(&f).unwrap();
+    assert!(apply_steps(&f, &steps).unwrap().is_bottom());
+    // and must use both directions.
+    assert!(steps.iter().any(|s| s.kind == StepKind::Add));
+    assert!(steps.iter().any(|s| s.kind == StepKind::Remove));
+    // Conjecture 1 does not apply (f is not monotone) and indeed fails:
+    assert!(!check_conjecture1(&f).holds());
+    assert!(!f.is_monotone());
+}
+
+#[test]
+fn e7_conjecture_1_holds_for_monotone_k_up_to_4() {
+    for n in 2..=5u8 {
+        let report = verify_conjecture1_monotone(n);
+        assert!(report.holds(), "k={} counterexamples: {:?}", n - 1, report.counterexamples);
+    }
+}
+
+#[test]
+fn lemma_b5_polynomials_evaluate_equal_at_rational_points() {
+    let phi = phi9();
+    let (p, pc, pd) = (p_phi(&phi), p_cnf(&phi), p_dnf(&phi));
+    for (num, den) in [(0i64, 1u64), (1, 1), (1, 2), (1, 3), (2, 7), (9, 10)] {
+        let t = BigRational::from_ratio(num, den);
+        assert_eq!(p.eval(&t), pc.eval(&t), "P_CNF at {num}/{den}");
+        assert_eq!(p.eval(&t), pd.eval(&t), "P_DNF at {num}/{den}");
+    }
+}
+
+#[test]
+fn fetching_lemma_contract_on_the_running_example() {
+    let path = fetch_path(&phi9()).expect("both parities satisfied");
+    assert!(path.len() >= 2);
+    assert!(phi9().eval(path[0]) && phi9().eval(*path.last().unwrap()));
+}

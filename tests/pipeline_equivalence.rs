@@ -1,0 +1,143 @@
+//! E9 (Theorem 5.2 / Corollary 5.3): the three evaluation strategies —
+//! brute-force possible worlds, extensional lifted inference, and the
+//! paper's intensional d-D pipeline — agree **exactly** on every safe
+//! query, across random databases.
+
+use intext::boolfn::{enumerate, phi9, small, BoolFn};
+use intext::circuits::verify;
+use intext::core::{classify, compile_dd, CompileError};
+use intext::extensional::{pqe_extensional, ExtensionalError};
+use intext::query::{pqe_brute_force, HQuery};
+use intext::tid::{random_database, random_tid, DbGenConfig, Tid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_tid(k: u8, domain: u32, seed: u64) -> Tid {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_database(
+        &DbGenConfig { k, domain_size: domain, density: 0.7, prob_denominator: 8 },
+        &mut rng,
+    );
+    random_tid(db, 8, &mut rng)
+}
+
+#[test]
+fn all_safe_monotone_k3_queries_agree_across_engines() {
+    // Every safe monotone function on V = {0..3} (the phi9 arena):
+    // extensional == intensional == brute force, with exact rationals.
+    let tid = sample_tid(3, 2, 42);
+    let mut safe = 0u32;
+    let mut unsafe_count = 0u32;
+    for t in enumerate::monotone_tables(4) {
+        let phi = BoolFn::from_table_u64(4, t);
+        let q = HQuery::new(phi.clone());
+        match pqe_extensional(&q, &tid) {
+            Ok(ext) => {
+                let dd = compile_dd(&phi, tid.database()).expect("safe implies e=0");
+                let int = dd.probability_exact(&tid);
+                assert_eq!(ext, int, "extensional vs intensional, t={t:#x}");
+                let brute = pqe_brute_force(&q, &tid).unwrap();
+                assert_eq!(int, brute, "intensional vs brute force, t={t:#x}");
+                safe += 1;
+            }
+            Err(ExtensionalError::NotSafe) => {
+                // The d-D pipeline must refuse these too (Cor 3.9).
+                assert!(matches!(
+                    compile_dd(&phi, tid.database()),
+                    Err(CompileError::NonZeroEuler(_))
+                ));
+                unsafe_count += 1;
+            }
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    assert!(safe > 20, "checked {safe} safe queries");
+    assert!(unsafe_count > 20, "checked {unsafe_count} unsafe queries");
+}
+
+#[test]
+fn non_ucq_zero_euler_queries_beat_the_extensional_engine() {
+    // The paper's headline: H-queries outside H+ (non-monotone) with
+    // e = 0 are handled intensionally even though the extensional
+    // dichotomy does not even apply to them.
+    let tid = sample_tid(3, 2, 7);
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut checked = 0;
+    while checked < 8 {
+        let t = {
+            use rand::RngExt;
+            rng.random::<u64>() & small::full_mask(4)
+        };
+        if small::euler(4, t) != 0 || small::is_monotone(4, t) {
+            continue;
+        }
+        let phi = BoolFn::from_table_u64(4, t);
+        let q = HQuery::new(phi.clone());
+        assert_eq!(
+            pqe_extensional(&q, &tid).unwrap_err(),
+            ExtensionalError::NotMonotone
+        );
+        let dd = compile_dd(&phi, tid.database()).expect("e = 0 compiles");
+        let brute = pqe_brute_force(&q, &tid).unwrap();
+        assert_eq!(dd.probability_exact(&tid), brute, "t={t:#x}");
+        checked += 1;
+    }
+}
+
+#[test]
+fn compiled_circuits_are_verified_dds_on_small_instances() {
+    // Structural decomposability + semantic determinism, checked
+    // exhaustively (few variables on a 1-element domain).
+    let tid = sample_tid(3, 1, 99);
+    for t in [phi9().table_u64(), 0x9669_u64, 0x6996_u64] {
+        if small::euler(4, t) != 0 {
+            continue;
+        }
+        let phi = BoolFn::from_table_u64(4, t);
+        let dd = compile_dd(&phi, tid.database()).unwrap();
+        verify::check_dd(&dd.circuit, dd.root)
+            .unwrap_or_else(|v| panic!("d-D violation for t={t:#x}: {v}"));
+    }
+}
+
+#[test]
+fn classification_matches_engine_behaviour() {
+    let tid = sample_tid(2, 2, 3);
+    for t in 0..256u64 {
+        let phi = BoolFn::from_table_u64(3, t);
+        let region = classify(&phi);
+        let compiles = compile_dd(&phi, tid.database()).is_ok();
+        assert_eq!(
+            compiles,
+            region.is_tractable(),
+            "region {region:?} vs pipeline for t={t:#x}"
+        );
+        if phi.is_monotone() {
+            let q = HQuery::new(phi.clone());
+            let ext_ok = pqe_extensional(&q, &tid).is_ok();
+            assert_eq!(ext_ok, region.is_tractable(), "extensional for t={t:#x}");
+        }
+    }
+    // Census sanity at k=2: 70 zero-Euler functions, of which the
+    // degenerate ones form the OBDD region.
+    let zero_euler = (0..256u64).filter(|&t| small::euler(3, t) == 0).count();
+    assert_eq!(zero_euler, 70);
+    let tractable = (0..256u64)
+        .filter(|&t| classify(&BoolFn::from_table_u64(3, t)).is_tractable())
+        .count();
+    assert_eq!(tractable, zero_euler, "tractable == zero Euler at k=2");
+}
+
+#[test]
+fn growing_domains_stay_consistent() {
+    // phi9 across increasing domain sizes: intensional == extensional
+    // (brute force is out of reach beyond tiny databases — that is the
+    // point of the paper).
+    for (domain, seed) in [(2u32, 11u64), (3, 12), (4, 13)] {
+        let tid = sample_tid(3, domain, seed);
+        let q = HQuery::new(phi9());
+        let ext = pqe_extensional(&q, &tid).unwrap();
+        let dd = compile_dd(&phi9(), tid.database()).unwrap();
+        assert_eq!(ext, dd.probability_exact(&tid), "domain {domain}");
+    }
+}
