@@ -11,13 +11,17 @@ fn bench_conjecture(c: &mut Criterion) {
     let mut g = c.benchmark_group("conjecture1");
     g.sample_size(10);
     for n in [3u8, 4, 5] {
-        g.bench_with_input(BenchmarkId::new("verify_all_monotone_k", n - 1), &n, |b, &n| {
-            b.iter(|| {
-                let rep = verify_conjecture1_monotone(n);
-                assert!(rep.holds());
-                black_box(rep.euler_zero)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("verify_all_monotone_k", n - 1),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let rep = verify_conjecture1_monotone(n);
+                    assert!(rep.holds());
+                    black_box(rep.euler_zero)
+                });
+            },
+        );
     }
     g.bench_function("enumerate_monotone_n5", |b| {
         b.iter(|| black_box(enumerate::monotone_tables(5).len()));

@@ -26,9 +26,13 @@ fn bench_obdd(c: &mut Criterion) {
         });
         // Ablation: textbook per-h OBDDs + multi-way apply instead of the
         // product-automaton unrolling (same output function).
-        g.bench_with_input(BenchmarkId::new("construct_apply_ablation", domain), &tid, |b, tid| {
-            b.iter(|| black_box(compile_degenerate_obdd_apply(&psi, tid.database()).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("construct_apply_ablation", domain),
+            &tid,
+            |b, tid| {
+                b.iter(|| black_box(compile_degenerate_obdd_apply(&psi, tid.database()).unwrap()));
+            },
+        );
         let lin = compile_degenerate_obdd(&psi, tid.database()).unwrap();
         g.bench_with_input(
             BenchmarkId::new("probability_f64", domain),

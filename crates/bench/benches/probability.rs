@@ -18,9 +18,13 @@ fn bench_probability(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("f64", domain), &tid, |b, tid| {
             b.iter(|| black_box(dd.probability_f64(tid)));
         });
-        g.bench_with_input(BenchmarkId::new("exact_rational", domain), &tid, |b, tid| {
-            b.iter(|| black_box(dd.probability_exact(tid)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("exact_rational", domain),
+            &tid,
+            |b, tid| {
+                b.iter(|| black_box(dd.probability_exact(tid)));
+            },
+        );
     }
     g.finish();
 }

@@ -22,9 +22,13 @@ fn bench_transform(c: &mut Criterion) {
     for n in [4u8, 5, 6] {
         let phi = dense_zero_euler(n);
         assert_eq!(phi.euler_characteristic(), 0);
-        g.bench_with_input(BenchmarkId::new("steps_to_bottom_dense", n), &phi, |b, phi| {
-            b.iter(|| black_box(steps_to_bottom(phi).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("steps_to_bottom_dense", n),
+            &phi,
+            |b, phi| {
+                b.iter(|| black_box(steps_to_bottom(phi).unwrap()));
+            },
+        );
     }
     g.bench_function("steps_between_high_euler_pair", |b| {
         // Two distinct e = 6 functions (first six / last six of the eight

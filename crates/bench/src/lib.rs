@@ -23,7 +23,12 @@ use rand::SeedableRng;
 pub fn bench_tid(k: u8, domain_size: u32, seed: u64) -> Tid {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_database(
-        &DbGenConfig { k, domain_size, density: 0.8, prob_denominator: 10 },
+        &DbGenConfig {
+            k,
+            domain_size,
+            density: 0.8,
+            prob_denominator: 10,
+        },
         &mut rng,
     );
     random_tid(db, 10, &mut rng)

@@ -19,13 +19,15 @@ use crate::small;
 /// # Panics
 /// Panics unless `1 <= n <= 6`.
 pub fn monotone_tables(n: u8) -> Vec<u64> {
-    assert!((1..=6).contains(&n), "monotone_tables supports 1 <= n <= 6, got {n}");
+    assert!(
+        (1..=6).contains(&n),
+        "monotone_tables supports 1 <= n <= 6, got {n}"
+    );
     // Base: the three monotone functions on one variable.
     let mut cur: Vec<u64> = vec![0b00, 0b10, 0b11];
     for m in 2..=n {
         let half = 1u32 << (m - 1);
-        let mut next =
-            Vec::with_capacity(cur.len() * 3); // loose lower-bound guess
+        let mut next = Vec::with_capacity(cur.len() * 3); // loose lower-bound guess
         for &f1 in &cur {
             for &f0 in &cur {
                 // f0 <= f1 pointwise.
@@ -48,7 +50,10 @@ pub const DEDEKIND: [u64; 6] = [3, 6, 20, 168, 7581, 7_828_354];
 /// # Panics
 /// Panics unless `1 <= n <= 4` (beyond that the space is unenumerable).
 pub fn all_tables(n: u8) -> impl Iterator<Item = u64> {
-    assert!((1..=4).contains(&n), "all_tables supports 1 <= n <= 4, got {n}");
+    assert!(
+        (1..=4).contains(&n),
+        "all_tables supports 1 <= n <= 4, got {n}"
+    );
     let count: u64 = 1u64 << (1u32 << n);
     0..count
 }

@@ -67,13 +67,19 @@ impl BoolFn {
     }
 
     fn assert_vars(n: u8) {
-        assert!((1..=MAX_VARS).contains(&n), "variable count {n} out of range 1..={MAX_VARS}");
+        assert!(
+            (1..=MAX_VARS).contains(&n),
+            "variable count {n} out of range 1..={MAX_VARS}"
+        );
     }
 
     /// The constant-false function `⊥` on `n` variables.
     pub fn bottom(n: u8) -> Self {
         Self::assert_vars(n);
-        BoolFn { n, words: vec![0; Self::word_count(n)] }
+        BoolFn {
+            n,
+            words: vec![0; Self::word_count(n)],
+        }
     }
 
     /// The constant-true function `⊤` on `n` variables.
@@ -87,7 +93,10 @@ impl BoolFn {
     /// The projection function of variable `var` on `n` variables.
     pub fn var(n: u8, var: u8) -> Self {
         Self::assert_vars(n);
-        assert!(var < n, "variable {var} out of range for {n}-variable function");
+        assert!(
+            var < n,
+            "variable {var} out of range for {n}-variable function"
+        );
         Self::from_fn(n, |v| v & (1 << var) != 0)
     }
 
@@ -123,7 +132,10 @@ impl BoolFn {
             table & !Self::tail_mask(n) == 0,
             "table has bits beyond the 2^{n} valuations"
         );
-        BoolFn { n, words: vec![table] }
+        BoolFn {
+            n,
+            words: vec![table],
+        }
     }
 
     /// The `u64` truth table of an `n <= 6` variable function.
@@ -220,7 +232,10 @@ impl BoolFn {
 
     /// The dependency set `DEP(phi)` as a variable bitmask.
     pub fn support(&self) -> u32 {
-        (0..self.n).filter(|&l| self.depends_on(l)).map(|l| 1u32 << l).sum()
+        (0..self.n)
+            .filter(|&l| self.depends_on(l))
+            .map(|l| 1u32 << l)
+            .sum()
     }
 
     /// Returns `true` iff `DEP(phi)` is a proper subset of the variables
@@ -259,13 +274,19 @@ impl BoolFn {
     pub fn cofactor(&self, l: u8, value: bool) -> BoolFn {
         assert!(l < self.n, "variable {l} out of range");
         let bit = 1u32 << l;
-        Self::from_fn(self.n, |v| self.eval(if value { v | bit } else { v & !bit }))
+        Self::from_fn(self.n, |v| {
+            self.eval(if value { v | bit } else { v & !bit })
+        })
     }
 
     /// Renames variables: variable `i` of the result plays the role of
     /// variable `perm[i]` of `self`.
     pub fn permute_vars(&self, perm: &[u8]) -> BoolFn {
-        assert_eq!(perm.len(), usize::from(self.n), "permutation length mismatch");
+        assert_eq!(
+            perm.len(),
+            usize::from(self.n),
+            "permutation length mismatch"
+        );
         Self::from_fn(self.n, |v| {
             let mut mapped = 0u32;
             for (i, &p) in perm.iter().enumerate() {
@@ -309,8 +330,7 @@ impl BoolFn {
         let full = (1u32 << self.n) - 1;
         let mut out: Vec<u32> = (0..=full)
             .filter(|&v| {
-                !self.eval(v)
-                    && (0..self.n).all(|l| v & (1 << l) != 0 || self.eval(v | (1 << l)))
+                !self.eval(v) && (0..self.n).all(|l| v & (1 << l) != 0 || self.eval(v | (1 << l)))
             })
             .map(|v| full & !v)
             .collect();

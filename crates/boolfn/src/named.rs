@@ -152,7 +152,10 @@ mod tests {
         let v034: u32 = 0b11001;
         assert!(!f.eval(v034));
         for l in 0..5u8 {
-            assert!(f.eval(v034 ^ (1 << l)), "neighbor of {{0,3,4}} flipping {l}");
+            assert!(
+                f.eval(v034 ^ (1 << l)),
+                "neighbor of {{0,3,4}} flipping {l}"
+            );
         }
     }
 
@@ -169,7 +172,9 @@ mod tests {
         // e(τ_t) = (-1)^t C(k, t-1) for t >= 1 (and 0 for t = 0).
         fn c(n: u64, r: u64) -> i64 {
             i64::try_from(
-                intext_numeric::binomial(n, r).to_u64().expect("small binomial"),
+                intext_numeric::binomial(n, r)
+                    .to_u64()
+                    .expect("small binomial"),
             )
             .expect("fits")
         }

@@ -34,7 +34,10 @@ const LOW_MASK: [u64; 6] = [
 ];
 
 fn assert_small(n: u8) {
-    assert!((1..=6).contains(&n), "small-table helpers require 1 <= n <= 6, got {n}");
+    assert!(
+        (1..=6).contains(&n),
+        "small-table helpers require 1 <= n <= 6, got {n}"
+    );
 }
 
 /// Mask of the `2^n` valid table bits.
@@ -76,7 +79,10 @@ pub fn is_degenerate(n: u8, table: u64) -> bool {
 
 /// The dependency set `DEP(phi)` as a variable bitmask.
 pub fn support(n: u8, table: u64) -> u32 {
-    (0..n).filter(|&l| depends_on(n, table, l)).map(|l| 1u32 << l).sum()
+    (0..n)
+        .filter(|&l| depends_on(n, table, l))
+        .map(|l| 1u32 << l)
+        .sum()
 }
 
 /// Is the function monotone?
@@ -138,7 +144,11 @@ pub fn permutations(n: u8) -> Vec<Vec<u8>> {
 /// Canonical representative of the function's isomorphism class under
 /// variable permutation: the minimal table over all `n!` renamings.
 pub fn canonical(n: u8, table: u64, perms: &[Vec<u8>]) -> u64 {
-    perms.iter().map(|p| permute(n, table, p)).min().unwrap_or(table)
+    perms
+        .iter()
+        .map(|p| permute(n, table, p))
+        .min()
+        .unwrap_or(table)
 }
 
 #[cfg(test)]

@@ -69,7 +69,10 @@ impl Circuit {
     /// Panics if an input id is out of range (inputs must already exist).
     pub fn add(&mut self, gate: Gate) -> GateId {
         let check = |id: &GateId| {
-            assert!((id.0 as usize) < self.gates.len(), "gate input {id:?} does not exist");
+            assert!(
+                (id.0 as usize) < self.gates.len(),
+                "gate input {id:?} does not exist"
+            );
         };
         match &gate {
             Gate::And(xs) | Gate::Or(xs) => xs.iter().for_each(check),
@@ -229,7 +232,9 @@ impl Circuit {
         let half = BigRational::from_ratio(1, 2);
         let p = self.probability_exact(root, &|_| half.clone());
         let scale = BigRational::new(
-            intext_numeric::BigInt::from(intext_numeric::BigUint::one().shl_bits(vars.len() as u64)),
+            intext_numeric::BigInt::from(
+                intext_numeric::BigUint::one().shl_bits(vars.len() as u64),
+            ),
             intext_numeric::BigUint::one(),
         );
         &p * &scale
@@ -237,7 +242,10 @@ impl Circuit {
 
     /// Gate/edge/depth statistics for the whole arena.
     pub fn stats(&self) -> CircuitStats {
-        let mut s = CircuitStats { gates: self.gates.len(), ..Default::default() };
+        let mut s = CircuitStats {
+            gates: self.gates.len(),
+            ..Default::default()
+        };
         let mut depth = vec![0usize; self.gates.len()];
         for (i, g) in self.gates.iter().enumerate() {
             match g {
@@ -270,8 +278,13 @@ impl fmt::Display for CircuitStats {
         write!(
             f,
             "{} gates ({}∧ {}∨ {}¬ {} vars), {} edges, depth {}",
-            self.gates, self.and_gates, self.or_gates, self.not_gates, self.var_gates,
-            self.edges, self.depth
+            self.gates,
+            self.and_gates,
+            self.or_gates,
+            self.not_gates,
+            self.var_gates,
+            self.edges,
+            self.depth
         )
     }
 }
@@ -296,8 +309,8 @@ mod tests {
     fn evaluation() {
         let (c, root) = sample();
         let cases = [
-            (0b000u32, true),  // ¬x2
-            (0b011, true),     // x0∧x1
+            (0b000u32, true), // ¬x2
+            (0b011, true),    // x0∧x1
             (0b100, false),
             (0b111, true),
         ];

@@ -50,9 +50,8 @@ impl ObddManager {
             })
             .collect();
         // Product of best factors for levels in [from, to).
-        let span = |from: u32, to: u32| -> f64 {
-            level_best[from as usize..to as usize].iter().product()
-        };
+        let span =
+            |from: u32, to: u32| -> f64 { level_best[from as usize..to as usize].iter().product() };
         fn best(
             m: &ObddManager,
             r: NodeRef,
@@ -131,7 +130,6 @@ impl ObddManager {
         prob: &impl Fn(u32) -> f64,
         rng: &mut impl rand::Rng,
     ) -> Option<Vec<bool>> {
-        use rand::RngExt as _;
         if r == NodeRef::FALSE {
             return None;
         }

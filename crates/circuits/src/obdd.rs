@@ -73,7 +73,12 @@ impl ObddManager {
             let prev = level_of.insert(v, l as u32);
             assert!(prev.is_none(), "variable {v} appears twice in the order");
         }
-        ObddManager { order, level_of, nodes: Vec::new(), unique: HashMap::new() }
+        ObddManager {
+            order,
+            level_of,
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+        }
     }
 
     /// The variable order.
@@ -143,7 +148,9 @@ impl ObddManager {
     /// # Panics
     /// Panics if `var` is not in the order.
     pub fn literal(&mut self, var: u32, positive: bool) -> NodeRef {
-        let level = self.level_of(var).unwrap_or_else(|| panic!("variable {var} not in order"));
+        let level = self
+            .level_of(var)
+            .unwrap_or_else(|| panic!("variable {var} not in order"));
         if positive {
             self.mk(level, NodeRef::FALSE, NodeRef::TRUE)
         } else {
@@ -208,11 +215,7 @@ impl ObddManager {
     /// product of the input sizes, hence best reserved for constantly
     /// many inputs (it is the textbook route to Proposition 3.7, kept as
     /// an ablation baseline for the automaton unrolling).
-    pub fn combine_many(
-        &mut self,
-        inputs: &[NodeRef],
-        f: &impl Fn(&[bool]) -> bool,
-    ) -> NodeRef {
+    pub fn combine_many(&mut self, inputs: &[NodeRef], f: &impl Fn(&[bool]) -> bool) -> NodeRef {
         let mut memo: HashMap<Vec<NodeRef>, NodeRef> = HashMap::new();
         self.combine_rec(inputs, f, &mut memo)
     }
@@ -225,12 +228,20 @@ impl ObddManager {
     ) -> NodeRef {
         if inputs.iter().all(|r| r.is_terminal()) {
             let values: Vec<bool> = inputs.iter().map(|&r| r == NodeRef::TRUE).collect();
-            return if f(&values) { NodeRef::TRUE } else { NodeRef::FALSE };
+            return if f(&values) {
+                NodeRef::TRUE
+            } else {
+                NodeRef::FALSE
+            };
         }
         if let Some(&r) = memo.get(inputs) {
             return r;
         }
-        let level = inputs.iter().map(|&r| self.level(r)).min().expect("nonempty");
+        let level = inputs
+            .iter()
+            .map(|&r| self.level(r))
+            .min()
+            .expect("nonempty");
         let lo: Vec<NodeRef> = inputs.iter().map(|&r| self.cofactors(r, level).0).collect();
         let hi: Vec<NodeRef> = inputs.iter().map(|&r| self.cofactors(r, level).1).collect();
         let lo_r = self.combine_rec(&lo, f, memo);
@@ -242,11 +253,7 @@ impl ObddManager {
 
     /// Negation.
     pub fn not(&mut self, a: NodeRef) -> NodeRef {
-        fn rec(
-            m: &mut ObddManager,
-            a: NodeRef,
-            memo: &mut HashMap<NodeRef, NodeRef>,
-        ) -> NodeRef {
+        fn rec(m: &mut ObddManager, a: NodeRef, memo: &mut HashMap<NodeRef, NodeRef>) -> NodeRef {
             match a {
                 NodeRef::FALSE => NodeRef::TRUE,
                 NodeRef::TRUE => NodeRef::FALSE,
@@ -310,8 +317,7 @@ impl ObddManager {
                     }
                     let n = m.nodes[r.index()];
                     let pv = prob(m.order[n.level as usize]);
-                    let p = pv * rec(m, n.hi, prob, memo)
-                        + (1.0 - pv) * rec(m, n.lo, prob, memo);
+                    let p = pv * rec(m, n.hi, prob, memo) + (1.0 - pv) * rec(m, n.lo, prob, memo);
                     memo.insert(r, p);
                     p
                 }
@@ -321,11 +327,7 @@ impl ObddManager {
     }
 
     /// Exact-rational variant of [`Self::probability_f64`].
-    pub fn probability_exact(
-        &self,
-        r: NodeRef,
-        prob: &impl Fn(u32) -> BigRational,
-    ) -> BigRational {
+    pub fn probability_exact(&self, r: NodeRef, prob: &impl Fn(u32) -> BigRational) -> BigRational {
         fn rec(
             m: &ObddManager,
             r: NodeRef,
@@ -468,7 +470,10 @@ mod tests {
         }
         let x = m.xor(x0, x1);
         for bits in 0..4u32 {
-            assert_eq!(m.eval(x, &assignment(bits)), (bits & 1 != 0) ^ (bits & 2 != 0));
+            assert_eq!(
+                m.eval(x, &assignment(bits)),
+                (bits & 1 != 0) ^ (bits & 2 != 0)
+            );
         }
     }
 
@@ -489,7 +494,10 @@ mod tests {
         let ab = m.or(a, b);
         let maj = m.or(ab, c);
         let pairwise = m.xor(maj, x3);
-        assert_eq!(combined, pairwise, "canonicity makes equal functions equal refs");
+        assert_eq!(
+            combined, pairwise,
+            "canonicity makes equal functions equal refs"
+        );
     }
 
     #[test]

@@ -38,13 +38,22 @@ impl std::fmt::Display for DdViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DdViolation::NotDecomposable { gate, var } => {
-                write!(f, "∧-gate {gate:?} not decomposable (shares variable {var})")
+                write!(
+                    f,
+                    "∧-gate {gate:?} not decomposable (shares variable {var})"
+                )
             }
             DdViolation::NotDeterministic { gate, witness } => {
-                write!(f, "∨-gate {gate:?} not deterministic (witness {witness:#b})")
+                write!(
+                    f,
+                    "∨-gate {gate:?} not deterministic (witness {witness:#b})"
+                )
             }
             DdViolation::TooManyVariables(n) => {
-                write!(f, "exhaustive determinism check supports <= 22 variables, got {n}")
+                write!(
+                    f,
+                    "exhaustive determinism check supports <= 22 variables, got {n}"
+                )
             }
         }
     }
@@ -60,8 +69,7 @@ pub fn check_decomposable(c: &Circuit, root: GateId) -> Result<(), DdViolation> 
         if let Gate::And(xs) = c.gate(id) {
             for (i, a) in xs.iter().enumerate() {
                 for b in &xs[i + 1..] {
-                    if let Some(&v) = vars[a.0 as usize].intersection(&vars[b.0 as usize]).next()
-                    {
+                    if let Some(&v) = vars[a.0 as usize].intersection(&vars[b.0 as usize]).next() {
                         return Err(DdViolation::NotDecomposable { gate: id, var: v });
                     }
                 }
@@ -82,8 +90,7 @@ pub fn check_deterministic_exhaustive(c: &Circuit, root: GateId) -> Result<(), D
     if all_vars.len() > 22 {
         return Err(DdViolation::TooManyVariables(all_vars.len()));
     }
-    let index: HashMap<u32, usize> =
-        all_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<u32, usize> = all_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let reachable = reachable_gates(c, root);
     let or_gates: Vec<GateId> = reachable
         .iter()
@@ -103,10 +110,15 @@ pub fn check_deterministic_exhaustive(c: &Circuit, root: GateId) -> Result<(), D
             };
         }
         for &id in &or_gates {
-            let Gate::Or(xs) = c.gate(id) else { unreachable!("filtered to Or") };
+            let Gate::Or(xs) = c.gate(id) else {
+                unreachable!("filtered to Or")
+            };
             let live = xs.iter().filter(|x| values[x.0 as usize]).count();
             if live >= 2 {
-                return Err(DdViolation::NotDeterministic { gate: id, witness: bits });
+                return Err(DdViolation::NotDeterministic {
+                    gate: id,
+                    witness: bits,
+                });
             }
         }
     }

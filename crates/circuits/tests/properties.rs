@@ -13,7 +13,11 @@ fn obdd_of(m: &mut ObddManager, t: u16) -> NodeRef {
     fn rec(m: &mut ObddManager, t: u16, level: u32) -> NodeRef {
         let remaining = 4 - level;
         if remaining == 0 {
-            return if t & 1 == 1 { NodeRef::TRUE } else { NodeRef::FALSE };
+            return if t & 1 == 1 {
+                NodeRef::TRUE
+            } else {
+                NodeRef::FALSE
+            };
         }
         let mut lo_bits = 0u16;
         let mut hi_bits = 0u16;

@@ -34,7 +34,10 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::NonZeroEuler(e) => {
-                write!(f, "d-D pipeline requires e(φ) = 0, got {e} (query is not safe)")
+                write!(
+                    f,
+                    "d-D pipeline requires e(φ) = 0, got {e} (query is not safe)"
+                )
             }
             CompileError::Lineage(e) => write!(f, "leaf compilation failed: {e}"),
         }
@@ -80,7 +83,8 @@ impl CompiledLineage {
 
     /// Floating-point probability.
     pub fn probability_f64(&self, tid: &Tid) -> f64 {
-        self.circuit.probability_f64(self.root, &|v| tid.prob_f64(TupleId(v)))
+        self.circuit
+            .probability_f64(self.root, &|v| tid.prob_f64(TupleId(v)))
     }
 
     /// Circuit statistics (size of the compiled representation).
@@ -107,7 +111,11 @@ pub fn compile_dd(phi: &BoolFn, db: &Database) -> Result<CompiledLineage, Compil
         leaf_gates.push(lin.manager.copy_into_circuit(lin.root, &mut circuit));
     }
     let root = instantiate(&frag.template, &leaf_gates, &mut circuit);
-    Ok(CompiledLineage { circuit, root, fragmentation: frag })
+    Ok(CompiledLineage {
+        circuit,
+        root,
+        fragmentation: frag,
+    })
 }
 
 fn instantiate(t: &Template, leaf_gates: &[GateId], c: &mut Circuit) -> GateId {
@@ -152,7 +160,12 @@ mod tests {
     fn phi9_probability_matches_extensional_and_brute_force() {
         let mut rng = StdRng::seed_from_u64(77);
         let db = random_database(
-            &DbGenConfig { k: 3, domain_size: 2, density: 0.7, prob_denominator: 7 },
+            &DbGenConfig {
+                k: 3,
+                domain_size: 2,
+                density: 0.7,
+                prob_denominator: 7,
+            },
             &mut rng,
         );
         let tid = random_tid(db, 7, &mut rng);
@@ -171,7 +184,12 @@ mod tests {
         let phi = phi_no_pm(); // non-monotone, e = 0, k = 4
         let mut rng = StdRng::seed_from_u64(13);
         let db = random_database(
-            &DbGenConfig { k: 4, domain_size: 2, density: 0.4, prob_denominator: 5 },
+            &DbGenConfig {
+                k: 4,
+                domain_size: 2,
+                density: 0.4,
+                prob_denominator: 5,
+            },
             &mut rng,
         );
         let tid = random_tid(db, 5, &mut rng);
@@ -193,7 +211,12 @@ mod tests {
         // Exhaustive Theorem 5.2 check at k = 2 against brute force.
         let mut rng = StdRng::seed_from_u64(5);
         let db = random_database(
-            &DbGenConfig { k: 2, domain_size: 2, density: 0.75, prob_denominator: 4 },
+            &DbGenConfig {
+                k: 2,
+                domain_size: 2,
+                density: 0.75,
+                prob_denominator: 4,
+            },
             &mut rng,
         );
         let tid = random_tid(db, 4, &mut rng);
@@ -234,13 +257,19 @@ mod tests {
         // probabilities and re-evaluate without recompiling.
         let mut rng = StdRng::seed_from_u64(99);
         let db = random_database(
-            &DbGenConfig { k: 3, domain_size: 2, density: 0.8, prob_denominator: 9 },
+            &DbGenConfig {
+                k: 3,
+                domain_size: 2,
+                density: 0.8,
+                prob_denominator: 9,
+            },
             &mut rng,
         );
         let mut tid = random_tid(db, 9, &mut rng);
         let compiled = compile_dd(&phi9(), tid.database()).unwrap();
         let before = compiled.probability_exact(&tid);
-        tid.set_prob(TupleId(0), BigRational::from_ratio(1, 97)).unwrap();
+        tid.set_prob(TupleId(0), BigRational::from_ratio(1, 97))
+            .unwrap();
         let after = compiled.probability_exact(&tid);
         let q = HQuery::new(phi9());
         assert_eq!(after, pqe_brute_force(&q, &tid).unwrap());

@@ -73,7 +73,10 @@ impl Fragmentation {
         let mut leaves = vec![BoolFn::bottom(n)];
         for step in steps_from_bottom {
             let pair = BoolFn::from_sat(n, [step.nu, step.partner()]);
-            debug_assert!(pair.is_degenerate(), "pair functions ignore the flipped variable");
+            debug_assert!(
+                pair.is_degenerate(),
+                "pair functions ignore the flipped variable"
+            );
             let idx = leaves.len();
             leaves.push(pair);
             template = match step.kind {
@@ -154,15 +157,25 @@ mod tests {
         let l3 = BoolFn::from_sat(4, [0b0111u32, 0b1111]); // 0∧1∧2
         let template = Template::Or(
             Box::new(Template::Or(
-                Box::new(Template::Or(Box::new(Template::Hole(0)), Box::new(Template::Hole(1)))),
+                Box::new(Template::Or(
+                    Box::new(Template::Hole(0)),
+                    Box::new(Template::Hole(1)),
+                )),
                 Box::new(Template::Hole(2)),
             )),
             Box::new(Template::Hole(3)),
         );
-        let frag = Fragmentation { template, leaves: vec![l0, l1, l2, l3] };
+        let frag = Fragmentation {
+            template,
+            leaves: vec![l0, l1, l2, l3],
+        };
         assert!(frag.is_deterministic());
         assert_eq!(frag.to_boolfn(), phi9());
-        assert_eq!(frag.template.negation_count(), 0, "Example 4.3 uses no negations");
+        assert_eq!(
+            frag.template.negation_count(),
+            0,
+            "Example 4.3 uses no negations"
+        );
     }
 
     #[test]
@@ -205,8 +218,7 @@ mod tests {
         assert!(t.gate_count() >= frag.num_leaves() - 1);
         assert_eq!(
             t.gate_count(),
-            t.negation_count()
-                + (frag.num_leaves() - 1) // one Or per non-initial leaf
+            t.negation_count() + (frag.num_leaves() - 1) // one Or per non-initial leaf
         );
     }
 }

@@ -118,7 +118,12 @@ mod tests {
     fn sample_tid(k: u8, seed: u64) -> Tid {
         let mut rng = StdRng::seed_from_u64(seed);
         let db = random_database(
-            &DbGenConfig { k, domain_size: 2, density: 0.7, prob_denominator: 6 },
+            &DbGenConfig {
+                k,
+                domain_size: 2,
+                density: 0.7,
+                prob_denominator: 6,
+            },
             &mut rng,
         );
         random_tid(db, 6, &mut rng)

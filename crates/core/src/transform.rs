@@ -143,7 +143,10 @@ impl fmt::Display for TransformError {
                 write!(f, "transformation to ⊥ requires e(φ) = 0, got {e}")
             }
             TransformError::EulerMismatch(a, b) => {
-                write!(f, "e(φ) = {a} ≠ {b} = e(φ′): functions are not ≃-equivalent")
+                write!(
+                    f,
+                    "e(φ) = {a} ≠ {b} = e(φ′): functions are not ≃-equivalent"
+                )
             }
             TransformError::ArityMismatch(a, b) => {
                 write!(f, "variable counts differ: {a} vs {b}")
@@ -181,9 +184,16 @@ fn flipped_var(a: u32, b: u32) -> u8 {
 /// way). Mutates `phi` and appends the validated steps.
 fn chainkill(phi: &mut BoolFn, path: &[u32], steps: &mut Vec<Step>) {
     let m = path.len() - 1;
-    debug_assert!(m % 2 == 1, "chainkill path must have opposite-parity endpoints");
+    debug_assert!(
+        m % 2 == 1,
+        "chainkill path must have opposite-parity endpoints"
+    );
     let emit = |phi: &mut BoolFn, kind: StepKind, a: u32, b: u32, steps: &mut Vec<Step>| {
-        let s = Step { kind, nu: a, var: flipped_var(a, b) };
+        let s = Step {
+            kind,
+            nu: a,
+            var: flipped_var(a, b),
+        };
         *phi = s.apply(phi).expect("chainkill step precondition");
         steps.push(s);
     };
@@ -207,10 +217,17 @@ fn chainkill(phi: &mut BoolFn, path: &[u32], steps: &mut Vec<Step>) {
 /// of the path to its start.
 fn chainswap(phi: &mut BoolFn, path: &[u32], steps: &mut Vec<Step>) {
     let m = path.len() - 1;
-    debug_assert!(m.is_multiple_of(2), "chainswap path must have equal-parity endpoints");
+    debug_assert!(
+        m.is_multiple_of(2),
+        "chainswap path must have equal-parity endpoints"
+    );
     debug_assert!(m >= 2, "chainswap needs at least one intermediate node");
     let emit = |phi: &mut BoolFn, kind: StepKind, a: u32, b: u32, steps: &mut Vec<Step>| {
-        let s = Step { kind, nu: a, var: flipped_var(a, b) };
+        let s = Step {
+            kind,
+            nu: a,
+            var: flipped_var(a, b),
+        };
         *phi = s.apply(phi).expect("chainswap step precondition");
         steps.push(s);
     };
@@ -290,7 +307,9 @@ pub fn steps_to_even_only(phi: &BoolFn) -> Result<(Vec<Step>, BoolFn), Transform
 /// This is in canonical form per Definition 6.6.
 pub fn canonical_function(n: u8, e: i64) -> BoolFn {
     assert!(e >= 0, "canonical_function is defined for e >= 0");
-    let mut evens: Vec<u32> = (0..(1u32 << n)).filter(|v| v.count_ones() % 2 == 0).collect();
+    let mut evens: Vec<u32> = (0..(1u32 << n))
+        .filter(|v| v.count_ones() % 2 == 0)
+        .collect();
     evens.sort_by_key(|&v| (v.count_ones(), v));
     assert!(
         (e as usize) <= evens.len(),
@@ -363,7 +382,10 @@ pub fn steps_to_canonical(phi: &BoolFn) -> Result<(Vec<Step>, BoolFn), Transform
 /// from `φ` to `φ′` whenever `e(φ) = e(φ′)`.
 pub fn steps_between(phi: &BoolFn, phi2: &BoolFn) -> Result<Vec<Step>, TransformError> {
     if phi.num_vars() != phi2.num_vars() {
-        return Err(TransformError::ArityMismatch(phi.num_vars(), phi2.num_vars()));
+        return Err(TransformError::ArityMismatch(
+            phi.num_vars(),
+            phi2.num_vars(),
+        ));
     }
     let (e1, e2) = (phi.euler_characteristic(), phi2.euler_characteristic());
     if e1 != e2 {
@@ -376,7 +398,10 @@ pub fn steps_between(phi: &BoolFn, phi2: &BoolFn) -> Result<Vec<Step>, Transform
     }
     let (forward, c1) = steps_to_canonical(phi)?;
     let (backward, c2) = steps_to_canonical(phi2)?;
-    debug_assert_eq!(c1, c2, "canonical forms coincide for equal Euler characteristic");
+    debug_assert_eq!(
+        c1, c2,
+        "canonical forms coincide for equal Euler characteristic"
+    );
     let mut steps = forward;
     steps.extend(invert_steps(&backward));
     Ok(steps)
@@ -390,7 +415,11 @@ mod tests {
     #[test]
     fn step_apply_and_inverse() {
         let bot = BoolFn::bottom(3);
-        let s = Step { kind: StepKind::Add, nu: 0b000, var: 2 };
+        let s = Step {
+            kind: StepKind::Add,
+            nu: 0b000,
+            var: 2,
+        };
         let phi = s.apply(&bot).unwrap();
         assert_eq!(phi.sat_vec(), vec![0b000, 0b100]);
         let back = s.inverse().apply(&phi).unwrap();
@@ -400,15 +429,35 @@ mod tests {
     #[test]
     fn step_preconditions_enforced() {
         let bot = BoolFn::bottom(3);
-        let bad = Step { kind: StepKind::Remove, nu: 0, var: 0 };
+        let bad = Step {
+            kind: StepKind::Remove,
+            nu: 0,
+            var: 0,
+        };
         assert!(matches!(bad.apply(&bot), Err(StepError::Precondition(_))));
         let top = BoolFn::top(3);
-        let bad2 = Step { kind: StepKind::Add, nu: 0, var: 0 };
+        let bad2 = Step {
+            kind: StepKind::Add,
+            nu: 0,
+            var: 0,
+        };
         assert!(bad2.apply(&top).is_err());
         // Half-colored pair is invalid in both directions.
         let half = BoolFn::from_sat(3, [0u32]);
-        assert!(Step { kind: StepKind::Add, nu: 0, var: 1 }.apply(&half).is_err());
-        assert!(Step { kind: StepKind::Remove, nu: 0, var: 1 }.apply(&half).is_err());
+        assert!(Step {
+            kind: StepKind::Add,
+            nu: 0,
+            var: 1
+        }
+        .apply(&half)
+        .is_err());
+        assert!(Step {
+            kind: StepKind::Remove,
+            nu: 0,
+            var: 1
+        }
+        .apply(&half)
+        .is_err());
     }
 
     #[test]

@@ -236,7 +236,12 @@ mod tests {
             }
             let mut w = BigRational::one();
             for (i, p) in probs.iter().enumerate() {
-                w = &w * &if (m >> i) & 1 == 1 { p.clone() } else { p.complement() };
+                w = &w
+                    * &if (m >> i) & 1 == 1 {
+                        p.clone()
+                    } else {
+                        p.complement()
+                    };
             }
             expect = &expect + &w;
         }
@@ -249,7 +254,12 @@ mod tests {
         // non-full d on random instances.
         let mut rng = StdRng::seed_from_u64(9);
         let db = random_database(
-            &DbGenConfig { k: 2, domain_size: 2, density: 0.7, prob_denominator: 7 },
+            &DbGenConfig {
+                k: 2,
+                domain_size: 2,
+                density: 0.7,
+                prob_denominator: 7,
+            },
             &mut rng,
         );
         let tid = random_tid(db, 7, &mut rng);
@@ -265,10 +275,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "#P-hard bottom")]
     fn full_run_rejected() {
-        let tid = intext_tid::uniform_tid(
-            complete_database(2, 1),
-            BigRational::from_ratio(1, 2),
-        );
+        let tid = intext_tid::uniform_tid(complete_database(2, 1), BigRational::from_ratio(1, 2));
         let _ = neg_h_probability(&tid, 0b111);
     }
 
@@ -277,7 +284,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         for trial in 0..3 {
             let db = random_database(
-                &DbGenConfig { k: 3, domain_size: 2, density: 0.6, prob_denominator: 5 },
+                &DbGenConfig {
+                    k: 3,
+                    domain_size: 2,
+                    density: 0.6,
+                    prob_denominator: 5,
+                },
                 &mut rng,
             );
             let tid = random_tid(db, 5, &mut rng);
@@ -293,7 +305,12 @@ mod tests {
         // Every safe monotone function on k = 2 against ground truth.
         let mut rng = StdRng::seed_from_u64(31);
         let db = random_database(
-            &DbGenConfig { k: 2, domain_size: 2, density: 0.8, prob_denominator: 6 },
+            &DbGenConfig {
+                k: 2,
+                domain_size: 2,
+                density: 0.8,
+                prob_denominator: 6,
+            },
             &mut rng,
         );
         let tid = random_tid(db, 6, &mut rng);
@@ -313,26 +330,26 @@ mod tests {
                 Err(e) => panic!("unexpected error {e:?} for t={t:#x}"),
             }
         }
-        assert!(safe_checked > 5, "only {safe_checked} safe functions checked");
+        assert!(
+            safe_checked > 5,
+            "only {safe_checked} safe functions checked"
+        );
     }
 
     #[test]
     fn unsafe_query_rejected() {
-        let tid = intext_tid::uniform_tid(
-            complete_database(3, 2),
-            BigRational::from_ratio(1, 2),
-        );
+        let tid = intext_tid::uniform_tid(complete_database(3, 2), BigRational::from_ratio(1, 2));
         // The hard query: all h's in one disjunction.
         let q = HQuery::new(BoolFn::from_fn(4, |v| v != 0));
-        assert_eq!(pqe_extensional(&q, &tid).unwrap_err(), ExtensionalError::NotSafe);
+        assert_eq!(
+            pqe_extensional(&q, &tid).unwrap_err(),
+            ExtensionalError::NotSafe
+        );
     }
 
     #[test]
     fn non_monotone_rejected() {
-        let tid = intext_tid::uniform_tid(
-            complete_database(3, 1),
-            BigRational::from_ratio(1, 2),
-        );
+        let tid = intext_tid::uniform_tid(complete_database(3, 1), BigRational::from_ratio(1, 2));
         let q = HQuery::new(!&phi9());
         assert_eq!(
             pqe_extensional(&q, &tid).unwrap_err(),
@@ -342,11 +359,10 @@ mod tests {
 
     #[test]
     fn constants_evaluate() {
-        let tid = intext_tid::uniform_tid(
-            complete_database(2, 2),
-            BigRational::from_ratio(1, 3),
-        );
-        assert!(pqe_extensional(&HQuery::new(BoolFn::top(3)), &tid).unwrap().is_one());
+        let tid = intext_tid::uniform_tid(complete_database(2, 2), BigRational::from_ratio(1, 3));
+        assert!(pqe_extensional(&HQuery::new(BoolFn::top(3)), &tid)
+            .unwrap()
+            .is_one());
         assert!(pqe_extensional(&HQuery::new(BoolFn::bottom(3)), &tid)
             .unwrap()
             .is_zero());

@@ -77,7 +77,10 @@ mod tests {
                 assert_eq!(me.euler, sign * me.mobius_dnf, "DNF side, n={n}, t={t:#x}");
                 checked += 1;
             }
-            assert!(checked > 0, "no nondegenerate monotone functions found for n={n}");
+            assert!(
+                checked > 0,
+                "no nondegenerate monotone functions found for n={n}"
+            );
         }
     }
 

@@ -120,7 +120,11 @@ impl Poset {
         // the size of the interval [u, v] (smaller interval first), which
         // is a linear extension of the reversed order on [0̂, v].
         let mut order: Vec<usize> = (0..self.len).filter(|&u| self.leq(u, v)).collect();
-        order.sort_by_key(|&u| (0..self.len).filter(|&w| self.leq(u, w) && self.leq(w, v)).count());
+        order.sort_by_key(|&u| {
+            (0..self.len)
+                .filter(|&w| self.leq(u, w) && self.leq(w, v))
+                .count()
+        });
         for &u in &order {
             if u == v {
                 mu[u] = Some(1);
@@ -145,24 +149,31 @@ impl Poset {
 
     /// The least upper bound of `u` and `v`, if it exists.
     pub fn join(&self, u: usize, v: usize) -> Option<usize> {
-        let uppers: Vec<usize> =
-            (0..self.len).filter(|&w| self.leq(u, w) && self.leq(v, w)).collect();
-        uppers.iter().copied().find(|&m| uppers.iter().all(|&w| self.leq(m, w)))
+        let uppers: Vec<usize> = (0..self.len)
+            .filter(|&w| self.leq(u, w) && self.leq(v, w))
+            .collect();
+        uppers
+            .iter()
+            .copied()
+            .find(|&m| uppers.iter().all(|&w| self.leq(m, w)))
     }
 
     /// The greatest lower bound of `u` and `v`, if it exists.
     pub fn meet(&self, u: usize, v: usize) -> Option<usize> {
-        let lowers: Vec<usize> =
-            (0..self.len).filter(|&w| self.leq(w, u) && self.leq(w, v)).collect();
-        lowers.iter().copied().find(|&m| lowers.iter().all(|&w| self.leq(w, m)))
+        let lowers: Vec<usize> = (0..self.len)
+            .filter(|&w| self.leq(w, u) && self.leq(w, v))
+            .collect();
+        lowers
+            .iter()
+            .copied()
+            .find(|&m| lowers.iter().all(|&w| self.leq(w, m)))
     }
 
     /// Is the poset a lattice (every pair has a meet and a join)?
     /// Definition 3.4 remarks that `L^φ_CNF` is one; this checks it.
     pub fn is_lattice(&self) -> bool {
-        (0..self.len).all(|u| {
-            (u..self.len).all(|v| self.join(u, v).is_some() && self.meet(u, v).is_some())
-        })
+        (0..self.len)
+            .all(|u| (u..self.len).all(|v| self.join(u, v).is_some() && self.meet(u, v).is_some()))
     }
 
     /// Cover relations `(u, v)` with `u < v` and no element in between —
@@ -171,9 +182,7 @@ impl Poset {
         let mut out = Vec::new();
         for u in 0..self.len {
             for v in 0..self.len {
-                if self.lt(u, v)
-                    && !(0..self.len).any(|w| self.lt(u, w) && self.lt(w, v))
-                {
+                if self.lt(u, v) && !(0..self.len).any(|w| self.lt(u, w) && self.lt(w, v)) {
                     out.push((u, v));
                 }
             }
@@ -203,7 +212,10 @@ mod tests {
         );
         // 0 <= 1 <= 2 but 0 ≰ 2.
         let r = |u: usize, v: usize| u == v || (u == 0 && v == 1) || (u == 1 && v == 2);
-        assert_eq!(Poset::new(3, r).unwrap_err(), PosetError::NotTransitive(0, 1, 2));
+        assert_eq!(
+            Poset::new(3, r).unwrap_err(),
+            PosetError::NotTransitive(0, 1, 2)
+        );
     }
 
     #[test]

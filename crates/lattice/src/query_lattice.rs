@@ -49,7 +49,12 @@ impl QueryLattice {
             .into_iter()
             .map(|m| m.expect("every element is <= 1̂"))
             .collect();
-        QueryLattice { clauses, elements, poset, mobius_to_top }
+        QueryLattice {
+            clauses,
+            elements,
+            poset,
+            mobius_to_top,
+        }
     }
 
     /// Index of the greatest element `1̂ = ∅`.
@@ -59,7 +64,9 @@ impl QueryLattice {
 
     /// Index of the least element `0̂` (the union of all clauses).
     pub fn bottom(&self) -> usize {
-        self.poset.bottom().expect("the union of all clauses is least")
+        self.poset
+            .bottom()
+            .expect("the union of all clauses is least")
     }
 
     /// The safety quantity `µ(0̂, 1̂)` (Proposition 3.5).
@@ -116,14 +123,22 @@ pub fn render_hasse(lat: &QueryLattice) -> String {
         let row: Vec<String> = layer
             .iter()
             .map(|&i| {
-                format!("{} [µ={}]", Valuation(lat.elements[i]), lat.mobius_to_top[i])
+                format!(
+                    "{} [µ={}]",
+                    Valuation(lat.elements[i]),
+                    lat.mobius_to_top[i]
+                )
             })
             .collect();
         writeln!(out, "{}", row.join("   ")).expect("write to String");
     }
     let covers = lat.poset.hasse_edges();
-    writeln!(out, "covers (lower ⋖ upper in reversed inclusion): {}", covers.len())
-        .expect("write to String");
+    writeln!(
+        out,
+        "covers (lower ⋖ upper in reversed inclusion): {}",
+        covers.len()
+    )
+    .expect("write to String");
     out
 }
 
@@ -183,7 +198,10 @@ mod tests {
         let lat = cnf_lattice(&phi9());
         let s = render_hasse(&lat);
         for &d in &lat.elements {
-            assert!(s.contains(&Valuation(d).to_string()), "missing {d:#b} in:\n{s}");
+            assert!(
+                s.contains(&Valuation(d).to_string()),
+                "missing {d:#b} in:\n{s}"
+            );
         }
     }
 

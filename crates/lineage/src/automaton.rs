@@ -111,7 +111,10 @@ pub fn slot_stream(db: &Database, l: u8) -> Vec<StreamStep> {
     if l >= 1 {
         for a in 0..n {
             steps.push(StreamStep::ResetLeftGroup);
-            steps.push(StreamStep::Read { op: ReadOp::R, tuple: db.r_tuple(a) });
+            steps.push(StreamStep::Read {
+                op: ReadOp::R,
+                tuple: db.r_tuple(a),
+            });
             for b in 0..n {
                 steps.push(StreamStep::ResetPair);
                 for i in 1..=l {
@@ -127,7 +130,10 @@ pub fn slot_stream(db: &Database, l: u8) -> Vec<StreamStep> {
     if l < k {
         for b in 0..n {
             steps.push(StreamStep::ResetRightGroup);
-            steps.push(StreamStep::Read { op: ReadOp::T, tuple: db.t_tuple(b) });
+            steps.push(StreamStep::Read {
+                op: ReadOp::T,
+                tuple: db.t_tuple(b),
+            });
             for a in 0..n {
                 steps.push(StreamStep::ResetPair);
                 for i in (l + 1)..=k {
@@ -175,9 +181,9 @@ mod tests {
             if i == skip {
                 continue;
             }
-            let holds = h_witnesses(db, i).iter().any(|&(t1, t2)| {
-                (world >> t1.0) & 1 == 1 && (world >> t2.0) & 1 == 1
-            });
+            let holds = h_witnesses(db, i)
+                .iter()
+                .any(|&(t1, t2)| (world >> t1.0) & 1 == 1 && (world >> t2.0) & 1 == 1);
             if holds {
                 mask |= 1 << i;
             }
@@ -254,10 +260,9 @@ mod tests {
     fn empty_database_stream_has_no_variables() {
         let db = Database::new(2, 2);
         let steps = slot_stream(&db, 1);
-        assert!(steps.iter().all(|s| !matches!(
-            s,
-            StreamStep::Read { tuple: Some(_), .. }
-        )));
+        assert!(steps
+            .iter()
+            .all(|s| !matches!(s, StreamStep::Read { tuple: Some(_), .. })));
         assert_eq!(run_concrete(&steps, 2, 0), 0);
     }
 }

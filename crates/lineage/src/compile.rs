@@ -28,7 +28,10 @@ impl fmt::Display for LineageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LineageError::NotDegenerate => {
-                write!(f, "function depends on all variables; Prop 3.7 needs a split variable")
+                write!(
+                    f,
+                    "function depends on all variables; Prop 3.7 needs a split variable"
+                )
             }
             LineageError::VocabularyMismatch { expected, got } => {
                 write!(f, "function is over k={expected} but database has k={got}")
@@ -66,7 +69,8 @@ impl DegenerateLineage {
 
     /// Floating-point probability.
     pub fn probability_f64(&self, tid: &Tid) -> f64 {
-        self.manager.probability_f64(self.root, &|v| tid.prob_f64(TupleId(v)))
+        self.manager
+            .probability_f64(self.root, &|v| tid.prob_f64(TupleId(v)))
     }
 
     /// Embeds the OBDD as a d-D circuit (for template plugging).
@@ -101,7 +105,12 @@ impl SplitCompiler {
                 _ => None,
             })
             .collect();
-        SplitCompiler { manager: ObddManager::new(order), steps, k: db.k(), l }
+        SplitCompiler {
+            manager: ObddManager::new(order),
+            steps,
+            k: db.k(),
+            l,
+        }
     }
 
     /// The shared manager.
@@ -123,7 +132,10 @@ impl SplitCompiler {
     /// the split variable) into a reduced OBDD; `O(2^k · |D|)`.
     pub fn compile(&mut self, psi: &BoolFn) -> Result<NodeRef, LineageError> {
         if psi.k() != self.k {
-            return Err(LineageError::VocabularyMismatch { expected: psi.k(), got: self.k });
+            return Err(LineageError::VocabularyMismatch {
+                expected: psi.k(),
+                got: self.k,
+            });
         }
         if psi.depends_on(self.l) {
             return Err(LineageError::NotDegenerate);
@@ -220,12 +232,19 @@ pub fn compile_degenerate_obdd(
 ) -> Result<DegenerateLineage, LineageError> {
     let k = psi.k();
     if db.k() != k {
-        return Err(LineageError::VocabularyMismatch { expected: k, got: db.k() });
+        return Err(LineageError::VocabularyMismatch {
+            expected: k,
+            got: db.k(),
+        });
     }
     let l = psi.independent_var().ok_or(LineageError::NotDegenerate)?;
     let mut compiler = SplitCompiler::new(db, l);
     let root = compiler.compile(psi)?;
-    Ok(DegenerateLineage { manager: compiler.into_manager(), root, split: l })
+    Ok(DegenerateLineage {
+        manager: compiler.into_manager(),
+        root,
+        split: l,
+    })
 }
 
 /// Ablation baseline for Proposition 3.7: build one OBDD per `h_{k,i}`
@@ -239,7 +258,10 @@ pub fn compile_degenerate_obdd_apply(
 ) -> Result<DegenerateLineage, LineageError> {
     let k = psi.k();
     if db.k() != k {
-        return Err(LineageError::VocabularyMismatch { expected: k, got: db.k() });
+        return Err(LineageError::VocabularyMismatch {
+            expected: k,
+            got: db.k(),
+        });
     }
     let l = psi.independent_var().ok_or(LineageError::NotDegenerate)?;
     let mut compiler = SplitCompiler::new(db, l);
@@ -252,7 +274,11 @@ pub fn compile_degenerate_obdd_apply(
         }
         indices.push(i);
         let hi = BoolFn::var(k + 1, i);
-        roots.push(compiler.compile(&hi).expect("h_i ignores the split variable"));
+        roots.push(
+            compiler
+                .compile(&hi)
+                .expect("h_i ignores the split variable"),
+        );
     }
     let mut manager = compiler.into_manager();
     let root = manager.combine_many(&roots, &|values: &[bool]| {
@@ -264,7 +290,11 @@ pub fn compile_degenerate_obdd_apply(
         }
         psi.eval(mask)
     });
-    Ok(DegenerateLineage { manager, root, split: l })
+    Ok(DegenerateLineage {
+        manager,
+        root,
+        split: l,
+    })
 }
 
 #[cfg(test)]
@@ -337,7 +367,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         for trial in 0..10 {
             let db = random_database(
-                &DbGenConfig { k: 2, domain_size: 2, density: 0.5, prob_denominator: 10 },
+                &DbGenConfig {
+                    k: 2,
+                    domain_size: 2,
+                    density: 0.5,
+                    prob_denominator: 10,
+                },
                 &mut rng,
             );
             if db.len() >= 16 {
@@ -353,7 +388,12 @@ mod tests {
     fn probability_matches_brute_force_exactly() {
         let mut rng = StdRng::seed_from_u64(5);
         let db = random_database(
-            &DbGenConfig { k: 3, domain_size: 2, density: 0.7, prob_denominator: 10 },
+            &DbGenConfig {
+                k: 3,
+                domain_size: 2,
+                density: 0.7,
+                prob_denominator: 10,
+            },
             &mut rng,
         );
         let tid = random_tid(db, 10, &mut rng);
@@ -379,7 +419,10 @@ mod tests {
         let psi = BoolFn::var(4, 0); // k = 3 function
         assert_eq!(
             compile_degenerate_obdd(&psi, &db).unwrap_err(),
-            LineageError::VocabularyMismatch { expected: 3, got: 2 }
+            LineageError::VocabularyMismatch {
+                expected: 3,
+                got: 2
+            }
         );
     }
 
@@ -398,7 +441,10 @@ mod tests {
             .collect();
         // Linear in tuple count: size(n=8)/size(n=4) ≈ tuples(8)/tuples(4) ≈ 4.
         let ratio = sizes[2] as f64 / sizes[1] as f64;
-        assert!(ratio < 6.0, "sizes {sizes:?} grew superlinearly (ratio {ratio})");
+        assert!(
+            ratio < 6.0,
+            "sizes {sizes:?} grew superlinearly (ratio {ratio})"
+        );
         // And strictly growing.
         assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
     }
@@ -411,7 +457,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         for trial in 0..5 {
             let db = random_database(
-                &DbGenConfig { k: 3, domain_size: 2, density: 0.7, prob_denominator: 9 },
+                &DbGenConfig {
+                    k: 3,
+                    domain_size: 2,
+                    density: 0.7,
+                    prob_denominator: 9,
+                },
                 &mut rng,
             );
             let tid = random_tid(db, 9, &mut rng);
@@ -446,11 +497,8 @@ mod tests {
         // Combining in the shared manager is now a plain apply.
         let mut manager = compiler.into_manager();
         let both = manager.and(h0, h2);
-        let direct = compile_degenerate_obdd(
-            &(&BoolFn::var(3, 0) & &BoolFn::var(3, 2)),
-            &db,
-        )
-        .unwrap();
+        let direct =
+            compile_degenerate_obdd(&(&BoolFn::var(3, 0) & &BoolFn::var(3, 2)), &db).unwrap();
         for world in 0..(1u64 << db.len().min(20)) {
             assert_eq!(
                 manager.eval(both, &|v| (world >> v) & 1 == 1),

@@ -74,7 +74,9 @@ impl Conjecture1Report {
 pub fn verify_conjecture1_monotone(n: u8) -> Conjecture1Report {
     let tables = enumerate::monotone_tables(n);
     let monotone_total = tables.len() as u64;
-    let threads = std::thread::available_parallelism().map_or(1, |c| c.get()).min(16);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |c| c.get())
+        .min(16);
     let chunk = tables.len().div_ceil(threads);
     let partials: Vec<Conjecture1Report> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -97,9 +99,15 @@ pub fn verify_conjecture1_monotone(n: u8) -> Conjecture1Report {
                 rep
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
-    let mut total = Conjecture1Report { monotone_total, ..Default::default() };
+    let mut total = Conjecture1Report {
+        monotone_total,
+        ..Default::default()
+    };
     for p in partials {
         total.euler_zero += p.euler_zero;
         total.both_sides += p.both_sides;
@@ -118,7 +126,9 @@ pub fn verify_conjecture1_monotone(n: u8) -> Conjecture1Report {
 /// variables; the paper states the smallest lives at `k = 5` (`n = 6`).
 pub fn find_minimal_one_neg(n: u8) -> Option<BoolFn> {
     let tables = enumerate::monotone_tables(n);
-    let threads = std::thread::available_parallelism().map_or(1, |c| c.get()).min(16);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |c| c.get())
+        .min(16);
     let chunk = tables.len().div_ceil(threads);
     let best: Option<u64> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -131,9 +141,7 @@ pub fn find_minimal_one_neg(n: u8) -> Option<BoolFn> {
                     }
                     let better = match best {
                         None => true,
-                        Some(b) => {
-                            (t.count_ones(), t) < (b.count_ones(), b)
-                        }
+                        Some(b) => (t.count_ones(), t) < (b.count_ones(), b),
                     };
                     if better {
                         best = Some(t);
@@ -161,7 +169,11 @@ mod tests {
         // `conjecture1` example and the ignored test below.
         for n in 1..=5u8 {
             let rep = verify_conjecture1_monotone(n);
-            assert!(rep.holds(), "counterexamples at n={n}: {:?}", rep.counterexamples);
+            assert!(
+                rep.holds(),
+                "counterexamples at n={n}: {:?}",
+                rep.counterexamples
+            );
             assert!(rep.euler_zero > 0);
         }
     }
@@ -171,7 +183,10 @@ mod tests {
         // Figure 7's function is claimed minimal at k = 5: below that,
         // every monotone e=0 function has a colored-side matching.
         for n in 1..=5u8 {
-            assert!(find_minimal_one_neg(n).is_none(), "unexpected witness at n={n}");
+            assert!(
+                find_minimal_one_neg(n).is_none(),
+                "unexpected witness at n={n}"
+            );
         }
     }
 
@@ -190,7 +205,10 @@ mod tests {
         assert!(f.is_monotone());
         assert_eq!(f.euler_characteristic(), 0);
         assert!(!crate::sat_has_pm(&f));
-        assert!(crate::unsat_has_pm(&f), "Conjecture 1's other side must hold");
+        assert!(
+            crate::unsat_has_pm(&f),
+            "Conjecture 1's other side must hold"
+        );
     }
 
     #[test]
@@ -198,7 +216,9 @@ mod tests {
         let rep = verify_conjecture1_monotone(4);
         assert_eq!(
             rep.euler_zero,
-            rep.both_sides + rep.colored_only + rep.uncolored_only
+            rep.both_sides
+                + rep.colored_only
+                + rep.uncolored_only
                 + rep.counterexamples.len() as u64
         );
         assert_eq!(rep.monotone_total, enumerate::DEDEKIND[3]);

@@ -11,8 +11,9 @@ pub fn to_dot(phi: &BoolFn) -> String {
     let n = phi.num_vars();
     let mut out = String::from("graph g_v_phi {\n  rankdir=BT;\n  node [shape=ellipse];\n");
     for size in 0..=u32::from(n) {
-        let layer: Vec<u32> =
-            (0..(1u32 << n)).filter(|v| v.count_ones() == size).collect();
+        let layer: Vec<u32> = (0..(1u32 << n))
+            .filter(|v| v.count_ones() == size)
+            .collect();
         write!(out, "  {{ rank=same;").expect("write to String");
         for &v in &layer {
             let style = if phi.eval(v) {

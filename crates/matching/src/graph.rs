@@ -21,7 +21,11 @@ pub struct Matching {
 impl BipartiteGraph {
     /// Creates an empty bipartite graph with the given side sizes.
     pub fn new(left: usize, right: usize) -> Self {
-        BipartiteGraph { left, right, adj: vec![Vec::new(); left] }
+        BipartiteGraph {
+            left,
+            right,
+            adj: vec![Vec::new(); left],
+        }
     }
 
     /// Adds an edge between left node `u` and right node `v`.
@@ -147,12 +151,7 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
 /// oracle for Hopcroft–Karp in property tests.
 pub fn max_matching_naive(g: &BipartiteGraph) -> usize {
     let mut pair_v = vec![NIL; g.right];
-    fn try_augment(
-        u: usize,
-        g: &BipartiteGraph,
-        pair_v: &mut [u32],
-        visited: &mut [bool],
-    ) -> bool {
+    fn try_augment(u: usize, g: &BipartiteGraph, pair_v: &mut [u32], visited: &mut [bool]) -> bool {
         for &v in &g.adj[u] {
             let v = v as usize;
             if visited[v] {

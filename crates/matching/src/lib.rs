@@ -24,8 +24,8 @@ pub use conjecture::{
 pub use dot::to_dot;
 pub use graph::{hopcroft_karp, max_matching_naive, BipartiteGraph, Matching};
 pub use valuation_graph::{
-    induced_has_perfect_matching, induced_subgraph, induced_subgraph_labeled,
-    render_colored_graph, sat_has_pm, unsat_has_pm,
+    induced_has_perfect_matching, induced_subgraph, induced_subgraph_labeled, render_colored_graph,
+    sat_has_pm, unsat_has_pm,
 };
 
 #[cfg(test)]

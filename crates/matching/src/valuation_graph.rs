@@ -14,10 +14,7 @@ use crate::BipartiteGraph;
 /// the given valuation set, as a bipartite graph: left = even-size
 /// valuations, right = odd-size ones. Also returns the valuation labels
 /// of the left and right node indices (deterministic: input order).
-pub fn induced_subgraph_labeled(
-    n: u8,
-    nodes: &[u32],
-) -> (BipartiteGraph, Vec<u32>, Vec<u32>) {
+pub fn induced_subgraph_labeled(n: u8, nodes: &[u32]) -> (BipartiteGraph, Vec<u32>, Vec<u32>) {
     let mut left_labels = Vec::new();
     let mut right_labels = Vec::new();
     let mut right_index = std::collections::HashMap::new();
@@ -84,13 +81,7 @@ pub fn table_pm(n: u8, table: u64) -> bool {
     // Augmenting-path matching; nodes are valuations 0..2^n (<= 64).
     const NONE: u8 = u8::MAX;
     let mut match_of = [NONE; 64]; // partner of each odd node
-    fn augment(
-        u: u32,
-        n: u8,
-        table: u64,
-        visited: &mut u64,
-        match_of: &mut [u8; 64],
-    ) -> bool {
+    fn augment(u: u32, n: u8, table: u64, visited: &mut u64, match_of: &mut [u8; 64]) -> bool {
         for l in 0..n {
             let v = u ^ (1u32 << l);
             if (table >> v) & 1 == 0 || (*visited >> v) & 1 == 1 {
@@ -98,9 +89,7 @@ pub fn table_pm(n: u8, table: u64) -> bool {
             }
             *visited |= 1u64 << v;
             let cur = match_of[v as usize];
-            if cur == NONE
-                || augment(u32::from(cur), n, table, visited, match_of)
-            {
+            if cur == NONE || augment(u32::from(cur), n, table, visited, match_of) {
                 match_of[v as usize] = u as u8;
                 return true;
             }

@@ -27,12 +27,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
     }
 
     /// Builds from a sign and magnitude, normalizing zero.
@@ -93,7 +99,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt::from_sign_mag(
-            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             self.mag.clone(),
         )
     }
@@ -102,7 +112,9 @@ impl BigInt {
 impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
-            Ordering::Less => BigInt::from_sign_mag(Sign::Negative, BigUint::from(v.unsigned_abs())),
+            Ordering::Less => {
+                BigInt::from_sign_mag(Sign::Negative, BigUint::from(v.unsigned_abs()))
+            }
             Ordering::Equal => BigInt::zero(),
             Ordering::Greater => BigInt::from_sign_mag(Sign::Positive, BigUint::from(v as u64)),
         }

@@ -514,7 +514,11 @@ mod tests {
         }
         let cases = [(0, 0), (0, 9), (12, 18), (35, 49), (1 << 40, 3 << 20)];
         for (x, y) in cases {
-            assert_eq!(big(x).gcd(&big(y)).to_u64(), Some(euclid(x, y)), "gcd({x},{y})");
+            assert_eq!(
+                big(x).gcd(&big(y)).to_u64(),
+                Some(euclid(x, y)),
+                "gcd({x},{y})"
+            );
         }
     }
 

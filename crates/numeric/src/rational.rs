@@ -22,12 +22,18 @@ pub struct BigRational {
 impl BigRational {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigRational { num: BigInt::zero(), den: BigUint::one() }
+        BigRational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigRational { num: BigInt::one(), den: BigUint::one() }
+        BigRational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
     }
 
     /// Builds `num / den`, reducing to lowest terms.
@@ -43,7 +49,10 @@ impl BigRational {
         let (n, rn) = num.magnitude().div_rem(&g);
         let (d, rd) = den.div_rem(&g);
         debug_assert!(rn.is_zero() && rd.is_zero());
-        BigRational { num: BigInt::from_sign_mag(num.sign(), n), den: d }
+        BigRational {
+            num: BigInt::from_sign_mag(num.sign(), n),
+            den: d,
+        }
     }
 
     /// Builds from machine integers: `num / den`.
@@ -56,7 +65,10 @@ impl BigRational {
 
     /// Builds from an integer.
     pub fn from_int(v: i64) -> Self {
-        BigRational { num: BigInt::from(v), den: BigUint::one() }
+        BigRational {
+            num: BigInt::from(v),
+            den: BigUint::one(),
+        }
     }
 
     /// The numerator (sign-carrying).
@@ -102,9 +114,15 @@ impl BigRational {
         let shift = nbits - dbits;
         // Scale denominator by 2^shift so num/den' is in [1/2, 2).
         let (n, d) = if shift >= 0 {
-            (self.num.magnitude().clone(), self.den.shl_bits(shift as u64))
+            (
+                self.num.magnitude().clone(),
+                self.den.shl_bits(shift as u64),
+            )
         } else {
-            (self.num.magnitude().shl_bits((-shift) as u64), self.den.clone())
+            (
+                self.num.magnitude().shl_bits((-shift) as u64),
+                self.den.clone(),
+            )
         };
         let ratio = n.to_f64() / d.to_f64();
         let v = ratio * 2f64.powi(shift as i32);
@@ -175,7 +193,10 @@ impl Neg for &BigRational {
     type Output = BigRational;
 
     fn neg(self) -> BigRational {
-        BigRational { num: -&self.num, den: self.den.clone() }
+        BigRational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 

@@ -102,7 +102,9 @@ pub fn pqe_brute_force_f64(q: &HQuery, tid: &Tid) -> Result<f64, BruteForceError
         return Err(BruteForceError::TooManyTuples(m));
     }
     let masks = witness_masks(q, tid);
-    let probs: Vec<f64> = (0..m).map(|i| tid.prob_f64(intext_tid::TupleId(i as u32))).collect();
+    let probs: Vec<f64> = (0..m)
+        .map(|i| tid.prob_f64(intext_tid::TupleId(i as u32)))
+        .collect();
     let mut total = 0.0f64;
     for world in 0..(1u64 << m) {
         if !world_truth(q.phi(), &masks, world) {
@@ -167,7 +169,12 @@ mod tests {
     fn f64_matches_exact() {
         let mut rng = StdRng::seed_from_u64(3);
         let db = intext_tid::random_database(
-            &DbGenConfig { k: 3, domain_size: 2, density: 0.8, prob_denominator: 10 },
+            &DbGenConfig {
+                k: 3,
+                domain_size: 2,
+                density: 0.8,
+                prob_denominator: 10,
+            },
             &mut rng,
         );
         let tid = random_tid(db, 10, &mut rng);

@@ -47,7 +47,10 @@ impl Atom {
     /// Binary atom.
     pub fn binary(rel: Relation, t1: Term, t2: Term) -> Atom {
         debug_assert!(matches!(rel, Relation::S(_)));
-        Atom { rel, args: vec![t1, t2] }
+        Atom {
+            rel,
+            args: vec![t1, t2],
+        }
     }
 }
 
@@ -143,7 +146,9 @@ impl ConjunctiveQuery {
                     }
                     Some(_) => {}
                     None => {
-                        let Term::Var(v) = t else { unreachable!("consts always resolve") };
+                        let Term::Var(v) = t else {
+                            unreachable!("consts always resolve")
+                        };
                         binding.insert(*v, c);
                         newly_bound.push(*v);
                     }
@@ -213,9 +218,11 @@ mod tests {
 
     #[test]
     fn constants_constrain_matching() {
-        let q = ConjunctiveQuery::new(vec![
-            Atom::binary(Relation::S(1), Term::Const(2), Term::Var(0)),
-        ]);
+        let q = ConjunctiveQuery::new(vec![Atom::binary(
+            Relation::S(1),
+            Term::Const(2),
+            Term::Var(0),
+        )]);
         assert!(!q.eval(&db_with(&[TupleDesc::S(1, 0, 1)])));
         assert!(q.eval(&db_with(&[TupleDesc::S(1, 2, 3)])));
     }
@@ -223,9 +230,11 @@ mod tests {
     #[test]
     fn variable_reuse_within_atom() {
         // ∃x S1(x,x): diagonal.
-        let q = ConjunctiveQuery::new(vec![
-            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(0)),
-        ]);
+        let q = ConjunctiveQuery::new(vec![Atom::binary(
+            Relation::S(1),
+            Term::Var(0),
+            Term::Var(0),
+        )]);
         assert!(!q.eval(&db_with(&[TupleDesc::S(1, 0, 1)])));
         assert!(q.eval(&db_with(&[TupleDesc::S(1, 3, 3)])));
     }

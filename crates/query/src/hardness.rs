@@ -48,7 +48,11 @@ impl Pp2Cnf {
         for &(i, j) in &clauses {
             assert!(i < num_x && j < num_y, "clause ({i},{j}) out of range");
         }
-        Pp2Cnf { num_x, num_y, clauses }
+        Pp2Cnf {
+            num_x,
+            num_y,
+            clauses,
+        }
     }
 
     /// Counts the models by direct enumeration over `2^(m+n)` assignments
@@ -111,8 +115,8 @@ impl Pp2Cnf {
         let pr_q = pqe_brute_force_cq(&Self::triangle_query(), &tid);
         // #Φ = 2^(m+n) · (1 − Pr(q)).
         let worlds = BigUint::from(1u64).shl_bits(u64::from(self.num_x + self.num_y));
-        let count = &BigRational::new(worlds.into(), intext_numeric::BigUint::one())
-            * &pr_q.complement();
+        let count =
+            &BigRational::new(worlds.into(), intext_numeric::BigUint::one()) * &pr_q.complement();
         debug_assert!(count.denom().is_one(), "the count is an integer");
         count.numer().magnitude().clone()
     }

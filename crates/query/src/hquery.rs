@@ -17,9 +17,15 @@ pub fn h_cq(k: u8, i: u8) -> ConjunctiveQuery {
     assert!(i <= k, "h_{{k,i}} needs 0 <= i <= k");
     let (x, y) = (Term::Var(0), Term::Var(1));
     let atoms = if i == 0 {
-        vec![Atom::unary(Relation::R, x), Atom::binary(Relation::S(1), x, y)]
+        vec![
+            Atom::unary(Relation::R, x),
+            Atom::binary(Relation::S(1), x, y),
+        ]
     } else if i == k {
-        vec![Atom::binary(Relation::S(k), x, y), Atom::unary(Relation::T, y)]
+        vec![
+            Atom::binary(Relation::S(k), x, y),
+            Atom::unary(Relation::T, y),
+        ]
     } else {
         vec![
             Atom::binary(Relation::S(i), x, y),

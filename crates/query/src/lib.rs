@@ -25,6 +25,6 @@ mod hardness;
 mod hquery;
 
 pub use brute::{pqe_brute_force, pqe_brute_force_f64, BruteForceError};
-pub use hardness::{pqe_brute_force_cq, Pp2Cnf};
 pub use cq::{Atom, ConjunctiveQuery, Term};
+pub use hardness::{pqe_brute_force_cq, Pp2Cnf};
 pub use hquery::{h_cq, h_truth_vector, h_witnesses, HQuery};

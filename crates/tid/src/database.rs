@@ -243,7 +243,10 @@ mod tests {
     #[test]
     fn out_of_domain_rejected() {
         let mut db = Database::new(1, 2);
-        assert_eq!(db.insert(TupleDesc::T(2)), Err(DatabaseError::BadConstant(2)));
+        assert_eq!(
+            db.insert(TupleDesc::T(2)),
+            Err(DatabaseError::BadConstant(2))
+        );
     }
 
     #[test]

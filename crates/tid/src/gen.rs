@@ -8,7 +8,7 @@
 //! stays fast.
 
 use intext_numeric::BigRational;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{Database, Tid, TupleDesc};
 
@@ -27,7 +27,12 @@ pub struct DbGenConfig {
 
 impl Default for DbGenConfig {
     fn default() -> Self {
-        DbGenConfig { k: 3, domain_size: 3, density: 0.7, prob_denominator: 10 }
+        DbGenConfig {
+            k: 3,
+            domain_size: 3,
+            density: 0.7,
+            prob_denominator: 10,
+        }
     }
 }
 
@@ -114,12 +119,22 @@ mod tests {
     fn random_database_respects_density_extremes() {
         let mut rng = StdRng::seed_from_u64(7);
         let all = random_database(
-            &DbGenConfig { k: 2, domain_size: 3, density: 1.0, prob_denominator: 10 },
+            &DbGenConfig {
+                k: 2,
+                domain_size: 3,
+                density: 1.0,
+                prob_denominator: 10,
+            },
             &mut rng,
         );
         assert_eq!(all.len(), (2 * 3 + 2 * 9) as usize);
         let none = random_database(
-            &DbGenConfig { k: 2, domain_size: 3, density: 0.0, prob_denominator: 10 },
+            &DbGenConfig {
+                k: 2,
+                domain_size: 3,
+                density: 0.0,
+                prob_denominator: 10,
+            },
             &mut rng,
         );
         assert!(none.is_empty());
@@ -146,7 +161,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_under_seed() {
-        let cfg = DbGenConfig { k: 2, domain_size: 4, density: 0.5, prob_denominator: 10 };
+        let cfg = DbGenConfig {
+            k: 2,
+            domain_size: 4,
+            density: 0.5,
+            prob_denominator: 10,
+        };
         let a = random_database(&cfg, &mut StdRng::seed_from_u64(1));
         let b = random_database(&cfg, &mut StdRng::seed_from_u64(1));
         let ta: Vec<_> = a.iter().map(|(_, t)| t).collect();

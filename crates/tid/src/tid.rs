@@ -42,7 +42,10 @@ impl Tid {
     /// and that the vector covers every tuple.
     pub fn new(db: Database, probs: Vec<BigRational>) -> Result<Self, TidError> {
         if probs.len() != db.len() {
-            return Err(TidError::LengthMismatch { tuples: db.len(), probs: probs.len() });
+            return Err(TidError::LengthMismatch {
+                tuples: db.len(),
+                probs: probs.len(),
+            });
         }
         for (i, p) in probs.iter().enumerate() {
             if !p.is_probability() {
@@ -147,7 +150,10 @@ mod tests {
     fn length_mismatch_rejected() {
         assert_eq!(
             Tid::new(two_tuple_db(), vec![r(1, 2)]).unwrap_err(),
-            TidError::LengthMismatch { tuples: 2, probs: 1 }
+            TidError::LengthMismatch {
+                tuples: 2,
+                probs: 1
+            }
         );
     }
 

@@ -9,7 +9,12 @@ use rand::SeedableRng;
 fn small_tid(seed: u64) -> Tid {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_database(
-        &DbGenConfig { k: 2, domain_size: 2, density: 0.5, prob_denominator: 6 },
+        &DbGenConfig {
+            k: 2,
+            domain_size: 2,
+            density: 0.5,
+            prob_denominator: 6,
+        },
         &mut rng,
     );
     random_tid(db, 6, &mut rng)

@@ -43,7 +43,11 @@ fn main() {
         println!(
             "  tractable (e=0) = {tractable}; footnote-6 closed form C(2^{}, 2^{k}) = {expect}  {}",
             n,
-            if expect.to_u64() == Some(tractable) { "✓" } else { "✗ MISMATCH" }
+            if expect.to_u64() == Some(tractable) {
+                "✓"
+            } else {
+                "✗ MISMATCH"
+            }
         );
         println!();
     }

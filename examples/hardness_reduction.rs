@@ -21,13 +21,23 @@ fn main() {
     let formulas = [
         ("single clause", Pp2Cnf::new(1, 1, vec![(0, 0)])),
         ("path of 3", Pp2Cnf::new(2, 2, vec![(0, 0), (1, 0), (1, 1)])),
-        ("4-cycle", Pp2Cnf::new(2, 2, vec![(0, 0), (1, 0), (1, 1), (0, 1)])),
+        (
+            "4-cycle",
+            Pp2Cnf::new(2, 2, vec![(0, 0), (1, 0), (1, 1), (0, 1)]),
+        ),
         (
             "K_{3,3}",
-            Pp2Cnf::new(3, 3, (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).collect()),
+            Pp2Cnf::new(
+                3,
+                3,
+                (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).collect(),
+            ),
         ),
     ];
-    println!("{:<14} {:>10} {:>14} {:>14}", "formula", "2^(m+n)", "direct #Φ", "via PQE");
+    println!(
+        "{:<14} {:>10} {:>14} {:>14}",
+        "formula", "2^(m+n)", "direct #Φ", "via PQE"
+    );
     for (name, f) in &formulas {
         let direct = f.count_models_direct();
         let via = f.count_models_via_pqe();

@@ -22,7 +22,10 @@ fn main() {
     println!("=== Figure 2: Hasse diagram of L^φ9_CNF with Möbius values ===\n");
     let lat = cnf_lattice(&phi9());
     print!("{}", render_hasse(&lat));
-    println!("µ(0̂, 1̂) = {}  → PQE(Q_φ9) is PTIME (Example 3.6)\n", lat.mobius_bottom_top());
+    println!(
+        "µ(0̂, 1̂) = {}  → PQE(Q_φ9) is PTIME (Example 3.6)\n",
+        lat.mobius_bottom_top()
+    );
 
     println!("=== Figure 3: the colored graph G_V[φ9] (● = satisfying) ===\n");
     print!("{}", render_colored_graph(&phi9()));
@@ -37,7 +40,11 @@ fn main() {
     println!("e(φ_no-PM)              = {}", f.euler_characteristic());
     println!("colored side has PM?    = {}", sat_has_pm(&f));
     println!("non-colored side has PM?= {}", unsat_has_pm(&f));
-    println!("(isolated colored {} / isolated non-colored {})", Valuation(0b11000), Valuation(0b11001));
+    println!(
+        "(isolated colored {} / isolated non-colored {})",
+        Valuation(0b11000),
+        Valuation(0b11001)
+    );
 
     if k5 {
         println!("\n=== Figure 7: searching for φ_one-neg at k = 5 (7.8M functions) ===\n");
@@ -45,9 +52,12 @@ fn main() {
             Some(g) => {
                 println!("minimal monotone witness with e=0, colored side unmatched:");
                 println!("  #SAT = {}", g.sat_count());
-                println!("  colored PM: {}   non-colored PM: {}", sat_has_pm(&g), unsat_has_pm(&g));
-                let sat: Vec<String> =
-                    g.sat_iter().map(|v| Valuation(v).to_string()).collect();
+                println!(
+                    "  colored PM: {}   non-colored PM: {}",
+                    sat_has_pm(&g),
+                    unsat_has_pm(&g)
+                );
+                let sat: Vec<String> = g.sat_iter().map(|v| Valuation(v).to_string()).collect();
                 println!("  SAT = {}", sat.join(" "));
             }
             None => println!("no witness found (unexpected — the paper exhibits one)"),
@@ -63,14 +73,36 @@ fn figure_4_trace() {
     let path = [0b001u32, 0b000, 0b010, 0b110, 0b100];
     let mut cur = BoolFn::from_sat(3, [path[4]]);
     let steps = [
-        Step { kind: StepKind::Add, nu: path[0], var: 0 },
-        Step { kind: StepKind::Add, nu: path[2], var: 2 },
-        Step { kind: StepKind::Remove, nu: path[1], var: 1 },
-        Step { kind: StepKind::Remove, nu: path[3], var: 1 },
+        Step {
+            kind: StepKind::Add,
+            nu: path[0],
+            var: 0,
+        },
+        Step {
+            kind: StepKind::Add,
+            nu: path[2],
+            var: 2,
+        },
+        Step {
+            kind: StepKind::Remove,
+            nu: path[1],
+            var: 1,
+        },
+        Step {
+            kind: StepKind::Remove,
+            nu: path[3],
+            var: 1,
+        },
     ];
     let render = |f: &BoolFn| {
         path.iter()
-            .map(|&v| if f.eval(v) { format!("●{}", Valuation(v)) } else { format!("○{}", Valuation(v)) })
+            .map(|&v| {
+                if f.eval(v) {
+                    format!("●{}", Valuation(v))
+                } else {
+                    format!("○{}", Valuation(v))
+                }
+            })
             .collect::<Vec<_>>()
             .join(" ─ ")
     };

@@ -19,7 +19,12 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(2020);
     let db = random_database(
-        &DbGenConfig { k: 3, domain_size: 2, density: 0.8, prob_denominator: 10 },
+        &DbGenConfig {
+            k: 3,
+            domain_size: 2,
+            density: 0.8,
+            prob_denominator: 10,
+        },
         &mut rng,
     );
     let tid = random_tid(db, 10, &mut rng);
@@ -52,5 +57,8 @@ fn main() {
 
     assert_eq!(brute, ext, "extensional must equal ground truth");
     assert_eq!(brute, int, "intensional must equal ground truth");
-    println!("\nall three strategies agree exactly ✓  (≈ {:.6})", int.to_f64());
+    println!(
+        "\nall three strategies agree exactly ✓  (≈ {:.6})",
+        int.to_f64()
+    );
 }

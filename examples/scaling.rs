@@ -65,7 +65,10 @@ fn main() {
         if let Some((pb, _)) = brute {
             assert!((pb - ext).abs() < 1e-9, "brute {pb} vs extensional {ext}");
         }
-        assert!((ext - int).abs() < 1e-9, "extensional {ext} vs intensional {int}");
+        assert!(
+            (ext - int).abs() < 1e-9,
+            "extensional {ext} vs intensional {int}"
+        );
     }
 
     println!("\nbrute force doubles per extra tuple; the two polynomial engines crawl up");

@@ -43,7 +43,9 @@ fn e3_figure_3_colored_graph_of_phi9() {
     let f = phi9();
     let colored: Vec<u32> = f.sat_vec();
     assert_eq!(colored.len(), 8);
-    for v in [0b1001u32, 0b1011, 0b1100, 0b1101, 0b1010, 0b1110, 0b0111, 0b1111] {
+    for v in [
+        0b1001u32, 0b1011, 0b1100, 0b1101, 0b1010, 0b1110, 0b0111, 0b1111,
+    ] {
         assert!(f.eval(v), "{} must be colored", Valuation(v));
     }
     // The empty valuation and all singletons are uncolored.
@@ -66,10 +68,26 @@ fn e4_figure_4_chainswap_trace() {
     }
     let start = BoolFn::from_sat(3, [path[4]]); // colored at the far end
     let steps = vec![
-        Step { kind: StepKind::Add, nu: path[0], var: 0 },  // color ν0,ν1
-        Step { kind: StepKind::Add, nu: path[2], var: 2 },  // color ν2,ν3
-        Step { kind: StepKind::Remove, nu: path[1], var: 1 }, // uncolor ν1,ν2
-        Step { kind: StepKind::Remove, nu: path[3], var: 1 }, // uncolor ν3,ν4
+        Step {
+            kind: StepKind::Add,
+            nu: path[0],
+            var: 0,
+        }, // color ν0,ν1
+        Step {
+            kind: StepKind::Add,
+            nu: path[2],
+            var: 2,
+        }, // color ν2,ν3
+        Step {
+            kind: StepKind::Remove,
+            nu: path[1],
+            var: 1,
+        }, // uncolor ν1,ν2
+        Step {
+            kind: StepKind::Remove,
+            nu: path[3],
+            var: 1,
+        }, // uncolor ν3,ν4
     ];
     let end = apply_steps(&start, &steps).expect("all four steps valid");
     assert_eq!(end.sat_vec(), vec![path[0]], "token moved across the path");
@@ -80,7 +98,10 @@ fn e5_figure_5_phi_no_pm_witness() {
     let f = phi_no_pm();
     assert_eq!(f.euler_characteristic(), 0);
     assert!(!sat_has_pm(&f), "colored side has no perfect matching");
-    assert!(!unsat_has_pm(&f), "non-colored side has no perfect matching");
+    assert!(
+        !unsat_has_pm(&f),
+        "non-colored side has no perfect matching"
+    );
     // Yet the two-sided transformation reaches ⊥ (Proposition 5.9):
     let steps = steps_to_bottom(&f).unwrap();
     assert!(apply_steps(&f, &steps).unwrap().is_bottom());
@@ -96,7 +117,12 @@ fn e5_figure_5_phi_no_pm_witness() {
 fn e7_conjecture_1_holds_for_monotone_k_up_to_4() {
     for n in 2..=5u8 {
         let report = verify_conjecture1_monotone(n);
-        assert!(report.holds(), "k={} counterexamples: {:?}", n - 1, report.counterexamples);
+        assert!(
+            report.holds(),
+            "k={} counterexamples: {:?}",
+            n - 1,
+            report.counterexamples
+        );
     }
 }
 

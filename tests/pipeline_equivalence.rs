@@ -15,7 +15,12 @@ use rand::SeedableRng;
 fn sample_tid(k: u8, domain: u32, seed: u64) -> Tid {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_database(
-        &DbGenConfig { k, domain_size: domain, density: 0.7, prob_denominator: 8 },
+        &DbGenConfig {
+            k,
+            domain_size: domain,
+            density: 0.7,
+            prob_denominator: 8,
+        },
         &mut rng,
     );
     random_tid(db, 8, &mut rng)
@@ -65,7 +70,7 @@ fn non_ucq_zero_euler_queries_beat_the_extensional_engine() {
     let mut checked = 0;
     while checked < 8 {
         let t = {
-            use rand::RngExt;
+            use rand::Rng;
             rng.random::<u64>() & small::full_mask(4)
         };
         if small::euler(4, t) != 0 || small::is_monotone(4, t) {

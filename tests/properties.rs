@@ -37,7 +37,12 @@ fn zero_euler_fn(n: u8) -> impl Strategy<Value = BoolFn> {
 fn tid_from_seed(k: u8, seed: u64) -> Tid {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_database(
-        &DbGenConfig { k, domain_size: 2, density: 0.65, prob_denominator: 5 },
+        &DbGenConfig {
+            k,
+            domain_size: 2,
+            density: 0.65,
+            prob_denominator: 5,
+        },
         &mut rng,
     );
     random_tid(db, 5, &mut rng)

@@ -10,12 +10,17 @@ use intext::core::{
 use intext::query::{pqe_brute_force, HQuery};
 use intext::tid::{random_database, random_tid, DbGenConfig, Tid, TupleId};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 fn sample_tid(k: u8, seed: u64) -> Tid {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_database(
-        &DbGenConfig { k, domain_size: 2, density: 0.7, prob_denominator: 6 },
+        &DbGenConfig {
+            k,
+            domain_size: 2,
+            density: 0.7,
+            prob_denominator: 6,
+        },
         &mut rng,
     );
     random_tid(db, 6, &mut rng)
@@ -109,8 +114,7 @@ fn circuit_transfer_equals_direct_compilation() {
         let mut circuit = Circuit::new();
         let bot = circuit.constant(false);
         let root = transfer_circuit(&mut circuit, bot, 4, &steps, db).unwrap();
-        let via_transfer =
-            circuit.probability_exact(root, &|v| tid.prob(TupleId(v)).clone());
+        let via_transfer = circuit.probability_exact(root, &|v| tid.prob(TupleId(v)).clone());
         let direct = compile_dd(&phi, db).unwrap().probability_exact(&tid);
         assert_eq!(via_transfer, direct, "t={t:#x}");
         done += 1;

@@ -1,0 +1,265 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! This workspace builds offline, so the real `criterion` cannot be
+//! fetched. This crate keeps the same API shape used by the benches in
+//! `crates/bench` — [`Criterion::benchmark_group`], [`BenchmarkGroup`]
+//! with `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — so swapping the real
+//! crate back in later is a one-line `Cargo.toml` change.
+//!
+//! Measurement is deliberately simple: after a short warm-up, each
+//! benchmark is timed over a fixed wall-clock budget and the per-iteration
+//! mean and best time are printed as `bench-name ... mean / best`. There
+//! is no statistical analysis, plotting, or baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point of the harness; handed to every registered bench function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--quick` style budget: enough for a stable mean on the fast
+        // benches without making `cargo bench` take minutes per target.
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by wall
+    /// clock, not by count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under this group's configuration.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            budget: self.criterion.budget,
+            iters: 0,
+            total: Duration::ZERO,
+            best: Duration::MAX,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        if bencher.iters == 0 {
+            eprintln!("  {label:<48} (no iterations)");
+        } else {
+            let mean = bencher.total / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
+            eprintln!(
+                "  {label:<48} {:>12} mean / {:>12} best over {} iters",
+                format_duration(mean),
+                format_duration(bencher.best),
+                bencher.iters,
+            );
+        }
+    }
+
+    /// Ends the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    total: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call, until the group's
+    /// wall-clock budget is exhausted (always at least once).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(routine());
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.iters += 1;
+            self.total += dt;
+            self.best = self.best.min(dt);
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `obdd/domain=8`.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name`, parameterized by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parameter {
+            Some(p) if !self.name.is_empty() => write!(f, "{}/{}", self.name, p),
+            Some(p) => write!(f, "{p}"),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Units processed per iteration (accepted, not currently reported).
+pub enum Throughput {
+    /// Elements (tuples, functions, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Registers bench functions under a single group entry point, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a bench target, mirroring `criterion::criterion_main!`.
+/// Ignores Criterion's own CLI flags (`--bench`, filters) so `cargo bench`
+/// invocations pass through.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_at_least_once() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("test");
+        let mut count = 0u64;
+        g.bench_function("counted", |b| {
+            b.iter(|| count += 1);
+        });
+        g.finish();
+        assert!(count >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("obdd", 8).to_string(), "obdd/8");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,387 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! This workspace builds offline, so the real `proptest` cannot be
+//! fetched. This crate keeps the same *call-site* shape used by the
+//! property tests in the workspace — the [`proptest!`] macro with
+//! `pattern in strategy` bindings and an optional
+//! `#![proptest_config(...)]` header, [`any`], integer-range strategies,
+//! tuple strategies, [`Strategy::prop_map`], and the
+//! `prop_assert*`/[`prop_assume!`] macros — so swapping the real crate
+//! back in later is a one-line `Cargo.toml` change.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the offending seed and
+//!   case number instead of a minimized input.
+//! * **Deterministic.** Inputs derive from a fixed per-test seed (hashed
+//!   from the test name), so runs are reproducible byte-for-byte.
+//! * `prop_assume!` skips the current case rather than recording
+//!   rejection statistics.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Runner configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the exact-arithmetic
+            // properties in this workspace fast while still exercising a
+            // meaningful spread of inputs.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Reports the failing case when a property panics.
+///
+/// The `proptest!` macro creates one per case; if the body panics, this
+/// guard's `Drop` runs during unwinding and prints which case (and which
+/// deterministic seed stream) failed, since there is no shrinker to
+/// minimize the input.
+#[doc(hidden)]
+pub struct CaseGuard<'a> {
+    /// Test name, for the failure report.
+    pub test: &'a str,
+    /// Zero-based index of the running case.
+    pub case: u32,
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed on case {} \
+                 (deterministic seed stream: rerun reproduces it exactly)",
+                self.test, self.case,
+            );
+        }
+    }
+}
+
+/// The deterministic source of randomness behind every strategy.
+///
+/// SplitMix64 over a seed derived from the test name: every `u64` is a
+/// fresh word of the stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from `name` (typically `stringify!(test_fn)`).
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, offset so the empty name is nonzero.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// The next word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of test inputs. The `proptest!` macro samples each bound
+/// strategy once per case.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f` applied to this strategy's values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Values with a default whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The strategy generating any value of `A`: `any::<u64>()`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).sample(rng)
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// The strategy that always yields a clone of `value`.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                let __guard = $crate::CaseGuard { test: stringify!($name), case: __case };
+                let ($($pat,)*) =
+                    ($($crate::Strategy::sample(&($strategy), &mut __rng),)*);
+                $body
+                let _ = __guard;
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking, so a failure
+/// panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when `cond` is false. Expands to `continue` on
+/// the per-case loop, so it is only valid directly inside a [`proptest!`]
+/// body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn masked(n: u8) -> impl Strategy<Value = u64> {
+        any::<u64>().prop_map(move |t| t & ((1u64 << n) - 1))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u8..4, b in 1u64.., c in -1000i64..1000) {
+            prop_assert!(a < 4);
+            prop_assert!(b >= 1);
+            prop_assert!((-1000..1000).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((x, y) in (0u32..10, 0u32..10), m in masked(8)) {
+            prop_assert!(x < 10 && y < 10);
+            prop_assert!(m < 256);
+        }
+
+        #[test]
+        fn assume_skips_cases(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_parses(x in any::<u64>()) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        #[should_panic]
+        fn failing_property_panics_and_reports_case(x in 0u32..10) {
+            prop_assert!(x > 100, "forced failure to exercise CaseGuard");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
