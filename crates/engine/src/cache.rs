@@ -1,0 +1,117 @@
+//! The compiled-lineage cache: artifacts keyed by `(φ truth table,
+//! database shape)`, deliberately excluding tuple probabilities.
+
+use intext_boolfn::BoolFn;
+use intext_core::CompiledLineage;
+use intext_lineage::DegenerateLineage;
+use intext_numeric::BigRational;
+use intext_tid::{Database, Tid, TupleDesc};
+
+/// Semantic identity of a compiled lineage.
+///
+/// Two components (see `DESIGN.md` for the full rationale):
+///
+/// * **`φ`'s canonical truth table.** [`BoolFn`] *is* a complete truth
+///   table, so two syntactically different formulas with the same
+///   semantics produce the same key — intentionally: their lineages are
+///   the same Boolean function of the tuples.
+/// * **The database shape**: `k`, the domain size, and the tuple list
+///   *in insertion order*. Order matters because `TupleId`s — the
+///   variable names inside compiled circuits — are assigned by insertion
+///   order, so the same set of tuples inserted differently yields a
+///   differently-named (though isomorphic) circuit.
+///
+/// Tuple **probabilities are not part of the key**. That is the entire
+/// point of caching the intensional representation: re-weighting the
+/// TID reuses the artifact, and evaluation is one linear circuit walk.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    phi: BoolFn,
+    k: u8,
+    domain_size: u32,
+    tuples: Vec<TupleDesc>,
+}
+
+impl CacheKey {
+    /// Builds the key for `φ` on `db`'s shape.
+    pub fn new(phi: &BoolFn, db: &Database) -> Self {
+        CacheKey {
+            phi: phi.clone(),
+            k: db.k(),
+            domain_size: db.domain_size(),
+            tuples: db.iter().map(|(_, t)| t).collect(),
+        }
+    }
+}
+
+/// A compiled lineage artifact, ready for linear-time probability walks
+/// under any tuple probabilities.
+#[derive(Debug)]
+pub enum Artifact {
+    /// Proposition 3.7's reduced OBDD (degenerate `φ`).
+    Obdd(DegenerateLineage),
+    /// Theorem 5.2's deterministic decomposable circuit (zero-Euler `φ`).
+    Dd(CompiledLineage),
+}
+
+impl Artifact {
+    /// Exact probability under `tid` — one bottom-up pass, no
+    /// recompilation.
+    pub fn probability_exact(&self, tid: &Tid) -> BigRational {
+        match self {
+            Artifact::Obdd(lin) => lin.probability_exact(tid),
+            Artifact::Dd(dd) => dd.probability_exact(tid),
+        }
+    }
+
+    /// Floating-point probability under `tid`.
+    pub fn probability_f64(&self, tid: &Tid) -> f64 {
+        match self {
+            Artifact::Obdd(lin) => lin.probability_f64(tid),
+            Artifact::Dd(dd) => dd.probability_f64(tid),
+        }
+    }
+
+    /// Size of the compiled representation: OBDD node count or d-D gate
+    /// count.
+    pub fn size(&self) -> usize {
+        match self {
+            Artifact::Obdd(lin) => lin.size(),
+            Artifact::Dd(dd) => dd.stats().gates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::phi9;
+    use intext_tid::{complete_database, Database};
+
+    #[test]
+    fn key_ignores_probabilities_but_not_shape() {
+        let db = complete_database(3, 2);
+        let a = CacheKey::new(&phi9(), &db);
+        let b = CacheKey::new(&phi9(), &db);
+        assert_eq!(a, b);
+        // Different domain: different shape.
+        let c = CacheKey::new(&phi9(), &complete_database(3, 3));
+        assert_ne!(a, c);
+        // Different φ table: different key.
+        let d = CacheKey::new(&!&phi9(), &db);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn key_depends_on_insertion_order() {
+        use intext_tid::TupleDesc;
+        let mut fwd = Database::new(1, 2);
+        fwd.insert(TupleDesc::R(0)).unwrap();
+        fwd.insert(TupleDesc::S(1, 0, 1)).unwrap();
+        let mut rev = Database::new(1, 2);
+        rev.insert(TupleDesc::S(1, 0, 1)).unwrap();
+        rev.insert(TupleDesc::R(0)).unwrap();
+        let phi = intext_boolfn::BoolFn::var(2, 0);
+        assert_ne!(CacheKey::new(&phi, &fwd), CacheKey::new(&phi, &rev));
+    }
+}

@@ -1,0 +1,471 @@
+//! The `PqeEngine`: plan, compile, cache, evaluate.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use intext_core::{classify, compile_dd, Region};
+use intext_extensional::{pqe_extensional, pqe_extensional_f64};
+use intext_lineage::compile_degenerate_obdd;
+use intext_numeric::BigRational;
+use intext_query::{pqe_brute_force, pqe_brute_force_f64, HQuery};
+use intext_tid::Tid;
+
+use crate::cache::{Artifact, CacheKey};
+use crate::{EngineStats, Explanation, Plan, QueryStats};
+
+/// Knobs for the planner; the defaults are the production-shaped choices.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Hard queries are brute-forced only up to this many tuples
+    /// (`2^tuples` possible worlds); larger instances return
+    /// [`EngineError::Intractable`]. Capped at 63 by the world bitmask.
+    pub max_brute_force_tuples: usize,
+    /// Route *monotone safe* nondegenerate queries through lifted
+    /// inference instead of the d-D pipeline. Off by default: the
+    /// compiled circuit amortizes across re-weightings, which lifted
+    /// inference cannot. Degenerate queries keep the OBDD route either
+    /// way (it is both cheaper and cacheable).
+    pub prefer_extensional: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_brute_force_tuples: 20,
+            prefer_extensional: false,
+        }
+    }
+}
+
+/// Errors from planning or evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query's chain length differs from the database vocabulary.
+    VocabularyMismatch {
+        /// `k` of the query's `φ`.
+        query_k: u8,
+        /// `k` of the database.
+        database_k: u8,
+    },
+    /// `PQE(Q_φ)` is (conjectured) `#P`-hard and the instance exceeds
+    /// the brute-force budget: no sound backend exists.
+    Intractable {
+        /// The Figure 1 region the query was classified into.
+        region: Region,
+        /// Tuple count of the instance.
+        tuples: usize,
+        /// The configured brute-force budget it exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::VocabularyMismatch {
+                query_k,
+                database_k,
+            } => write!(
+                f,
+                "query is over k={query_k} but the database has k={database_k}"
+            ),
+            EngineError::Intractable {
+                region,
+                tuples,
+                budget,
+            } => write!(
+                f,
+                "query classified {region:?} (#P-hard side of Figure 1) and \
+                 {tuples} tuples exceed the brute-force budget of {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The unified PQE front door: classifies `φ` on the paper's Figure 1
+/// map, routes to the cheapest sound backend, caches compiled lineage
+/// artifacts across probability re-weightings, and keeps
+/// [`EngineStats`] for every decision it makes.
+///
+/// See the crate-level docs for a usage example and `DESIGN.md` for the
+/// routing diagram.
+#[derive(Debug, Default)]
+pub struct PqeEngine {
+    config: EngineConfig,
+    cache: HashMap<CacheKey, Artifact>,
+    stats: EngineStats,
+}
+
+impl PqeEngine {
+    /// An engine with the default [`EngineConfig`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        PqeEngine {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Lifetime statistics (plans chosen, cache hits/misses, wall time).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics; the artifact cache is untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of compiled artifacts currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every cached artifact.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The routing decision for `q` on `tid`, without evaluating.
+    ///
+    /// Precedence (soundness argument in `DESIGN.md`):
+    ///
+    /// 1. degenerate `φ` → [`Plan::Obdd`] (Proposition 3.7);
+    /// 2. monotone `φ`, `e(φ) = 0`, with
+    ///    [`prefer_extensional`](EngineConfig::prefer_extensional) →
+    ///    [`Plan::Extensional`] (safe by Corollary 3.9);
+    /// 3. `e(φ) = 0` → [`Plan::DdCircuit`] (Theorem 5.2);
+    /// 4. otherwise `PQE(Q_φ)` is `#P`-hard or conjectured so →
+    ///    [`Plan::BruteForce`] within the budget, else
+    ///    [`EngineError::Intractable`].
+    pub fn plan(&self, q: &HQuery, tid: &Tid) -> Result<Plan, EngineError> {
+        let phi = q.phi();
+        if tid.database().k() != q.k() {
+            return Err(EngineError::VocabularyMismatch {
+                query_k: q.k(),
+                database_k: tid.database().k(),
+            });
+        }
+        let region = classify(phi);
+        match region {
+            Region::DegenerateObdd => Ok(Plan::Obdd),
+            Region::ZeroEulerDD => {
+                if self.config.prefer_extensional && phi.is_monotone() {
+                    Ok(Plan::Extensional)
+                } else {
+                    Ok(Plan::DdCircuit)
+                }
+            }
+            Region::HardMonotone | Region::HardByTransfer | Region::ConjecturedHard => {
+                let budget = self.config.max_brute_force_tuples.min(63);
+                if tid.len() <= budget {
+                    Ok(Plan::BruteForce)
+                } else {
+                    Err(EngineError::Intractable {
+                        region,
+                        tuples: tid.len(),
+                        budget,
+                    })
+                }
+            }
+        }
+    }
+
+    /// The full routing rationale for `q` on `tid`: region, chosen plan
+    /// (or why none exists), and whether the artifact is already cached.
+    pub fn explain(&self, q: &HQuery, tid: &Tid) -> Explanation {
+        let plan = self.plan(q, tid);
+        let cached = matches!(plan, Ok(p) if p.is_cacheable())
+            && self
+                .cache
+                .contains_key(&CacheKey::new(q.phi(), tid.database()));
+        Explanation {
+            region: classify(q.phi()),
+            tuples: tid.len(),
+            plan,
+            cached,
+        }
+    }
+
+    /// The shared evaluation path behind [`evaluate`](Self::evaluate)
+    /// and [`evaluate_f64`](Self::evaluate_f64): route, compile or reuse
+    /// the cached artifact, evaluate with the given backends, record
+    /// [`QueryStats`].
+    fn evaluate_dispatch<T>(
+        &mut self,
+        q: &HQuery,
+        tid: &Tid,
+        walk: impl Fn(&Artifact, &Tid) -> T,
+        lifted: impl Fn(&HQuery, &Tid) -> T,
+        worlds: impl Fn(&HQuery, &Tid) -> T,
+    ) -> Result<T, EngineError> {
+        let plan = self.plan(q, tid)?;
+        let (p, record) = if plan.is_cacheable() {
+            // Build the key once and look it up once: the hit path — the
+            // one the cache exists to make hot — must not re-hash the
+            // O(|D|) key per probe.
+            let entry = self.cache.entry(CacheKey::new(q.phi(), tid.database()));
+            let (cache_hit, compile_time, artifact) = match entry {
+                Entry::Occupied(slot) => (true, Duration::ZERO, slot.into_mut()),
+                Entry::Vacant(slot) => {
+                    let started = Instant::now();
+                    // The planner already established the backend
+                    // preconditions (vocabulary match, degeneracy / zero
+                    // Euler characteristic), so compilation cannot fail.
+                    let artifact = match plan {
+                        Plan::Obdd => {
+                            Artifact::Obdd(compile_degenerate_obdd(q.phi(), tid.database()).expect(
+                                "planner guarantees a degenerate φ on a matching vocabulary",
+                            ))
+                        }
+                        Plan::DdCircuit => Artifact::Dd(
+                            compile_dd(q.phi(), tid.database())
+                                .expect("planner guarantees e(φ) = 0"),
+                        ),
+                        Plan::Extensional | Plan::BruteForce => {
+                            unreachable!("only cacheable plans reach the artifact path")
+                        }
+                    };
+                    (false, started.elapsed(), slot.insert(artifact))
+                }
+            };
+            let started = Instant::now();
+            let p = walk(artifact, tid);
+            let circuit_size = Some(artifact.size());
+            (
+                p,
+                QueryStats {
+                    plan,
+                    cache_hit,
+                    circuit_size,
+                    compile_time,
+                    eval_time: started.elapsed(),
+                },
+            )
+        } else {
+            let started = Instant::now();
+            let p = match plan {
+                Plan::Extensional => lifted(q, tid),
+                Plan::BruteForce => worlds(q, tid),
+                Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable plans handled above"),
+            };
+            (
+                p,
+                QueryStats {
+                    plan,
+                    cache_hit: false,
+                    circuit_size: None,
+                    compile_time: Duration::ZERO,
+                    eval_time: started.elapsed(),
+                },
+            )
+        };
+        self.stats.record(record);
+        Ok(p)
+    }
+
+    /// Exact `PQE(Q_φ)` through the planner: routes, compiles or reuses
+    /// a cached artifact, evaluates, and records [`QueryStats`].
+    pub fn evaluate(&mut self, q: &HQuery, tid: &Tid) -> Result<BigRational, EngineError> {
+        self.evaluate_dispatch(
+            q,
+            tid,
+            |artifact, tid| artifact.probability_exact(tid),
+            |q, tid| pqe_extensional(q, tid).expect("planner guarantees a monotone safe φ"),
+            |q, tid| pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples"),
+        )
+    }
+
+    /// Floating-point `PQE(Q_φ)` through the same planner and cache
+    /// (used by the benchmarks; cached-artifact walks stay linear).
+    pub fn evaluate_f64(&mut self, q: &HQuery, tid: &Tid) -> Result<f64, EngineError> {
+        self.evaluate_dispatch(
+            q,
+            tid,
+            |artifact, tid| artifact.probability_f64(tid),
+            |q, tid| pqe_extensional_f64(q, tid).expect("planner guarantees a monotone safe φ"),
+            |q, tid| {
+                pqe_brute_force_f64(q, tid).expect("planner bounds the instance below 64 tuples")
+            },
+        )
+    }
+
+    /// Evaluates `q` on every TID of a workload, amortizing compilation:
+    /// TIDs sharing a database shape (the common case — one instance,
+    /// many probability scenarios) compile once and re-walk the cached
+    /// circuit for every other member of the batch.
+    ///
+    /// Fails on the first TID with no sound plan, so a batch is
+    /// all-or-nothing.
+    pub fn evaluate_batch(
+        &mut self,
+        q: &HQuery,
+        tids: &[Tid],
+    ) -> Result<Vec<BigRational>, EngineError> {
+        tids.iter().map(|tid| self.evaluate(q, tid)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{max_euler_fn, phi9, BoolFn};
+    use intext_tid::{complete_database, uniform_tid, TupleId};
+
+    fn half() -> BigRational {
+        BigRational::from_ratio(1, 2)
+    }
+
+    #[test]
+    fn routes_and_caches_phi9() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+        assert_eq!(engine.plan(&q, &tid), Ok(Plan::DdCircuit));
+        let p1 = engine.evaluate(&q, &tid).unwrap();
+        let p2 = engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(engine.cache_len(), 1);
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+        let last = engine.stats().last.unwrap();
+        assert!(last.cache_hit);
+        assert_eq!(last.compile_time, Duration::ZERO);
+        assert!(last.circuit_size.unwrap() > 0);
+    }
+
+    #[test]
+    fn reweighting_hits_the_cache_and_changes_the_answer() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        let mut tid = uniform_tid(complete_database(3, 1), half());
+        let before = engine.evaluate(&q, &tid).unwrap();
+        tid.set_prob(TupleId(0), BigRational::from_ratio(1, 97))
+            .unwrap();
+        let after = engine.evaluate(&q, &tid).unwrap();
+        assert_ne!(before, after);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn degenerate_queries_take_the_obdd_route() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(BoolFn::var(4, 0)); // h_{3,0}: degenerate
+        let tid = uniform_tid(complete_database(3, 2), half());
+        assert_eq!(engine.plan(&q, &tid), Ok(Plan::Obdd));
+        let p = engine.evaluate(&q, &tid).unwrap();
+        let brute = pqe_brute_force(&q, &tid).unwrap();
+        assert_eq!(p, brute);
+        assert_eq!(engine.stats().obdd_plans, 1);
+    }
+
+    #[test]
+    fn hard_queries_brute_force_within_budget_and_refuse_beyond() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(max_euler_fn(4));
+        let small = uniform_tid(complete_database(3, 1), half());
+        assert_eq!(engine.plan(&q, &small), Ok(Plan::BruteForce));
+        let p = engine.evaluate(&q, &small).unwrap();
+        assert_eq!(p, pqe_brute_force(&q, &small).unwrap());
+        let big = uniform_tid(complete_database(3, 4), half());
+        assert!(matches!(
+            engine.plan(&q, &big),
+            Err(EngineError::Intractable { budget: 20, .. })
+        ));
+        assert!(engine.evaluate(&q, &big).is_err());
+    }
+
+    #[test]
+    fn prefer_extensional_routes_monotone_safe_queries() {
+        let mut engine = PqeEngine::with_config(EngineConfig {
+            prefer_extensional: true,
+            ..EngineConfig::default()
+        });
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+        assert_eq!(engine.plan(&q, &tid), Ok(Plan::Extensional));
+        let p = engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(p, pqe_brute_force(&q, &tid).unwrap());
+        // Nothing cacheable was produced.
+        assert_eq!(engine.cache_len(), 0);
+        assert_eq!(engine.stats().extensional_plans, 1);
+    }
+
+    #[test]
+    fn vocabulary_mismatch_is_rejected_up_front() {
+        let engine = PqeEngine::new();
+        let q = HQuery::new(phi9()); // k = 3
+        let tid = uniform_tid(complete_database(2, 2), half()); // k = 2
+        assert_eq!(
+            engine.plan(&q, &tid),
+            Err(EngineError::VocabularyMismatch {
+                query_k: 3,
+                database_k: 2
+            })
+        );
+    }
+
+    #[test]
+    fn batch_amortizes_one_compilation_across_scenarios() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        let base = uniform_tid(complete_database(3, 1), half());
+        let mut scenarios = vec![base.clone(), base.clone(), base];
+        scenarios[1]
+            .set_prob(TupleId(1), BigRational::from_ratio(1, 5))
+            .unwrap();
+        scenarios[2]
+            .set_prob(TupleId(2), BigRational::from_ratio(4, 5))
+            .unwrap();
+        let probs = engine.evaluate_batch(&q, &scenarios).unwrap();
+        assert_eq!(probs.len(), 3);
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert_eq!(engine.stats().cache_hits, 2);
+        for (p, tid) in probs.iter().zip(&scenarios) {
+            assert_eq!(p, &pqe_brute_force(&q, tid).unwrap());
+        }
+    }
+
+    #[test]
+    fn explain_reports_cache_transitions() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+        assert!(!engine.explain(&q, &tid).cached);
+        engine.evaluate(&q, &tid).unwrap();
+        let ex = engine.explain(&q, &tid);
+        assert!(ex.cached);
+        assert_eq!(ex.plan, Ok(Plan::DdCircuit));
+        assert_eq!(ex.region, Region::ZeroEulerDD);
+    }
+
+    #[test]
+    fn clear_cache_and_reset_stats() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+        engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(engine.cache_len(), 1);
+        engine.clear_cache();
+        assert_eq!(engine.cache_len(), 0);
+        engine.reset_stats();
+        assert_eq!(engine.stats().queries, 0);
+        // Post-clear evaluation recompiles.
+        engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(engine.stats().cache_misses, 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! The unified PQE front door: one planner over the workspace's four
+//! evaluation backends, with compiled-lineage caching.
+//!
+//! The repo implements four routes for `PQE(Q_φ)` — brute-force
+//! possible-worlds enumeration, Dalvi–Suciu lifted inference, the
+//! degenerate-`φ` OBDD of Proposition 3.7, and the zero-Euler d-D
+//! pipeline of Theorem 5.2. [`PqeEngine`] makes the choice automatic:
+//!
+//! 1. **Plan** — classify `φ` on the paper's Figure 1 region map
+//!    ([`intext_core::classify()`]) and pick the cheapest sound backend;
+//!    the decision is an inspectable [`Plan`] and
+//!    [`PqeEngine::explain`] narrates the rationale.
+//! 2. **Cache** — compiled artifacts (OBDD or d-D circuit) are keyed by
+//!    `(φ's canonical truth table, database shape)` and *not* by tuple
+//!    probabilities, so re-evaluating under new probabilities is one
+//!    linear circuit walk instead of a recompilation — the whole point
+//!    of the intensional representation.
+//! 3. **Observe** — every call records [`QueryStats`] (plan, cache
+//!    hit/miss, circuit size, wall time) into aggregate
+//!    [`EngineStats`].
+//!
+//! `DESIGN.md` (repo root) has the routing diagram and the cache-key
+//! rationale; `EXPERIMENTS.md` describes the cold-vs-cached benchmark.
+//!
+//! # Example: auto-routing and cached re-weighting
+//!
+//! ```
+//! use intext_boolfn::phi9;
+//! use intext_engine::{Plan, PqeEngine};
+//! use intext_numeric::BigRational;
+//! use intext_query::HQuery;
+//! use intext_tid::{complete_database, uniform_tid, TupleId};
+//!
+//! let mut engine = PqeEngine::new();
+//! let q = HQuery::new(phi9());
+//! let mut tid = uniform_tid(complete_database(3, 1), BigRational::from_ratio(1, 2));
+//!
+//! // φ9 is safe and nondegenerate with e(φ9) = 0: the planner picks the
+//! // d-D pipeline, compiles once, and caches the circuit.
+//! assert_eq!(engine.plan(&q, &tid), Ok(Plan::DdCircuit));
+//! let cold = engine.evaluate(&q, &tid).unwrap();
+//! assert_eq!(engine.stats().cache_misses, 1);
+//!
+//! // Re-weight a tuple and evaluate again: same circuit, no recompile.
+//! tid.set_prob(TupleId(0), BigRational::from_ratio(1, 3)).unwrap();
+//! let reweighted = engine.evaluate(&q, &tid).unwrap();
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! assert_ne!(cold, reweighted);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cache;
+mod engine;
+mod plan;
+mod stats;
+
+pub use cache::{Artifact, CacheKey};
+pub use engine::{EngineConfig, EngineError, PqeEngine};
+pub use plan::{Explanation, Plan};
+pub use stats::{EngineStats, QueryStats};

@@ -1,0 +1,138 @@
+//! The routing decision: which backend evaluates which query, and why.
+
+use std::fmt;
+
+use intext_core::Region;
+
+use crate::EngineError;
+
+/// The backend the planner chose for a query.
+///
+/// The four plans correspond to the four evaluation routes the workspace
+/// implements; see `DESIGN.md` for the routing diagram and the exact
+/// precedence rules.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Plan {
+    /// Degenerate `φ`: compile a linear-size reduced OBDD by the
+    /// grouped-order streaming automaton (Proposition 3.7). Cacheable.
+    Obdd,
+    /// Nondegenerate `φ` with `e(φ) = 0`: the paper's d-D pipeline —
+    /// transformation, fragmentation, leaf OBDDs, template replay
+    /// (Theorem 5.2). Cacheable.
+    DdCircuit,
+    /// Monotone safe `φ` under
+    /// [`EngineConfig::prefer_extensional`](crate::EngineConfig):
+    /// Dalvi–Suciu lifted inference with Möbius inversion. Produces no
+    /// reusable artifact, so every call recomputes from the lattice.
+    Extensional,
+    /// `#P`-hard (or conjectured-hard) `φ` on an instance small enough
+    /// for exhaustive possible-worlds enumeration.
+    BruteForce,
+}
+
+impl Plan {
+    /// Does this plan produce a compiled artifact the engine can cache
+    /// and re-walk under new tuple probabilities?
+    pub fn is_cacheable(self) -> bool {
+        matches!(self, Plan::Obdd | Plan::DdCircuit)
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Obdd => write!(f, "OBDD (Proposition 3.7)"),
+            Plan::DdCircuit => write!(f, "d-D pipeline (Theorem 5.2)"),
+            Plan::Extensional => write!(f, "extensional lifted inference (Proposition 3.5)"),
+            Plan::BruteForce => write!(f, "brute force over possible worlds"),
+        }
+    }
+}
+
+/// The planner's reasoning for one query, from
+/// [`PqeEngine::explain`](crate::PqeEngine::explain).
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Where `φ` lives on the paper's Figure 1 map.
+    pub region: Region,
+    /// Tuple count of the instance the decision was made for.
+    pub tuples: usize,
+    /// The chosen plan, or why no sound plan exists.
+    pub plan: Result<Plan, EngineError>,
+    /// Whether a compiled artifact for `(φ, database shape)` is already
+    /// in the engine's cache.
+    pub cached: bool,
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let region = match self.region {
+            Region::DegenerateObdd => "degenerate (Q_φ ∈ OBDD(PTIME), Proposition 3.7)",
+            Region::ZeroEulerDD => "nondegenerate with e(φ) = 0 (Q_φ ∈ d-D(PTIME), Theorem 5.2)",
+            Region::HardMonotone => "monotone with e(φ) ≠ 0 (#P-hard, Corollary 3.9)",
+            Region::HardByTransfer => "non-monotone, e(φ) ≠ 0 (#P-hard by transfer, Prop 6.4)",
+            Region::ConjecturedHard => "e(φ) beyond the monotone range (conjectured #P-hard)",
+        };
+        write!(f, "φ is {region}; ")?;
+        match &self.plan {
+            Ok(plan) => {
+                write!(f, "plan: {plan} on {} tuples", self.tuples)?;
+                if plan.is_cacheable() {
+                    if self.cached {
+                        write!(f, " [artifact cached: linear re-walk, no recompilation]")?;
+                    } else {
+                        write!(f, " [cold: will compile and cache]")?;
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => write!(f, "no sound plan: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cacheability_per_plan() {
+        assert!(Plan::Obdd.is_cacheable());
+        assert!(Plan::DdCircuit.is_cacheable());
+        assert!(!Plan::Extensional.is_cacheable());
+        assert!(!Plan::BruteForce.is_cacheable());
+    }
+
+    #[test]
+    fn explanation_renders_plan_and_cache_state() {
+        let e = Explanation {
+            region: Region::ZeroEulerDD,
+            tuples: 12,
+            plan: Ok(Plan::DdCircuit),
+            cached: true,
+        };
+        let s = e.to_string();
+        assert!(s.contains("d-D pipeline"), "{s}");
+        assert!(s.contains("cached"), "{s}");
+        let cold = Explanation {
+            cached: false,
+            ..e.clone()
+        };
+        assert!(cold.to_string().contains("cold"), "{cold}");
+    }
+
+    #[test]
+    fn explanation_renders_errors() {
+        let e = Explanation {
+            region: Region::HardMonotone,
+            tuples: 1000,
+            plan: Err(EngineError::Intractable {
+                region: Region::HardMonotone,
+                tuples: 1000,
+                budget: 20,
+            }),
+            cached: false,
+        };
+        assert!(e.to_string().contains("no sound plan"), "{e}");
+    }
+}

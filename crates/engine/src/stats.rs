@@ -1,0 +1,134 @@
+//! Engine observability: per-query records and lifetime aggregates.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::Plan;
+
+/// What happened on one successful `evaluate` call.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryStats {
+    /// The backend the planner chose.
+    pub plan: Plan,
+    /// Whether the compiled artifact came from the cache (always `false`
+    /// for non-cacheable plans).
+    pub cache_hit: bool,
+    /// Size of the compiled circuit (OBDD nodes or d-D gates), when the
+    /// plan is cacheable.
+    pub circuit_size: Option<usize>,
+    /// Wall time spent compiling (zero on cache hits and on plans that
+    /// compile nothing).
+    pub compile_time: Duration,
+    /// Wall time spent computing the probability.
+    pub eval_time: Duration,
+}
+
+/// Aggregate counters over the engine's lifetime (reset with
+/// [`PqeEngine::reset_stats`](crate::PqeEngine::reset_stats)).
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Successful `evaluate` calls.
+    pub queries: u64,
+    /// Evaluations served from a cached artifact.
+    pub cache_hits: u64,
+    /// Evaluations that compiled a fresh artifact (cacheable plan, cold
+    /// key). `queries - cache_hits - cache_misses` is the number of
+    /// evaluations on non-cacheable plans.
+    pub cache_misses: u64,
+    /// Queries routed to [`Plan::Obdd`].
+    pub obdd_plans: u64,
+    /// Queries routed to [`Plan::DdCircuit`].
+    pub dd_plans: u64,
+    /// Queries routed to [`Plan::Extensional`].
+    pub extensional_plans: u64,
+    /// Queries routed to [`Plan::BruteForce`].
+    pub brute_force_plans: u64,
+    /// Total wall time spent compiling artifacts.
+    pub compile_time: Duration,
+    /// Total wall time spent computing probabilities.
+    pub eval_time: Duration,
+    /// The most recent query's record.
+    pub last: Option<QueryStats>,
+}
+
+impl EngineStats {
+    pub(crate) fn record(&mut self, q: QueryStats) {
+        self.queries += 1;
+        match q.plan {
+            Plan::Obdd => self.obdd_plans += 1,
+            Plan::DdCircuit => self.dd_plans += 1,
+            Plan::Extensional => self.extensional_plans += 1,
+            Plan::BruteForce => self.brute_force_plans += 1,
+        }
+        if q.plan.is_cacheable() {
+            if q.cache_hit {
+                self.cache_hits += 1;
+            } else {
+                self.cache_misses += 1;
+            }
+        }
+        self.compile_time += q.compile_time;
+        self.eval_time += q.eval_time;
+        self.last = Some(q);
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries (obdd {}, d-D {}, extensional {}, brute {}); \
+             cache {} hits / {} misses; compile {:?}, eval {:?}",
+            self.queries,
+            self.obdd_plans,
+            self.dd_plans,
+            self.extensional_plans,
+            self.brute_force_plans,
+            self.cache_hits,
+            self.cache_misses,
+            self.compile_time,
+            self.eval_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(plan: Plan, cache_hit: bool) -> QueryStats {
+        QueryStats {
+            plan,
+            cache_hit,
+            circuit_size: plan.is_cacheable().then_some(10),
+            compile_time: Duration::from_micros(5),
+            eval_time: Duration::from_micros(1),
+        }
+    }
+
+    #[test]
+    fn record_aggregates_per_plan_and_cache() {
+        let mut s = EngineStats::default();
+        s.record(q(Plan::DdCircuit, false));
+        s.record(q(Plan::DdCircuit, true));
+        s.record(q(Plan::Obdd, false));
+        s.record(q(Plan::BruteForce, false));
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.dd_plans, 2);
+        assert_eq!(s.obdd_plans, 1);
+        assert_eq!(s.brute_force_plans, 1);
+        assert_eq!(s.cache_hits, 1);
+        // The brute-force query counts as neither hit nor miss.
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.compile_time, Duration::from_micros(20));
+        assert!(matches!(
+            s.last,
+            Some(QueryStats {
+                cache_hit: false,
+                ..
+            })
+        ));
+        let shown = s.to_string();
+        assert!(shown.contains("4 queries"), "{shown}");
+    }
+}

@@ -1,5 +1,8 @@
 //! Quickstart: evaluate Dalvi–Suciu's query `q9` (the paper's `Q_φ9`)
-//! on a small tuple-independent database, three ways:
+//! through the [`PqeEngine`] front door, which classifies the query on
+//! the paper's Figure 1 map, routes it to the cheapest sound backend,
+//! and caches the compiled lineage so probability re-weightings are
+//! linear circuit walks — then cross-check all three underlying routes:
 //!
 //! 1. brute force over all possible worlds (exponential, exact),
 //! 2. extensional lifted inference (Möbius inversion, Proposition 3.5),
@@ -9,10 +12,11 @@
 
 use intext::boolfn::phi9;
 use intext::core::compile_dd;
+use intext::engine::PqeEngine;
 use intext::extensional::pqe_extensional;
 use intext::numeric::BigRational;
 use intext::query::{pqe_brute_force, HQuery};
-use intext::tid::{random_database, random_tid, DbGenConfig};
+use intext::tid::{random_database, random_tid, DbGenConfig, TupleId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,7 +31,7 @@ fn main() {
         },
         &mut rng,
     );
-    let tid = random_tid(db, 10, &mut rng);
+    let mut tid = random_tid(db, 10, &mut rng);
 
     println!("database: k = 3, domain = 2, {} tuples", tid.len());
     for (id, desc) in tid.database().iter() {
@@ -39,6 +43,30 @@ fn main() {
     let q = HQuery::new(phi9());
     println!("\nquery: Q_φ9 over h_{{3,0}}..h_{{3,3}} (safe; e(φ9) = 0)");
 
+    // The engine is the front door: it plans, compiles, caches, evaluates.
+    let mut engine = PqeEngine::new();
+    println!("planner: {}", engine.explain(&q, &tid));
+    let p = engine.evaluate(&q, &tid).expect("φ9 is tractable");
+    let first = engine.stats().last.expect("just evaluated");
+    println!(
+        "engine answer                : {p}\n  [{} gates compiled in {:?}, evaluated in {:?}]",
+        first.circuit_size.unwrap_or(0),
+        first.compile_time,
+        first.eval_time,
+    );
+
+    // Re-weight one tuple: the cached circuit is re-walked, not recompiled.
+    tid.set_prob(TupleId(0), BigRational::from_ratio(1, 97))
+        .expect("valid probability");
+    let reweighted = engine.evaluate(&q, &tid).expect("cached");
+    let second = engine.stats().last.expect("just evaluated");
+    println!(
+        "re-weighted (tuple 0 → 1/97) : {reweighted}\n  [cache hit: {}, recompile time {:?}]",
+        second.cache_hit, second.compile_time,
+    );
+    assert!(second.cache_hit, "re-weighting must reuse the artifact");
+
+    // Equivalence demo: the three routes agree bit-for-bit.
     let brute: BigRational = pqe_brute_force(&q, &tid).expect("small instance");
     println!("\nbrute force over 2^{} worlds : {brute}", tid.len());
 
@@ -57,8 +85,10 @@ fn main() {
 
     assert_eq!(brute, ext, "extensional must equal ground truth");
     assert_eq!(brute, int, "intensional must equal ground truth");
+    assert_eq!(brute, reweighted, "engine must equal ground truth");
     println!(
-        "\nall three strategies agree exactly ✓  (≈ {:.6})",
-        int.to_f64()
+        "\nall routes agree exactly ✓  (≈ {:.6})\nengine stats: {}",
+        int.to_f64(),
+        engine.stats(),
     );
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Fails if the root markdown docs contain relative links to files that
+# do not exist in the repository. Run by the CI docs job; safe to run
+# locally from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md DESIGN.md EXPERIMENTS.md PAPER.md ROADMAP.md CHANGES.md; do
+    [ -f "$doc" ] || { echo "missing doc: $doc"; status=1; continue; }
+    # Extract every markdown link target `](...)`, then check the
+    # file-path ones (external URLs and pure #anchors are skipped).
+    while IFS= read -r target; do
+        target=${target%%#*}          # drop in-page anchors
+        [ -n "$target" ] || continue
+        case $target in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        if [ ! -e "$target" ]; then
+            echo "$doc: broken link -> $target"
+            status=1
+        fi
+    done < <(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "doc links OK"
+fi
+exit "$status"

@@ -15,11 +15,18 @@
 //!   `H⁺`-queries* and shows that inclusion–exclusion can be simulated
 //!   with determinism, decomposability and negation alone.
 //!
+//! The front door is [`engine::PqeEngine`]: it classifies `φ` on the
+//! paper's Figure 1 region map, routes to the cheapest sound backend
+//! (OBDD, d-D pipeline, lifted inference, or brute force), and caches
+//! compiled lineage artifacts so probability re-weightings are linear
+//! circuit walks instead of recompilations.
+//!
 //! # Quickstart
 //!
 //! ```
 //! use intext::boolfn::phi9;
 //! use intext::core::compile_dd;
+//! use intext::engine::{Plan, PqeEngine};
 //! use intext::extensional::pqe_extensional;
 //! use intext::numeric::BigRational;
 //! use intext::query::{pqe_brute_force, HQuery};
@@ -29,24 +36,29 @@
 //! let tid = uniform_tid(complete_database(3, 2), BigRational::from_ratio(1, 2));
 //! let q = HQuery::new(phi9());
 //!
-//! // Extensional: Möbius inversion (the inclusion–exclusion route).
-//! let ext = pqe_extensional(&q, &tid).unwrap();
-//! // Intensional: compile a d-D lineage, evaluate bottom-up (Theorem 5.2).
-//! let dd = compile_dd(&phi9(), tid.database()).unwrap();
-//! let int = dd.probability_exact(&tid);
-//! // Ground truth: enumerate all 2^|D| possible worlds.
-//! let brute = pqe_brute_force(&q, &tid).unwrap();
+//! // Front door: the engine classifies φ9 (safe, e(φ9) = 0), compiles a
+//! // d-D lineage (Theorem 5.2), caches it, and evaluates bottom-up.
+//! let mut engine = PqeEngine::new();
+//! assert_eq!(engine.plan(&q, &tid), Ok(Plan::DdCircuit));
+//! let p = engine.evaluate(&q, &tid).unwrap();
 //!
-//! assert_eq!(ext, int);
-//! assert_eq!(int, brute);
+//! // Equivalence demo: the three underlying routes agree bit-for-bit.
+//! let ext = pqe_extensional(&q, &tid).unwrap();
+//! let dd = compile_dd(&phi9(), tid.database()).unwrap();
+//! let brute = pqe_brute_force(&q, &tid).unwrap();
+//! assert_eq!(p, ext);
+//! assert_eq!(p, dd.probability_exact(&tid));
+//! assert_eq!(p, brute);
 //! ```
 //!
-//! See `DESIGN.md` for the paper-to-module map and `EXPERIMENTS.md` for
-//! the reproduced figures and claims.
+//! See `DESIGN.md` (repo root) for the paper-to-module map and the
+//! engine routing diagram, and `EXPERIMENTS.md` for what each benchmark
+//! measures and how to run it.
 
 pub use intext_boolfn as boolfn;
 pub use intext_circuits as circuits;
 pub use intext_core as core;
+pub use intext_engine as engine;
 pub use intext_extensional as extensional;
 pub use intext_lattice as lattice;
 pub use intext_lineage as lineage;
