@@ -15,6 +15,7 @@
 //! | `conjecture` | E7         | exhaustive Conjecture 1 verification per k |
 //! | `probability`| §2         | linear-time d-D probability evaluation |
 //! | `engine`     | E17        | `PqeEngine` cold compile+eval vs cached re-walk |
+//! | `sharding`   | E18/E19    | sharded vs sequential batch; eviction rate vs cache budget |
 
 use intext_tid::{random_database, random_tid, DbGenConfig, Tid};
 use rand::rngs::StdRng;

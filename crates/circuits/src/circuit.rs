@@ -51,6 +51,16 @@ pub struct CircuitStats {
 /// Gates are hash-consed on insertion, so structurally identical subtrees
 /// share storage, and the arena is topologically ordered (inputs precede
 /// users), which makes all analyses single bottom-up passes.
+///
+/// **Concurrency contract** (relied on by the engine's sharded batch
+/// evaluation): mutation happens only through `&mut self` during
+/// construction; every walk — [`eval`](Self::eval),
+/// [`probability_f64`](Self::probability_f64),
+/// [`probability_exact`](Self::probability_exact), [`stats`](Self::stats)
+/// — takes `&self`, keeps its scratch space on its own stack, and caches
+/// nothing in the arena. A compiled circuit behind an `Arc` can therefore
+/// be walked by any number of threads at once; the `Send + Sync` bound is
+/// pinned by a compile-time test.
 #[derive(Clone, Debug, Default)]
 pub struct Circuit {
     gates: Vec<Gate>,
@@ -385,5 +395,34 @@ mod tests {
     fn dangling_input_rejected() {
         let mut c = Circuit::new();
         c.add(Gate::Not(GateId(5)));
+    }
+
+    #[test]
+    fn circuits_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // Sharded evaluation walks one circuit from many threads; this
+        // fails to compile if interior mutability ever creeps in.
+        assert_send_sync::<Circuit>();
+
+        // And the walks really are `&self`: concurrent probability
+        // passes over a shared circuit agree with the single-threaded
+        // answer.
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let n0 = c.not(x0);
+        let a = c.and(vec![n0, x1]);
+        let root = c.or(vec![x0, a]);
+        let expected = c.probability_f64(root, &|v| if v == 0 { 0.5 } else { 0.25 });
+        let shared = std::sync::Arc::new(c);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&shared);
+                s.spawn(move || {
+                    let p = c.probability_f64(root, &|v| if v == 0 { 0.5 } else { 0.25 });
+                    assert!((p - expected).abs() < 1e-15);
+                });
+            }
+        });
     }
 }

@@ -53,6 +53,15 @@ const TERMINAL_LEVEL: u32 = u32::MAX;
 /// All functions built through one manager share the node arena and the
 /// unique table, so structural equality of [`NodeRef`]s is semantic
 /// equivalence (canonicity of reduced OBDDs).
+///
+/// **Concurrency contract** (mirrors [`Circuit`](crate::Circuit), and is
+/// what lets the engine share compiled lineages across shard workers):
+/// node construction (`mk`, `apply`, …) takes `&mut self`, but every walk
+/// — [`size`](Self::size), [`probability_f64`](Self::probability_f64),
+/// [`probability_exact`](Self::probability_exact), evaluation — takes
+/// `&self` with stack-local scratch and no memo writes back into the
+/// manager, so a finished OBDD behind an `Arc` is freely walkable from
+/// many threads. Pinned by a compile-time `Send + Sync` test.
 #[derive(Debug)]
 pub struct ObddManager {
     order: Vec<u32>,
@@ -618,5 +627,29 @@ mod tests {
         assert!(m.size(a) == 1);
         assert_eq!(m.size(NodeRef::TRUE), 0);
         assert!(m.arena_size() >= m.size(abc));
+    }
+
+    #[test]
+    fn managers_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // Sharded evaluation walks one finished OBDD from many threads;
+        // this fails to compile if interior mutability ever creeps in.
+        assert_send_sync::<ObddManager>();
+
+        let mut m = ObddManager::new(vec![0, 1]);
+        let a = m.literal(0, true);
+        let b = m.literal(1, true);
+        let f = m.or(a, b);
+        let expected = m.probability_f64(f, &|_| 0.5);
+        let shared = std::sync::Arc::new(m);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&shared);
+                s.spawn(move || {
+                    let p = m.probability_f64(f, &|_| 0.5);
+                    assert!((p - expected).abs() < 1e-15);
+                });
+            }
+        });
     }
 }

@@ -1,5 +1,10 @@
 //! The compiled-lineage cache: artifacts keyed by `(φ truth table,
-//! database shape)`, deliberately excluding tuple probabilities.
+//! database shape)`, deliberately excluding tuple probabilities — stored
+//! as `Arc<Artifact>` behind a gate-budgeted LRU so circuits can be
+//! shared immutably across shard workers and memory stays bounded.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use intext_boolfn::BoolFn;
 use intext_core::CompiledLineage;
@@ -73,12 +78,182 @@ impl Artifact {
     }
 
     /// Size of the compiled representation: OBDD node count or d-D gate
-    /// count.
+    /// count. This is the unit the cache budget is measured in.
     pub fn size(&self) -> usize {
         match self {
             Artifact::Obdd(lin) => lin.size(),
             Artifact::Dd(dd) => dd.stats().gates,
         }
+    }
+}
+
+struct CacheSlot {
+    artifact: Arc<Artifact>,
+    /// `artifact.size()`, memoized: the size of an OBDD artifact is a
+    /// reachability count, not a field read, and eviction scans recompute
+    /// totals often.
+    gates: usize,
+    /// Logical timestamp of the last `get` or `insert` touching this slot.
+    last_used: u64,
+}
+
+impl std::fmt::Debug for CacheSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheSlot")
+            .field("gates", &self.gates)
+            .field("last_used", &self.last_used)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bounded, least-recently-used store of compiled artifacts.
+///
+/// Three properties matter for the engine (see `DESIGN.md`,
+/// "Concurrency & memory model"):
+///
+/// * **Entries are `Arc<Artifact>`.** Artifacts are immutable once
+///   compiled — every walk takes `&self` — so one circuit can be walked
+///   concurrently by many shard workers without copies or locks, and an
+///   eviction never invalidates a walk in flight: workers holding the
+///   `Arc` keep the artifact alive, the cache merely stops retaining it.
+/// * **The budget is measured in gates**, not entries:
+///   [`Artifact::size`] summed over the cache. Artifact sizes vary by
+///   orders of magnitude with the domain size, so an entry-count bound
+///   would not bound memory. `None` means unbounded (the pre-eviction
+///   behaviour).
+/// * **Eviction is strict LRU at insert time.** After an insert pushes
+///   the total over budget, least-recently-used entries are dropped
+///   until the total fits. An artifact larger than the whole budget is
+///   never retained (it is still returned to the caller and counts as
+///   one eviction) and — deliberately — does not evict anything else:
+///   flushing hot entries for an artifact that cannot fit anyway would
+///   be pure collateral damage.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    entries: HashMap<CacheKey, CacheSlot>,
+    budget: Option<usize>,
+    total_gates: usize,
+    clock: u64,
+    evictions: u64,
+}
+
+impl ArtifactCache {
+    /// An empty cache with the given gate budget (`None` = unbounded).
+    pub fn new(budget: Option<usize>) -> Self {
+        ArtifactCache {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// The artifact for `key`, bumping its recency, or `None` on a miss.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Artifact>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|slot| {
+            slot.last_used = clock;
+            Arc::clone(&slot.artifact)
+        })
+    }
+
+    /// `true` iff `key` is cached, *without* bumping recency (used by
+    /// `explain`, which must not perturb eviction order).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts a freshly compiled artifact, evicting least-recently-used
+    /// entries until the gate budget holds again. Returns the shared
+    /// handle plus the number of entries evicted.
+    pub fn insert(&mut self, key: CacheKey, artifact: Artifact) -> (Arc<Artifact>, u64) {
+        self.clock += 1;
+        let gates = artifact.size();
+        let artifact = Arc::new(artifact);
+        if self.budget.is_some_and(|budget| gates > budget) {
+            // An artifact that can never fit is not retained at all —
+            // and must not flush the (still hot) existing entries as
+            // collateral on its way through. One eviction: itself.
+            self.evictions += 1;
+            return (artifact, 1);
+        }
+        let slot = CacheSlot {
+            artifact: Arc::clone(&artifact),
+            gates,
+            last_used: self.clock,
+        };
+        if let Some(old) = self.entries.insert(key, slot) {
+            // Same key compiled twice (only possible after an eviction
+            // raced a re-insert through the caller); replace, don't leak
+            // the old size.
+            self.total_gates -= old.gates;
+        }
+        self.total_gates += gates;
+        let evicted = self.enforce_budget();
+        (artifact, evicted)
+    }
+
+    /// Evicts LRU entries until `total_gates <= budget`; returns how many
+    /// entries were dropped.
+    fn enforce_budget(&mut self) -> u64 {
+        let Some(budget) = self.budget else {
+            return 0;
+        };
+        let mut evicted = 0;
+        while self.total_gates > budget {
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            let slot = self.entries.remove(&victim).expect("victim key exists");
+            self.total_gates -= slot.gates;
+            evicted += 1;
+        }
+        self.evictions += evicted;
+        evicted
+    }
+
+    /// Replaces the gate budget, evicting immediately if the cache no
+    /// longer fits; returns how many entries were dropped.
+    pub fn set_budget(&mut self, budget: Option<usize>) -> u64 {
+        self.budget = budget;
+        self.enforce_budget()
+    }
+
+    /// The current gate budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total gates currently retained — by construction never above the
+    /// budget.
+    pub fn total_gates(&self) -> usize {
+        self.total_gates
+    }
+
+    /// Lifetime count of budget evictions (manual [`clear`](Self::clear)
+    /// does not count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every entry (not counted as evictions).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total_gates = 0;
     }
 }
 
@@ -113,5 +288,111 @@ mod tests {
         rev.insert(TupleDesc::R(0)).unwrap();
         let phi = intext_boolfn::BoolFn::var(2, 0);
         assert_ne!(CacheKey::new(&phi, &fwd), CacheKey::new(&phi, &rev));
+    }
+
+    /// A distinct key per `domain` plus a compiled artifact for it; the
+    /// artifact's gate count grows with the domain, which the LRU tests
+    /// below rely on only as "nonzero and known via `size()`".
+    fn compiled(domain: u32) -> (CacheKey, Artifact) {
+        let phi = phi9();
+        let db = complete_database(3, domain);
+        let artifact = Artifact::Dd(
+            intext_core::compile_dd(&phi, &db).expect("φ9 has zero Euler characteristic"),
+        );
+        (CacheKey::new(&phi, &db), artifact)
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut cache = ArtifactCache::new(None);
+        for domain in 1..=3 {
+            let (key, artifact) = compiled(domain);
+            cache.insert(key, artifact);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_exactly_at_budget() {
+        let (key_a, art_a) = compiled(2);
+        let (key_b, art_b) = compiled(3);
+        // C is the smallest artifact (sizes grow with the domain), so it
+        // fits the budget but pushes A+B+C over it.
+        let (key_c, art_c) = compiled(1);
+        // Budget admits A and B together but not C on top of them.
+        let budget = art_a.size() + art_b.size();
+        assert!(art_c.size() <= budget, "C alone must fit the budget");
+        let mut cache = ArtifactCache::new(Some(budget));
+        cache.insert(key_a.clone(), art_a);
+        let (_, evicted) = cache.insert(key_b.clone(), art_b);
+        assert_eq!(evicted, 0, "exactly at budget: nothing evicted yet");
+        assert_eq!(cache.total_gates(), budget);
+        // Touch A so B becomes the least recently used.
+        assert!(cache.get(&key_a).is_some());
+        let (_, evicted) = cache.insert(key_c.clone(), art_c);
+        assert!(evicted >= 1);
+        assert!(!cache.contains(&key_b), "B was LRU and must go first");
+        assert!(cache.contains(&key_c));
+        assert!(cache.total_gates() <= budget);
+        assert_eq!(cache.evictions(), evicted);
+        assert!(cache.get(&key_b).is_none(), "evicted ⟹ next access misses");
+    }
+
+    #[test]
+    fn oversized_artifact_is_returned_but_not_retained() {
+        let (key, artifact) = compiled(2);
+        let mut cache = ArtifactCache::new(Some(artifact.size() - 1));
+        let (handle, evicted) = cache.insert(key.clone(), artifact);
+        assert_eq!(evicted, 1, "the entry itself is the only victim");
+        assert!(handle.size() > 0, "caller still gets a usable artifact");
+        assert!(!cache.contains(&key));
+        assert_eq!(cache.total_gates(), 0);
+    }
+
+    #[test]
+    fn oversized_artifact_leaves_hot_entries_untouched() {
+        let (key_a, art_a) = compiled(1);
+        let (key_big, art_big) = compiled(3);
+        // Budget fits A but can never fit the domain-3 artifact.
+        let mut cache = ArtifactCache::new(Some(art_big.size() - 1));
+        assert!(art_a.size() < art_big.size());
+        cache.insert(key_a.clone(), art_a);
+        let retained = cache.total_gates();
+        let (_, evicted) = cache.insert(key_big.clone(), art_big);
+        assert_eq!(evicted, 1, "only the unfittable entry is evicted");
+        assert!(cache.contains(&key_a), "hot entries are not collateral");
+        assert!(!cache.contains(&key_big));
+        assert_eq!(cache.total_gates(), retained);
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_immediately() {
+        let mut cache = ArtifactCache::new(None);
+        for domain in 1..=3 {
+            let (key, artifact) = compiled(domain);
+            cache.insert(key, artifact);
+        }
+        let total = cache.total_gates();
+        let evicted = cache.set_budget(Some(total));
+        assert_eq!(evicted, 0, "exactly fitting budget evicts nothing");
+        assert!(cache.set_budget(Some(total - 1)) >= 1);
+        assert!(cache.total_gates() <= total - 1);
+        // Clearing empties the cache without counting as eviction.
+        let evictions_before = cache.evictions();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.total_gates(), 0);
+        assert_eq!(cache.evictions(), evictions_before);
+    }
+
+    #[test]
+    fn artifacts_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The whole sharded-evaluation design rests on these bounds: a
+        // compile error here means an artifact grew interior mutability.
+        assert_send_sync::<Artifact>();
+        assert_send_sync::<std::sync::Arc<Artifact>>();
+        assert_send_sync::<CacheKey>();
     }
 }

@@ -1,8 +1,10 @@
-//! The `PqeEngine`: plan, compile, cache, evaluate.
+//! The `PqeEngine`: plan, compile, cache, evaluate — sequentially or
+//! fanned across shard workers sharing one compiled circuit.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 use intext_core::{classify, compile_dd, Region};
@@ -12,8 +14,8 @@ use intext_numeric::BigRational;
 use intext_query::{pqe_brute_force, pqe_brute_force_f64, HQuery};
 use intext_tid::Tid;
 
-use crate::cache::{Artifact, CacheKey};
-use crate::{EngineStats, Explanation, Plan, QueryStats};
+use crate::cache::{Artifact, ArtifactCache, CacheKey};
+use crate::{BatchPlan, EngineStats, Explanation, Plan, QueryStats};
 
 /// Knobs for the planner; the defaults are the production-shaped choices.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +30,12 @@ pub struct EngineConfig {
     /// inference cannot. Degenerate queries keep the OBDD route either
     /// way (it is both cheaper and cacheable).
     pub prefer_extensional: bool,
+    /// Gate budget of the artifact cache (total OBDD nodes + d-D gates
+    /// retained); `None` keeps every artifact forever. When the budget
+    /// overflows, least-recently-used artifacts are evicted and counted
+    /// in [`EngineStats::cache_evictions`]. Can be changed later with
+    /// [`PqeEngine::set_cache_budget`].
+    pub cache_gate_budget: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +43,7 @@ impl Default for EngineConfig {
         EngineConfig {
             max_brute_force_tuples: 20,
             prefer_extensional: false,
+            cache_gate_budget: None,
         }
     }
 }
@@ -92,12 +101,18 @@ impl std::error::Error for EngineError {}
 /// [`EngineStats`] for every decision it makes.
 ///
 /// See the crate-level docs for a usage example and `DESIGN.md` for the
-/// routing diagram.
-#[derive(Debug, Default)]
+/// routing diagram and the concurrency model.
+#[derive(Debug)]
 pub struct PqeEngine {
     config: EngineConfig,
-    cache: HashMap<CacheKey, Artifact>,
+    cache: ArtifactCache,
     stats: EngineStats,
+}
+
+impl Default for PqeEngine {
+    fn default() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
 }
 
 impl PqeEngine {
@@ -109,8 +124,9 @@ impl PqeEngine {
     /// An engine with an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
         PqeEngine {
+            cache: ArtifactCache::new(config.cache_gate_budget),
             config,
-            ..Self::default()
+            stats: EngineStats::default(),
         }
     }
 
@@ -119,7 +135,8 @@ impl PqeEngine {
         &self.config
     }
 
-    /// Lifetime statistics (plans chosen, cache hits/misses, wall time).
+    /// Lifetime statistics (plans chosen, cache hits/misses/evictions,
+    /// wall time).
     pub fn stats(&self) -> &EngineStats {
         &self.stats
     }
@@ -134,7 +151,25 @@ impl PqeEngine {
         self.cache.len()
     }
 
-    /// Drops every cached artifact.
+    /// Total gates (OBDD nodes + d-D gates) currently retained by the
+    /// cache; never exceeds the budget.
+    pub fn cache_gates(&self) -> usize {
+        self.cache.total_gates()
+    }
+
+    /// The cache's gate budget (`None` = unbounded).
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache.budget()
+    }
+
+    /// Replaces the cache's gate budget, evicting immediately if the
+    /// retained artifacts no longer fit.
+    pub fn set_cache_budget(&mut self, budget: Option<usize>) {
+        self.config.cache_gate_budget = budget;
+        self.stats.cache_evictions += self.cache.set_budget(budget);
+    }
+
+    /// Drops every cached artifact (not counted as evictions).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -189,9 +224,7 @@ impl PqeEngine {
     pub fn explain(&self, q: &HQuery, tid: &Tid) -> Explanation {
         let plan = self.plan(q, tid);
         let cached = matches!(plan, Ok(p) if p.is_cacheable())
-            && self
-                .cache
-                .contains_key(&CacheKey::new(q.phi(), tid.database()));
+            && self.cache.contains(&CacheKey::new(q.phi(), tid.database()));
         Explanation {
             region: classify(q.phi()),
             tuples: tid.len(),
@@ -214,36 +247,23 @@ impl PqeEngine {
     ) -> Result<T, EngineError> {
         let plan = self.plan(q, tid)?;
         let (p, record) = if plan.is_cacheable() {
-            // Build the key once and look it up once: the hit path — the
-            // one the cache exists to make hot — must not re-hash the
-            // O(|D|) key per probe.
-            let entry = self.cache.entry(CacheKey::new(q.phi(), tid.database()));
-            let (cache_hit, compile_time, artifact) = match entry {
-                Entry::Occupied(slot) => (true, Duration::ZERO, slot.into_mut()),
-                Entry::Vacant(slot) => {
+            // Build the key once and probe once: the hit path — the one
+            // the cache exists to make hot — must not re-hash the O(|D|)
+            // key per probe.
+            let key = CacheKey::new(q.phi(), tid.database());
+            let (cache_hit, compile_time, artifact) = match self.cache.get(&key) {
+                Some(artifact) => (true, Duration::ZERO, artifact),
+                None => {
                     let started = Instant::now();
-                    // The planner already established the backend
-                    // preconditions (vocabulary match, degeneracy / zero
-                    // Euler characteristic), so compilation cannot fail.
-                    let artifact = match plan {
-                        Plan::Obdd => {
-                            Artifact::Obdd(compile_degenerate_obdd(q.phi(), tid.database()).expect(
-                                "planner guarantees a degenerate φ on a matching vocabulary",
-                            ))
-                        }
-                        Plan::DdCircuit => Artifact::Dd(
-                            compile_dd(q.phi(), tid.database())
-                                .expect("planner guarantees e(φ) = 0"),
-                        ),
-                        Plan::Extensional | Plan::BruteForce => {
-                            unreachable!("only cacheable plans reach the artifact path")
-                        }
-                    };
-                    (false, started.elapsed(), slot.insert(artifact))
+                    let compiled = Self::compile_artifact(plan, q, tid);
+                    let compile_time = started.elapsed();
+                    let (artifact, evicted) = self.cache.insert(key, compiled);
+                    self.stats.cache_evictions += evicted;
+                    (false, compile_time, artifact)
                 }
             };
             let started = Instant::now();
-            let p = walk(artifact, tid);
+            let p = walk(&artifact, tid);
             let circuit_size = Some(artifact.size());
             (
                 p,
@@ -275,6 +295,25 @@ impl PqeEngine {
         };
         self.stats.record(record);
         Ok(p)
+    }
+
+    /// Compiles the artifact a cacheable `plan` promised. The planner
+    /// already established the backend preconditions (vocabulary match,
+    /// degeneracy / zero Euler characteristic), so compilation cannot
+    /// fail.
+    fn compile_artifact(plan: Plan, q: &HQuery, tid: &Tid) -> Artifact {
+        match plan {
+            Plan::Obdd => Artifact::Obdd(
+                compile_degenerate_obdd(q.phi(), tid.database())
+                    .expect("planner guarantees a degenerate φ on a matching vocabulary"),
+            ),
+            Plan::DdCircuit => Artifact::Dd(
+                compile_dd(q.phi(), tid.database()).expect("planner guarantees e(φ) = 0"),
+            ),
+            Plan::Extensional | Plan::BruteForce => {
+                unreachable!("only cacheable plans compile artifacts")
+            }
+        }
     }
 
     /// Exact `PQE(Q_φ)` through the planner: routes, compiles or reuses
@@ -309,13 +348,305 @@ impl PqeEngine {
     /// circuit for every other member of the batch.
     ///
     /// Fails on the first TID with no sound plan, so a batch is
-    /// all-or-nothing.
+    /// all-or-nothing. [`evaluate_batch_sharded`](Self::evaluate_batch_sharded)
+    /// is the parallel variant with identical results.
     pub fn evaluate_batch(
         &mut self,
         q: &HQuery,
         tids: &[Tid],
     ) -> Result<Vec<BigRational>, EngineError> {
         tids.iter().map(|tid| self.evaluate(q, tid)).collect()
+    }
+
+    /// Dry-runs the sharded batch: how many workers would run, how many
+    /// scenarios would compile vs share an artifact — without compiling
+    /// or evaluating anything.
+    ///
+    /// The compile/share split assumes no evictions happen *during* the
+    /// batch (a dry run cannot know artifact sizes before compiling
+    /// them); with a tight budget and many distinct shapes the real
+    /// [`evaluate_batch_sharded`](Self::evaluate_batch_sharded) may
+    /// compile more.
+    pub fn plan_batch(
+        &self,
+        q: &HQuery,
+        scenarios: &[Tid],
+        shards: usize,
+    ) -> Result<BatchPlan, EngineError> {
+        let mut compiles = 0;
+        let mut shared = 0;
+        let mut simulated: HashSet<CacheKey> = HashSet::new();
+        let mut prev_plan = None;
+        for (i, tid) in scenarios.iter().enumerate() {
+            // `plan` depends on the TID only through its shape
+            // (vocabulary k and tuple count), so a same-shape run shares
+            // one decision.
+            let plan = match prev_plan {
+                Some(p) if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) => p,
+                _ => self.plan(q, tid)?,
+            };
+            prev_plan = Some(plan);
+            if plan.is_cacheable() {
+                let key = CacheKey::new(q.phi(), tid.database());
+                if simulated.contains(&key) || self.cache.contains(&key) {
+                    shared += 1;
+                } else {
+                    compiles += 1;
+                    simulated.insert(key);
+                }
+            }
+        }
+        Ok(BatchPlan {
+            scenarios: scenarios.len(),
+            shards: Self::shard_count(scenarios.len(), shards),
+            compiles,
+            shared,
+        })
+    }
+
+    /// The number of workers a request for `shards` shards over
+    /// `scenarios` scenarios actually spawns: contiguous chunks of
+    /// `ceil(scenarios / shards)`, so small workloads use fewer workers
+    /// than asked and `shards == 0` is treated as `1`.
+    fn shard_count(scenarios: usize, shards: usize) -> usize {
+        if scenarios == 0 {
+            return 0;
+        }
+        let shards = shards.clamp(1, scenarios);
+        scenarios.div_ceil(scenarios.div_ceil(shards))
+    }
+
+    /// [`evaluate_batch`](Self::evaluate_batch), fanned across `shards`
+    /// worker threads — bit-identical results, one compilation.
+    ///
+    /// Three phases (sequence diagram in `DESIGN.md`):
+    ///
+    /// 1. **Plan + compile (sequential).** Every scenario is planned, and
+    ///    each *distinct* database shape compiles (or fetches) its
+    ///    artifact exactly once; the artifacts are `Arc`-shared, so this
+    ///    is the only phase that touches the cache or `&mut self`.
+    ///    Consecutive same-shape scenarios (the dominant workload) skip
+    ///    even the key construction via [`Tid::database`] shape equality.
+    /// 2. **Walk (parallel).** Scenario chunks fan out over
+    ///    `std::thread::scope` workers; each walk is a pure `&self` pass
+    ///    over the shared circuit, and each worker records into its own
+    ///    [`EngineStats`] — no locks, no shared mutable state.
+    /// 3. **Merge.** Per-shard stats fold into the engine's aggregate via
+    ///    [`EngineStats::merge`], in shard order, so the merged counters
+    ///    equal a sequential run's; the [`BatchPlan`] (shard count,
+    ///    compile/share split) lands in `EngineStats::last_batch`.
+    ///
+    /// Fails up front if any scenario lacks a sound plan — planning all
+    /// scenarios is the very first step, so on error *nothing* has
+    /// happened yet: no compile, no cache mutation, no eviction, no
+    /// stats. (The sequential variant, by contrast, records the
+    /// scenarios it finished before hitting the unsound one.)
+    pub fn evaluate_batch_sharded(
+        &mut self,
+        q: &HQuery,
+        scenarios: &[Tid],
+        shards: usize,
+    ) -> Result<Vec<BigRational>, EngineError> {
+        self.evaluate_batch_sharded_with(
+            q,
+            scenarios,
+            shards,
+            |artifact, tid| artifact.probability_exact(tid),
+            |q, tid| pqe_extensional(q, tid).expect("planner guarantees a monotone safe φ"),
+            |q, tid| pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples"),
+        )
+    }
+
+    /// Floating-point [`evaluate_batch_sharded`](Self::evaluate_batch_sharded)
+    /// (used by the E18 benchmark; each walk stays linear in gates).
+    pub fn evaluate_batch_sharded_f64(
+        &mut self,
+        q: &HQuery,
+        scenarios: &[Tid],
+        shards: usize,
+    ) -> Result<Vec<f64>, EngineError> {
+        self.evaluate_batch_sharded_with(
+            q,
+            scenarios,
+            shards,
+            |artifact, tid| artifact.probability_f64(tid),
+            |q, tid| pqe_extensional_f64(q, tid).expect("planner guarantees a monotone safe φ"),
+            |q, tid| {
+                pqe_brute_force_f64(q, tid).expect("planner bounds the instance below 64 tuples")
+            },
+        )
+    }
+
+    /// The generic sharded pipeline behind both public variants.
+    fn evaluate_batch_sharded_with<T: Send>(
+        &mut self,
+        q: &HQuery,
+        scenarios: &[Tid],
+        shards: usize,
+        walk: impl Fn(&Artifact, &Tid) -> T + Sync,
+        lifted: impl Fn(&HQuery, &Tid) -> T + Sync,
+        worlds: impl Fn(&HQuery, &Tid) -> T + Sync,
+    ) -> Result<Vec<T>, EngineError> {
+        /// One scenario's precomputed work order: everything a worker
+        /// needs so its loop never touches the cache or `&mut self`.
+        struct Task {
+            plan: Plan,
+            artifact: Option<Arc<Artifact>>,
+            cache_hit: bool,
+            compile_time: Duration,
+        }
+
+        if scenarios.is_empty() {
+            self.stats.last_batch = Some(BatchPlan {
+                scenarios: 0,
+                shards: 0,
+                compiles: 0,
+                shared: 0,
+            });
+            return Ok(Vec::new());
+        }
+
+        // Phase 1a: plan every scenario first. Planning is pure (no
+        // cache, no stats), so an unsound scenario anywhere in the batch
+        // fails here before *any* state — cache contents, eviction
+        // counters — has been touched: all-or-nothing, observably.
+        let mut plans: Vec<Plan> = Vec::with_capacity(scenarios.len());
+        for (i, tid) in scenarios.iter().enumerate() {
+            // `plan` depends on the TID only through its shape
+            // (vocabulary k and tuple count), so a same-shape run shares
+            // one decision.
+            let plan = match plans.last() {
+                Some(&p) if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) => p,
+                _ => self.plan(q, tid)?,
+            };
+            plans.push(plan);
+        }
+
+        // Phase 1b: compile each distinct shape once, mirroring the
+        // cache access order of a sequential run so hit/miss/eviction
+        // counters come out identical. Cannot fail (the plans above
+        // guarantee every compile's precondition).
+        let mut tasks: Vec<Task> = Vec::with_capacity(scenarios.len());
+        let mut compiles = 0;
+        let mut shared = 0;
+        for (i, (tid, &plan)) in scenarios.iter().zip(&plans).enumerate() {
+            if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) {
+                let prev = tasks.last().expect("i > 0 ⟹ a previous task exists");
+                let cache_hit = prev.artifact.is_some();
+                if cache_hit {
+                    shared += 1;
+                }
+                tasks.push(Task {
+                    plan: prev.plan,
+                    artifact: prev.artifact.clone(),
+                    cache_hit,
+                    compile_time: Duration::ZERO,
+                });
+                continue;
+            }
+            if !plan.is_cacheable() {
+                tasks.push(Task {
+                    plan,
+                    artifact: None,
+                    cache_hit: false,
+                    compile_time: Duration::ZERO,
+                });
+                continue;
+            }
+            let key = CacheKey::new(q.phi(), tid.database());
+            let task = match self.cache.get(&key) {
+                Some(artifact) => {
+                    shared += 1;
+                    Task {
+                        plan,
+                        artifact: Some(artifact),
+                        cache_hit: true,
+                        compile_time: Duration::ZERO,
+                    }
+                }
+                None => {
+                    let started = Instant::now();
+                    let compiled = Self::compile_artifact(plan, q, tid);
+                    let compile_time = started.elapsed();
+                    let (artifact, evicted) = self.cache.insert(key, compiled);
+                    self.stats.cache_evictions += evicted;
+                    compiles += 1;
+                    Task {
+                        plan,
+                        artifact: Some(artifact),
+                        cache_hit: false,
+                        compile_time,
+                    }
+                }
+            };
+            tasks.push(task);
+        }
+
+        // Phase 2: fan contiguous scenario chunks across scoped workers.
+        // Workers only read: `Arc<Artifact>` walks take `&self`, and the
+        // non-cacheable backends are pure functions of `(q, tid)`.
+        // `shard_count` is the one source of truth for how many workers
+        // run (it is what `plan_batch` predicts); deriving the chunk
+        // size from its result reproduces exactly that many chunks
+        // (`s ↦ ceil(n / ceil(n / s))` is idempotent).
+        let shards = Self::shard_count(scenarios.len(), shards);
+        let chunk = scenarios.len().div_ceil(shards);
+        let (walk, lifted, worlds) = (&walk, &lifted, &worlds);
+        let shard_outputs: Vec<(Vec<T>, EngineStats)> = thread::scope(|scope| {
+            let handles: Vec<_> = scenarios
+                .chunks(chunk)
+                .zip(tasks.chunks(chunk))
+                .map(|(tids, tasks)| {
+                    scope.spawn(move || {
+                        let mut stats = EngineStats::default();
+                        let probs = tids
+                            .iter()
+                            .zip(tasks)
+                            .map(|(tid, task)| {
+                                let started = Instant::now();
+                                let p = match (&task.artifact, task.plan) {
+                                    (Some(artifact), _) => walk(artifact, tid),
+                                    (None, Plan::Extensional) => lifted(q, tid),
+                                    (None, Plan::BruteForce) => worlds(q, tid),
+                                    (None, Plan::Obdd | Plan::DdCircuit) => {
+                                        unreachable!("cacheable plans precompiled an artifact")
+                                    }
+                                };
+                                stats.record(QueryStats {
+                                    plan: task.plan,
+                                    cache_hit: task.cache_hit,
+                                    circuit_size: task.artifact.as_deref().map(Artifact::size),
+                                    compile_time: task.compile_time,
+                                    eval_time: started.elapsed(),
+                                });
+                                p
+                            })
+                            .collect();
+                        (probs, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Phase 3: merge shard stats in order and stitch the results
+        // back into input order (chunks are contiguous).
+        debug_assert_eq!(shard_outputs.len(), shards, "chunking spawned as planned");
+        let mut probs = Vec::with_capacity(scenarios.len());
+        for (chunk_probs, chunk_stats) in shard_outputs {
+            probs.extend(chunk_probs);
+            self.stats.merge(&chunk_stats);
+        }
+        self.stats.last_batch = Some(BatchPlan {
+            scenarios: scenarios.len(),
+            shards,
+            compiles,
+            shared,
+        });
+        Ok(probs)
     }
 }
 
@@ -438,6 +769,119 @@ mod tests {
         for (p, tid) in probs.iter().zip(&scenarios) {
             assert_eq!(p, &pqe_brute_force(&q, tid).unwrap());
         }
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential_and_records_batch_plan() {
+        let q = HQuery::new(phi9());
+        let base = uniform_tid(complete_database(3, 1), half());
+        let scenarios: Vec<_> = (0..7u32)
+            .map(|s| {
+                let mut tid = base.clone();
+                tid.set_prob(TupleId(s % 3), BigRational::from_ratio(1, u64::from(s) + 2))
+                    .unwrap();
+                tid
+            })
+            .collect();
+        let mut sequential = PqeEngine::new();
+        let expected = sequential.evaluate_batch(&q, &scenarios).unwrap();
+        for shards in [1, 2, 3, 7, 99] {
+            let mut engine = PqeEngine::new();
+            let planned = engine.plan_batch(&q, &scenarios, shards).unwrap();
+            let probs = engine
+                .evaluate_batch_sharded(&q, &scenarios, shards)
+                .unwrap();
+            assert_eq!(probs, expected, "shards={shards}");
+            assert_eq!(engine.stats().cache_misses, 1);
+            assert_eq!(engine.stats().cache_hits, 6);
+            assert_eq!(engine.stats().queries, 7);
+            let batch = engine.stats().last_batch.unwrap();
+            assert_eq!(batch, planned, "dry run must predict the execution");
+            assert_eq!(batch.scenarios, 7);
+            assert_eq!(batch.compiles, 1);
+            assert_eq!(batch.shared, 6);
+            assert!(batch.shards >= 1 && batch.shards <= 7.min(shards.max(1)));
+        }
+    }
+
+    #[test]
+    fn sharded_batch_handles_empty_and_noncacheable_plans() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        assert_eq!(engine.evaluate_batch_sharded(&q, &[], 4).unwrap(), vec![]);
+        assert_eq!(engine.stats().queries, 0);
+
+        // Brute-force plans have no artifact; workers fall back to the
+        // pure possible-worlds backend.
+        let hard = HQuery::new(max_euler_fn(4));
+        let tid = uniform_tid(complete_database(3, 1), half());
+        let scenarios = vec![tid.clone(), tid];
+        let probs = engine.evaluate_batch_sharded(&hard, &scenarios, 2).unwrap();
+        assert_eq!(probs[0], pqe_brute_force(&hard, &scenarios[0]).unwrap());
+        assert_eq!(probs, engine.evaluate_batch(&hard, &scenarios).unwrap());
+        assert_eq!(engine.cache_len(), 0);
+        assert_eq!(engine.stats().last_batch.unwrap().compiles, 0);
+    }
+
+    #[test]
+    fn sharded_batch_error_touches_no_state() {
+        // Scenario 1 is cacheable (φ9 compiles a d-D) and would have
+        // compiled — and, under this budget, evicted — before scenario 2
+        // fails, if planning were not strictly up-front. Scenario 2 has
+        // the wrong vocabulary (k = 2 against a k = 3 query).
+        let q = HQuery::new(phi9());
+        let good = uniform_tid(complete_database(3, 1), half());
+        let mismatched = uniform_tid(complete_database(2, 2), half());
+        let mut engine = PqeEngine::with_config(EngineConfig {
+            cache_gate_budget: Some(1), // any compile would also evict
+            ..EngineConfig::default()
+        });
+        let err = engine
+            .evaluate_batch_sharded(&q, &[good, mismatched], 2)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::VocabularyMismatch { .. }));
+        // All-or-nothing, observably: no compiles, no evictions, no
+        // queries, no batch record.
+        assert_eq!(engine.stats().queries, 0);
+        assert_eq!(engine.stats().cache_misses, 0);
+        assert_eq!(engine.stats().cache_evictions, 0);
+        assert_eq!(engine.cache_len(), 0);
+        assert!(engine.stats().last_batch.is_none());
+    }
+
+    #[test]
+    fn cache_budget_bounds_gates_and_counts_evictions() {
+        let q = HQuery::new(phi9());
+        let small = uniform_tid(complete_database(3, 1), half());
+        let large = uniform_tid(complete_database(3, 2), half());
+
+        // Learn the two artifact sizes with an unbounded engine.
+        let mut probe = PqeEngine::new();
+        probe.evaluate(&q, &small).unwrap();
+        probe.evaluate(&q, &large).unwrap();
+        let total = probe.cache_gates();
+        assert_eq!(probe.cache_len(), 2);
+
+        // A budget below the pair forces the LRU (the `small` artifact)
+        // out when `large` arrives.
+        let mut engine = PqeEngine::with_config(EngineConfig {
+            cache_gate_budget: Some(total - 1),
+            ..EngineConfig::default()
+        });
+        engine.evaluate(&q, &small).unwrap();
+        engine.evaluate(&q, &large).unwrap();
+        assert!(engine.cache_gates() <= total - 1, "budget is a hard bound");
+        assert_eq!(engine.stats().cache_evictions, 1);
+        // Re-touching the evicted shape recompiles: a second miss.
+        engine.evaluate(&q, &small).unwrap();
+        assert_eq!(engine.stats().cache_misses, 3);
+
+        // Tightening the budget on a live engine evicts immediately.
+        engine.set_cache_budget(Some(0));
+        assert_eq!(engine.cache_len(), 0);
+        assert_eq!(engine.cache_gates(), 0);
+        assert!(engine.stats().cache_evictions >= 2);
+        assert_eq!(engine.cache_budget(), Some(0));
     }
 
     #[test]

@@ -14,13 +14,24 @@
 //!    `(φ's canonical truth table, database shape)` and *not* by tuple
 //!    probabilities, so re-evaluating under new probabilities is one
 //!    linear circuit walk instead of a recompilation — the whole point
-//!    of the intensional representation.
-//! 3. **Observe** — every call records [`QueryStats`] (plan, cache
+//!    of the intensional representation. Artifacts live in a
+//!    gate-budgeted LRU [`ArtifactCache`] as `Arc<Artifact>`, so memory
+//!    is bounded ([`EngineConfig::cache_gate_budget`]) and circuits are
+//!    shared immutably across threads.
+//! 3. **Scale** — [`PqeEngine::evaluate_batch_sharded`] compiles once
+//!    and fans a scenario workload across `std::thread::scope` workers,
+//!    each doing pure circuit walks; results are bit-identical to the
+//!    sequential [`PqeEngine::evaluate_batch`].
+//! 4. **Observe** — every call records [`QueryStats`] (plan, cache
 //!    hit/miss, circuit size, wall time) into aggregate
-//!    [`EngineStats`].
+//!    [`EngineStats`]; per-shard stats fold back into one report via
+//!    [`EngineStats::merge`], and each batch leaves its [`BatchPlan`]
+//!    in `EngineStats::last_batch`.
 //!
-//! `DESIGN.md` (repo root) has the routing diagram and the cache-key
-//! rationale; `EXPERIMENTS.md` describes the cold-vs-cached benchmark.
+//! `DESIGN.md` (repo root) has the routing diagram, the cache-key
+//! rationale, and the concurrency & memory model; `EXPERIMENTS.md`
+//! describes the cold-vs-cached (E17), sharding (E18), and eviction
+//! (E19) benchmarks.
 //!
 //! # Example: auto-routing and cached re-weighting
 //!
@@ -55,7 +66,7 @@ mod engine;
 mod plan;
 mod stats;
 
-pub use cache::{Artifact, CacheKey};
+pub use cache::{Artifact, ArtifactCache, CacheKey};
 pub use engine::{EngineConfig, EngineError, PqeEngine};
-pub use plan::{Explanation, Plan};
+pub use plan::{BatchPlan, Explanation, Plan};
 pub use stats::{EngineStats, QueryStats};

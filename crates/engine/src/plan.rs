@@ -49,6 +49,39 @@ impl fmt::Display for Plan {
     }
 }
 
+/// How one sharded batch call was (or would be) executed, from
+/// [`PqeEngine::plan_batch`](crate::PqeEngine::plan_batch); also
+/// recorded as `EngineStats::last_batch` by
+/// [`PqeEngine::evaluate_batch_sharded`](crate::PqeEngine::evaluate_batch_sharded).
+///
+/// The interesting invariant: `compiles + shared` counts every
+/// *cacheable* scenario exactly once, so `compiles` is the number of
+/// distinct artifacts the batch had to build and `shared` the number of
+/// pure re-walks the compile amortized over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Scenarios in the workload.
+    pub scenarios: usize,
+    /// Worker threads the scenarios were fanned across (clamped to
+    /// `1..=scenarios`).
+    pub shards: usize,
+    /// Scenario evaluations that compiled a fresh artifact (cache
+    /// misses, including recompiles forced by eviction).
+    pub compiles: usize,
+    /// Scenario evaluations served by an already-shared artifact.
+    pub shared: usize,
+}
+
+impl fmt::Display for BatchPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scenarios over {} shard(s): {} compile(s), {} shared walk(s)",
+            self.scenarios, self.shards, self.compiles, self.shared
+        )
+    }
+}
+
 /// The planner's reasoning for one query, from
 /// [`PqeEngine::explain`](crate::PqeEngine::explain).
 #[derive(Clone, Debug)]
@@ -119,6 +152,20 @@ mod tests {
             ..e.clone()
         };
         assert!(cold.to_string().contains("cold"), "{cold}");
+    }
+
+    #[test]
+    fn batch_plan_renders_shards_and_amortization() {
+        let bp = BatchPlan {
+            scenarios: 1000,
+            shards: 4,
+            compiles: 1,
+            shared: 999,
+        };
+        let s = bp.to_string();
+        assert!(s.contains("4 shard(s)"), "{s}");
+        assert!(s.contains("1 compile(s)"), "{s}");
+        assert!(s.contains("999 shared"), "{s}");
     }
 
     #[test]

@@ -1,9 +1,16 @@
 //! Engine observability: per-query records and lifetime aggregates.
+//!
+//! [`EngineStats`] is deliberately **mergeable**: sharded batch
+//! evaluation hands each worker its own `EngineStats`, records every
+//! scenario locally (no shared counters, no locks on the hot path), and
+//! folds the shards back into the engine's aggregate with
+//! [`EngineStats::merge`] — so one report covers the whole batch exactly
+//! as if it had run sequentially.
 
 use std::fmt;
 use std::time::Duration;
 
-use crate::Plan;
+use crate::{BatchPlan, Plan};
 
 /// What happened on one successful `evaluate` call.
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +42,12 @@ pub struct EngineStats {
     /// key). `queries - cache_hits - cache_misses` is the number of
     /// evaluations on non-cacheable plans.
     pub cache_misses: u64,
+    /// Artifacts dropped by the LRU cache to satisfy its gate budget.
+    /// Every eviction that is accessed again costs one extra
+    /// `cache_misses` (the recompile), which is how the two counters
+    /// reconcile: `cache_misses = distinct cold keys + re-compiles after
+    /// eviction`.
+    pub cache_evictions: u64,
     /// Queries routed to [`Plan::Obdd`].
     pub obdd_plans: u64,
     /// Queries routed to [`Plan::DdCircuit`].
@@ -45,14 +58,23 @@ pub struct EngineStats {
     pub brute_force_plans: u64,
     /// Total wall time spent compiling artifacts.
     pub compile_time: Duration,
-    /// Total wall time spent computing probabilities.
+    /// Total wall time spent computing probabilities. Under sharded
+    /// evaluation this is summed *CPU-side* walk time across workers, so
+    /// it can exceed the batch's wall-clock time — that surplus is the
+    /// parallelism.
     pub eval_time: Duration,
     /// The most recent query's record.
     pub last: Option<QueryStats>,
+    /// The most recent sharded batch's plan, if any batch ran.
+    pub last_batch: Option<BatchPlan>,
 }
 
 impl EngineStats {
-    pub(crate) fn record(&mut self, q: QueryStats) {
+    /// Folds one query's record into the aggregates. Public because
+    /// shard workers build their own `EngineStats` and record into it;
+    /// single evaluations go through the engine, which calls this
+    /// internally.
+    pub fn record(&mut self, q: QueryStats) {
         self.queries += 1;
         match q.plan {
             Plan::Obdd => self.obdd_plans += 1,
@@ -71,6 +93,29 @@ impl EngineStats {
         self.eval_time += q.eval_time;
         self.last = Some(q);
     }
+
+    /// Folds another `EngineStats` into this one: counters and durations
+    /// add, and `other`'s most-recent records win when present (callers
+    /// merge shards in order, so "most recent" stays the last scenario
+    /// of the last shard — the same query a sequential run would report).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.obdd_plans += other.obdd_plans;
+        self.dd_plans += other.dd_plans;
+        self.extensional_plans += other.extensional_plans;
+        self.brute_force_plans += other.brute_force_plans;
+        self.compile_time += other.compile_time;
+        self.eval_time += other.eval_time;
+        if other.last.is_some() {
+            self.last = other.last;
+        }
+        if other.last_batch.is_some() {
+            self.last_batch = other.last_batch;
+        }
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -78,7 +123,7 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "{} queries (obdd {}, d-D {}, extensional {}, brute {}); \
-             cache {} hits / {} misses; compile {:?}, eval {:?}",
+             cache {} hits / {} misses / {} evictions; compile {:?}, eval {:?}",
             self.queries,
             self.obdd_plans,
             self.dd_plans,
@@ -86,6 +131,7 @@ impl fmt::Display for EngineStats {
             self.brute_force_plans,
             self.cache_hits,
             self.cache_misses,
+            self.cache_evictions,
             self.compile_time,
             self.eval_time,
         )
@@ -130,5 +176,43 @@ mod tests {
         ));
         let shown = s.to_string();
         assert!(shown.contains("4 queries"), "{shown}");
+        assert!(shown.contains("evictions"), "{shown}");
+    }
+
+    #[test]
+    fn merge_is_addition_on_counters_and_last_writer_wins_on_records() {
+        let mut a = EngineStats::default();
+        a.record(q(Plan::DdCircuit, false));
+        a.cache_evictions = 2;
+        let mut b = EngineStats::default();
+        b.record(q(Plan::Obdd, true));
+        b.record(q(Plan::Extensional, false));
+        b.cache_evictions = 1;
+
+        let mut merged = EngineStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.queries, 3);
+        assert_eq!(merged.dd_plans, 1);
+        assert_eq!(merged.obdd_plans, 1);
+        assert_eq!(merged.extensional_plans, 1);
+        assert_eq!(merged.cache_hits, 1);
+        assert_eq!(merged.cache_misses, 1);
+        assert_eq!(merged.cache_evictions, 3);
+        assert_eq!(merged.compile_time, Duration::from_micros(15));
+        assert_eq!(merged.eval_time, Duration::from_micros(3));
+        // b recorded last; its final record is the merged `last`.
+        assert!(matches!(
+            merged.last,
+            Some(QueryStats {
+                plan: Plan::Extensional,
+                ..
+            })
+        ));
+        // Merging an empty stats object changes nothing.
+        let snapshot = merged.queries;
+        merged.merge(&EngineStats::default());
+        assert_eq!(merged.queries, snapshot);
+        assert!(merged.last.is_some());
     }
 }

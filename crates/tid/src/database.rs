@@ -209,6 +209,17 @@ impl Database {
         debug_assert!(i >= 1 && i <= self.k);
         self.s[usize::from(i) - 1].iter().map(|(&ab, &id)| (ab, id))
     }
+
+    /// `true` iff `other` has the same *shape*: chain length, domain, and
+    /// tuple list in insertion order — exactly the database component of a
+    /// compiled-lineage cache key. Two same-shape instances assign every
+    /// tuple the same [`TupleId`], so a circuit compiled against one walks
+    /// correctly under the other's probabilities. A plain `Vec` compare:
+    /// cheaper than building and hashing a key, which is what batch
+    /// evaluation uses it to avoid on runs of same-shape scenarios.
+    pub fn same_shape(&self, other: &Database) -> bool {
+        self.k == other.k && self.domain_size == other.domain_size && self.tuples == other.tuples
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +281,25 @@ mod tests {
         }
         let ids: Vec<u32> = db.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_shape_tracks_order_domain_and_k() {
+        let mut a = Database::new(1, 2);
+        a.insert(TupleDesc::R(0)).unwrap();
+        a.insert(TupleDesc::T(1)).unwrap();
+        let b = a.clone();
+        assert!(a.same_shape(&b));
+        // Same tuples, different insertion order: different shape.
+        let mut rev = Database::new(1, 2);
+        rev.insert(TupleDesc::T(1)).unwrap();
+        rev.insert(TupleDesc::R(0)).unwrap();
+        assert!(!a.same_shape(&rev));
+        // Different domain size alone changes the shape.
+        let mut wide = Database::new(1, 3);
+        wide.insert(TupleDesc::R(0)).unwrap();
+        wide.insert(TupleDesc::T(1)).unwrap();
+        assert!(!a.same_shape(&wide));
     }
 
     #[test]

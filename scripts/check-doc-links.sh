@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
-# Fails if the root markdown docs contain relative links to files that
-# do not exist in the repository. Run by the CI docs job; safe to run
-# locally from anywhere inside the repo.
+# Fails if the repository's markdown docs contain relative links to
+# files that do not exist. Run by the CI docs job; safe to run locally
+# from anywhere inside the repo.
+#
+# Coverage: every *.md at the repo root (discovered by glob, so a new
+# doc — or a restored one, like ISSUE.md — is checked the moment it
+# exists and can never dangle silently) plus vendor/README.md. A core
+# set that the other docs link to must also *exist*, so deleting, say,
+# DESIGN.md fails the check rather than skipping its links.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 status=0
-for doc in README.md DESIGN.md EXPERIMENTS.md PAPER.md ROADMAP.md CHANGES.md; do
-    [ -f "$doc" ] || { echo "missing doc: $doc"; status=1; continue; }
+
+# These must exist: the crates' doc comments and the other root docs
+# link into them by name.
+for required in README.md DESIGN.md EXPERIMENTS.md PAPER.md ROADMAP.md CHANGES.md ISSUE.md; do
+    if [ ! -f "$required" ]; then
+        echo "missing doc: $required"
+        status=1
+    fi
+done
+
+check_doc() {
+    local doc=$1 base
+    base=$(dirname "$doc")            # relative links resolve per-doc
     # Extract every markdown link target `](...)`, then check the
     # file-path ones (external URLs and pure #anchors are skipped).
     while IFS= read -r target; do
@@ -16,11 +33,16 @@ for doc in README.md DESIGN.md EXPERIMENTS.md PAPER.md ROADMAP.md CHANGES.md; do
         case $target in
             http://*|https://*|mailto:*) continue ;;
         esac
-        if [ ! -e "$target" ]; then
+        if [ ! -e "$base/$target" ]; then
             echo "$doc: broken link -> $target"
             status=1
         fi
     done < <(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//')
+}
+
+for doc in *.md vendor/README.md; do
+    [ -f "$doc" ] || continue
+    check_doc "$doc"
 done
 
 if [ "$status" -eq 0 ]; then

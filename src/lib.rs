@@ -49,6 +49,17 @@
 //! assert_eq!(p, ext);
 //! assert_eq!(p, dd.probability_exact(&tid));
 //! assert_eq!(p, brute);
+//!
+//! // Scenario sweeps reuse the compiled circuit: shard a re-weighting
+//! // workload across 4 worker threads, one compile for the whole batch.
+//! let scenarios = vec![tid.clone(), tid.clone(), tid.clone(), tid.clone()];
+//! let probs = engine.evaluate_batch_sharded(&q, &scenarios, 4).unwrap();
+//! assert!(probs.iter().all(|pi| pi == &p));
+//! assert_eq!(engine.stats().cache_misses, 1); // compiled exactly once
+//!
+//! // Bound the artifact cache (total gates retained); LRU eviction keeps
+//! // it under budget and counts into `stats().cache_evictions`.
+//! engine.set_cache_budget(Some(1 << 20));
 //! ```
 //!
 //! See `DESIGN.md` (repo root) for the paper-to-module map and the
