@@ -49,7 +49,11 @@ pub struct BoolFn {
 pub const MAX_VARS: u8 = 26;
 
 impl BoolFn {
-    fn word_count(n: u8) -> usize {
+    /// Number of `u64` table words an `n`-variable function stores:
+    /// `ceil(2^n / 64)`. Public so deserializers reading a
+    /// [`words`](Self::words)-encoded table know how many words to
+    /// consume without re-deriving the layout.
+    pub fn word_count(n: u8) -> usize {
         if n < 6 {
             1
         } else {
@@ -145,6 +149,29 @@ impl BoolFn {
     pub fn table_u64(&self) -> u64 {
         assert!(self.n <= 6, "table_u64 requires n <= 6");
         self.words[0]
+    }
+
+    /// The raw table words (`ceil(2^n / 64)` little-endian `u64`s; unused
+    /// high bits of the last word are zero). This *is* the canonical
+    /// representation, so it doubles as the stable serialization of a
+    /// function: `from_words(f.num_vars(), f.words().to_vec())`
+    /// reconstructs `f` exactly.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a function from its [`words`](Self::words) — the
+    /// non-panicking dual used by deserializers. Returns `None` when the
+    /// input cannot be a valid table: `n` outside `1..=MAX_VARS`, the
+    /// wrong word count, or set bits beyond the `2^n` valuations.
+    pub fn from_words(n: u8, words: Vec<u64>) -> Option<Self> {
+        if !(1..=MAX_VARS).contains(&n) || words.len() != Self::word_count(n) {
+            return None;
+        }
+        if words.last().expect("word count >= 1") & !Self::tail_mask(n) != 0 {
+            return None;
+        }
+        Some(BoolFn { n, words })
     }
 
     /// Number of variables.
@@ -397,6 +424,25 @@ mod tests {
         assert!(top.is_top() && !top.is_bottom());
         assert_eq!(bot.sat_count(), 0);
         assert_eq!(top.sat_count(), 8);
+    }
+
+    #[test]
+    fn words_round_trip_and_reject_invalid() {
+        // Small function (one word) and a 7-variable one (two words).
+        for f in [phi9(), BoolFn::from_fn(7, |v| v.count_ones() % 3 == 0)] {
+            let back = BoolFn::from_words(f.num_vars(), f.words().to_vec()).unwrap();
+            assert_eq!(back, f);
+        }
+        // Wrong variable count, wrong word count, tail bits set: all None.
+        assert!(BoolFn::from_words(0, vec![0]).is_none());
+        assert!(BoolFn::from_words(MAX_VARS + 1, vec![0]).is_none());
+        assert!(BoolFn::from_words(3, vec![0, 0]).is_none());
+        assert!(BoolFn::from_words(7, vec![0]).is_none());
+        assert!(
+            BoolFn::from_words(3, vec![1 << 8]).is_none(),
+            "bit past 2^3"
+        );
+        assert!(BoolFn::from_words(3, vec![0xff]).is_some());
     }
 
     #[test]

@@ -23,5 +23,5 @@ mod models;
 mod obdd;
 pub mod verify;
 
-pub use circuit::{Circuit, CircuitStats, Gate, GateId};
-pub use obdd::{NodeRef, ObddManager};
+pub use circuit::{Circuit, CircuitError, CircuitStats, Gate, GateId};
+pub use obdd::{NodeRef, ObddError, ObddManager};

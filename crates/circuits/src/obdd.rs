@@ -29,6 +29,21 @@ impl NodeRef {
         self.0 < 2
     }
 
+    /// The stable `u32` encoding of this reference: `0` = false, `1` =
+    /// true, `i + 2` = arena node `i`. This is the on-disk encoding used
+    /// by artifact serialization.
+    pub fn to_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Inverse of [`to_raw`](Self::to_raw). The result is only
+    /// meaningful against the manager whose arena the raw value indexes;
+    /// [`ObddManager::from_parts`] is the validating path deserializers
+    /// go through, so an out-of-range raw never reaches a walk.
+    pub fn from_raw(raw: u32) -> NodeRef {
+        NodeRef(raw)
+    }
+
     fn index(self) -> usize {
         debug_assert!(!self.is_terminal());
         (self.0 - 2) as usize
@@ -47,6 +62,79 @@ struct Node {
 }
 
 const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// Why a serialized OBDD arena was rejected by
+/// [`ObddManager::from_parts`]. Every variant names the offending node
+/// (or variable), so store-level errors can point at the exact byte
+/// range that lied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObddError {
+    /// A variable appears twice in the order.
+    DuplicateVariable(u32),
+    /// More nodes than [`NodeRef`]'s `u32` encoding can address.
+    TooManyNodes(usize),
+    /// A node's level is not a position of the variable order.
+    LevelOutOfRange {
+        /// Arena index of the node.
+        node: u32,
+        /// The out-of-range level.
+        level: u32,
+    },
+    /// A child reference points at a terminal-adjacent index that does
+    /// not exist yet — i.e. at this node or a later one, so the arena is
+    /// not topologically ordered (or the index is simply dangling).
+    DanglingChild {
+        /// Arena index of the node.
+        node: u32,
+        /// The raw child reference.
+        child: u32,
+    },
+    /// A child lives at a level not strictly below the node's level,
+    /// violating the variable order.
+    OrderViolation {
+        /// Arena index of the node.
+        node: u32,
+    },
+    /// `lo == hi`: the node is redundant, which a *reduced* OBDD never
+    /// stores (`mk` collapses it).
+    RedundantNode {
+        /// Arena index of the node.
+        node: u32,
+    },
+    /// Two nodes share `(level, lo, hi)`, violating canonical uniqueness.
+    DuplicateNode {
+        /// Arena index of the second occurrence.
+        node: u32,
+    },
+}
+
+impl std::fmt::Display for ObddError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObddError::DuplicateVariable(v) => {
+                write!(f, "variable {v} appears twice in the order")
+            }
+            ObddError::TooManyNodes(n) => write!(f, "{n} nodes exceed the u32 encoding"),
+            ObddError::LevelOutOfRange { node, level } => {
+                write!(f, "node {node} has level {level} outside the order")
+            }
+            ObddError::DanglingChild { node, child } => {
+                write!(f, "node {node} references nonexistent/later node {child}")
+            }
+            ObddError::OrderViolation { node } => {
+                write!(f, "node {node} has a child at or above its own level")
+            }
+            ObddError::RedundantNode { node } => {
+                write!(f, "node {node} has lo == hi (not reduced)")
+            }
+            ObddError::DuplicateNode { node } => {
+                write!(f, "node {node} duplicates an earlier (level, lo, hi)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObddError {}
 
 /// Shared manager for reduced OBDDs over a fixed variable order.
 ///
@@ -103,6 +191,88 @@ impl ObddManager {
     /// Total nodes allocated in the arena (all functions together).
     pub fn arena_size(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The arena as `(level, lo, hi)` triples in index order — the
+    /// stable encoding serializers write. Children always precede their
+    /// parents (`mk` appends), so replaying the triples through
+    /// [`from_parts`](Self::from_parts) reproduces the arena exactly:
+    /// same indices, same [`NodeRef`]s, bit-identical walks.
+    pub fn node_entries(&self) -> impl Iterator<Item = (u32, NodeRef, NodeRef)> + '_ {
+        self.nodes.iter().map(|n| (n.level, n.lo, n.hi))
+    }
+
+    /// Rebuilds a manager from a variable order and an arena of
+    /// `(level, lo, hi)` triples, as produced by
+    /// [`node_entries`](Self::node_entries).
+    ///
+    /// This is the **total** deserialization path: instead of the
+    /// panicking invariants `mk` enforces on trusted in-process callers,
+    /// every violation a hostile or corrupted byte stream could smuggle
+    /// in — duplicate order variables, dangling or forward child
+    /// references, order violations, unreduced or duplicate nodes —
+    /// comes back as a typed [`ObddError`]. A successful return is
+    /// therefore a genuine reduced OBDD arena: canonical, topologically
+    /// ordered, and safe for every `&self` walk.
+    pub fn from_parts(
+        order: Vec<u32>,
+        entries: &[(u32, NodeRef, NodeRef)],
+    ) -> Result<ObddManager, ObddError> {
+        let mut level_of = HashMap::with_capacity(order.len());
+        for (l, &v) in order.iter().enumerate() {
+            if level_of.insert(v, l as u32).is_some() {
+                return Err(ObddError::DuplicateVariable(v));
+            }
+        }
+        if u32::try_from(entries.len())
+            .ok()
+            .and_then(|n| n.checked_add(2))
+            .is_none()
+        {
+            return Err(ObddError::TooManyNodes(entries.len()));
+        }
+        let mut nodes: Vec<Node> = Vec::with_capacity(entries.len());
+        let mut unique = HashMap::with_capacity(entries.len());
+        for (i, &(level, lo, hi)) in entries.iter().enumerate() {
+            let node = i as u32;
+            if level as usize >= order.len() {
+                return Err(ObddError::LevelOutOfRange { node, level });
+            }
+            for child in [lo, hi] {
+                // Strictly earlier in the arena (or a terminal): rules
+                // out dangling indices and non-topological order at once.
+                if !child.is_terminal() && child.index() >= i {
+                    return Err(ObddError::DanglingChild {
+                        node,
+                        child: child.to_raw(),
+                    });
+                }
+                let child_level = if child.is_terminal() {
+                    TERMINAL_LEVEL
+                } else {
+                    nodes[child.index()].level
+                };
+                if child_level <= level {
+                    return Err(ObddError::OrderViolation { node });
+                }
+            }
+            if lo == hi {
+                return Err(ObddError::RedundantNode { node });
+            }
+            if unique
+                .insert((level, lo, hi), NodeRef::from_index(i))
+                .is_some()
+            {
+                return Err(ObddError::DuplicateNode { node });
+            }
+            nodes.push(Node { level, lo, hi });
+        }
+        Ok(ObddManager {
+            order,
+            level_of,
+            nodes,
+            unique,
+        })
     }
 
     fn level(&self, r: NodeRef) -> u32 {
@@ -627,6 +797,82 @@ mod tests {
         assert!(m.size(a) == 1);
         assert_eq!(m.size(NodeRef::TRUE), 0);
         assert!(m.arena_size() >= m.size(abc));
+    }
+
+    #[test]
+    fn from_parts_replays_an_arena_exactly() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        let x2 = m.literal(2, true);
+        let t = m.and(x0, x1);
+        let f = m.xor(t, x2);
+        let entries: Vec<_> = m.node_entries().collect();
+        let rebuilt = ObddManager::from_parts(m.order().to_vec(), &entries).unwrap();
+        assert_eq!(rebuilt.arena_size(), m.arena_size());
+        assert_eq!(
+            rebuilt.node_entries().collect::<Vec<_>>(),
+            entries,
+            "same triples, same indices"
+        );
+        for bits in 0..8u32 {
+            assert_eq!(
+                rebuilt.eval(f, &assignment(bits)),
+                m.eval(f, &assignment(bits))
+            );
+        }
+        assert_eq!(
+            rebuilt.probability_f64(f, &|_| 0.3),
+            m.probability_f64(f, &|_| 0.3),
+            "bit-identical walks"
+        );
+        // And the unique table is live again: mk on the rebuilt manager
+        // dedups against replayed nodes instead of growing the arena.
+        let mut rebuilt = rebuilt;
+        let (level, lo, hi) = entries[0];
+        assert_eq!(rebuilt.mk(level, lo, hi), NodeRef::from_raw(2));
+        assert_eq!(rebuilt.arena_size(), entries.len());
+    }
+
+    #[test]
+    fn from_parts_rejects_each_structural_violation() {
+        let t = NodeRef::TRUE;
+        let f = NodeRef::FALSE;
+        let node0 = NodeRef::from_raw(2);
+        // Duplicate variable in the order.
+        assert_eq!(
+            ObddManager::from_parts(vec![0, 1, 0], &[]).unwrap_err(),
+            ObddError::DuplicateVariable(0)
+        );
+        // Level outside the order.
+        assert_eq!(
+            ObddManager::from_parts(vec![0], &[(1, f, t)]).unwrap_err(),
+            ObddError::LevelOutOfRange { node: 0, level: 1 }
+        );
+        // Forward/dangling child reference (self-reference included).
+        assert_eq!(
+            ObddManager::from_parts(vec![0, 1], &[(0, node0, t)]).unwrap_err(),
+            ObddError::DanglingChild { node: 0, child: 2 }
+        );
+        // Child at or above the node's level.
+        assert_eq!(
+            ObddManager::from_parts(vec![0, 1], &[(1, f, t), (1, node0, t)]).unwrap_err(),
+            ObddError::OrderViolation { node: 1 }
+        );
+        // Unreduced node.
+        assert_eq!(
+            ObddManager::from_parts(vec![0], &[(0, t, t)]).unwrap_err(),
+            ObddError::RedundantNode { node: 0 }
+        );
+        // Duplicate (level, lo, hi).
+        assert_eq!(
+            ObddManager::from_parts(vec![0], &[(0, f, t), (0, f, t)]).unwrap_err(),
+            ObddError::DuplicateNode { node: 1 }
+        );
+        // All errors display something human-readable.
+        assert!(ObddError::DuplicateVariable(0)
+            .to_string()
+            .contains("twice"));
     }
 
     #[test]

@@ -47,6 +47,26 @@ impl CacheKey {
             tuples: db.iter().map(|(_, t)| t).collect(),
         }
     }
+
+    /// The canonical truth table of `φ`.
+    pub fn phi(&self) -> &BoolFn {
+        &self.phi
+    }
+
+    /// The chain length `k` of the database shape.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// The domain size of the database shape.
+    pub fn domain_size(&self) -> u32 {
+        self.domain_size
+    }
+
+    /// The tuple list of the database shape, in insertion order.
+    pub fn tuples(&self) -> &[TupleDesc] {
+        &self.tuples
+    }
 }
 
 /// A compiled lineage artifact, ready for linear-time probability walks
@@ -160,6 +180,28 @@ impl ArtifactCache {
     /// `explain`, which must not perturb eviction order).
     pub fn contains(&self, key: &CacheKey) -> bool {
         self.entries.contains_key(key)
+    }
+
+    /// The artifact for `key` *without* bumping recency — the read
+    /// serializers use, so exporting a snapshot never perturbs the
+    /// eviction order it records.
+    pub fn peek(&self, key: &CacheKey) -> Option<&Arc<Artifact>> {
+        self.entries.get(key).map(|slot| &slot.artifact)
+    }
+
+    /// Every entry in ascending last-used order (least recently used
+    /// first). This is the canonical snapshot order: inserting a saved
+    /// snapshot back in this order replays the recency ranking, so a
+    /// restored LRU evicts in the same order the saved one would have —
+    /// and, the `HashMap` being iteration-order-unstable, sorting by the
+    /// logical clock is also what makes snapshot bytes deterministic.
+    pub fn entries_lru_order(&self) -> Vec<(&CacheKey, &Arc<Artifact>)> {
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_by_key(|(_, slot)| slot.last_used);
+        entries
+            .into_iter()
+            .map(|(key, slot)| (key, &slot.artifact))
+            .collect()
     }
 
     /// Inserts a freshly compiled artifact, evicting least-recently-used
@@ -377,7 +419,7 @@ mod tests {
         let evicted = cache.set_budget(Some(total));
         assert_eq!(evicted, 0, "exactly fitting budget evicts nothing");
         assert!(cache.set_budget(Some(total - 1)) >= 1);
-        assert!(cache.total_gates() <= total - 1);
+        assert!(cache.total_gates() < total);
         // Clearing empties the cache without counting as eviction.
         let evictions_before = cache.evictions();
         cache.clear();

@@ -14,8 +14,27 @@ use intext_numeric::BigRational;
 use intext_query::{pqe_brute_force, pqe_brute_force_f64, HQuery};
 use intext_tid::Tid;
 
+use intext_tid::Database;
+
 use crate::cache::{Artifact, ArtifactCache, CacheKey};
+use crate::store::{self, StoreError};
 use crate::{BatchPlan, EngineStats, Explanation, Plan, QueryStats};
+
+/// What a [`PqeEngine::load_cache`] / [`PqeEngine::import_artifact`]
+/// call admitted into the cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Artifacts decoded, validated and offered to the cache (each also
+    /// counted in [`EngineStats::artifact_loads`]).
+    pub artifacts: usize,
+    /// Total gates (OBDD nodes + d-D gates) across the loaded artifacts.
+    pub gates: usize,
+    /// Entries the LRU evicted while admitting them — nonzero only when
+    /// the snapshot does not fit the configured gate budget (an
+    /// oversized artifact also counts itself, exactly as on the compile
+    /// path).
+    pub evictions: u64,
+}
 
 /// Knobs for the planner; the defaults are the production-shaped choices.
 #[derive(Clone, Copy, Debug)]
@@ -172,6 +191,70 @@ impl PqeEngine {
     /// Drops every cached artifact (not counted as evictions).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Serializes the whole artifact cache into one versioned bundle
+    /// (format spec: `DESIGN.md` §5 and the [`store`](crate::store)
+    /// docs). Entries are written in ascending last-used order, so
+    /// [`load_cache`](Self::load_cache) replays the LRU recency ranking
+    /// — and the bytes are deterministic, which is what lets CI pin
+    /// golden fixtures. Probabilities are never serialized, for the same
+    /// reason they are not in the cache key: one stored circuit serves
+    /// every re-weighting.
+    pub fn save_cache(&self) -> Vec<u8> {
+        store::encode_bundle(&self.cache.entries_lru_order())
+    }
+
+    /// Warm-starts this engine from a [`save_cache`](Self::save_cache)
+    /// bundle: every artifact is decoded, structurally revalidated
+    /// against its recomputed [`CacheKey`], and admitted through the
+    /// normal LRU insert path (budget enforced, evictions counted), so a
+    /// warmed replica replays the saved workload with zero compiles —
+    /// `misses == 0` and `artifact_loads == distinct shapes` in
+    /// [`EngineStats`].
+    ///
+    /// Total and all-or-nothing: any malformed byte returns a typed
+    /// [`StoreError`] *before* the cache or the statistics are touched.
+    pub fn load_cache(&mut self, bytes: &[u8]) -> Result<LoadReport, StoreError> {
+        let artifacts = store::decode_bundle(bytes)?;
+        Ok(self.admit(artifacts))
+    }
+
+    /// Serializes the cached artifact for `(q.phi(), db shape)` into a
+    /// standalone blob importable by
+    /// [`import_artifact`](Self::import_artifact) on any engine. Reads
+    /// the cache without bumping recency (like
+    /// [`explain`](Self::explain), exporting must not perturb eviction
+    /// order); returns [`StoreError::NotCached`] when the artifact is
+    /// not resident.
+    pub fn export_artifact(&self, q: &HQuery, db: &Database) -> Result<Vec<u8>, StoreError> {
+        let key = CacheKey::new(q.phi(), db);
+        let artifact = self.cache.peek(&key).ok_or(StoreError::NotCached)?;
+        Ok(store::encode_artifact(&key, artifact))
+    }
+
+    /// Decodes, revalidates and admits one exported artifact. The same
+    /// totality contract as [`load_cache`](Self::load_cache): malformed
+    /// input returns a typed [`StoreError`] and leaves the engine
+    /// untouched.
+    pub fn import_artifact(&mut self, bytes: &[u8]) -> Result<LoadReport, StoreError> {
+        let decoded = store::decode_artifact(bytes)?;
+        Ok(self.admit(vec![decoded]))
+    }
+
+    /// Inserts already-validated artifacts through the normal LRU path,
+    /// counting loads and evictions.
+    fn admit(&mut self, artifacts: Vec<(CacheKey, Artifact)>) -> LoadReport {
+        let mut report = LoadReport::default();
+        for (key, artifact) in artifacts {
+            let (handle, evicted) = self.cache.insert(key, artifact);
+            self.stats.cache_evictions += evicted;
+            self.stats.artifact_loads += 1;
+            report.artifacts += 1;
+            report.gates += handle.size();
+            report.evictions += evicted;
+        }
+        report
     }
 
     /// The routing decision for `q` on `tid`, without evaluating.
@@ -870,7 +953,7 @@ mod tests {
         });
         engine.evaluate(&q, &small).unwrap();
         engine.evaluate(&q, &large).unwrap();
-        assert!(engine.cache_gates() <= total - 1, "budget is a hard bound");
+        assert!(engine.cache_gates() < total, "budget is a hard bound");
         assert_eq!(engine.stats().cache_evictions, 1);
         // Re-touching the evicted shape recompiles: a second miss.
         engine.evaluate(&q, &small).unwrap();

@@ -65,8 +65,10 @@ mod cache;
 mod engine;
 mod plan;
 mod stats;
+pub mod store;
 
 pub use cache::{Artifact, ArtifactCache, CacheKey};
-pub use engine::{EngineConfig, EngineError, PqeEngine};
+pub use engine::{EngineConfig, EngineError, LoadReport, PqeEngine};
 pub use plan::{BatchPlan, Explanation, Plan};
 pub use stats::{EngineStats, QueryStats};
+pub use store::{ArtifactKind, StoreError, FORMAT_VERSION, MAGIC};

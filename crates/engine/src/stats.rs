@@ -48,6 +48,13 @@ pub struct EngineStats {
     /// reconcile: `cache_misses = distinct cold keys + re-compiles after
     /// eviction`.
     pub cache_evictions: u64,
+    /// Artifacts deserialized into the cache by
+    /// [`PqeEngine::load_cache`](crate::PqeEngine::load_cache) /
+    /// [`PqeEngine::import_artifact`](crate::PqeEngine::import_artifact)
+    /// instead of being compiled. A warm-started replica replaying the
+    /// saved workload shows `artifact_loads == distinct shapes` and
+    /// `cache_misses == 0`: every evaluation re-walks a loaded circuit.
+    pub artifact_loads: u64,
     /// Queries routed to [`Plan::Obdd`].
     pub obdd_plans: u64,
     /// Queries routed to [`Plan::DdCircuit`].
@@ -103,6 +110,7 @@ impl EngineStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.artifact_loads += other.artifact_loads;
         self.obdd_plans += other.obdd_plans;
         self.dd_plans += other.dd_plans;
         self.extensional_plans += other.extensional_plans;
@@ -123,7 +131,8 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "{} queries (obdd {}, d-D {}, extensional {}, brute {}); \
-             cache {} hits / {} misses / {} evictions; compile {:?}, eval {:?}",
+             cache {} hits / {} misses / {} evictions / {} loads; \
+             compile {:?}, eval {:?}",
             self.queries,
             self.obdd_plans,
             self.dd_plans,
@@ -132,6 +141,7 @@ impl fmt::Display for EngineStats {
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
+            self.artifact_loads,
             self.compile_time,
             self.eval_time,
         )

@@ -1,0 +1,1025 @@
+//! The persistent circuit store: a versioned binary format for compiled
+//! lineage artifacts.
+//!
+//! PR 2's cache made probability re-weighting a linear circuit walk —
+//! but only within one process lifetime. This module makes the compiled
+//! OBDD and d-D artifacts *durable*: [`PqeEngine::save_cache`] snapshots
+//! the whole LRU into one byte stream, [`PqeEngine::load_cache`]
+//! warm-starts a replica from it with zero compiles, and
+//! [`PqeEngine::export_artifact`] / [`PqeEngine::import_artifact`] ship
+//! individual circuits. The format is sound to persist because the
+//! artifacts are canonical, *query-determined* objects: they encode the
+//! lineage of `(φ, database shape)` and never the tuple probabilities,
+//! so one stored circuit serves every re-weighting forever — exactly the
+//! cache-key rationale, now applied across process boundaries.
+//!
+//! # Format (version 1)
+//!
+//! All integers are little-endian. One artifact blob:
+//!
+//! | field | bytes | meaning |
+//! |---|---|---|
+//! | magic | 8 | `b"INTXSTOR"` |
+//! | version | 2 | format version (`u16`, currently 1) |
+//! | kind | 1 | 0 = OBDD, 1 = d-D (2 = cache bundle, bundle files only) |
+//! | `φ.n` | 1 | variable count of the truth table |
+//! | `φ` words | 8·⌈2ⁿ/64⌉ | the canonical truth table |
+//! | `k` | 1 | chain length of the database shape |
+//! | domain | 4 | domain size (`u32`) |
+//! | #tuples | 4 | tuple count (`u32`) |
+//! | tuples | var | per tuple: tag (0=`R`,1=`S`,2=`T`) + constants |
+//! | body | var | kind-specific node/gate tables (below) |
+//! | checksum | 8 | FNV-1a 64 over every preceding byte |
+//!
+//! OBDD body: split variable (1), order length (4), order entries
+//! (4 each), node count (4), nodes as `(level, lo, hi)` raw-`u32`
+//! triples (12 each, terminals 0/1, node *i* encodes as *i* + 2), root
+//! reference (4). d-D body: gate count (4), gates as tag + payload
+//! (0/1 = const ⊥/⊤, 2 = var + id, 3/4 = ∧/∨ + fan-in + inputs,
+//! 5 = ¬ + input), root gate (4).
+//!
+//! A cache bundle is: magic, version, kind = 2, artifact count (4),
+//! then per artifact a `u64` length followed by a complete single
+//! artifact blob (each independently checksummed and importable), and a
+//! final FNV-1a 64 checksum over the whole bundle. Artifacts are stored
+//! in ascending last-used order, so loading a snapshot replays the LRU
+//! recency ranking of the engine that saved it.
+//!
+//! # Totality
+//!
+//! Deserialization is a **total function**: every malformed input —
+//! truncated, wrong magic, unknown version, checksum mismatch, invalid
+//! truth table or database shape, dangling or non-topological node and
+//! gate references, order violations, unreduced or duplicate nodes,
+//! out-of-range roots, foreign variables, a kind that contradicts where
+//! `φ` sits on the Figure 1 map — returns a typed [`StoreError`], never
+//! a panic. A decoded artifact is revalidated against its recomputed
+//! [`CacheKey`] material before it enters the LRU, so the gate-budget
+//! invariant and bit-identical evaluation survive the round trip.
+//! `DESIGN.md` §5 states the byte-level contract and the evolution
+//! policy.
+//!
+//! [`PqeEngine::save_cache`]: crate::PqeEngine::save_cache
+//! [`PqeEngine::load_cache`]: crate::PqeEngine::load_cache
+//! [`PqeEngine::export_artifact`]: crate::PqeEngine::export_artifact
+//! [`PqeEngine::import_artifact`]: crate::PqeEngine::import_artifact
+
+use std::fmt;
+use std::sync::Arc;
+
+use intext_boolfn::BoolFn;
+use intext_circuits::{Circuit, CircuitError, Gate, GateId, NodeRef, ObddError, ObddManager};
+use intext_core::{classify, Fragmentation, Region};
+use intext_lineage::DegenerateLineage;
+use intext_tid::{Database, DatabaseError, TupleDesc};
+
+use crate::cache::{Artifact, CacheKey};
+
+/// The 8-byte magic every store file starts with.
+pub const MAGIC: [u8; 8] = *b"INTXSTOR";
+
+/// The format version this build writes and the only one it reads.
+/// Evolution policy (`DESIGN.md` §5): bump on any layout change; readers
+/// reject unknown versions with [`StoreError::UnsupportedVersion`]
+/// rather than guessing.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Kind tag of a serialized artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// Proposition 3.7's reduced OBDD (degenerate `φ`).
+    Obdd,
+    /// Theorem 5.2's deterministic decomposable circuit (zero-Euler `φ`).
+    Dd,
+}
+
+impl ArtifactKind {
+    fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Obdd => KIND_OBDD,
+            ArtifactKind::Dd => KIND_DD,
+        }
+    }
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactKind::Obdd => write!(f, "OBDD"),
+            ArtifactKind::Dd => write!(f, "d-D circuit"),
+        }
+    }
+}
+
+const KIND_OBDD: u8 = 0;
+const KIND_DD: u8 = 1;
+const KIND_BUNDLE: u8 = 2;
+
+/// Smallest possible blob: magic + version + kind + checksum.
+const MIN_LEN: usize = 8 + 2 + 1 + 8;
+
+/// Why a store byte stream was rejected. Deserialization is total:
+/// every one of these is a returned value, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The input ended before a declared field.
+    Truncated,
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic,
+    /// The version field names a format this build does not speak.
+    UnsupportedVersion(u16),
+    /// The kind byte is none of OBDD / d-D / bundle.
+    BadKind(u8),
+    /// An artifact was expected but the stream holds a bundle, or vice
+    /// versa.
+    WrongContainer {
+        /// What the caller asked to decode.
+        expected: &'static str,
+        /// What the kind byte says the stream is.
+        got: &'static str,
+    },
+    /// The trailing FNV-1a 64 checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the stream.
+        stored: u64,
+        /// Checksum recomputed over the content.
+        computed: u64,
+    },
+    /// Bytes remain between the end of the body and the checksum.
+    TrailingBytes {
+        /// How many unconsumed bytes.
+        extra: usize,
+    },
+    /// The truth-table field is not a valid [`BoolFn`] (variable count
+    /// out of range or set bits beyond the `2^n` valuations).
+    BadPhi,
+    /// The shape declares chain length `k = 0`, which no `H`-query
+    /// vocabulary has.
+    ZeroChainLength,
+    /// A tuple tag byte is none of `R`/`S`/`T`.
+    BadTupleTag(u8),
+    /// A gate tag byte is none of the six gate encodings.
+    BadGateTag(u8),
+    /// A tuple was rejected while rebuilding the database shape
+    /// (bad relation index, out-of-domain constant, duplicate).
+    BadTuple(DatabaseError),
+    /// The OBDD node table violates a structural invariant.
+    Obdd(ObddError),
+    /// The gate table violates a structural invariant.
+    Circuit(CircuitError),
+    /// The root reference points outside the node/gate table.
+    RootOutOfRange {
+        /// The raw root reference.
+        root: u32,
+        /// Number of nodes/gates actually present.
+        len: usize,
+    },
+    /// The OBDD split variable exceeds the shape's chain length.
+    SplitOutOfRange {
+        /// The stored split variable.
+        split: u8,
+        /// The shape's `k`.
+        k: u8,
+    },
+    /// A circuit/OBDD variable is not a tuple id of the stored shape.
+    ForeignVariable {
+        /// The offending variable.
+        var: u32,
+        /// Tuple count of the shape (valid ids are `0..tuples`).
+        tuples: usize,
+    },
+    /// The artifact kind contradicts where `φ` sits on the Figure 1
+    /// map: the engine compiles an OBDD exactly for degenerate `φ` and
+    /// a d-D exactly for nondegenerate zero-Euler `φ`, so anything else
+    /// is an artifact this engine could never have produced.
+    PlanMismatch {
+        /// The stored artifact kind.
+        kind: ArtifactKind,
+        /// Where the stored `φ` actually classifies.
+        region: Region,
+    },
+    /// `export_artifact` found no cached artifact for `(φ, shape)`.
+    NotCached,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated => write!(f, "input truncated"),
+            StoreError::BadMagic => write!(f, "bad magic (not an intext store file)"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StoreError::BadKind(k) => write!(f, "unknown artifact kind {k}"),
+            StoreError::WrongContainer { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            StoreError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            StoreError::TrailingBytes { extra } => {
+                write!(f, "{extra} unconsumed bytes before the checksum")
+            }
+            StoreError::BadPhi => write!(f, "invalid truth table"),
+            StoreError::ZeroChainLength => write!(f, "shape declares k = 0"),
+            StoreError::BadTupleTag(t) => write!(f, "unknown tuple tag {t}"),
+            StoreError::BadGateTag(t) => write!(f, "unknown gate tag {t}"),
+            StoreError::BadTuple(e) => write!(f, "invalid shape tuple: {e}"),
+            StoreError::Obdd(e) => write!(f, "invalid OBDD table: {e}"),
+            StoreError::Circuit(e) => write!(f, "invalid gate table: {e}"),
+            StoreError::RootOutOfRange { root, len } => {
+                write!(f, "root {root} outside a table of {len}")
+            }
+            StoreError::SplitOutOfRange { split, k } => {
+                write!(f, "split variable {split} exceeds k = {k}")
+            }
+            StoreError::ForeignVariable { var, tuples } => {
+                write!(
+                    f,
+                    "variable {var} is not a tuple id (shape has {tuples} tuples)"
+                )
+            }
+            StoreError::PlanMismatch { kind, region } => {
+                write!(f, "{kind} artifact for a φ classified {region:?}")
+            }
+            StoreError::NotCached => write!(f, "no cached artifact for this (φ, shape)"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ObddError> for StoreError {
+    fn from(e: ObddError) -> Self {
+        StoreError::Obdd(e)
+    }
+}
+
+impl From<CircuitError> for StoreError {
+    fn from(e: CircuitError) -> Self {
+        StoreError::Circuit(e)
+    }
+}
+
+/// FNV-1a 64 over a byte slice — dependency-free corruption detection.
+/// Not cryptographic: the checksum guards against bit rot and truncation,
+/// not against an adversary forging a semantically wrong circuit (no
+/// checksum could; see `DESIGN.md` §5 on the trust model).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    fn with_header(kind: u8) -> Writer {
+        let mut w = Writer { bytes: Vec::new() };
+        w.bytes.extend_from_slice(&MAGIC);
+        w.u16(FORMAT_VERSION);
+        w.u8(kind);
+        w
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends the trailing checksum and yields the finished blob.
+    fn seal(mut self) -> Vec<u8> {
+        let checksum = fnv1a(&self.bytes);
+        self.u64(checksum);
+        self.bytes
+    }
+
+    fn key(&mut self, key: &CacheKey) {
+        let phi = key.phi();
+        self.u8(phi.num_vars());
+        for &word in phi.words() {
+            self.u64(word);
+        }
+        self.u8(key.k());
+        self.u32(key.domain_size());
+        self.u32(key.tuples().len() as u32);
+        for &tuple in key.tuples() {
+            match tuple {
+                TupleDesc::R(a) => {
+                    self.u8(0);
+                    self.u32(a);
+                }
+                TupleDesc::S(i, a, b) => {
+                    self.u8(1);
+                    self.u8(i);
+                    self.u32(a);
+                    self.u32(b);
+                }
+                TupleDesc::T(b) => {
+                    self.u8(2);
+                    self.u32(b);
+                }
+            }
+        }
+    }
+}
+
+/// Serializes one artifact under its cache key into a standalone blob.
+pub(crate) fn encode_artifact(key: &CacheKey, artifact: &Artifact) -> Vec<u8> {
+    let kind = match artifact {
+        Artifact::Obdd(_) => ArtifactKind::Obdd,
+        Artifact::Dd(_) => ArtifactKind::Dd,
+    };
+    let mut w = Writer::with_header(kind.tag());
+    w.key(key);
+    match artifact {
+        Artifact::Obdd(lin) => {
+            w.u8(lin.split);
+            let order = lin.manager.order();
+            w.u32(order.len() as u32);
+            for &v in order {
+                w.u32(v);
+            }
+            w.u32(lin.manager.arena_size() as u32);
+            for (level, lo, hi) in lin.manager.node_entries() {
+                w.u32(level);
+                w.u32(lo.to_raw());
+                w.u32(hi.to_raw());
+            }
+            w.u32(lin.root.to_raw());
+        }
+        Artifact::Dd(dd) => {
+            let gates = dd.circuit.gates();
+            w.u32(gates.len() as u32);
+            for gate in gates {
+                match gate {
+                    Gate::Const(false) => w.u8(0),
+                    Gate::Const(true) => w.u8(1),
+                    Gate::Var(v) => {
+                        w.u8(2);
+                        w.u32(*v);
+                    }
+                    Gate::And(xs) | Gate::Or(xs) => {
+                        w.u8(if matches!(gate, Gate::And(_)) { 3 } else { 4 });
+                        w.u32(xs.len() as u32);
+                        for x in xs {
+                            w.u32(x.0);
+                        }
+                    }
+                    Gate::Not(x) => {
+                        w.u8(5);
+                        w.u32(x.0);
+                    }
+                }
+            }
+            w.u32(dd.root.0);
+        }
+    }
+    w.seal()
+}
+
+/// Serializes a cache snapshot (entries already in ascending last-used
+/// order) into a bundle blob.
+pub(crate) fn encode_bundle(entries: &[(&CacheKey, &Arc<Artifact>)]) -> Vec<u8> {
+    let mut w = Writer::with_header(KIND_BUNDLE);
+    w.u32(entries.len() as u32);
+    for (key, artifact) in entries {
+        let blob = encode_artifact(key, artifact);
+        w.u64(blob.len() as u64);
+        w.bytes.extend_from_slice(&blob);
+    }
+    w.seal()
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+/// Cursor over the checksummed content of a blob (checksum already
+/// verified and excluded). Every read is bounds-checked and returns
+/// [`StoreError::Truncated`] past the end — the backbone of totality.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(StoreError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn done(&self) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::TrailingBytes {
+                extra: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Verifies magic, version and trailing checksum; returns the kind byte
+/// and a reader over the content between the header and the checksum.
+fn open(bytes: &[u8]) -> Result<(u8, Reader<'_>), StoreError> {
+    if bytes.len() < MIN_LEN {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let content = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let computed = fnv1a(content);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    let kind = bytes[10];
+    Ok((
+        kind,
+        Reader {
+            bytes: content,
+            pos: 11,
+        },
+    ))
+}
+
+/// Reads and revalidates the cache-key material: the truth table must be
+/// a canonical [`BoolFn`] and the tuples must rebuild into a legal
+/// [`Database`] — so a loaded key is exactly the key a live engine would
+/// compute for that `(φ, shape)`.
+fn read_key(r: &mut Reader<'_>) -> Result<(BoolFn, Database), StoreError> {
+    let n = r.u8()?;
+    if !(1..=intext_boolfn::MAX_VARS).contains(&n) {
+        return Err(StoreError::BadPhi);
+    }
+    let word_count = BoolFn::word_count(n);
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(r.u64()?);
+    }
+    let phi = BoolFn::from_words(n, words).ok_or(StoreError::BadPhi)?;
+    let k = r.u8()?;
+    if k == 0 {
+        return Err(StoreError::ZeroChainLength);
+    }
+    let domain_size = r.u32()?;
+    let mut db = Database::new(k, domain_size);
+    let tuple_count = r.u32()?;
+    for _ in 0..tuple_count {
+        let tuple = match r.u8()? {
+            0 => TupleDesc::R(r.u32()?),
+            1 => TupleDesc::S(r.u8()?, r.u32()?, r.u32()?),
+            2 => TupleDesc::T(r.u32()?),
+            tag => return Err(StoreError::BadTupleTag(tag)),
+        };
+        db.insert(tuple).map_err(StoreError::BadTuple)?;
+    }
+    Ok((phi, db))
+}
+
+/// Decodes and fully validates a standalone artifact blob, yielding the
+/// recomputed cache key and the reconstructed artifact.
+pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<(CacheKey, Artifact), StoreError> {
+    let (kind, mut r) = open(bytes)?;
+    let kind = match kind {
+        KIND_OBDD => ArtifactKind::Obdd,
+        KIND_DD => ArtifactKind::Dd,
+        KIND_BUNDLE => {
+            return Err(StoreError::WrongContainer {
+                expected: "artifact",
+                got: "cache bundle",
+            })
+        }
+        other => return Err(StoreError::BadKind(other)),
+    };
+    let (phi, db) = read_key(&mut r)?;
+    // Kind-vs-plan revalidation: the engine compiles an OBDD exactly for
+    // degenerate φ and a d-D exactly for nondegenerate zero-Euler φ. An
+    // artifact whose kind contradicts φ's region is one this engine
+    // could never have written, so it never enters the cache.
+    let region = classify(&phi);
+    match (kind, region) {
+        (ArtifactKind::Obdd, Region::DegenerateObdd) | (ArtifactKind::Dd, Region::ZeroEulerDD) => {}
+        _ => return Err(StoreError::PlanMismatch { kind, region }),
+    }
+    let artifact = match kind {
+        ArtifactKind::Obdd => {
+            let split = r.u8()?;
+            if split > db.k() {
+                return Err(StoreError::SplitOutOfRange { split, k: db.k() });
+            }
+            let order_len = r.u32()? as usize;
+            let mut order = Vec::with_capacity(order_len.min(r.remaining() / 4));
+            for _ in 0..order_len {
+                let var = r.u32()?;
+                if var as usize >= db.len() {
+                    return Err(StoreError::ForeignVariable {
+                        var,
+                        tuples: db.len(),
+                    });
+                }
+                order.push(var);
+            }
+            let node_count = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(node_count.min(r.remaining() / 12));
+            for _ in 0..node_count {
+                let level = r.u32()?;
+                let lo = NodeRef::from_raw(r.u32()?);
+                let hi = NodeRef::from_raw(r.u32()?);
+                entries.push((level, lo, hi));
+            }
+            let manager = ObddManager::from_parts(order, &entries)?;
+            let root = r.u32()?;
+            if root as usize >= entries.len() + 2 {
+                return Err(StoreError::RootOutOfRange {
+                    root,
+                    len: entries.len(),
+                });
+            }
+            Artifact::Obdd(DegenerateLineage {
+                manager,
+                root: NodeRef::from_raw(root),
+                split,
+            })
+        }
+        ArtifactKind::Dd => {
+            let gate_count = r.u32()? as usize;
+            let mut gates = Vec::with_capacity(gate_count.min(r.remaining()));
+            for _ in 0..gate_count {
+                let gate = match r.u8()? {
+                    0 => Gate::Const(false),
+                    1 => Gate::Const(true),
+                    2 => {
+                        let var = r.u32()?;
+                        if var as usize >= db.len() {
+                            return Err(StoreError::ForeignVariable {
+                                var,
+                                tuples: db.len(),
+                            });
+                        }
+                        Gate::Var(var)
+                    }
+                    tag @ (3 | 4) => {
+                        let fanin = r.u32()? as usize;
+                        let mut inputs = Vec::with_capacity(fanin.min(r.remaining() / 4));
+                        for _ in 0..fanin {
+                            inputs.push(GateId(r.u32()?));
+                        }
+                        if tag == 3 {
+                            Gate::And(inputs)
+                        } else {
+                            Gate::Or(inputs)
+                        }
+                    }
+                    5 => Gate::Not(GateId(r.u32()?)),
+                    tag => return Err(StoreError::BadGateTag(tag)),
+                };
+                gates.push(gate);
+            }
+            let len = gates.len();
+            let circuit = Circuit::from_gates(gates)?;
+            let root = r.u32()?;
+            if root as usize >= len {
+                return Err(StoreError::RootOutOfRange { root, len });
+            }
+            // φ classified ZeroEulerDD above, so the fragmentation the
+            // compiler would have produced exists and is recomputed
+            // deterministically from the truth table alone.
+            let fragmentation =
+                Fragmentation::of(&phi).expect("zero-Euler φ always fragments (Proposition 5.1)");
+            Artifact::Dd(intext_core::CompiledLineage {
+                circuit,
+                root: GateId(root),
+                fragmentation,
+            })
+        }
+    };
+    r.done()?;
+    let key = CacheKey::new(&phi, &db);
+    Ok((key, artifact))
+}
+
+/// Decodes a cache bundle into its artifacts, in stored (ascending
+/// last-used) order. All-or-nothing: the first malformed entry rejects
+/// the whole bundle, so a warm start never half-populates the cache.
+pub(crate) fn decode_bundle(bytes: &[u8]) -> Result<Vec<(CacheKey, Artifact)>, StoreError> {
+    let (kind, mut r) = open(bytes)?;
+    match kind {
+        KIND_BUNDLE => {}
+        KIND_OBDD | KIND_DD => {
+            return Err(StoreError::WrongContainer {
+                expected: "cache bundle",
+                got: "artifact",
+            })
+        }
+        other => return Err(StoreError::BadKind(other)),
+    }
+    let count = r.u32()? as usize;
+    let mut artifacts = Vec::with_capacity(count.min(r.remaining() / MIN_LEN));
+    for _ in 0..count {
+        let len = usize::try_from(r.u64()?).map_err(|_| StoreError::Truncated)?;
+        let blob = r.take(len)?;
+        artifacts.push(decode_artifact(blob)?);
+    }
+    r.done()?;
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::{phi9, BoolFn};
+    use intext_numeric::BigRational;
+    use intext_query::HQuery;
+    use intext_tid::{complete_database, uniform_tid};
+
+    use crate::{Plan, PqeEngine};
+
+    fn half() -> BigRational {
+        BigRational::from_ratio(1, 2)
+    }
+
+    /// A compiled d-D artifact (φ9) and its key.
+    fn dd_blob() -> Vec<u8> {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+        engine.evaluate(&q, &tid).unwrap();
+        engine.export_artifact(&q, tid.database()).unwrap()
+    }
+
+    /// A compiled OBDD artifact (degenerate φ) and its key.
+    fn obdd_blob() -> Vec<u8> {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(BoolFn::var(3, 0));
+        let tid = uniform_tid(complete_database(2, 2), half());
+        assert_eq!(engine.plan(&q, &tid), Ok(Plan::Obdd));
+        engine.evaluate(&q, &tid).unwrap();
+        engine.export_artifact(&q, tid.database()).unwrap()
+    }
+
+    #[test]
+    fn checksum_is_fnv1a_reference_values() {
+        // Reference vectors: FNV-1a 64 of "" and "a".
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn artifact_blobs_round_trip() {
+        for blob in [dd_blob(), obdd_blob()] {
+            let (key, artifact) = decode_artifact(&blob).unwrap();
+            // Re-encoding the decoded artifact reproduces the bytes:
+            // the encoding is canonical, which is what lets CI pin
+            // golden fixtures byte-for-byte.
+            assert_eq!(encode_artifact(&key, &artifact), blob);
+        }
+    }
+
+    #[test]
+    fn bundle_entries_are_importable_blobs() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        for domain in 1..=2 {
+            let tid = uniform_tid(complete_database(3, domain), half());
+            engine.evaluate(&q, &tid).unwrap();
+        }
+        let bundle = engine.save_cache();
+        let decoded = decode_bundle(&bundle).unwrap();
+        assert_eq!(decoded.len(), 2);
+        // Saving is deterministic (recency order, not HashMap order).
+        assert_eq!(engine.save_cache(), bundle);
+        // And a bundle is not an artifact, nor vice versa.
+        assert_eq!(
+            decode_artifact(&bundle).unwrap_err(),
+            StoreError::WrongContainer {
+                expected: "artifact",
+                got: "cache bundle"
+            }
+        );
+        assert_eq!(
+            decode_bundle(&dd_blob()).unwrap_err(),
+            StoreError::WrongContainer {
+                expected: "cache bundle",
+                got: "artifact"
+            }
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_truncated_not_panics() {
+        for len in 0..MIN_LEN {
+            let bytes = vec![0u8; len];
+            assert_eq!(decode_artifact(&bytes).unwrap_err(), StoreError::Truncated);
+            assert_eq!(decode_bundle(&bytes).unwrap_err(), StoreError::Truncated);
+        }
+    }
+
+    /// A blob with a hand-crafted body after a *valid* key section:
+    /// full control over every body byte, correctly checksummed, so the
+    /// decoder's structural validation (not the checksum) is what
+    /// rejects it.
+    fn blob(kind: u8, phi: &BoolFn, db: &Database, body: &[u8]) -> Vec<u8> {
+        let mut w = Writer::with_header(kind);
+        w.key(&CacheKey::new(phi, db));
+        w.bytes.extend_from_slice(body);
+        w.seal()
+    }
+
+    /// Degenerate φ on a tiny shape (for OBDD-kind bodies).
+    fn obdd_ctx() -> (BoolFn, Database) {
+        (BoolFn::var(2, 0), complete_database(1, 1))
+    }
+
+    /// Zero-Euler nondegenerate φ on a tiny shape (for d-D bodies).
+    fn dd_ctx() -> (BoolFn, Database) {
+        (phi9(), complete_database(3, 1))
+    }
+
+    fn u32s(values: &[u32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn corruption_matrix_key_section() {
+        let (phi, db) = dd_ctx();
+
+        // Unknown artifact kind byte.
+        assert_eq!(
+            decode_artifact(&blob(9, &phi, &db, &[])).unwrap_err(),
+            StoreError::BadKind(9)
+        );
+
+        // φ.n = 0 and n > MAX_VARS: invalid truth table.
+        for n in [0u8, intext_boolfn::MAX_VARS + 1] {
+            let mut w = Writer::with_header(KIND_DD);
+            w.u8(n);
+            assert_eq!(decode_artifact(&w.seal()).unwrap_err(), StoreError::BadPhi);
+        }
+
+        // k = 0: no H-query vocabulary.
+        let mut w = Writer::with_header(KIND_DD);
+        w.u8(phi.num_vars());
+        for &word in phi.words() {
+            w.u64(word);
+        }
+        w.u8(0); // k
+        assert_eq!(
+            decode_artifact(&w.seal()).unwrap_err(),
+            StoreError::ZeroChainLength
+        );
+
+        // Unknown tuple tag / tuple rejected by the shape validator.
+        let bad_shapes: [(&[u8], StoreError); 3] = [
+            (&[7], StoreError::BadTupleTag(7)),
+            (
+                &[0, 99, 0, 0, 0],
+                StoreError::BadTuple(intext_tid::DatabaseError::BadConstant(99)),
+            ),
+            (
+                &[1, 9, 0, 0, 0, 0, 0, 0, 0, 0],
+                StoreError::BadTuple(intext_tid::DatabaseError::BadRelationIndex(9)),
+            ),
+        ];
+        for (tuple_bytes, expected) in bad_shapes {
+            let mut w = Writer::with_header(KIND_DD);
+            w.u8(phi.num_vars());
+            for &word in phi.words() {
+                w.u64(word);
+            }
+            w.u8(3); // k
+            w.u32(1); // domain size
+            w.u32(1); // one tuple
+            w.bytes.extend_from_slice(tuple_bytes);
+            assert_eq!(decode_artifact(&w.seal()).unwrap_err(), expected);
+        }
+
+        // Kind contradicts φ's region, both ways (checked before the
+        // body, so an empty body suffices).
+        let (deg, deg_db) = obdd_ctx();
+        assert_eq!(
+            decode_artifact(&blob(KIND_DD, &deg, &deg_db, &[])).unwrap_err(),
+            StoreError::PlanMismatch {
+                kind: ArtifactKind::Dd,
+                region: Region::DegenerateObdd
+            }
+        );
+        assert_eq!(
+            decode_artifact(&blob(KIND_OBDD, &phi, &db, &[])).unwrap_err(),
+            StoreError::PlanMismatch {
+                kind: ArtifactKind::Obdd,
+                region: Region::ZeroEulerDD
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_matrix_obdd_body() {
+        // The shape has 3 tuples: R(0), S1(0,0), T(0).
+        let (phi, db) = obdd_ctx();
+        let obdd = |body: &[u8]| decode_artifact(&blob(KIND_OBDD, &phi, &db, body)).unwrap_err();
+
+        // Split variable beyond k.
+        assert_eq!(obdd(&[9]), StoreError::SplitOutOfRange { split: 9, k: 1 });
+
+        // Order entry that is not a tuple id of the shape.
+        let mut body = vec![1u8]; // split
+        body.extend(u32s(&[1, 99])); // order_len = 1, order = [99]
+        assert_eq!(
+            obdd(&body),
+            StoreError::ForeignVariable { var: 99, tuples: 3 }
+        );
+
+        // Structural OBDD violations surface as their ObddError. Each
+        // body: split, order_len, order…, node_count, (level, lo, hi)…
+        let cases: [(&[u32], ObddError); 5] = [
+            // Duplicate variable in the order.
+            (&[2, 0, 0, 0], ObddError::DuplicateVariable(0)),
+            // Node level outside the order.
+            (
+                &[1, 0, 1, 7, 0, 1],
+                ObddError::LevelOutOfRange { node: 0, level: 7 },
+            ),
+            // Forward child reference.
+            (
+                &[1, 0, 1, 0, 2, 1],
+                ObddError::DanglingChild { node: 0, child: 2 },
+            ),
+            // lo == hi.
+            (&[1, 0, 1, 0, 1, 1], ObddError::RedundantNode { node: 0 }),
+            // Two identical nodes.
+            (
+                &[2, 0, 1, 2, 1, 0, 1, 1, 0, 1],
+                ObddError::DuplicateNode { node: 1 },
+            ),
+        ];
+        for (words, expected) in cases {
+            let mut body = vec![1u8];
+            body.extend(u32s(words));
+            assert_eq!(obdd(&body), StoreError::Obdd(expected), "{words:?}");
+        }
+
+        // Order violation: child at the same level as its parent.
+        let mut body = vec![1u8];
+        body.extend(u32s(&[2, 0, 1, 2, 0, 0, 1, 0, 2, 1]));
+        assert_eq!(
+            obdd(&body),
+            StoreError::Obdd(ObddError::OrderViolation { node: 1 })
+        );
+
+        // Root outside the node table.
+        let mut body = vec![1u8];
+        body.extend(u32s(&[1, 0, 1, 0, 0, 1, 5]));
+        assert_eq!(obdd(&body), StoreError::RootOutOfRange { root: 5, len: 1 });
+
+        // Trailing garbage between body and checksum.
+        let mut body = vec![1u8];
+        body.extend(u32s(&[1, 0, 1, 0, 0, 1, 2]));
+        body.push(0xaa);
+        assert_eq!(obdd(&body), StoreError::TrailingBytes { extra: 1 });
+    }
+
+    #[test]
+    fn corruption_matrix_dd_body() {
+        let (phi, db) = dd_ctx();
+        let dd = |body: &[u8]| decode_artifact(&blob(KIND_DD, &phi, &db, body)).unwrap_err();
+
+        // Unknown gate tag.
+        assert_eq!(dd(&[1, 0, 0, 0, 9]), StoreError::BadGateTag(9));
+
+        // Var gate naming a non-tuple variable.
+        let mut body = u32s(&[1]);
+        body.push(2); // Var
+        body.extend(u32s(&[42]));
+        assert_eq!(
+            dd(&body),
+            StoreError::ForeignVariable { var: 42, tuples: 5 }
+        );
+
+        // Not gate with a forward (self) input.
+        let mut body = u32s(&[1]);
+        body.push(5); // Not
+        body.extend(u32s(&[0]));
+        assert_eq!(
+            dd(&body),
+            StoreError::Circuit(CircuitError::DanglingInput { gate: 0, input: 0 })
+        );
+
+        // Duplicate gates (hash-consing violated).
+        let mut body = u32s(&[2]);
+        body.push(0); // Const(false)
+        body.push(0); // Const(false) again
+        assert_eq!(
+            dd(&body),
+            StoreError::Circuit(CircuitError::DuplicateGate { gate: 1 })
+        );
+
+        // Root outside the gate table.
+        let mut body = u32s(&[1]);
+        body.push(1); // Const(true)
+        body.extend(u32s(&[3])); // root = 3
+        assert_eq!(dd(&body), StoreError::RootOutOfRange { root: 3, len: 1 });
+    }
+
+    #[test]
+    fn header_field_errors_take_precedence_in_order() {
+        let blob = dd_blob();
+
+        // Magic flipped → BadMagic (even though the checksum also broke).
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(decode_artifact(&bad).unwrap_err(), StoreError::BadMagic);
+
+        // Version bumped → UnsupportedVersion.
+        let mut bad = blob.clone();
+        bad[8] = 0x2a;
+        bad[9] = 0;
+        assert_eq!(
+            decode_artifact(&bad).unwrap_err(),
+            StoreError::UnsupportedVersion(0x2a)
+        );
+
+        // Any body byte flipped → ChecksumMismatch (checksum is checked
+        // before the body is parsed).
+        let mut bad = blob.clone();
+        bad[11] ^= 0x01;
+        assert!(matches!(
+            decode_artifact(&bad).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+
+        // Checksum itself flipped → ChecksumMismatch.
+        let mut bad = blob.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            decode_artifact(&bad).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+
+        // Truncation anywhere → Truncated or ChecksumMismatch, never a
+        // panic.
+        for cut in [blob.len() - 1, blob.len() / 2, MIN_LEN] {
+            let err = decode_artifact(&blob[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated | StoreError::ChecksumMismatch { .. }
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates the golden store fixtures under `tests/fixtures/`.
+//!
+//! ```text
+//! cargo run --example regen_fixtures            # rewrite tests/fixtures/
+//! cargo run --example regen_fixtures -- DIR     # write into DIR instead
+//! ```
+//!
+//! The fixtures pin the version-1 persistence format (`DESIGN.md` §5):
+//! CI regenerates them into a scratch directory and fails if the bytes
+//! differ from the committed ones (`scripts/check-fixtures.sh`), so any
+//! drift in the format *or* in the compiler's deterministic output is
+//! caught before it ships. `tests/engine_store.rs` must agree with the
+//! `(φ, shape)` pairs below — it recompiles them fresh and asserts
+//! byte-identical exports.
+
+use std::path::PathBuf;
+
+use intext::boolfn::{phi9, BoolFn};
+use intext::engine::PqeEngine;
+use intext::numeric::BigRational;
+use intext::query::HQuery;
+use intext::tid::{complete_database, uniform_tid, Database};
+
+/// The two pinned cases: one per artifact kind.
+///
+/// * `degenerate_obdd`: ψ = h₀ ∧ ¬h₂ (ignores h₁, so Proposition 3.7
+///   compiles a reduced OBDD) on the complete k = 2, domain-2 instance.
+/// * `zero_euler_dd`: φ9 (nondegenerate, e(φ9) = 0, so Theorem 5.2
+///   compiles a d-D circuit) on the complete k = 3, domain-2 instance.
+fn fixtures() -> Vec<(&'static str, BoolFn, Database)> {
+    let psi = &BoolFn::var(3, 0) & &!&BoolFn::var(3, 2);
+    vec![
+        ("degenerate_obdd.intx", psi, complete_database(2, 2)),
+        ("zero_euler_dd.intx", phi9(), complete_database(3, 2)),
+    ]
+}
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/fixtures".into())
+        .into();
+    std::fs::create_dir_all(&out).expect("fixture directory is creatable");
+    for (name, phi, db) in fixtures() {
+        let q = HQuery::new(phi);
+        let tid = uniform_tid(db, BigRational::from_ratio(1, 2));
+        let mut engine = PqeEngine::new();
+        engine
+            .evaluate(&q, &tid)
+            .expect("fixture queries are cacheable by construction");
+        let blob = engine
+            .export_artifact(&q, tid.database())
+            .expect("just compiled, so cached");
+        let path = out.join(name);
+        std::fs::write(&path, &blob).expect("fixture file is writable");
+        println!("wrote {} ({} bytes)", path.display(), blob.len());
+    }
+}

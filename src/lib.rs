@@ -60,6 +60,14 @@
 //! // Bound the artifact cache (total gates retained); LRU eviction keeps
 //! // it under budget and counts into `stats().cache_evictions`.
 //! engine.set_cache_budget(Some(1 << 20));
+//!
+//! // Persist the compiled circuits (versioned format, DESIGN.md §5) and
+//! // warm-start a replica: zero compiles, bit-identical answers.
+//! let snapshot = engine.save_cache();
+//! let mut replica = PqeEngine::new();
+//! replica.load_cache(&snapshot).unwrap();
+//! assert_eq!(replica.evaluate(&q, &tid).unwrap(), p);
+//! assert_eq!(replica.stats().cache_misses, 0); // loaded, never compiled
 //! ```
 //!
 //! See `DESIGN.md` (repo root) for the paper-to-module map and the

@@ -252,7 +252,7 @@ pub mod prelude {
 
 /// Defines `#[test]` functions whose arguments are drawn from strategies:
 ///
-/// ```
+/// ```ignore
 /// use proptest::prelude::*;
 ///
 /// proptest! {
@@ -263,6 +263,11 @@ pub mod prelude {
 ///     }
 /// }
 /// ```
+///
+/// (The fence is `ignore` because a doctest would not execute the inner
+/// `#[test]` functions anyway — clippy's `test_attr_in_doctest`; the
+/// macro's expansion is exercised by every property test in the
+/// workspace instead.)
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
