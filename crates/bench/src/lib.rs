@@ -16,6 +16,8 @@
 //! | `probability`| §2         | linear-time d-D probability evaluation |
 //! | `engine`     | E17        | `PqeEngine` cold compile+eval vs cached re-walk |
 //! | `sharding`   | E18/E19    | sharded vs sequential batch; eviction rate vs cache budget |
+//! | `store`      | E20        | persistent-store warm start vs cold compile vs cache hit |
+//! | `kernel`     | E21        | scalar-per-scenario vs lane-batched batch evaluation |
 
 use intext_tid::{random_database, random_tid, DbGenConfig, Tid};
 use rand::rngs::StdRng;

@@ -5,6 +5,8 @@ use std::fmt;
 
 use intext_numeric::BigRational;
 
+use crate::eval::{EvalScratch, ProbMatrix, LANES};
+
 /// Index of a gate inside a [`Circuit`] arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct GateId(pub u32);
@@ -268,6 +270,25 @@ impl Circuit {
         per_gate[root.0 as usize].clone()
     }
 
+    /// The distinct variables of every `Var` gate in the arena, sorted
+    /// ascending — exactly the probability entries a forward pass (any
+    /// walk, lane-batched or scalar) reads. Batch evaluators fill their
+    /// [`ProbMatrix`] for these variables only, which matters when the
+    /// circuit touches a fraction of a large database.
+    pub fn support_vars(&self) -> Vec<u32> {
+        let mut vars: Vec<u32> = self
+            .gates
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
     /// Probability of the gate's function under independent variable
     /// probabilities, **assuming the circuit rooted at `root` is a d-D**
     /// (`∧ → ×`, `∨ → +`, `¬ → 1-x`; Section 2 of the paper). Linear time.
@@ -283,6 +304,64 @@ impl Circuit {
             };
         }
         values[root.0 as usize]
+    }
+
+    /// Lane-batched variant of [`Self::probability_f64`]: one forward
+    /// pass over the gate table computes up to [`LANES`] scenarios at
+    /// once, reading scenario probabilities from `probs` and keeping
+    /// every intermediate in `scratch` (no heap allocation once the
+    /// scratch has grown to this arena's size).
+    ///
+    /// **Bit-identity contract**: every gate folds its inputs in arena
+    /// input order — products left-to-right for `∧`, sums left-to-right
+    /// for `∨` — exactly as the scalar walk does, so lane `l` of the
+    /// result is bit-identical to `probability_f64` called with lane
+    /// `l`'s probabilities. Lanes the caller did not fill are computed
+    /// from whatever the matrix holds and are simply meaningless; read
+    /// back only the lanes you set.
+    pub fn probability_f64_many(
+        &self,
+        root: GateId,
+        probs: &ProbMatrix,
+        scratch: &mut EvalScratch,
+    ) -> [f64; LANES] {
+        scratch.ensure_lanes(self.gates.len());
+        let values = &mut scratch.lanes[..self.gates.len() * LANES];
+        for (i, g) in self.gates.iter().enumerate() {
+            let (done, rest) = values.split_at_mut(i * LANES);
+            let out = &mut rest[..LANES];
+            match g {
+                Gate::Const(b) => out.fill(f64::from(u8::from(*b))),
+                Gate::Var(v) => out.copy_from_slice(probs.block(*v)),
+                Gate::And(xs) => {
+                    out.fill(1.0);
+                    for x in xs {
+                        let input = &done[x.0 as usize * LANES..][..LANES];
+                        for (o, v) in out.iter_mut().zip(input) {
+                            *o *= v;
+                        }
+                    }
+                }
+                Gate::Or(xs) => {
+                    out.fill(0.0);
+                    for x in xs {
+                        let input = &done[x.0 as usize * LANES..][..LANES];
+                        for (o, v) in out.iter_mut().zip(input) {
+                            *o += v;
+                        }
+                    }
+                }
+                Gate::Not(x) => {
+                    let input = &done[x.0 as usize * LANES..][..LANES];
+                    for (o, v) in out.iter_mut().zip(input) {
+                        *o = 1.0 - v;
+                    }
+                }
+            }
+        }
+        values[root.0 as usize * LANES..][..LANES]
+            .try_into()
+            .expect("lane block is exactly LANES wide")
     }
 
     /// Exact-rational variant of [`Self::probability_f64`].
@@ -530,6 +609,59 @@ mod tests {
         assert!(CircuitError::DuplicateGate { gate: 1 }
             .to_string()
             .contains("hash-consing"));
+    }
+
+    #[test]
+    fn lane_batched_walk_is_bit_identical_to_scalar() {
+        // x0 ∨ (¬x0 ∧ x1): a valid d-D, so the probability semantics are
+        // meaningful — and bit-identity must hold lane by lane.
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let n0 = c.not(x0);
+        let a = c.and(vec![n0, x1]);
+        let root = c.or(vec![x0, a]);
+
+        let mut probs = ProbMatrix::new();
+        probs.reset(2);
+        let mut scenario = |lane: usize| {
+            let p0 = 0.05 + 0.11 * lane as f64;
+            let p1 = 1.0 / (lane as f64 + 3.0);
+            probs.set(0, lane, p0);
+            probs.set(1, lane, p1);
+            (p0, p1)
+        };
+        let expected: Vec<f64> = (0..LANES)
+            .map(|lane| {
+                let (p0, p1) = scenario(lane);
+                c.probability_f64(root, &|v| if v == 0 { p0 } else { p1 })
+            })
+            .collect();
+        let mut scratch = EvalScratch::new();
+        let got = c.probability_f64_many(root, &probs, &mut scratch);
+        for lane in 0..LANES {
+            assert_eq!(got[lane].to_bits(), expected[lane].to_bits(), "lane {lane}");
+        }
+        // Scratch reuse across calls changes nothing.
+        let again = c.probability_f64_many(root, &probs, &mut scratch);
+        assert_eq!(again, got);
+    }
+
+    #[test]
+    fn lane_batched_walk_handles_constants_and_empty_connectives() {
+        let mut c = Circuit::new();
+        let t = c.and(vec![]); // empty ∧ = ⊤
+        let f = c.or(vec![]); // empty ∨ = ⊥
+        let probs = ProbMatrix::new();
+        let mut scratch = EvalScratch::new();
+        assert_eq!(
+            c.probability_f64_many(t, &probs, &mut scratch),
+            [1.0; LANES]
+        );
+        assert_eq!(
+            c.probability_f64_many(f, &probs, &mut scratch),
+            [0.0; LANES]
+        );
     }
 
     #[test]

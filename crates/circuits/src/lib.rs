@@ -17,11 +17,22 @@
 //! verification ([`verify`]), and a reduced-ordered [`ObddManager`] with
 //! the standard `apply`/negate algorithms, exact and floating probability
 //! computation, model counting, and conversion into d-D circuits.
+//!
+//! Probability walks exploit that linearity aggressively: the scalar
+//! walks are iterative dense passes (no recursion, no hash-memo), and
+//! the [`eval`] module provides the **lane-batched kernel** —
+//! [`Circuit::probability_f64_many`] / [`ObddManager::probability_f64_many`]
+//! evaluate up to [`LANES`] probability scenarios in one pass over the
+//! same immutable artifact, bit-identical per lane to the scalar walk,
+//! with zero steady-state heap allocations thanks to [`EvalScratch`]
+//! reuse (`DESIGN.md` §6).
 
 mod circuit;
+pub mod eval;
 mod models;
 mod obdd;
 pub mod verify;
 
 pub use circuit::{Circuit, CircuitError, CircuitStats, Gate, GateId};
+pub use eval::{EvalScratch, ProbMatrix, LANES};
 pub use obdd::{NodeRef, ObddError, ObddManager};

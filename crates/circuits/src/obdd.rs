@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use intext_numeric::{BigRational, BigUint};
 
+use crate::eval::{EvalScratch, ProbMatrix, LANES};
 use crate::{Circuit, GateId};
 
 /// Reference to an OBDD node or terminal: `0` = false, `1` = true,
@@ -462,6 +463,23 @@ impl ObddManager {
         r == NodeRef::TRUE
     }
 
+    /// The distinct variables tested by the nodes reachable from `r`,
+    /// sorted ascending — exactly the probability entries any walk from
+    /// `r` reads (reduction-skipped variables marginalize out and are
+    /// absent). Batch evaluators fill their [`ProbMatrix`] for these
+    /// variables only; a lineage OBDD often touches a fraction of a
+    /// large database's tuples.
+    pub fn support_vars(&self, r: NodeRef) -> Vec<u32> {
+        let topo = self.reachable_topo(r);
+        let mut vars: Vec<u32> = topo
+            .iter()
+            .map(|&i| self.order[self.nodes[i as usize].level as usize])
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
     /// Number of decision nodes reachable from `r`.
     pub fn size(&self, r: NodeRef) -> usize {
         let mut seen = std::collections::HashSet::new();
@@ -477,60 +495,180 @@ impl ObddManager {
         seen.len()
     }
 
+    /// The indices of the nodes reachable from `r`, ascending — which is
+    /// a topological order (children strictly precede parents in the
+    /// arena), so a single forward pass over the list can compute any
+    /// bottom-up quantity. Marks are made and un-made through the
+    /// provided buffers (`visited` must come in all-false and is
+    /// restored to all-false), so a caller reusing the buffers performs
+    /// no bookkeeping allocation once they have grown.
+    fn reachable_topo_into(
+        &self,
+        r: NodeRef,
+        visited: &mut [bool],
+        stack: &mut Vec<u32>,
+        topo: &mut Vec<u32>,
+    ) {
+        if r.is_terminal() {
+            return;
+        }
+        stack.push(r.index() as u32);
+        while let Some(i) = stack.pop() {
+            let i = i as usize;
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            topo.push(i as u32);
+            let n = self.nodes[i];
+            for child in [n.lo, n.hi] {
+                if !child.is_terminal() && !visited[child.index()] {
+                    stack.push(child.index() as u32);
+                }
+            }
+        }
+        // `sort_unstable` is in-place (no allocation), keeping the
+        // steady-state walk allocation-free.
+        topo.sort_unstable();
+        for &i in topo.iter() {
+            visited[i as usize] = false;
+        }
+    }
+
+    /// [`reachable_topo_into`](Self::reachable_topo_into) with one-shot
+    /// local buffers, for the scalar walks.
+    fn reachable_topo(&self, r: NodeRef) -> Vec<u32> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = Vec::new();
+        let mut topo = Vec::new();
+        self.reachable_topo_into(r, &mut visited, &mut stack, &mut topo);
+        topo
+    }
+
     /// Probability of the function under independent per-variable
     /// probabilities (linear in the OBDD size; reduction-skipped
     /// variables marginalize out automatically).
+    ///
+    /// The walk is **iterative** — one dense forward pass over the
+    /// reachable nodes in arena order, no recursion (so arbitrarily deep
+    /// OBDDs cannot overflow the stack) and no hash-memo. Each node
+    /// computes `p·hi + (1 - p)·lo`, the same expression in the same
+    /// order as every other walk, keeping results bit-identical across
+    /// the scalar and lane-batched paths.
     pub fn probability_f64(&self, r: NodeRef, prob: &impl Fn(u32) -> f64) -> f64 {
-        fn rec(
-            m: &ObddManager,
-            r: NodeRef,
-            prob: &impl Fn(u32) -> f64,
-            memo: &mut HashMap<NodeRef, f64>,
-        ) -> f64 {
-            match r {
-                NodeRef::FALSE => 0.0,
-                NodeRef::TRUE => 1.0,
-                _ => {
-                    if let Some(&p) = memo.get(&r) {
-                        return p;
-                    }
-                    let n = m.nodes[r.index()];
-                    let pv = prob(m.order[n.level as usize]);
-                    let p = pv * rec(m, n.hi, prob, memo) + (1.0 - pv) * rec(m, n.lo, prob, memo);
-                    memo.insert(r, p);
-                    p
-                }
-            }
+        match r {
+            NodeRef::FALSE => return 0.0,
+            NodeRef::TRUE => return 1.0,
+            _ => {}
         }
-        rec(self, r, prob, &mut HashMap::new())
+        let topo = self.reachable_topo(r);
+        let mut values = vec![0f64; r.index() + 1];
+        let fetch = |values: &[f64], child: NodeRef| match child {
+            NodeRef::FALSE => 0.0,
+            NodeRef::TRUE => 1.0,
+            _ => values[child.index()],
+        };
+        for &i in &topo {
+            let n = self.nodes[i as usize];
+            let pv = prob(self.order[n.level as usize]);
+            let hi = fetch(&values, n.hi);
+            let lo = fetch(&values, n.lo);
+            values[i as usize] = pv * hi + (1.0 - pv) * lo;
+        }
+        values[r.index()]
     }
 
-    /// Exact-rational variant of [`Self::probability_f64`].
+    /// Exact-rational variant of [`Self::probability_f64`] — the same
+    /// iterative dense-index walk (recursion-free, no hash-memo), with
+    /// values stored per reachable node only so the rationals of
+    /// unreachable arena nodes are never touched.
     pub fn probability_exact(&self, r: NodeRef, prob: &impl Fn(u32) -> BigRational) -> BigRational {
-        fn rec(
-            m: &ObddManager,
-            r: NodeRef,
-            prob: &impl Fn(u32) -> BigRational,
-            memo: &mut HashMap<NodeRef, BigRational>,
-        ) -> BigRational {
-            match r {
-                NodeRef::FALSE => BigRational::zero(),
-                NodeRef::TRUE => BigRational::one(),
-                _ => {
-                    if let Some(p) = memo.get(&r) {
-                        return p.clone();
-                    }
-                    let n = m.nodes[r.index()];
-                    let pv = prob(m.order[n.level as usize]);
-                    let hi = rec(m, n.hi, prob, memo);
-                    let lo = rec(m, n.lo, prob, memo);
-                    let p = &(&pv * &hi) + &(&pv.complement() * &lo);
-                    memo.insert(r, p.clone());
-                    p
+        match r {
+            NodeRef::FALSE => return BigRational::zero(),
+            NodeRef::TRUE => return BigRational::one(),
+            _ => {}
+        }
+        let topo = self.reachable_topo(r);
+        // Dense node-index → topo-position map: the reachable set can be
+        // a sliver of a shared arena, and `BigRational` slots are too
+        // expensive to place (or even zero-initialize) per arena node.
+        let mut pos = vec![u32::MAX; r.index() + 1];
+        for (p, &i) in topo.iter().enumerate() {
+            pos[i as usize] = p as u32;
+        }
+        let zero = BigRational::zero();
+        let one = BigRational::one();
+        let mut values: Vec<BigRational> = Vec::with_capacity(topo.len());
+        for &i in &topo {
+            let n = self.nodes[i as usize];
+            let pv = prob(self.order[n.level as usize]);
+            let fetch = |child: NodeRef| match child {
+                NodeRef::FALSE => &zero,
+                NodeRef::TRUE => &one,
+                _ => &values[pos[child.index()] as usize],
+            };
+            let p = &(&pv * fetch(n.hi)) + &(&pv.complement() * fetch(n.lo));
+            values.push(p);
+        }
+        values[pos[r.index()] as usize].clone()
+    }
+
+    /// Lane-batched variant of [`Self::probability_f64`]: one iterative
+    /// pass over the reachable nodes computes up to [`LANES`] scenarios
+    /// at once, reading per-variable probabilities from `probs` and
+    /// keeping all state in `scratch` (zero heap allocations once the
+    /// scratch has grown to this arena's size).
+    ///
+    /// Same bit-identity contract as
+    /// [`Circuit::probability_f64_many`](crate::Circuit::probability_f64_many):
+    /// every node evaluates `p·hi + (1 - p)·lo` per lane, so lane `l` is
+    /// bit-identical to the scalar walk under lane `l`'s probabilities.
+    pub fn probability_f64_many(
+        &self,
+        r: NodeRef,
+        probs: &ProbMatrix,
+        scratch: &mut EvalScratch,
+    ) -> [f64; LANES] {
+        match r {
+            NodeRef::FALSE => return [0.0; LANES],
+            NodeRef::TRUE => return [1.0; LANES],
+            _ => {}
+        }
+        scratch.ensure_visited(self.nodes.len());
+        scratch.ensure_lanes(r.index() + 1);
+        let EvalScratch {
+            lanes,
+            visited,
+            stack,
+            topo,
+        } = scratch;
+        stack.clear();
+        topo.clear();
+        self.reachable_topo_into(r, visited, stack, topo);
+        let values = &mut lanes[..(r.index() + 1) * LANES];
+        for &i in topo.iter() {
+            let n = self.nodes[i as usize];
+            let pv = probs.block(self.order[n.level as usize]);
+            let (done, rest) = values.split_at_mut(i as usize * LANES);
+            let out = &mut rest[..LANES];
+            let fetch = |done: &[f64], child: NodeRef| -> [f64; LANES] {
+                match child {
+                    NodeRef::FALSE => [0.0; LANES],
+                    NodeRef::TRUE => [1.0; LANES],
+                    _ => done[child.index() * LANES..][..LANES]
+                        .try_into()
+                        .expect("lane block is exactly LANES wide"),
                 }
+            };
+            let hi = fetch(done, n.hi);
+            let lo = fetch(done, n.lo);
+            for (l, o) in out.iter_mut().enumerate() {
+                *o = pv[l] * hi[l] + (1.0 - pv[l]) * lo[l];
             }
         }
-        rec(self, r, prob, &mut HashMap::new())
+        values[r.index() * LANES..][..LANES]
+            .try_into()
+            .expect("lane block is exactly LANES wide")
     }
 
     /// Number of satisfying assignments over **all** variables of the
@@ -873,6 +1011,75 @@ mod tests {
         assert!(ObddError::DuplicateVariable(0)
             .to_string()
             .contains("twice"));
+    }
+
+    #[test]
+    fn lane_batched_walk_is_bit_identical_to_scalar() {
+        let mut m = ObddManager::new(vec![0, 1, 2]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        let x2 = m.literal(2, true);
+        let t = m.and(x0, x1);
+        let f = m.xor(t, x2);
+
+        let mut probs = ProbMatrix::new();
+        probs.reset(3);
+        let lane_prob = |lane: usize, v: u32| 0.03 + 0.07 * lane as f64 + 0.21 * f64::from(v);
+        for lane in 0..LANES {
+            for v in 0..3u32 {
+                probs.set(v, lane, lane_prob(lane, v));
+            }
+        }
+        let mut scratch = EvalScratch::new();
+        let got = m.probability_f64_many(f, &probs, &mut scratch);
+        for (lane, &p) in got.iter().enumerate() {
+            let scalar = m.probability_f64(f, &|v| lane_prob(lane, v));
+            assert_eq!(p.to_bits(), scalar.to_bits(), "lane {lane}");
+        }
+        // Terminals short-circuit without touching the scratch.
+        assert_eq!(
+            m.probability_f64_many(NodeRef::TRUE, &probs, &mut scratch),
+            [1.0; LANES]
+        );
+        assert_eq!(
+            m.probability_f64_many(NodeRef::FALSE, &probs, &mut scratch),
+            [0.0; LANES]
+        );
+        // And the reachability marks were unwound: a second walk through
+        // the same scratch gives the same bits.
+        let again = m.probability_f64_many(f, &probs, &mut scratch);
+        assert_eq!(again, got);
+    }
+
+    #[test]
+    fn iterative_walks_survive_a_deep_chain() {
+        // A 200 000-node conjunction chain x0 ∧ x1 ∧ … — the recursive
+        // memo walk this replaced would have needed a 200 000-deep call
+        // stack (a guaranteed overflow under the test harness's default
+        // 2 MiB threads); the iterative dense-index walks just stream
+        // over the arena.
+        const DEPTH: u32 = 200_000;
+        let mut m = ObddManager::new((0..DEPTH).collect());
+        let mut node = NodeRef::TRUE;
+        for level in (0..DEPTH).rev() {
+            node = m.mk(level, NodeRef::FALSE, node);
+        }
+        assert_eq!(m.size(node), DEPTH as usize);
+
+        // All-ones probabilities make the product exactly 1.0 / 1.
+        assert_eq!(m.probability_f64(node, &|_| 1.0), 1.0);
+        assert!(m.probability_exact(node, &|_| BigRational::one()).is_one());
+
+        let mut probs = ProbMatrix::new();
+        probs.reset(DEPTH as usize);
+        for v in 0..DEPTH {
+            probs.set(v, 0, 1.0);
+            probs.set(v, 1, 0.0);
+        }
+        let mut scratch = EvalScratch::new();
+        let lanes = m.probability_f64_many(node, &probs, &mut scratch);
+        assert_eq!(lanes[0], 1.0, "∏ 1.0 over the whole chain");
+        assert_eq!(lanes[1], 0.0, "x0 already absent");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use intext_boolfn::BoolFn;
+use intext_circuits::{EvalScratch, ProbMatrix};
 use intext_core::CompiledLineage;
 use intext_lineage::DegenerateLineage;
 use intext_numeric::BigRational;
@@ -94,6 +95,38 @@ impl Artifact {
         match self {
             Artifact::Obdd(lin) => lin.probability_f64(tid),
             Artifact::Dd(dd) => dd.probability_f64(tid),
+        }
+    }
+
+    /// Lane-batched floating-point probabilities: one pass over the
+    /// compiled representation evaluates up to
+    /// [`LANES`](intext_circuits::LANES) probability scenarios from
+    /// `probs` at once, reusing `scratch` (zero steady-state heap
+    /// allocations). Lane `l` is bit-identical to
+    /// [`probability_f64`](Self::probability_f64) under lane `l`'s
+    /// probabilities — the kernel's fixed-op-order contract
+    /// (`DESIGN.md` §6).
+    pub fn probability_f64_many(
+        &self,
+        probs: &ProbMatrix,
+        scratch: &mut EvalScratch,
+    ) -> [f64; intext_circuits::LANES] {
+        match self {
+            Artifact::Obdd(lin) => lin.manager.probability_f64_many(lin.root, probs, scratch),
+            Artifact::Dd(dd) => dd.circuit.probability_f64_many(dd.root, probs, scratch),
+        }
+    }
+
+    /// The distinct variables ([`TupleId`](intext_tid::TupleId) raw
+    /// values) this artifact's walks read, sorted ascending. Batch
+    /// evaluators fill the probability matrix for these entries only —
+    /// one `support_vars` call per same-shape run amortizes to nothing,
+    /// while a lineage OBDD touching a sliver of a large database skips
+    /// the conversion cost of every untouched tuple.
+    pub fn support_vars(&self) -> Vec<u32> {
+        match self {
+            Artifact::Obdd(lin) => lin.manager.support_vars(lin.root),
+            Artifact::Dd(dd) => dd.circuit.support_vars(),
         }
     }
 

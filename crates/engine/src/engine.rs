@@ -1,18 +1,21 @@
 //! The `PqeEngine`: plan, compile, cache, evaluate — sequentially or
 //! fanned across shard workers sharing one compiled circuit.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use intext_boolfn::BoolFn;
+use intext_circuits::{EvalScratch, ProbMatrix, LANES};
 use intext_core::{classify, compile_dd, Region};
-use intext_extensional::{pqe_extensional, pqe_extensional_f64};
+use intext_extensional::{pqe_extensional_with_lattice, pqe_extensional_with_lattice_f64};
+use intext_lattice::{cnf_lattice, QueryLattice};
 use intext_lineage::compile_degenerate_obdd;
 use intext_numeric::BigRational;
 use intext_query::{pqe_brute_force, pqe_brute_force_f64, HQuery};
-use intext_tid::Tid;
+use intext_tid::{Tid, TupleId};
 
 use intext_tid::Database;
 
@@ -125,7 +128,119 @@ impl std::error::Error for EngineError {}
 pub struct PqeEngine {
     config: EngineConfig,
     cache: ArtifactCache,
+    /// Memoized `cnf_lattice(φ)` + Möbius values per extensional `φ`.
+    /// Keyed by the canonical truth table (like the artifact cache), so
+    /// syntactic variants share one lattice; entries are a few hundred
+    /// bytes (the lattice depends only on `φ`, never on the database),
+    /// so no eviction policy is needed.
+    lattices: HashMap<BoolFn, Arc<QueryLattice>>,
     stats: EngineStats,
+}
+
+/// One scenario's precomputed work order inside a batch: everything the
+/// evaluation loop (or a shard worker) needs so that walking never
+/// touches the cache, the lattice memo, or `&mut self`.
+struct Task {
+    plan: Plan,
+    artifact: Option<Arc<Artifact>>,
+    /// The memoized CNF lattice, present iff `plan` is
+    /// [`Plan::Extensional`].
+    lattice: Option<Arc<QueryLattice>>,
+    /// `artifact.size()`, computed once per compile/fetch — an OBDD's
+    /// size is a reachability count, too expensive to recount per
+    /// scenario.
+    size: Option<usize>,
+    cache_hit: bool,
+    compile_time: Duration,
+}
+
+impl Task {
+    /// The record for a scenario that shares this task's artifact (or
+    /// lattice) instead of fetching its own.
+    fn shared(&self) -> Task {
+        Task {
+            plan: self.plan,
+            artifact: self.artifact.clone(),
+            lattice: self.lattice.clone(),
+            size: self.size,
+            cache_hit: self.artifact.is_some(),
+            compile_time: Duration::ZERO,
+        }
+    }
+
+    /// This scenario's [`QueryStats`] record, given its measured
+    /// evaluation time.
+    fn query_stats(&self, eval_time: Duration) -> QueryStats {
+        QueryStats {
+            plan: self.plan,
+            cache_hit: self.cache_hit,
+            circuit_size: self.size,
+            compile_time: self.compile_time,
+            eval_time,
+        }
+    }
+
+    /// The record skeleton for the scenario at `offset` within a run
+    /// this task heads: the run head (offset 0) carries the task's
+    /// compile/hit attribution, every later scenario is a shared walk
+    /// ([`Task::shared`] derives the same fields). `eval_time` is left
+    /// zero for the caller to fill in.
+    fn query_stats_at(&self, offset: usize) -> QueryStats {
+        QueryStats {
+            plan: self.plan,
+            cache_hit: if offset == 0 {
+                self.cache_hit
+            } else {
+                self.artifact.is_some()
+            },
+            circuit_size: self.size,
+            compile_time: if offset == 0 {
+                self.compile_time
+            } else {
+                Duration::ZERO
+            },
+            eval_time: Duration::ZERO,
+        }
+    }
+
+    /// The non-artifact fallback evaluation (exact): the single dispatch
+    /// every batch path shares, so extensional/brute-force semantics can
+    /// never drift between the sequential, lane-batched, and sharded
+    /// paths whose bit-for-bit parity the tests pin.
+    fn eval_fallback_exact(&self, q: &HQuery, tid: &Tid) -> BigRational {
+        match self.plan {
+            Plan::Extensional => {
+                let lat = self
+                    .lattice
+                    .as_deref()
+                    .expect("extensional tasks carry a lattice");
+                pqe_extensional_with_lattice(q, tid, lat)
+                    .expect("planner guarantees a monotone safe φ")
+            }
+            Plan::BruteForce => {
+                pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples")
+            }
+            Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable tasks carry an artifact"),
+        }
+    }
+
+    /// Floating-point [`eval_fallback_exact`](Self::eval_fallback_exact).
+    fn eval_fallback_f64(&self, q: &HQuery, tid: &Tid) -> f64 {
+        match self.plan {
+            Plan::Extensional => {
+                let lat = self
+                    .lattice
+                    .as_deref()
+                    .expect("extensional tasks carry a lattice");
+                pqe_extensional_with_lattice_f64(q, tid, lat)
+                    .expect("planner guarantees a monotone safe φ")
+            }
+            Plan::BruteForce => {
+                pqe_brute_force_f64(q, tid).expect("planner bounds the instance below 64 tuples")
+            }
+            Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable tasks carry an artifact"),
+        }
+    }
 }
 
 impl Default for PqeEngine {
@@ -145,6 +260,7 @@ impl PqeEngine {
         PqeEngine {
             cache: ArtifactCache::new(config.cache_gate_budget),
             config,
+            lattices: HashMap::new(),
             stats: EngineStats::default(),
         }
     }
@@ -188,9 +304,30 @@ impl PqeEngine {
         self.stats.cache_evictions += self.cache.set_budget(budget);
     }
 
-    /// Drops every cached artifact (not counted as evictions).
+    /// Drops every cached artifact (not counted as evictions) and the
+    /// memoized extensional lattices.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.lattices.clear();
+    }
+
+    /// Number of distinct `φ` whose CNF lattice + Möbius values are
+    /// memoized for [`Plan::Extensional`] re-evaluation.
+    pub fn lattice_memo_len(&self) -> usize {
+        self.lattices.len()
+    }
+
+    /// The memoized CNF lattice for `phi`, building (and retaining) it
+    /// on first use; every reuse counts one
+    /// [`EngineStats::extensional_memo_hits`].
+    fn extensional_lattice(&mut self, phi: &BoolFn) -> Arc<QueryLattice> {
+        if let Some(lat) = self.lattices.get(phi) {
+            self.stats.extensional_memo_hits += 1;
+            return Arc::clone(lat);
+        }
+        let lat = Arc::new(cnf_lattice(phi));
+        self.lattices.insert(phi.clone(), Arc::clone(&lat));
+        lat
     }
 
     /// Serializes the whole artifact cache into one versioned bundle
@@ -325,7 +462,7 @@ impl PqeEngine {
         q: &HQuery,
         tid: &Tid,
         walk: impl Fn(&Artifact, &Tid) -> T,
-        lifted: impl Fn(&HQuery, &Tid) -> T,
+        lifted: impl Fn(&HQuery, &Tid, &QueryLattice) -> T,
         worlds: impl Fn(&HQuery, &Tid) -> T,
     ) -> Result<T, EngineError> {
         let plan = self.plan(q, tid)?;
@@ -359,9 +496,16 @@ impl PqeEngine {
                 },
             )
         } else {
+            // The lattice fetch (a memo probe, possibly a build) happens
+            // outside the eval timer: it is `φ`-only work the memo exists
+            // to amortize, not per-TID evaluation.
+            let lattice = match plan {
+                Plan::Extensional => Some(self.extensional_lattice(q.phi())),
+                _ => None,
+            };
             let started = Instant::now();
             let p = match plan {
-                Plan::Extensional => lifted(q, tid),
+                Plan::Extensional => lifted(q, tid, lattice.as_deref().expect("fetched above")),
                 Plan::BruteForce => worlds(q, tid),
                 Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable plans handled above"),
             };
@@ -406,7 +550,10 @@ impl PqeEngine {
             q,
             tid,
             |artifact, tid| artifact.probability_exact(tid),
-            |q, tid| pqe_extensional(q, tid).expect("planner guarantees a monotone safe φ"),
+            |q, tid, lat| {
+                pqe_extensional_with_lattice(q, tid, lat)
+                    .expect("planner guarantees a monotone safe φ")
+            },
             |q, tid| pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples"),
         )
     }
@@ -418,27 +565,154 @@ impl PqeEngine {
             q,
             tid,
             |artifact, tid| artifact.probability_f64(tid),
-            |q, tid| pqe_extensional_f64(q, tid).expect("planner guarantees a monotone safe φ"),
+            |q, tid, lat| {
+                pqe_extensional_with_lattice_f64(q, tid, lat)
+                    .expect("planner guarantees a monotone safe φ")
+            },
             |q, tid| {
                 pqe_brute_force_f64(q, tid).expect("planner bounds the instance below 64 tuples")
             },
         )
     }
 
+    /// Begins a contiguous same-shape run of a batch: plans the first
+    /// scenario and fetches (or compiles) whatever shared state the run
+    /// needs — the cached artifact for cacheable plans, the memoized CNF
+    /// lattice for extensional ones. Every later scenario of the run
+    /// reuses the returned [`Task`] via [`Task::shared`], skipping the
+    /// `O(|D|)` cache-key hash entirely.
+    fn begin_run(&mut self, q: &HQuery, tid: &Tid) -> Result<Task, EngineError> {
+        let plan = self.plan(q, tid)?;
+        let mut task = Task {
+            plan,
+            artifact: None,
+            lattice: None,
+            size: None,
+            cache_hit: false,
+            compile_time: Duration::ZERO,
+        };
+        if plan.is_cacheable() {
+            let key = CacheKey::new(q.phi(), tid.database());
+            let artifact = match self.cache.get(&key) {
+                Some(artifact) => {
+                    task.cache_hit = true;
+                    artifact
+                }
+                None => {
+                    let started = Instant::now();
+                    let compiled = Self::compile_artifact(plan, q, tid);
+                    task.compile_time = started.elapsed();
+                    let (artifact, evicted) = self.cache.insert(key, compiled);
+                    self.stats.cache_evictions += evicted;
+                    artifact
+                }
+            };
+            task.size = Some(artifact.size());
+            task.artifact = Some(artifact);
+        } else if plan == Plan::Extensional {
+            task.lattice = Some(self.extensional_lattice(q.phi()));
+        }
+        Ok(task)
+    }
+
     /// Evaluates `q` on every TID of a workload, amortizing compilation:
     /// TIDs sharing a database shape (the common case — one instance,
     /// many probability scenarios) compile once and re-walk the cached
-    /// circuit for every other member of the batch.
+    /// circuit for every other member of the batch. Consecutive
+    /// same-shape scenarios (detected via [`Database::same_shape`]) skip
+    /// even the cache-key construction.
     ///
     /// Fails on the first TID with no sound plan, so a batch is
     /// all-or-nothing. [`evaluate_batch_sharded`](Self::evaluate_batch_sharded)
-    /// is the parallel variant with identical results.
+    /// is the parallel variant with identical results, and
+    /// [`evaluate_batch_f64`](Self::evaluate_batch_f64) the lane-batched
+    /// floating-point one.
     pub fn evaluate_batch(
         &mut self,
         q: &HQuery,
         tids: &[Tid],
     ) -> Result<Vec<BigRational>, EngineError> {
-        tids.iter().map(|tid| self.evaluate(q, tid)).collect()
+        let mut out = Vec::with_capacity(tids.len());
+        let mut run: Option<Task> = None;
+        for (i, tid) in tids.iter().enumerate() {
+            let fresh = i == 0 || !tid.database().same_shape(tids[i - 1].database());
+            let task = match run.take() {
+                Some(prev) if !fresh => {
+                    if prev.plan == Plan::Extensional {
+                        self.stats.extensional_memo_hits += 1;
+                    }
+                    prev.shared()
+                }
+                _ => self.begin_run(q, tid)?,
+            };
+            let started = Instant::now();
+            let p = match &task.artifact {
+                Some(artifact) => artifact.probability_exact(tid),
+                None => task.eval_fallback_exact(q, tid),
+            };
+            self.stats.record(task.query_stats(started.elapsed()));
+            out.push(p);
+            run = Some(task);
+        }
+        Ok(out)
+    }
+
+    /// Floating-point [`evaluate_batch`](Self::evaluate_batch) through
+    /// the **lane-batched evaluation kernel**: consecutive same-shape
+    /// scenarios share one compiled artifact, and each block of up to
+    /// [`LANES`] scenarios is evaluated by a *single* forward pass over
+    /// the circuit ([`Artifact::probability_f64_many`]) — one gate
+    /// decode, zero steady-state allocations, all lanes advancing
+    /// together. Results are bit-identical to calling
+    /// [`evaluate_f64`](Self::evaluate_f64) per scenario (the kernel's
+    /// fixed-op-order contract); each kernel invocation counts one
+    /// [`EngineStats::lane_kernel_calls`].
+    pub fn evaluate_batch_f64(
+        &mut self,
+        q: &HQuery,
+        tids: &[Tid],
+    ) -> Result<Vec<f64>, EngineError> {
+        let mut out = Vec::with_capacity(tids.len());
+        let mut probs = ProbMatrix::new();
+        let mut scratch = EvalScratch::new();
+        let mut start = 0;
+        while start < tids.len() {
+            // The run of consecutive same-shape scenarios beginning here.
+            let mut end = start + 1;
+            while end < tids.len() && tids[end].database().same_shape(tids[end - 1].database()) {
+                end += 1;
+            }
+            let first = self.begin_run(q, &tids[start])?;
+            match &first.artifact {
+                Some(artifact) => Self::walk_lane_run_f64(
+                    artifact,
+                    &tids[start..end],
+                    &mut probs,
+                    &mut scratch,
+                    &mut out,
+                    &mut self.stats,
+                    |offset| first.query_stats_at(offset),
+                ),
+                None => {
+                    for (offset, tid) in tids[start..end].iter().enumerate() {
+                        if offset > 0 && first.plan == Plan::Extensional {
+                            self.stats.extensional_memo_hits += 1;
+                        }
+                        let started = Instant::now();
+                        out.push(first.eval_fallback_f64(q, tid));
+                        self.stats.record(QueryStats {
+                            plan: first.plan,
+                            cache_hit: false,
+                            circuit_size: None,
+                            compile_time: Duration::ZERO,
+                            eval_time: started.elapsed(),
+                        });
+                    }
+                }
+            }
+            start = end;
+        }
+        Ok(out)
     }
 
     /// Dry-runs the sharded batch: how many workers would run, how many
@@ -530,55 +804,74 @@ impl PqeEngine {
         scenarios: &[Tid],
         shards: usize,
     ) -> Result<Vec<BigRational>, EngineError> {
-        self.evaluate_batch_sharded_with(
-            q,
-            scenarios,
-            shards,
-            |artifact, tid| artifact.probability_exact(tid),
-            |q, tid| pqe_extensional(q, tid).expect("planner guarantees a monotone safe φ"),
-            |q, tid| pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples"),
-        )
+        let Some((tasks, compiles, shared)) = self.compile_batch_tasks(q, scenarios)? else {
+            return Ok(Vec::new());
+        };
+        let shards = Self::shard_count(scenarios.len(), shards);
+        let outputs = Self::fan_out(scenarios, &tasks, shards, |tids, tasks| {
+            let mut stats = EngineStats::default();
+            let probs = tids
+                .iter()
+                .zip(tasks)
+                .map(|(tid, task)| {
+                    let started = Instant::now();
+                    let p = match &task.artifact {
+                        Some(artifact) => artifact.probability_exact(tid),
+                        None => task.eval_fallback_exact(q, tid),
+                    };
+                    stats.record(task.query_stats(started.elapsed()));
+                    p
+                })
+                .collect();
+            (probs, stats)
+        });
+        Ok(self.merge_shard_outputs(scenarios.len(), shards, compiles, shared, outputs))
     }
 
-    /// Floating-point [`evaluate_batch_sharded`](Self::evaluate_batch_sharded)
-    /// (used by the E18 benchmark; each walk stays linear in gates).
+    /// Floating-point [`evaluate_batch_sharded`](Self::evaluate_batch_sharded),
+    /// with each shard worker driving the **lane-batched evaluation
+    /// kernel**: inside its contiguous chunk, consecutive scenarios
+    /// sharing an artifact are walked [`LANES`] at a time through a
+    /// worker-private [`EvalScratch`]/[`ProbMatrix`] pair (no shared
+    /// mutable state, zero steady-state allocations per scenario).
+    /// Results stay bit-identical to both the sequential
+    /// [`evaluate_batch_f64`](Self::evaluate_batch_f64) and a per-scenario
+    /// [`evaluate_f64`](Self::evaluate_f64) loop.
     pub fn evaluate_batch_sharded_f64(
         &mut self,
         q: &HQuery,
         scenarios: &[Tid],
         shards: usize,
     ) -> Result<Vec<f64>, EngineError> {
-        self.evaluate_batch_sharded_with(
-            q,
-            scenarios,
-            shards,
-            |artifact, tid| artifact.probability_f64(tid),
-            |q, tid| pqe_extensional_f64(q, tid).expect("planner guarantees a monotone safe φ"),
-            |q, tid| {
-                pqe_brute_force_f64(q, tid).expect("planner bounds the instance below 64 tuples")
-            },
-        )
+        let Some((tasks, compiles, shared)) = self.compile_batch_tasks(q, scenarios)? else {
+            return Ok(Vec::new());
+        };
+        let shards = Self::shard_count(scenarios.len(), shards);
+        let outputs = Self::fan_out(scenarios, &tasks, shards, |tids, tasks| {
+            Self::walk_chunk_f64(q, tids, tasks)
+        });
+        Ok(self.merge_shard_outputs(scenarios.len(), shards, compiles, shared, outputs))
     }
 
-    /// The generic sharded pipeline behind both public variants.
-    fn evaluate_batch_sharded_with<T: Send>(
+    /// Phases 1a + 1b of every sharded batch: plan all scenarios, then
+    /// compile (or fetch) each distinct shape's shared state exactly
+    /// once — artifacts for cacheable plans, the memoized CNF lattice
+    /// for extensional ones. Returns `None` for an empty batch (after
+    /// recording the empty [`BatchPlan`]), otherwise the per-scenario
+    /// [`Task`]s plus the compile/share split.
+    ///
+    /// Planning happens strictly first and is pure, so an unsound
+    /// scenario anywhere in the batch fails before *any* state — cache
+    /// contents, eviction counters, memo entries — has been touched:
+    /// all-or-nothing, observably. Compilation mirrors the cache access
+    /// order of a sequential run, so hit/miss/eviction counters come out
+    /// identical.
+    #[allow(clippy::type_complexity)]
+    fn compile_batch_tasks(
         &mut self,
         q: &HQuery,
         scenarios: &[Tid],
-        shards: usize,
-        walk: impl Fn(&Artifact, &Tid) -> T + Sync,
-        lifted: impl Fn(&HQuery, &Tid) -> T + Sync,
-        worlds: impl Fn(&HQuery, &Tid) -> T + Sync,
-    ) -> Result<Vec<T>, EngineError> {
-        /// One scenario's precomputed work order: everything a worker
-        /// needs so its loop never touches the cache or `&mut self`.
-        struct Task {
-            plan: Plan,
-            artifact: Option<Arc<Artifact>>,
-            cache_hit: bool,
-            compile_time: Duration,
-        }
-
+    ) -> Result<Option<(Vec<Task>, usize, usize)>, EngineError> {
         if scenarios.is_empty() {
             self.stats.last_batch = Some(BatchPlan {
                 scenarios: 0,
@@ -586,18 +879,14 @@ impl PqeEngine {
                 compiles: 0,
                 shared: 0,
             });
-            return Ok(Vec::new());
+            return Ok(None);
         }
 
-        // Phase 1a: plan every scenario first. Planning is pure (no
-        // cache, no stats), so an unsound scenario anywhere in the batch
-        // fails here before *any* state — cache contents, eviction
-        // counters — has been touched: all-or-nothing, observably.
+        // Phase 1a: plan every scenario first. `plan` depends on the TID
+        // only through its shape (vocabulary k and tuple count), so a
+        // same-shape run shares one decision.
         let mut plans: Vec<Plan> = Vec::with_capacity(scenarios.len());
         for (i, tid) in scenarios.iter().enumerate() {
-            // `plan` depends on the TID only through its shape
-            // (vocabulary k and tuple count), so a same-shape run shares
-            // one decision.
             let plan = match plans.last() {
                 Some(&p) if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) => p,
                 _ => self.plan(q, tid)?,
@@ -605,47 +894,39 @@ impl PqeEngine {
             plans.push(plan);
         }
 
-        // Phase 1b: compile each distinct shape once, mirroring the
-        // cache access order of a sequential run so hit/miss/eviction
-        // counters come out identical. Cannot fail (the plans above
-        // guarantee every compile's precondition).
+        // Phase 1b: fetch/compile per distinct shape.
         let mut tasks: Vec<Task> = Vec::with_capacity(scenarios.len());
         let mut compiles = 0;
         let mut shared = 0;
         for (i, (tid, &plan)) in scenarios.iter().zip(&plans).enumerate() {
             if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) {
                 let prev = tasks.last().expect("i > 0 ⟹ a previous task exists");
-                let cache_hit = prev.artifact.is_some();
-                if cache_hit {
+                if prev.artifact.is_some() {
                     shared += 1;
                 }
-                tasks.push(Task {
-                    plan: prev.plan,
-                    artifact: prev.artifact.clone(),
-                    cache_hit,
-                    compile_time: Duration::ZERO,
-                });
+                if prev.plan == Plan::Extensional {
+                    self.stats.extensional_memo_hits += 1;
+                }
+                let task = prev.shared();
+                tasks.push(task);
                 continue;
             }
             if !plan.is_cacheable() {
                 tasks.push(Task {
                     plan,
                     artifact: None,
+                    lattice: (plan == Plan::Extensional).then(|| self.extensional_lattice(q.phi())),
+                    size: None,
                     cache_hit: false,
                     compile_time: Duration::ZERO,
                 });
                 continue;
             }
             let key = CacheKey::new(q.phi(), tid.database());
-            let task = match self.cache.get(&key) {
+            let (artifact, cache_hit, compile_time) = match self.cache.get(&key) {
                 Some(artifact) => {
                     shared += 1;
-                    Task {
-                        plan,
-                        artifact: Some(artifact),
-                        cache_hit: true,
-                        compile_time: Duration::ZERO,
-                    }
+                    (artifact, true, Duration::ZERO)
                 }
                 None => {
                     let started = Instant::now();
@@ -654,82 +935,160 @@ impl PqeEngine {
                     let (artifact, evicted) = self.cache.insert(key, compiled);
                     self.stats.cache_evictions += evicted;
                     compiles += 1;
-                    Task {
-                        plan,
-                        artifact: Some(artifact),
-                        cache_hit: false,
-                        compile_time,
-                    }
+                    (artifact, false, compile_time)
                 }
             };
-            tasks.push(task);
+            tasks.push(Task {
+                plan,
+                size: Some(artifact.size()),
+                artifact: Some(artifact),
+                lattice: None,
+                cache_hit,
+                compile_time,
+            });
         }
+        Ok(Some((tasks, compiles, shared)))
+    }
 
-        // Phase 2: fan contiguous scenario chunks across scoped workers.
-        // Workers only read: `Arc<Artifact>` walks take `&self`, and the
-        // non-cacheable backends are pure functions of `(q, tid)`.
-        // `shard_count` is the one source of truth for how many workers
-        // run (it is what `plan_batch` predicts); deriving the chunk
-        // size from its result reproduces exactly that many chunks
-        // (`s ↦ ceil(n / ceil(n / s))` is idempotent).
-        let shards = Self::shard_count(scenarios.len(), shards);
+    /// Phase 2 of a sharded batch: fan contiguous scenario chunks across
+    /// `std::thread::scope` workers. Workers only read — `Arc<Artifact>`
+    /// walks take `&self`, lattices are shared immutably, and the
+    /// non-cacheable backends are pure functions of `(q, tid)` — and
+    /// each records into its own [`EngineStats`]: no locks, no shared
+    /// mutable state. `shard_count` already fixed how many workers run
+    /// (it is what `plan_batch` predicts); deriving the chunk size from
+    /// its result reproduces exactly that many chunks
+    /// (`s ↦ ceil(n / ceil(n / s))` is idempotent).
+    fn fan_out<T: Send>(
+        scenarios: &[Tid],
+        tasks: &[Task],
+        shards: usize,
+        work: impl Fn(&[Tid], &[Task]) -> (Vec<T>, EngineStats) + Sync,
+    ) -> Vec<(Vec<T>, EngineStats)> {
         let chunk = scenarios.len().div_ceil(shards);
-        let (walk, lifted, worlds) = (&walk, &lifted, &worlds);
-        let shard_outputs: Vec<(Vec<T>, EngineStats)> = thread::scope(|scope| {
+        let work = &work;
+        thread::scope(|scope| {
             let handles: Vec<_> = scenarios
                 .chunks(chunk)
                 .zip(tasks.chunks(chunk))
-                .map(|(tids, tasks)| {
-                    scope.spawn(move || {
-                        let mut stats = EngineStats::default();
-                        let probs = tids
-                            .iter()
-                            .zip(tasks)
-                            .map(|(tid, task)| {
-                                let started = Instant::now();
-                                let p = match (&task.artifact, task.plan) {
-                                    (Some(artifact), _) => walk(artifact, tid),
-                                    (None, Plan::Extensional) => lifted(q, tid),
-                                    (None, Plan::BruteForce) => worlds(q, tid),
-                                    (None, Plan::Obdd | Plan::DdCircuit) => {
-                                        unreachable!("cacheable plans precompiled an artifact")
-                                    }
-                                };
-                                stats.record(QueryStats {
-                                    plan: task.plan,
-                                    cache_hit: task.cache_hit,
-                                    circuit_size: task.artifact.as_deref().map(Artifact::size),
-                                    compile_time: task.compile_time,
-                                    eval_time: started.elapsed(),
-                                });
-                                p
-                            })
-                            .collect();
-                        (probs, stats)
-                    })
-                })
+                .map(|(tids, tasks)| scope.spawn(move || work(tids, tasks)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
-        });
+        })
+    }
 
-        // Phase 3: merge shard stats in order and stitch the results
-        // back into input order (chunks are contiguous).
-        debug_assert_eq!(shard_outputs.len(), shards, "chunking spawned as planned");
-        let mut probs = Vec::with_capacity(scenarios.len());
-        for (chunk_probs, chunk_stats) in shard_outputs {
+    /// One f64 shard worker's chunk: consecutive tasks sharing an
+    /// artifact (one `Arc`, detected by pointer identity) are walked
+    /// through the lane kernel in blocks of up to [`LANES`]; everything
+    /// else falls back to the scalar backends. Pure function of its
+    /// inputs — statistics come back in the returned [`EngineStats`].
+    fn walk_chunk_f64(q: &HQuery, tids: &[Tid], tasks: &[Task]) -> (Vec<f64>, EngineStats) {
+        let mut stats = EngineStats::default();
+        let mut out = Vec::with_capacity(tids.len());
+        let mut probs = ProbMatrix::new();
+        let mut scratch = EvalScratch::new();
+        let mut start = 0;
+        while start < tids.len() {
+            let Some(artifact) = &tasks[start].artifact else {
+                // Scalar fallback: extensional / brute-force scenarios.
+                let (task, tid) = (&tasks[start], &tids[start]);
+                let started = Instant::now();
+                out.push(task.eval_fallback_f64(q, tid));
+                stats.record(task.query_stats(started.elapsed()));
+                start += 1;
+                continue;
+            };
+            // The run of consecutive scenarios sharing this artifact.
+            let mut end = start + 1;
+            while end < tids.len()
+                && tasks[end]
+                    .artifact
+                    .as_ref()
+                    .is_some_and(|a| Arc::ptr_eq(a, artifact))
+            {
+                end += 1;
+            }
+            Self::walk_lane_run_f64(
+                artifact,
+                &tids[start..end],
+                &mut probs,
+                &mut scratch,
+                &mut out,
+                &mut stats,
+                |offset| tasks[start + offset].query_stats(Duration::ZERO),
+            );
+            start = end;
+        }
+        (out, stats)
+    }
+
+    /// The lane-kernel inner loop both f64 batch paths share: walks one
+    /// same-artifact run of scenarios in blocks of up to [`LANES`],
+    /// pushing one probability per scenario and recording one
+    /// [`QueryStats`] per scenario (`record_for(offset)` supplies the
+    /// skeleton; the block's wall time is apportioned evenly across its
+    /// lanes so per-query and aggregate timings keep adding up). The
+    /// artifact's support is scanned once per run, so every block
+    /// converts probabilities only for tuples the artifact reads.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_lane_run_f64(
+        artifact: &Artifact,
+        tids: &[Tid],
+        probs: &mut ProbMatrix,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<f64>,
+        stats: &mut EngineStats,
+        record_for: impl Fn(usize) -> QueryStats,
+    ) {
+        let support = artifact.support_vars();
+        let vars = tids[0].len();
+        for (block_idx, block) in tids.chunks(LANES).enumerate() {
+            probs.reset(vars);
+            for (lane, tid) in block.iter().enumerate() {
+                for &v in &support {
+                    probs.set(v, lane, tid.prob_f64(TupleId(v)));
+                }
+            }
+            let started = Instant::now();
+            let lanes = artifact.probability_f64_many(probs, scratch);
+            let elapsed = started.elapsed();
+            stats.lane_kernel_calls += 1;
+            let per_lane = elapsed / block.len() as u32;
+            for (lane, &p) in lanes.iter().take(block.len()).enumerate() {
+                out.push(p);
+                let mut record = record_for(block_idx * LANES + lane);
+                record.eval_time = per_lane;
+                stats.record(record);
+            }
+        }
+    }
+
+    /// Phase 3 of a sharded batch: merge per-shard stats in order and
+    /// stitch the results back into input order (chunks are contiguous).
+    fn merge_shard_outputs<T>(
+        &mut self,
+        scenarios: usize,
+        shards: usize,
+        compiles: usize,
+        shared: usize,
+        outputs: Vec<(Vec<T>, EngineStats)>,
+    ) -> Vec<T> {
+        debug_assert_eq!(outputs.len(), shards, "chunking spawned as planned");
+        let mut probs = Vec::with_capacity(scenarios);
+        for (chunk_probs, chunk_stats) in outputs {
             probs.extend(chunk_probs);
             self.stats.merge(&chunk_stats);
         }
         self.stats.last_batch = Some(BatchPlan {
-            scenarios: scenarios.len(),
+            scenarios,
             shards,
             compiles,
             shared,
         });
-        Ok(probs)
+        probs
     }
 }
 
@@ -965,6 +1324,134 @@ mod tests {
         assert_eq!(engine.cache_gates(), 0);
         assert!(engine.stats().cache_evictions >= 2);
         assert_eq!(engine.cache_budget(), Some(0));
+    }
+
+    #[test]
+    fn lane_batched_f64_matches_scalar_loop_bit_for_bit() {
+        let q = HQuery::new(phi9());
+        let base = uniform_tid(complete_database(3, 2), half());
+        let scenarios: Vec<_> = (0..19u32) // ragged: 2 full blocks + 3
+            .map(|s| {
+                let mut tid = base.clone();
+                tid.set_prob(TupleId(s % 5), BigRational::from_ratio(1, u64::from(s) + 2))
+                    .unwrap();
+                tid
+            })
+            .collect();
+        let mut scalar = PqeEngine::new();
+        let expected: Vec<f64> = scenarios
+            .iter()
+            .map(|tid| scalar.evaluate_f64(&q, tid).unwrap())
+            .collect();
+        assert_eq!(scalar.stats().lane_kernel_calls, 0, "scalar path");
+
+        let mut lane = PqeEngine::new();
+        let got = lane.evaluate_batch_f64(&q, &scenarios).unwrap();
+        assert_eq!(got, expected, "lane lanes must be bit-identical");
+        // One compile, 18 shared walks — and ceil(19 / LANES) kernel calls.
+        assert_eq!(lane.stats().cache_misses, 1);
+        assert_eq!(lane.stats().cache_hits, 18);
+        assert_eq!(lane.stats().queries, 19);
+        assert_eq!(lane.stats().lane_kernel_calls, 19u64.div_ceil(LANES as u64));
+        // The timing split is populated: compiling happened once, every
+        // scenario was a circuit walk.
+        assert!(lane.stats().compile_nanos() > 0);
+        assert!(lane.stats().walk_nanos > 0);
+
+        // The sharded variant agrees bit-for-bit and counter-for-counter.
+        let mut sharded = PqeEngine::new();
+        let got = sharded
+            .evaluate_batch_sharded_f64(&q, &scenarios, 3)
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(sharded.stats().cache_misses, 1);
+        assert_eq!(sharded.stats().cache_hits, 18);
+        assert!(
+            sharded.stats().lane_kernel_calls >= 3,
+            "one per chunk at least"
+        );
+    }
+
+    #[test]
+    fn lane_batched_f64_handles_obdd_artifacts_and_mixed_plans() {
+        // Degenerate query → OBDD artifact through the same kernel.
+        let deg = HQuery::new(BoolFn::var(4, 0));
+        let base = uniform_tid(complete_database(3, 2), half());
+        let scenarios: Vec<_> = (0..11u32)
+            .map(|s| {
+                let mut tid = base.clone();
+                tid.set_prob(TupleId(s), BigRational::from_ratio(2, u64::from(s) + 3))
+                    .unwrap();
+                tid
+            })
+            .collect();
+        let mut scalar = PqeEngine::new();
+        let expected: Vec<f64> = scenarios
+            .iter()
+            .map(|tid| scalar.evaluate_f64(&deg, tid).unwrap())
+            .collect();
+        let mut lane = PqeEngine::new();
+        assert_eq!(lane.evaluate_batch_f64(&deg, &scenarios).unwrap(), expected);
+        assert_eq!(lane.stats().obdd_plans, 11);
+        assert_eq!(lane.stats().lane_kernel_calls, 2);
+
+        // Brute-force scenarios flow through the scalar fallback,
+        // bit-identical to the loop, with zero kernel calls.
+        let hard = HQuery::new(max_euler_fn(4));
+        let small = uniform_tid(complete_database(3, 1), half());
+        let hard_scenarios = vec![small.clone(), small];
+        let mut loop_engine = PqeEngine::new();
+        let expected: Vec<f64> = hard_scenarios
+            .iter()
+            .map(|tid| loop_engine.evaluate_f64(&hard, tid).unwrap())
+            .collect();
+        let mut batch = PqeEngine::new();
+        assert_eq!(
+            batch.evaluate_batch_f64(&hard, &hard_scenarios).unwrap(),
+            expected
+        );
+        assert_eq!(batch.stats().lane_kernel_calls, 0);
+        assert_eq!(batch.stats().brute_force_plans, 2);
+    }
+
+    #[test]
+    fn extensional_lattice_memo_counts_hits_across_all_paths() {
+        let mut engine = PqeEngine::with_config(EngineConfig {
+            prefer_extensional: true,
+            ..EngineConfig::default()
+        });
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+
+        // First evaluation builds the lattice; the second reuses it.
+        let p1 = engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(engine.stats().extensional_memo_hits, 0);
+        assert_eq!(engine.lattice_memo_len(), 1);
+        let p2 = engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(p1, p2, "memoized lattice must not change the answer");
+        assert_eq!(engine.stats().extensional_memo_hits, 1);
+
+        // Batches count one hit per reuse, exactly like the loop would.
+        let scenarios = vec![tid.clone(), tid.clone(), tid.clone()];
+        engine.evaluate_batch(&q, &scenarios).unwrap();
+        assert_eq!(engine.stats().extensional_memo_hits, 4);
+        engine.evaluate_batch_sharded(&q, &scenarios, 2).unwrap();
+        assert_eq!(engine.stats().extensional_memo_hits, 7);
+        engine.evaluate_batch_f64(&q, &scenarios).unwrap();
+        assert_eq!(engine.stats().extensional_memo_hits, 10);
+        assert_eq!(engine.lattice_memo_len(), 1, "one φ, one lattice");
+
+        // The memo answers match brute force (the lattice is per-φ).
+        let brute = pqe_brute_force(&q, &tid).unwrap();
+        assert_eq!(p1, brute);
+
+        // clear_cache drops the memo too; the next call rebuilds.
+        engine.clear_cache();
+        assert_eq!(engine.lattice_memo_len(), 0);
+        let hits = engine.stats().extensional_memo_hits;
+        engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(engine.stats().extensional_memo_hits, hits);
+        assert_eq!(engine.lattice_memo_len(), 1);
     }
 
     #[test]

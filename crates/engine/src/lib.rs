@@ -21,17 +21,33 @@
 //! 3. **Scale** — [`PqeEngine::evaluate_batch_sharded`] compiles once
 //!    and fans a scenario workload across `std::thread::scope` workers,
 //!    each doing pure circuit walks; results are bit-identical to the
-//!    sequential [`PqeEngine::evaluate_batch`].
+//!    sequential [`PqeEngine::evaluate_batch`]. The floating-point batch
+//!    paths ([`PqeEngine::evaluate_batch_f64`],
+//!    [`PqeEngine::evaluate_batch_sharded_f64`]) additionally drive the
+//!    **lane-batched evaluation kernel**: consecutive same-shape
+//!    scenarios are grouped, and each block of up to
+//!    [`intext_circuits::LANES`] scenarios is one forward pass over the
+//!    shared artifact with zero steady-state allocations — still
+//!    bit-identical to the scalar walk. Repeated [`Plan::Extensional`]
+//!    queries reuse a per-`φ` memo of the CNF lattice + Möbius values
+//!    instead of rebuilding them.
 //! 4. **Observe** — every call records [`QueryStats`] (plan, cache
 //!    hit/miss, circuit size, wall time) into aggregate
 //!    [`EngineStats`]; per-shard stats fold back into one report via
 //!    [`EngineStats::merge`], and each batch leaves its [`BatchPlan`]
-//!    in `EngineStats::last_batch`.
+//!    in `EngineStats::last_batch`. Timing splits into
+//!    `EngineStats::compile_nanos` (building circuits, derived from
+//!    `compile_time`) vs
+//!    `EngineStats::walk_nanos` (walking them), with
+//!    `EngineStats::lane_kernel_calls` and
+//!    `EngineStats::extensional_memo_hits` counting the two
+//!    amortizations.
 //!
 //! `DESIGN.md` (repo root) has the routing diagram, the cache-key
-//! rationale, and the concurrency & memory model; `EXPERIMENTS.md`
-//! describes the cold-vs-cached (E17), sharding (E18), and eviction
-//! (E19) benchmarks.
+//! rationale, the concurrency & memory model, and the evaluation-kernel
+//! contract (§6); `EXPERIMENTS.md` describes the cold-vs-cached (E17),
+//! sharding (E18), eviction (E19), store (E20), and lane-kernel (E21)
+//! benchmarks.
 //!
 //! # Example: auto-routing and cached re-weighting
 //!

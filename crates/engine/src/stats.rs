@@ -63,6 +63,17 @@ pub struct EngineStats {
     pub extensional_plans: u64,
     /// Queries routed to [`Plan::BruteForce`].
     pub brute_force_plans: u64,
+    /// Queries whose [`Plan::Extensional`] evaluation reused the
+    /// engine's memoized CNF lattice + Möbius values for `φ` instead of
+    /// rebuilding them. The first extensional evaluation of each distinct
+    /// `φ` builds the lattice (not a hit); every later one — sequential,
+    /// batched, or sharded — is a hit.
+    pub extensional_memo_hits: u64,
+    /// Invocations of the lane-batched evaluation kernel: each call
+    /// walks one compiled artifact once for a block of up to
+    /// `intext_circuits::LANES` scenarios. `queries` per kernel call is
+    /// the batching win; zero under purely scalar evaluation.
+    pub lane_kernel_calls: u64,
     /// Total wall time spent compiling artifacts.
     pub compile_time: Duration,
     /// Total wall time spent computing probabilities. Under sharded
@@ -70,6 +81,13 @@ pub struct EngineStats {
     /// it can exceed the batch's wall-clock time — that surplus is the
     /// parallelism.
     pub eval_time: Duration,
+    /// Nanoseconds spent *walking* compiled artifacts (scalar walks and
+    /// lane-kernel calls alike; excludes extensional and brute-force
+    /// evaluation, which walk nothing). `walk_nanos / queries` falling as
+    /// batches grow is the lane kernel's win made observable; its
+    /// counterpart [`compile_nanos`](Self::compile_nanos) is derived
+    /// from [`compile_time`](Self::compile_time).
+    pub walk_nanos: u64,
     /// The most recent query's record.
     pub last: Option<QueryStats>,
     /// The most recent sharded batch's plan, if any batch ran.
@@ -98,7 +116,18 @@ impl EngineStats {
         }
         self.compile_time += q.compile_time;
         self.eval_time += q.eval_time;
+        if q.plan.is_cacheable() {
+            self.walk_nanos += duration_nanos(q.eval_time);
+        }
         self.last = Some(q);
+    }
+
+    /// [`compile_time`](Self::compile_time) in integer nanoseconds — the
+    /// "how much did we pay to build circuits" half of the
+    /// compile-vs-walk split the batch paths are optimized around
+    /// (derived, so it can never drift out of sync with the duration).
+    pub fn compile_nanos(&self) -> u64 {
+        duration_nanos(self.compile_time)
     }
 
     /// Folds another `EngineStats` into this one: counters and durations
@@ -115,8 +144,11 @@ impl EngineStats {
         self.dd_plans += other.dd_plans;
         self.extensional_plans += other.extensional_plans;
         self.brute_force_plans += other.brute_force_plans;
+        self.extensional_memo_hits += other.extensional_memo_hits;
+        self.lane_kernel_calls += other.lane_kernel_calls;
         self.compile_time += other.compile_time;
         self.eval_time += other.eval_time;
+        self.walk_nanos += other.walk_nanos;
         if other.last.is_some() {
             self.last = other.last;
         }
@@ -126,13 +158,20 @@ impl EngineStats {
     }
 }
 
+/// A `Duration` as saturating integer nanoseconds (an engine would need
+/// to spend ~585 years compiling to overflow the `u64`).
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "{} queries (obdd {}, d-D {}, extensional {}, brute {}); \
              cache {} hits / {} misses / {} evictions / {} loads; \
-             compile {:?}, eval {:?}",
+             compile {:?} ({} ns), walk {} ns over {} lane-kernel call(s), \
+             eval {:?}; {} extensional memo hit(s)",
             self.queries,
             self.obdd_plans,
             self.dd_plans,
@@ -143,7 +182,11 @@ impl fmt::Display for EngineStats {
             self.cache_evictions,
             self.artifact_loads,
             self.compile_time,
+            self.compile_nanos(),
+            self.walk_nanos,
+            self.lane_kernel_calls,
             self.eval_time,
+            self.extensional_memo_hits,
         )
     }
 }
@@ -177,6 +220,9 @@ mod tests {
         // The brute-force query counts as neither hit nor miss.
         assert_eq!(s.cache_misses, 2);
         assert_eq!(s.compile_time, Duration::from_micros(20));
+        assert_eq!(s.compile_nanos(), 20_000, "the nanos mirror compile_time");
+        // Only the three cacheable-plan evaluations are circuit walks.
+        assert_eq!(s.walk_nanos, 3_000);
         assert!(matches!(
             s.last,
             Some(QueryStats {
@@ -194,10 +240,13 @@ mod tests {
         let mut a = EngineStats::default();
         a.record(q(Plan::DdCircuit, false));
         a.cache_evictions = 2;
+        a.lane_kernel_calls = 3;
         let mut b = EngineStats::default();
         b.record(q(Plan::Obdd, true));
         b.record(q(Plan::Extensional, false));
         b.cache_evictions = 1;
+        b.lane_kernel_calls = 4;
+        b.extensional_memo_hits = 1;
 
         let mut merged = EngineStats::default();
         merged.merge(&a);
@@ -211,6 +260,10 @@ mod tests {
         assert_eq!(merged.cache_evictions, 3);
         assert_eq!(merged.compile_time, Duration::from_micros(15));
         assert_eq!(merged.eval_time, Duration::from_micros(3));
+        assert_eq!(merged.compile_nanos(), 15_000);
+        assert_eq!(merged.walk_nanos, 2_000, "the two cacheable walks");
+        assert_eq!(merged.lane_kernel_calls, 7);
+        assert_eq!(merged.extensional_memo_hits, 1);
         // b recorded last; its final record is the merged `last`.
         assert!(matches!(
             merged.last,

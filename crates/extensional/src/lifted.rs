@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use intext_lattice::cnf_lattice;
+use intext_lattice::{cnf_lattice, QueryLattice};
 use intext_numeric::BigRational;
 use intext_query::HQuery;
 use intext_tid::{Tid, TupleDesc};
@@ -177,10 +177,40 @@ pub fn pqe_extensional(q: &HQuery, tid: &Tid) -> Result<BigRational, Extensional
         });
     }
     if phi.is_bottom() {
+        // Short-circuit before building a lattice: ⊥ holds nowhere.
+        return Ok(BigRational::zero());
+    }
+    pqe_extensional_with_lattice(q, tid, &cnf_lattice(phi))
+}
+
+/// [`pqe_extensional`] with a caller-supplied CNF lattice.
+///
+/// The lattice and its Möbius values depend **only on `φ`** — not on the
+/// database, not on the probabilities — so a caller evaluating the same
+/// query over many TIDs (the `PqeEngine`'s extensional memo, a scenario
+/// batch) computes [`cnf_lattice`] once and re-runs only the per-TID
+/// `N(d)` closed forms here. `lat` must be `cnf_lattice(q.phi())`; the
+/// per-call safety check (`µ` at the hard bottom must vanish) still runs
+/// against whatever lattice is supplied.
+pub fn pqe_extensional_with_lattice(
+    q: &HQuery,
+    tid: &Tid,
+    lat: &QueryLattice,
+) -> Result<BigRational, ExtensionalError> {
+    let phi = q.phi();
+    if !phi.is_monotone() {
+        return Err(ExtensionalError::NotMonotone);
+    }
+    if tid.database().k() != q.k() {
+        return Err(ExtensionalError::VocabularyMismatch {
+            expected: q.k(),
+            got: tid.database().k(),
+        });
+    }
+    if phi.is_bottom() {
         return Ok(BigRational::zero());
     }
     let full = (1u32 << phi.num_vars()) - 1;
-    let lat = cnf_lattice(phi);
     let mut acc = BigRational::zero();
     for (idx, &d) in lat.elements.iter().enumerate() {
         let mu = lat.mobius_to_top[idx];
@@ -202,6 +232,15 @@ pub fn pqe_extensional(q: &HQuery, tid: &Tid) -> Result<BigRational, Extensional
 /// conversion at the end; the rationals involved stay small).
 pub fn pqe_extensional_f64(q: &HQuery, tid: &Tid) -> Result<f64, ExtensionalError> {
     pqe_extensional(q, tid).map(|p| p.to_f64())
+}
+
+/// `f64` wrapper around [`pqe_extensional_with_lattice`].
+pub fn pqe_extensional_with_lattice_f64(
+    q: &HQuery,
+    tid: &Tid,
+    lat: &QueryLattice,
+) -> Result<f64, ExtensionalError> {
+    pqe_extensional_with_lattice(q, tid, lat).map(|p| p.to_f64())
 }
 
 #[cfg(test)]

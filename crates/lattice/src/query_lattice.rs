@@ -8,7 +8,7 @@ use crate::Poset;
 /// The CNF (or DNF) lattice of a monotone function: the distinct unions
 /// `d_s = ∪_{i∈s} C_i` of minimized clauses, ordered by **reversed**
 /// inclusion (so `1̂ = ∅` and `0̂ = DEP(phi)` for nondegenerate `phi`).
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct QueryLattice {
     /// The clause sets the lattice was generated from (variable bitmasks).
     pub clauses: Vec<u32>,

@@ -111,6 +111,20 @@ impl BigRational {
         if self.is_zero() {
             return 0.0;
         }
+        // Fast path for the overwhelmingly common case (tuple
+        // probabilities are small fractions): both magnitudes are exactly
+        // representable, so one IEEE division is correctly rounded — and
+        // bit-identical to the slow path below, whose single rounding
+        // also happens in the division (the power-of-two rescale is
+        // exact). Crucially this path performs no heap allocation, which
+        // is what keeps `Tid::prob_f64` off the profile of the
+        // lane-batched evaluation kernel's matrix fills (E21).
+        if nbits <= 53 && dbits <= 53 {
+            let n = self.num.magnitude().to_u64().expect("fits by bit count") as f64;
+            let d = self.den.to_u64().expect("fits by bit count") as f64;
+            let v = n / d;
+            return if self.num.is_negative() { -v } else { v };
+        }
         let shift = nbits - dbits;
         // Scale denominator by 2^shift so num/den' is in [1/2, 2).
         let (n, d) = if shift >= 0 {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Bench smoke run: EXECUTE every Criterion target, briefly.
+#
+# `cargo bench --no-run` only proves the targets compile; a bench that
+# panics on its first iteration (a broken fixture, a tripped internal
+# assertion — several targets assert counter reconciliation and
+# bit-identity as they run) would sail through CI unnoticed. This script
+# runs the full bench suite with a tiny per-benchmark wall-clock budget
+# (see INTEXT_BENCH_BUDGET_MS in vendor/criterion), so every target's
+# setup and at least one timed iteration of every benchmark actually
+# execute. The printed numbers are NOT measurements — for real numbers
+# run `cargo bench -p intext-bench` with the default budget.
+#
+# Usage: bash scripts/bench-smoke.sh   (from the repo root; CI runs it)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# 10 ms per benchmark: one warm-up + at least one timed iteration each,
+# keeping the whole 14-target suite in CI-friendly time.
+export INTEXT_BENCH_BUDGET_MS="${INTEXT_BENCH_BUDGET_MS:-10}"
+
+echo "bench smoke: executing all targets with ${INTEXT_BENCH_BUDGET_MS} ms budgets"
+cargo bench -p intext-bench --locked
+echo "bench smoke: every target ran to completion"

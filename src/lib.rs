@@ -57,6 +57,14 @@
 //! assert!(probs.iter().all(|pi| pi == &p));
 //! assert_eq!(engine.stats().cache_misses, 1); // compiled exactly once
 //!
+//! // f64 batches go through the lane-batched kernel: one circuit walk
+//! // per 8 scenarios, bit-identical to a per-scenario loop, with the
+//! // time split into compiling vs walking (`compile_nanos`/`walk_nanos`).
+//! let f64s = engine.evaluate_batch_f64(&q, &scenarios).unwrap();
+//! assert_eq!(f64s.len(), 4);
+//! assert_eq!(engine.stats().lane_kernel_calls, 1); // 4 scenarios, 1 walk
+//! assert!(engine.stats().walk_nanos > 0);
+//!
 //! // Bound the artifact cache (total gates retained); LRU eviction keeps
 //! // it under budget and counts into `stats().cache_evictions`.
 //! engine.set_cache_budget(Some(1 << 20));

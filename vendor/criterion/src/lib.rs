@@ -12,7 +12,10 @@
 //! Measurement is deliberately simple: after a short warm-up, each
 //! benchmark is timed over a fixed wall-clock budget and the per-iteration
 //! mean and best time are printed as `bench-name ... mean / best`. There
-//! is no statistical analysis, plotting, or baseline storage.
+//! is no statistical analysis, plotting, or baseline storage. The
+//! per-benchmark budget defaults to 300 ms and can be overridden with the
+//! `INTEXT_BENCH_BUDGET_MS` environment variable (the CI smoke run uses a
+//! tiny budget to execute every target cheaply).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -28,9 +31,15 @@ impl Default for Criterion {
     fn default() -> Self {
         // `--quick` style budget: enough for a stable mean on the fast
         // benches without making `cargo bench` take minutes per target.
-        Criterion {
-            budget: Duration::from_millis(300),
-        }
+        // `INTEXT_BENCH_BUDGET_MS` overrides it — `scripts/bench-smoke.sh`
+        // sets a tiny budget so CI can *execute* every bench target (a
+        // crash/assert smoke test) without paying measurement-grade
+        // runtimes.
+        let budget = std::env::var("INTEXT_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|ms| ms.parse::<u64>().ok())
+            .map_or(Duration::from_millis(300), Duration::from_millis);
+        Criterion { budget }
     }
 }
 
