@@ -14,14 +14,23 @@ use intext_extensional::{pqe_extensional_with_lattice, pqe_extensional_with_latt
 use intext_lattice::{cnf_lattice, QueryLattice};
 use intext_lineage::compile_degenerate_obdd;
 use intext_numeric::BigRational;
-use intext_query::{pqe_brute_force, pqe_brute_force_f64, HQuery};
+use intext_query::{dnf_clause_bound, pqe_brute_force, pqe_brute_force_f64, HQuery};
 use intext_tid::{Tid, TupleId};
 
 use intext_tid::Database;
 
 use crate::cache::{Artifact, ArtifactCache, CacheKey};
+use crate::sample::{SampleRun, SamplerArtifact};
 use crate::store::{self, StoreError};
-use crate::{BatchPlan, EngineStats, Explanation, Plan, QueryStats};
+use crate::{
+    BatchPlan, EngineStats, Estimate, Explanation, Plan, QueryStats, SamplerKind, SamplingConfig,
+};
+
+/// Largest grounded DNF (clause bound, pre-deduplication) the planner
+/// hands to the Karp–Luby sampler; beyond it the naive world sampler
+/// takes over, whose per-sample cost is bounded by the circuit size
+/// rather than the clause count.
+const MAX_KARP_LUBY_CLAUSES: u64 = 4096;
 
 /// What a [`PqeEngine::load_cache`] / [`PqeEngine::import_artifact`]
 /// call admitted into the cache.
@@ -58,6 +67,12 @@ pub struct EngineConfig {
     /// in [`EngineStats::cache_evictions`]. Can be changed later with
     /// [`PqeEngine::set_cache_budget`].
     pub cache_gate_budget: Option<usize>,
+    /// Monte-Carlo fallback for the hard region: when set, hard queries
+    /// beyond the brute-force budget get an `(ε, δ)`-bounded
+    /// [`Plan::Sample`] estimate instead of
+    /// [`EngineError::Intractable`]. `None` (the default) keeps the
+    /// refuse-to-guess behaviour.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl Default for EngineConfig {
@@ -66,9 +81,88 @@ impl Default for EngineConfig {
             max_brute_force_tuples: 20,
             prefer_extensional: false,
             cache_gate_budget: None,
+            sampling: None,
         }
     }
 }
+
+impl EngineConfig {
+    /// Validates the configuration — the check
+    /// [`PqeEngine::try_with_config`] runs before accepting it.
+    ///
+    /// * `max_brute_force_tuples` must be ≤ 63: brute force enumerates
+    ///   worlds as a `u64` bitmask, so 64+ would silently promise worlds
+    ///   it cannot enumerate (previously this was clamped without a
+    ///   word; now it is a typed error).
+    /// * When sampling is enabled, `eps` and `delta` must lie in the
+    ///   open interval `(0, 1)` — outside it the Hoeffding sample count
+    ///   is meaningless (0, ∞, or NaN).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_brute_force_tuples > 63 {
+            return Err(ConfigError::BruteForceBudgetTooLarge {
+                requested: self.max_brute_force_tuples,
+            });
+        }
+        if let Some(s) = self.sampling {
+            if !(s.eps > 0.0 && s.eps < 1.0) {
+                return Err(ConfigError::InvalidEps { eps: s.eps });
+            }
+            if !(s.delta > 0.0 && s.delta < 1.0) {
+                return Err(ConfigError::InvalidDelta { delta: s.delta });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`EngineConfig`], from [`PqeEngine::try_with_config`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `max_brute_force_tuples` exceeds 63, the widest world bitmask
+    /// brute force can enumerate.
+    BruteForceBudgetTooLarge {
+        /// The rejected budget.
+        requested: usize,
+    },
+    /// The sampling `eps` is outside the open interval `(0, 1)` (or not
+    /// finite).
+    InvalidEps {
+        /// The rejected value.
+        eps: f64,
+    },
+    /// The sampling `delta` is outside the open interval `(0, 1)` (or
+    /// not finite).
+    InvalidDelta {
+        /// The rejected value.
+        delta: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BruteForceBudgetTooLarge { requested } => write!(
+                f,
+                "max_brute_force_tuples = {requested} exceeds 63, the widest \
+                 possible-worlds bitmask brute force can enumerate"
+            ),
+            ConfigError::InvalidEps { eps } => {
+                write!(
+                    f,
+                    "sampling eps = {eps} must lie in the open interval (0, 1)"
+                )
+            }
+            ConfigError::InvalidDelta { delta } => {
+                write!(
+                    f,
+                    "sampling delta = {delta} must lie in the open interval (0, 1)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Errors from planning or evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,6 +240,10 @@ struct Task {
     /// The memoized CNF lattice, present iff `plan` is
     /// [`Plan::Extensional`].
     lattice: Option<Arc<QueryLattice>>,
+    /// The grounded sampler input, present iff `plan` is
+    /// [`Plan::Sample`]. Like the artifact, it depends only on the
+    /// database *shape*, so one build serves a whole same-shape run.
+    sampler: Option<Arc<SamplerArtifact>>,
     /// `artifact.size()`, computed once per compile/fetch — an OBDD's
     /// size is a reachability count, too expensive to recount per
     /// scenario.
@@ -156,12 +254,13 @@ struct Task {
 
 impl Task {
     /// The record for a scenario that shares this task's artifact (or
-    /// lattice) instead of fetching its own.
+    /// lattice, or sampler) instead of fetching its own.
     fn shared(&self) -> Task {
         Task {
             plan: self.plan,
             artifact: self.artifact.clone(),
             lattice: self.lattice.clone(),
+            sampler: self.sampler.clone(),
             size: self.size,
             cache_hit: self.artifact.is_some(),
             compile_time: Duration::ZERO,
@@ -177,6 +276,7 @@ impl Task {
             circuit_size: self.size,
             compile_time: self.compile_time,
             eval_time,
+            samples: 0,
         }
     }
 
@@ -200,47 +300,103 @@ impl Task {
                 Duration::ZERO
             },
             eval_time: Duration::ZERO,
+            samples: 0,
         }
     }
 
+    /// Runs this task's sampler for the scenario at global batch index
+    /// `stream`. The stream index is what makes sharded sampling
+    /// bit-identical to sequential: every scenario draws from the RNG
+    /// stream `(seed, its own batch position)` no matter which worker
+    /// runs it.
+    fn run_sampler(&self, tid: &Tid, stream: u64) -> SampleRun {
+        self.sampler
+            .as_deref()
+            .expect("sample tasks carry a sampler artifact")
+            .run(tid, stream)
+    }
+
     /// The non-artifact fallback evaluation (exact): the single dispatch
-    /// every batch path shares, so extensional/brute-force semantics can
-    /// never drift between the sequential, lane-batched, and sharded
-    /// paths whose bit-for-bit parity the tests pin.
-    fn eval_fallback_exact(&self, q: &HQuery, tid: &Tid) -> BigRational {
+    /// every batch path shares, so extensional/brute-force/sampling
+    /// semantics can never drift between the sequential, lane-batched,
+    /// and sharded paths whose bit-for-bit parity the tests pin.
+    /// `stream` is the scenario's global batch index (used only by
+    /// [`Plan::Sample`]); the returned [`SampleRun`] is present iff the
+    /// sampler ran.
+    fn eval_fallback_exact(
+        &self,
+        q: &HQuery,
+        tid: &Tid,
+        stream: u64,
+    ) -> (BigRational, Option<SampleRun>) {
         match self.plan {
             Plan::Extensional => {
                 let lat = self
                     .lattice
                     .as_deref()
                     .expect("extensional tasks carry a lattice");
-                pqe_extensional_with_lattice(q, tid, lat)
-                    .expect("planner guarantees a monotone safe φ")
+                let p = pqe_extensional_with_lattice(q, tid, lat)
+                    .expect("planner guarantees a monotone safe φ");
+                (p, None)
             }
             Plan::BruteForce => {
-                pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples")
+                let p =
+                    pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples");
+                (p, None)
+            }
+            Plan::Sample(_) => {
+                let run = self.run_sampler(tid, stream);
+                // The estimate is a finite f64; embed it exactly so the
+                // exact and f64 batch paths agree bit for bit.
+                let p = BigRational::from_f64(run.estimate.value)
+                    .expect("estimates are finite by construction");
+                (p, Some(run))
             }
             Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable tasks carry an artifact"),
         }
     }
 
     /// Floating-point [`eval_fallback_exact`](Self::eval_fallback_exact).
-    fn eval_fallback_f64(&self, q: &HQuery, tid: &Tid) -> f64 {
+    fn eval_fallback_f64(&self, q: &HQuery, tid: &Tid, stream: u64) -> (f64, Option<SampleRun>) {
         match self.plan {
             Plan::Extensional => {
                 let lat = self
                     .lattice
                     .as_deref()
                     .expect("extensional tasks carry a lattice");
-                pqe_extensional_with_lattice_f64(q, tid, lat)
-                    .expect("planner guarantees a monotone safe φ")
+                let p = pqe_extensional_with_lattice_f64(q, tid, lat)
+                    .expect("planner guarantees a monotone safe φ");
+                (p, None)
             }
             Plan::BruteForce => {
-                pqe_brute_force_f64(q, tid).expect("planner bounds the instance below 64 tuples")
+                let p = pqe_brute_force_f64(q, tid)
+                    .expect("planner bounds the instance below 64 tuples");
+                (p, None)
+            }
+            Plan::Sample(_) => {
+                let run = self.run_sampler(tid, stream);
+                (run.estimate.value, Some(run))
             }
             Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable tasks carry an artifact"),
         }
     }
+}
+
+/// Folds one fallback evaluation's outcome into a stats record: sampler
+/// runs contribute their sample count (and any lane-kernel calls the
+/// naive world sampler made) exactly once, on whichever path ran them.
+fn record_fallback(
+    stats: &mut EngineStats,
+    mut record: QueryStats,
+    eval_time: Duration,
+    run: Option<SampleRun>,
+) {
+    record.eval_time = eval_time;
+    if let Some(run) = run {
+        record.samples = run.estimate.samples;
+        stats.lane_kernel_calls += run.kernel_calls;
+    }
+    stats.record(record);
 }
 
 impl Default for PqeEngine {
@@ -256,13 +412,25 @@ impl PqeEngine {
     }
 
     /// An engine with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`EngineConfig::validate`];
+    /// [`try_with_config`](Self::try_with_config) is the non-panicking
+    /// variant.
     pub fn with_config(config: EngineConfig) -> Self {
-        PqeEngine {
+        Self::try_with_config(config).unwrap_or_else(|e| panic!("invalid EngineConfig: {e}"))
+    }
+
+    /// An engine with an explicit configuration, rejecting invalid ones
+    /// with a typed [`ConfigError`] instead of panicking.
+    pub fn try_with_config(config: EngineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(PqeEngine {
             cache: ArtifactCache::new(config.cache_gate_budget),
             config,
             lattices: HashMap::new(),
             stats: EngineStats::default(),
-        }
+        })
     }
 
     /// The active configuration.
@@ -404,8 +572,11 @@ impl PqeEngine {
     ///    [`Plan::Extensional`] (safe by Corollary 3.9);
     /// 3. `e(φ) = 0` → [`Plan::DdCircuit`] (Theorem 5.2);
     /// 4. otherwise `PQE(Q_φ)` is `#P`-hard or conjectured so →
-    ///    [`Plan::BruteForce`] within the budget, else
-    ///    [`EngineError::Intractable`].
+    ///    [`Plan::BruteForce`] within the budget; beyond it,
+    ///    [`Plan::Sample`] when [`EngineConfig::sampling`] is enabled
+    ///    (Karp–Luby over the grounded DNF when `φ` is monotone and the
+    ///    grounding is small enough, naive world sampling otherwise),
+    ///    else [`EngineError::Intractable`].
     pub fn plan(&self, q: &HQuery, tid: &Tid) -> Result<Plan, EngineError> {
         let phi = q.phi();
         if tid.database().k() != q.k() {
@@ -425,9 +596,12 @@ impl PqeEngine {
                 }
             }
             Region::HardMonotone | Region::HardByTransfer | Region::ConjecturedHard => {
-                let budget = self.config.max_brute_force_tuples.min(63);
+                // Validated ≤ 63 at construction (ConfigError otherwise).
+                let budget = self.config.max_brute_force_tuples;
                 if tid.len() <= budget {
                     Ok(Plan::BruteForce)
+                } else if self.config.sampling.is_some() {
+                    Ok(Plan::Sample(Self::sampler_kind(q, tid)))
                 } else {
                     Err(EngineError::Intractable {
                         region,
@@ -436,6 +610,18 @@ impl PqeEngine {
                     })
                 }
             }
+        }
+    }
+
+    /// Which sampler a [`Plan::Sample`] query runs: Karp–Luby needs a
+    /// monotone lineage whose grounded DNF stays affordable (clause
+    /// bound ≤ [`MAX_KARP_LUBY_CLAUSES`], checked *without* grounding);
+    /// everything else falls back to naive world sampling through the
+    /// lane kernel.
+    fn sampler_kind(q: &HQuery, tid: &Tid) -> SamplerKind {
+        match dnf_clause_bound(q, tid.database()) {
+            Some(bound) if bound <= MAX_KARP_LUBY_CLAUSES => SamplerKind::KarpLuby,
+            _ => SamplerKind::NaiveWorlds,
         }
     }
 
@@ -493,6 +679,7 @@ impl PqeEngine {
                     circuit_size,
                     compile_time,
                     eval_time: started.elapsed(),
+                    samples: 0,
                 },
             )
         } else {
@@ -507,6 +694,7 @@ impl PqeEngine {
             let p = match plan {
                 Plan::Extensional => lifted(q, tid, lattice.as_deref().expect("fetched above")),
                 Plan::BruteForce => worlds(q, tid),
+                Plan::Sample(_) => unreachable!("sampling is intercepted before dispatch"),
                 Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable plans handled above"),
             };
             (
@@ -517,6 +705,7 @@ impl PqeEngine {
                     circuit_size: None,
                     compile_time: Duration::ZERO,
                     eval_time: started.elapsed(),
+                    samples: 0,
                 },
             )
         };
@@ -537,7 +726,7 @@ impl PqeEngine {
             Plan::DdCircuit => Artifact::Dd(
                 compile_dd(q.phi(), tid.database()).expect("planner guarantees e(φ) = 0"),
             ),
-            Plan::Extensional | Plan::BruteForce => {
+            Plan::Extensional | Plan::BruteForce | Plan::Sample(_) => {
                 unreachable!("only cacheable plans compile artifacts")
             }
         }
@@ -545,7 +734,17 @@ impl PqeEngine {
 
     /// Exact `PQE(Q_φ)` through the planner: routes, compiles or reuses
     /// a cached artifact, evaluates, and records [`QueryStats`].
+    ///
+    /// Under a [`Plan::Sample`] route the returned rational is the
+    /// sampler's `(ε, δ)`-bounded estimate embedded exactly (an f64 is
+    /// a dyadic rational) — use [`estimate`](Self::estimate) when the
+    /// error bound itself matters.
     pub fn evaluate(&mut self, q: &HQuery, tid: &Tid) -> Result<BigRational, EngineError> {
+        if let Plan::Sample(kind) = self.plan(q, tid)? {
+            let run = self.run_sampler_single(q, tid, kind);
+            return Ok(BigRational::from_f64(run.estimate.value)
+                .expect("estimates are finite by construction"));
+        }
         self.evaluate_dispatch(
             q,
             tid,
@@ -560,7 +759,11 @@ impl PqeEngine {
 
     /// Floating-point `PQE(Q_φ)` through the same planner and cache
     /// (used by the benchmarks; cached-artifact walks stay linear).
+    /// [`Plan::Sample`] routes return the Monte-Carlo estimate's value.
     pub fn evaluate_f64(&mut self, q: &HQuery, tid: &Tid) -> Result<f64, EngineError> {
+        if let Plan::Sample(kind) = self.plan(q, tid)? {
+            return Ok(self.run_sampler_single(q, tid, kind).estimate.value);
+        }
         self.evaluate_dispatch(
             q,
             tid,
@@ -575,6 +778,60 @@ impl PqeEngine {
         )
     }
 
+    /// `PQE(Q_φ)` as a uniformly-shaped [`Estimate`]: exact routes come
+    /// back with `eps = delta = 0` and `sampler: None`; hard queries
+    /// beyond the brute-force budget (with sampling enabled) come back
+    /// Monte-Carlo-bounded with the sampler named. This is the anytime
+    /// front door the hard region previously lacked.
+    pub fn estimate(&mut self, q: &HQuery, tid: &Tid) -> Result<Estimate, EngineError> {
+        match self.plan(q, tid)? {
+            Plan::Sample(kind) => Ok(self.run_sampler_single(q, tid, kind).estimate),
+            _ => {
+                let started = Instant::now();
+                let value = self.evaluate_f64(q, tid)?;
+                Ok(Estimate {
+                    value,
+                    eps: 0.0,
+                    delta: 0.0,
+                    samples: 0,
+                    elapsed: started.elapsed(),
+                    sampler: None,
+                    deadline_hit: false,
+                })
+            }
+        }
+    }
+
+    /// One standalone sampler invocation (the single-query path; batches
+    /// go through [`Task`]s): grounds the sampler artifact, runs stream
+    /// 0, and records stats — sampler wall time lands in `eval_time` /
+    /// [`EngineStats::sample_nanos`], grounding time in `compile_time`.
+    fn run_sampler_single(&mut self, q: &HQuery, tid: &Tid, kind: SamplerKind) -> SampleRun {
+        let sampling = self
+            .config
+            .sampling
+            .expect("a Sample plan implies sampling is configured");
+        let build_started = Instant::now();
+        let artifact = SamplerArtifact::build(kind, q, tid, sampling);
+        let compile_time = build_started.elapsed();
+        let started = Instant::now();
+        let run = artifact.run(tid, 0);
+        record_fallback(
+            &mut self.stats,
+            QueryStats {
+                plan: Plan::Sample(kind),
+                cache_hit: false,
+                circuit_size: None,
+                compile_time,
+                eval_time: Duration::ZERO,
+                samples: 0,
+            },
+            started.elapsed(),
+            Some(run),
+        );
+        run
+    }
+
     /// Begins a contiguous same-shape run of a batch: plans the first
     /// scenario and fetches (or compiles) whatever shared state the run
     /// needs — the cached artifact for cacheable plans, the memoized CNF
@@ -587,6 +844,7 @@ impl PqeEngine {
             plan,
             artifact: None,
             lattice: None,
+            sampler: None,
             size: None,
             cache_hit: false,
             compile_time: Duration::ZERO,
@@ -611,6 +869,14 @@ impl PqeEngine {
             task.artifact = Some(artifact);
         } else if plan == Plan::Extensional {
             task.lattice = Some(self.extensional_lattice(q.phi()));
+        } else if let Plan::Sample(kind) = plan {
+            let sampling = self
+                .config
+                .sampling
+                .expect("a Sample plan implies sampling is configured");
+            let started = Instant::now();
+            task.sampler = Some(Arc::new(SamplerArtifact::build(kind, q, tid, sampling)));
+            task.compile_time = started.elapsed();
         }
         Ok(task)
     }
@@ -646,11 +912,16 @@ impl PqeEngine {
                 _ => self.begin_run(q, tid)?,
             };
             let started = Instant::now();
-            let p = match &task.artifact {
-                Some(artifact) => artifact.probability_exact(tid),
-                None => task.eval_fallback_exact(q, tid),
+            let (p, sample_run) = match &task.artifact {
+                Some(artifact) => (artifact.probability_exact(tid), None),
+                None => task.eval_fallback_exact(q, tid, i as u64),
             };
-            self.stats.record(task.query_stats(started.elapsed()));
+            record_fallback(
+                &mut self.stats,
+                task.query_stats(Duration::ZERO),
+                started.elapsed(),
+                sample_run,
+            );
             out.push(p);
             run = Some(task);
         }
@@ -699,14 +970,15 @@ impl PqeEngine {
                             self.stats.extensional_memo_hits += 1;
                         }
                         let started = Instant::now();
-                        out.push(first.eval_fallback_f64(q, tid));
-                        self.stats.record(QueryStats {
-                            plan: first.plan,
-                            cache_hit: false,
-                            circuit_size: None,
-                            compile_time: Duration::ZERO,
-                            eval_time: started.elapsed(),
-                        });
+                        let (p, sample_run) =
+                            first.eval_fallback_f64(q, tid, (start + offset) as u64);
+                        out.push(p);
+                        record_fallback(
+                            &mut self.stats,
+                            first.query_stats_at(offset),
+                            started.elapsed(),
+                            sample_run,
+                        );
                     }
                 }
             }
@@ -732,6 +1004,7 @@ impl PqeEngine {
     ) -> Result<BatchPlan, EngineError> {
         let mut compiles = 0;
         let mut shared = 0;
+        let mut sampled = 0;
         let mut simulated: HashSet<CacheKey> = HashSet::new();
         let mut prev_plan = None;
         for (i, tid) in scenarios.iter().enumerate() {
@@ -751,6 +1024,8 @@ impl PqeEngine {
                     compiles += 1;
                     simulated.insert(key);
                 }
+            } else if matches!(plan, Plan::Sample(_)) {
+                sampled += 1;
             }
         }
         Ok(BatchPlan {
@@ -758,6 +1033,7 @@ impl PqeEngine {
             shards: Self::shard_count(scenarios.len(), shards),
             compiles,
             shared,
+            sampled,
         })
     }
 
@@ -804,28 +1080,35 @@ impl PqeEngine {
         scenarios: &[Tid],
         shards: usize,
     ) -> Result<Vec<BigRational>, EngineError> {
-        let Some((tasks, compiles, shared)) = self.compile_batch_tasks(q, scenarios)? else {
+        let Some((tasks, compiles, shared, sampled)) = self.compile_batch_tasks(q, scenarios)?
+        else {
             return Ok(Vec::new());
         };
         let shards = Self::shard_count(scenarios.len(), shards);
-        let outputs = Self::fan_out(scenarios, &tasks, shards, |tids, tasks| {
+        let outputs = Self::fan_out(scenarios, &tasks, shards, |base, tids, tasks| {
             let mut stats = EngineStats::default();
             let probs = tids
                 .iter()
                 .zip(tasks)
-                .map(|(tid, task)| {
+                .enumerate()
+                .map(|(offset, (tid, task))| {
                     let started = Instant::now();
-                    let p = match &task.artifact {
-                        Some(artifact) => artifact.probability_exact(tid),
-                        None => task.eval_fallback_exact(q, tid),
+                    let (p, sample_run) = match &task.artifact {
+                        Some(artifact) => (artifact.probability_exact(tid), None),
+                        None => task.eval_fallback_exact(q, tid, (base + offset) as u64),
                     };
-                    stats.record(task.query_stats(started.elapsed()));
+                    record_fallback(
+                        &mut stats,
+                        task.query_stats(Duration::ZERO),
+                        started.elapsed(),
+                        sample_run,
+                    );
                     p
                 })
                 .collect();
             (probs, stats)
         });
-        Ok(self.merge_shard_outputs(scenarios.len(), shards, compiles, shared, outputs))
+        Ok(self.merge_shard_outputs(scenarios.len(), shards, compiles, shared, sampled, outputs))
     }
 
     /// Floating-point [`evaluate_batch_sharded`](Self::evaluate_batch_sharded),
@@ -843,14 +1126,15 @@ impl PqeEngine {
         scenarios: &[Tid],
         shards: usize,
     ) -> Result<Vec<f64>, EngineError> {
-        let Some((tasks, compiles, shared)) = self.compile_batch_tasks(q, scenarios)? else {
+        let Some((tasks, compiles, shared, sampled)) = self.compile_batch_tasks(q, scenarios)?
+        else {
             return Ok(Vec::new());
         };
         let shards = Self::shard_count(scenarios.len(), shards);
-        let outputs = Self::fan_out(scenarios, &tasks, shards, |tids, tasks| {
-            Self::walk_chunk_f64(q, tids, tasks)
+        let outputs = Self::fan_out(scenarios, &tasks, shards, |base, tids, tasks| {
+            Self::walk_chunk_f64(q, base, tids, tasks)
         });
-        Ok(self.merge_shard_outputs(scenarios.len(), shards, compiles, shared, outputs))
+        Ok(self.merge_shard_outputs(scenarios.len(), shards, compiles, shared, sampled, outputs))
     }
 
     /// Phases 1a + 1b of every sharded batch: plan all scenarios, then
@@ -871,13 +1155,14 @@ impl PqeEngine {
         &mut self,
         q: &HQuery,
         scenarios: &[Tid],
-    ) -> Result<Option<(Vec<Task>, usize, usize)>, EngineError> {
+    ) -> Result<Option<(Vec<Task>, usize, usize, usize)>, EngineError> {
         if scenarios.is_empty() {
             self.stats.last_batch = Some(BatchPlan {
                 scenarios: 0,
                 shards: 0,
                 compiles: 0,
                 shared: 0,
+                sampled: 0,
             });
             return Ok(None);
         }
@@ -898,7 +1183,11 @@ impl PqeEngine {
         let mut tasks: Vec<Task> = Vec::with_capacity(scenarios.len());
         let mut compiles = 0;
         let mut shared = 0;
+        let mut sampled = 0;
         for (i, (tid, &plan)) in scenarios.iter().zip(&plans).enumerate() {
+            if matches!(plan, Plan::Sample(_)) {
+                sampled += 1;
+            }
             if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) {
                 let prev = tasks.last().expect("i > 0 ⟹ a previous task exists");
                 if prev.artifact.is_some() {
@@ -912,13 +1201,27 @@ impl PqeEngine {
                 continue;
             }
             if !plan.is_cacheable() {
+                let mut compile_time = Duration::ZERO;
+                let sampler = if let Plan::Sample(kind) = plan {
+                    let sampling = self
+                        .config
+                        .sampling
+                        .expect("a Sample plan implies sampling is configured");
+                    let started = Instant::now();
+                    let built = Arc::new(SamplerArtifact::build(kind, q, tid, sampling));
+                    compile_time = started.elapsed();
+                    Some(built)
+                } else {
+                    None
+                };
                 tasks.push(Task {
                     plan,
                     artifact: None,
                     lattice: (plan == Plan::Extensional).then(|| self.extensional_lattice(q.phi())),
+                    sampler,
                     size: None,
                     cache_hit: false,
-                    compile_time: Duration::ZERO,
+                    compile_time,
                 });
                 continue;
             }
@@ -943,11 +1246,12 @@ impl PqeEngine {
                 size: Some(artifact.size()),
                 artifact: Some(artifact),
                 lattice: None,
+                sampler: None,
                 cache_hit,
                 compile_time,
             });
         }
-        Ok(Some((tasks, compiles, shared)))
+        Ok(Some((tasks, compiles, shared, sampled)))
     }
 
     /// Phase 2 of a sharded batch: fan contiguous scenario chunks across
@@ -959,11 +1263,15 @@ impl PqeEngine {
     /// (it is what `plan_batch` predicts); deriving the chunk size from
     /// its result reproduces exactly that many chunks
     /// (`s ↦ ceil(n / ceil(n / s))` is idempotent).
+    /// Each worker also receives its chunk's *global base index*, so
+    /// per-scenario RNG streams (`(seed, base + offset)`) are positions
+    /// in the whole batch, not in the chunk — the invariant that makes
+    /// sharded sampling bit-identical to sequential at any shard count.
     fn fan_out<T: Send>(
         scenarios: &[Tid],
         tasks: &[Task],
         shards: usize,
-        work: impl Fn(&[Tid], &[Task]) -> (Vec<T>, EngineStats) + Sync,
+        work: impl Fn(usize, &[Tid], &[Task]) -> (Vec<T>, EngineStats) + Sync,
     ) -> Vec<(Vec<T>, EngineStats)> {
         let chunk = scenarios.len().div_ceil(shards);
         let work = &work;
@@ -971,7 +1279,8 @@ impl PqeEngine {
             let handles: Vec<_> = scenarios
                 .chunks(chunk)
                 .zip(tasks.chunks(chunk))
-                .map(|(tids, tasks)| scope.spawn(move || work(tids, tasks)))
+                .enumerate()
+                .map(|(ci, (tids, tasks))| scope.spawn(move || work(ci * chunk, tids, tasks)))
                 .collect();
             handles
                 .into_iter()
@@ -985,7 +1294,12 @@ impl PqeEngine {
     /// through the lane kernel in blocks of up to [`LANES`]; everything
     /// else falls back to the scalar backends. Pure function of its
     /// inputs — statistics come back in the returned [`EngineStats`].
-    fn walk_chunk_f64(q: &HQuery, tids: &[Tid], tasks: &[Task]) -> (Vec<f64>, EngineStats) {
+    fn walk_chunk_f64(
+        q: &HQuery,
+        base: usize,
+        tids: &[Tid],
+        tasks: &[Task],
+    ) -> (Vec<f64>, EngineStats) {
         let mut stats = EngineStats::default();
         let mut out = Vec::with_capacity(tids.len());
         let mut probs = ProbMatrix::new();
@@ -993,11 +1307,19 @@ impl PqeEngine {
         let mut start = 0;
         while start < tids.len() {
             let Some(artifact) = &tasks[start].artifact else {
-                // Scalar fallback: extensional / brute-force scenarios.
+                // Scalar fallback: extensional / brute-force / sampled
+                // scenarios (the sampler draws from the stream of the
+                // scenario's global batch position).
                 let (task, tid) = (&tasks[start], &tids[start]);
                 let started = Instant::now();
-                out.push(task.eval_fallback_f64(q, tid));
-                stats.record(task.query_stats(started.elapsed()));
+                let (p, sample_run) = task.eval_fallback_f64(q, tid, (base + start) as u64);
+                out.push(p);
+                record_fallback(
+                    &mut stats,
+                    task.query_stats(Duration::ZERO),
+                    started.elapsed(),
+                    sample_run,
+                );
                 start += 1;
                 continue;
             };
@@ -1074,6 +1396,7 @@ impl PqeEngine {
         shards: usize,
         compiles: usize,
         shared: usize,
+        sampled: usize,
         outputs: Vec<(Vec<T>, EngineStats)>,
     ) -> Vec<T> {
         debug_assert_eq!(outputs.len(), shards, "chunking spawned as planned");
@@ -1087,6 +1410,7 @@ impl PqeEngine {
             shards,
             compiles,
             shared,
+            sampled,
         });
         probs
     }
@@ -1144,6 +1468,126 @@ mod tests {
         let brute = pqe_brute_force(&q, &tid).unwrap();
         assert_eq!(p, brute);
         assert_eq!(engine.stats().obdd_plans, 1);
+    }
+
+    #[test]
+    fn brute_force_budget_is_validated_at_the_bitmask_boundary() {
+        let ok = EngineConfig {
+            max_brute_force_tuples: 63,
+            ..EngineConfig::default()
+        };
+        assert!(PqeEngine::try_with_config(ok).is_ok());
+        let too_big = EngineConfig {
+            max_brute_force_tuples: 64,
+            ..EngineConfig::default()
+        };
+        assert_eq!(
+            PqeEngine::try_with_config(too_big).err(),
+            Some(ConfigError::BruteForceBudgetTooLarge { requested: 64 })
+        );
+        let shown = ConfigError::BruteForceBudgetTooLarge { requested: 64 }.to_string();
+        assert!(shown.contains("64"), "{shown}");
+        assert!(shown.contains("63"), "{shown}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid EngineConfig")]
+    fn with_config_panics_on_oversized_budget() {
+        let _ = PqeEngine::with_config(EngineConfig {
+            max_brute_force_tuples: 64,
+            ..EngineConfig::default()
+        });
+    }
+
+    #[test]
+    fn sampling_eps_and_delta_are_validated() {
+        for (eps, delta, want) in [
+            (0.0, 0.01, Some(ConfigError::InvalidEps { eps: 0.0 })),
+            (1.0, 0.01, Some(ConfigError::InvalidEps { eps: 1.0 })),
+            (
+                f64::NAN,
+                0.01,
+                Some(ConfigError::InvalidEps { eps: f64::NAN }),
+            ),
+            (0.1, 0.0, Some(ConfigError::InvalidDelta { delta: 0.0 })),
+            (0.1, 1.5, Some(ConfigError::InvalidDelta { delta: 1.5 })),
+            (0.1, 0.01, None),
+        ] {
+            let config = EngineConfig {
+                sampling: Some(SamplingConfig {
+                    eps,
+                    delta,
+                    ..SamplingConfig::default()
+                }),
+                ..EngineConfig::default()
+            };
+            let got = PqeEngine::try_with_config(config).err();
+            // NaN never compares equal; match on the variant instead.
+            match want {
+                Some(ConfigError::InvalidEps { .. }) => {
+                    assert!(matches!(got, Some(ConfigError::InvalidEps { .. })), "{eps}")
+                }
+                Some(ConfigError::InvalidDelta { .. }) => assert!(
+                    matches!(got, Some(ConfigError::InvalidDelta { .. })),
+                    "{delta}"
+                ),
+                _ => assert!(got.is_none(), "{eps}/{delta}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hard_queries_beyond_budget_sample_when_enabled() {
+        let mut engine = PqeEngine::with_config(EngineConfig {
+            max_brute_force_tuples: 4,
+            sampling: Some(SamplingConfig {
+                eps: 0.1,
+                delta: 1e-4,
+                ..SamplingConfig::default()
+            }),
+            ..EngineConfig::default()
+        });
+        // Monotone hard φ, 12 tuples > budget 4, small grounding:
+        // Karp-Luby.
+        let q = HQuery::new(BoolFn::from_fn(3, |v| v != 0));
+        let tid = uniform_tid(complete_database(2, 2), half());
+        assert_eq!(
+            engine.plan(&q, &tid),
+            Ok(Plan::Sample(SamplerKind::KarpLuby))
+        );
+        let est = engine.estimate(&q, &tid).unwrap();
+        assert_eq!(est.sampler, Some(SamplerKind::KarpLuby));
+        assert!(est.samples > 0);
+        assert_eq!(engine.stats().sample_plans, 1);
+        assert_eq!(engine.stats().samples_drawn, est.samples);
+        assert!(engine.stats().sample_nanos > 0);
+        // Non-monotone hard φ on the same instance: no DNF, so the
+        // naive world sampler takes over.
+        let q = HQuery::new(BoolFn::from_sat(3, [0b001, 0b010, 0b000]));
+        assert_eq!(
+            engine.plan(&q, &tid),
+            Ok(Plan::Sample(SamplerKind::NaiveWorlds))
+        );
+        // evaluate/evaluate_f64 agree with estimate at the same stream.
+        let est = engine.estimate(&q, &tid).unwrap();
+        let f = engine.evaluate_f64(&q, &tid).unwrap();
+        assert_eq!(est.value.to_bits(), f.to_bits());
+        let exact = engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(exact, BigRational::from_f64(f).unwrap());
+    }
+
+    #[test]
+    fn estimates_of_tractable_queries_are_exact() {
+        let mut engine = PqeEngine::new();
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+        let est = engine.estimate(&q, &tid).unwrap();
+        assert_eq!(est.eps, 0.0);
+        assert_eq!(est.delta, 0.0);
+        assert_eq!(est.samples, 0);
+        assert_eq!(est.sampler, None);
+        let exact = pqe_brute_force(&q, &tid).unwrap().to_f64();
+        assert!((est.value - exact).abs() < 1e-12);
     }
 
     #[test]

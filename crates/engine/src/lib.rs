@@ -1,10 +1,12 @@
-//! The unified PQE front door: one planner over the workspace's four
+//! The unified PQE front door: one planner over the workspace's five
 //! evaluation backends, with compiled-lineage caching.
 //!
-//! The repo implements four routes for `PQE(Q_φ)` — brute-force
+//! The repo implements five routes for `PQE(Q_φ)` — brute-force
 //! possible-worlds enumeration, Dalvi–Suciu lifted inference, the
-//! degenerate-`φ` OBDD of Proposition 3.7, and the zero-Euler d-D
-//! pipeline of Theorem 5.2. [`PqeEngine`] makes the choice automatic:
+//! degenerate-`φ` OBDD of Proposition 3.7, the zero-Euler d-D
+//! pipeline of Theorem 5.2, and a Monte-Carlo anytime backend
+//! ([`Plan::Sample`]) for hard instances beyond the brute-force budget.
+//! [`PqeEngine`] makes the choice automatic:
 //!
 //! 1. **Plan** — classify `φ` on the paper's Figure 1 region map
 //!    ([`intext_core::classify()`]) and pick the cheapest sound backend;
@@ -30,7 +32,10 @@
 //!    shared artifact with zero steady-state allocations — still
 //!    bit-identical to the scalar walk. Repeated [`Plan::Extensional`]
 //!    queries reuse a per-`φ` memo of the CNF lattice + Möbius values
-//!    instead of rebuilding them.
+//!    instead of rebuilding them. Hard scenarios in a mixed batch route
+//!    through the Monte-Carlo sampler with RNG streams derived from
+//!    `(seed, global scenario index)`, so sharded sampling is
+//!    bit-identical to sequential.
 //! 4. **Observe** — every call records [`QueryStats`] (plan, cache
 //!    hit/miss, circuit size, wall time) into aggregate
 //!    [`EngineStats`]; per-shard stats fold back into one report via
@@ -43,11 +48,19 @@
 //!    `EngineStats::extensional_memo_hits` counting the two
 //!    amortizations.
 //!
+//! The hard region — previously a dead end past
+//! [`EngineConfig::max_brute_force_tuples`] — gets an *anytime* story:
+//! enable [`EngineConfig::sampling`] and [`PqeEngine::estimate`] returns
+//! an [`Estimate`] with an `(ε, δ)` additive-error guarantee, produced
+//! by Karp–Luby DNF sampling over the grounded lineage (monotone `φ`)
+//! or naive world sampling through the lane kernel (everything else);
+//! [`PqeEngine::explain`] names the sampler and the reason.
+//!
 //! `DESIGN.md` (repo root) has the routing diagram, the cache-key
-//! rationale, the concurrency & memory model, and the evaluation-kernel
-//! contract (§6); `EXPERIMENTS.md` describes the cold-vs-cached (E17),
-//! sharding (E18), eviction (E19), store (E20), and lane-kernel (E21)
-//! benchmarks.
+//! rationale, the concurrency & memory model, the evaluation-kernel
+//! contract (§6), and the sampling backend (§7); `EXPERIMENTS.md`
+//! describes the cold-vs-cached (E17), sharding (E18), eviction (E19),
+//! store (E20), lane-kernel (E21), and sampling (E22) benchmarks.
 //!
 //! # Example: auto-routing and cached re-weighting
 //!
@@ -80,11 +93,13 @@
 mod cache;
 mod engine;
 mod plan;
+mod sample;
 mod stats;
 pub mod store;
 
 pub use cache::{Artifact, ArtifactCache, CacheKey};
-pub use engine::{EngineConfig, EngineError, LoadReport, PqeEngine};
+pub use engine::{ConfigError, EngineConfig, EngineError, LoadReport, PqeEngine};
 pub use plan::{BatchPlan, Explanation, Plan};
+pub use sample::{Estimate, SamplerKind, SamplingConfig};
 pub use stats::{EngineStats, QueryStats};
 pub use store::{ArtifactKind, StoreError, FORMAT_VERSION, MAGIC};

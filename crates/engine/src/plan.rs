@@ -4,11 +4,11 @@ use std::fmt;
 
 use intext_core::Region;
 
-use crate::EngineError;
+use crate::{EngineError, SamplerKind};
 
 /// The backend the planner chose for a query.
 ///
-/// The four plans correspond to the four evaluation routes the workspace
+/// The five plans correspond to the five evaluation routes the workspace
 /// implements; see `DESIGN.md` for the routing diagram and the exact
 /// precedence rules.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -28,6 +28,10 @@ pub enum Plan {
     /// `#P`-hard (or conjectured-hard) `φ` on an instance small enough
     /// for exhaustive possible-worlds enumeration.
     BruteForce,
+    /// `#P`-hard (or conjectured-hard) `φ` on an instance beyond the
+    /// brute-force budget, with sampling enabled: a Monte-Carlo
+    /// `(ε, δ)`-bounded estimate by the named sampler.
+    Sample(SamplerKind),
 }
 
 impl Plan {
@@ -45,6 +49,7 @@ impl fmt::Display for Plan {
             Plan::DdCircuit => write!(f, "d-D pipeline (Theorem 5.2)"),
             Plan::Extensional => write!(f, "extensional lifted inference (Proposition 3.5)"),
             Plan::BruteForce => write!(f, "brute force over possible worlds"),
+            Plan::Sample(kind) => write!(f, "Monte-Carlo sampling ({kind})"),
         }
     }
 }
@@ -70,14 +75,18 @@ pub struct BatchPlan {
     pub compiles: usize,
     /// Scenario evaluations served by an already-shared artifact.
     pub shared: usize,
+    /// Scenarios routed to the Monte-Carlo sampler ([`Plan::Sample`]) —
+    /// the compile/sample split a dry run reports for mixed hard/easy
+    /// workloads.
+    pub sampled: usize,
 }
 
 impl fmt::Display for BatchPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} scenarios over {} shard(s): {} compile(s), {} shared walk(s)",
-            self.scenarios, self.shards, self.compiles, self.shared
+            "{} scenarios over {} shard(s): {} compile(s), {} shared walk(s), {} sampled",
+            self.scenarios, self.shards, self.compiles, self.shared, self.sampled
         )
     }
 }
@@ -117,6 +126,13 @@ impl fmt::Display for Explanation {
                         write!(f, " [cold: will compile and cache]")?;
                     }
                 }
+                if matches!(plan, Plan::Sample(_)) {
+                    write!(
+                        f,
+                        " [sampling chosen: hard region, instance exceeds the \
+                         brute-force budget; answer is an (ε, δ)-bounded estimate]"
+                    )?;
+                }
                 Ok(())
             }
             Err(e) => write!(f, "no sound plan: {e}"),
@@ -134,6 +150,23 @@ mod tests {
         assert!(Plan::DdCircuit.is_cacheable());
         assert!(!Plan::Extensional.is_cacheable());
         assert!(!Plan::BruteForce.is_cacheable());
+        assert!(!Plan::Sample(SamplerKind::KarpLuby).is_cacheable());
+        assert!(!Plan::Sample(SamplerKind::NaiveWorlds).is_cacheable());
+    }
+
+    #[test]
+    fn sample_explanation_names_sampler_and_reason() {
+        let e = Explanation {
+            region: Region::HardMonotone,
+            tuples: 500,
+            plan: Ok(Plan::Sample(SamplerKind::KarpLuby)),
+            cached: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("#P-hard"), "{s}");
+        assert!(s.contains("Karp-Luby"), "{s}");
+        assert!(s.contains("sampling chosen"), "{s}");
+        assert!(s.contains("(ε, δ)-bounded"), "{s}");
     }
 
     #[test]
@@ -160,12 +193,14 @@ mod tests {
             scenarios: 1000,
             shards: 4,
             compiles: 1,
-            shared: 999,
+            shared: 996,
+            sampled: 3,
         };
         let s = bp.to_string();
         assert!(s.contains("4 shard(s)"), "{s}");
         assert!(s.contains("1 compile(s)"), "{s}");
-        assert!(s.contains("999 shared"), "{s}");
+        assert!(s.contains("996 shared"), "{s}");
+        assert!(s.contains("3 sampled"), "{s}");
     }
 
     #[test]

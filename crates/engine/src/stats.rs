@@ -28,6 +28,8 @@ pub struct QueryStats {
     pub compile_time: Duration,
     /// Wall time spent computing the probability.
     pub eval_time: Duration,
+    /// Monte-Carlo samples drawn (zero for every exact plan).
+    pub samples: u64,
 }
 
 /// Aggregate counters over the engine's lifetime (reset with
@@ -63,6 +65,13 @@ pub struct EngineStats {
     pub extensional_plans: u64,
     /// Queries routed to [`Plan::BruteForce`].
     pub brute_force_plans: u64,
+    /// Queries routed to [`Plan::Sample`] (either sampler).
+    pub sample_plans: u64,
+    /// Total Monte-Carlo samples drawn across all sampled queries.
+    pub samples_drawn: u64,
+    /// Nanoseconds spent inside the samplers (the sampling share of
+    /// [`eval_time`](Self::eval_time)).
+    pub sample_nanos: u64,
     /// Queries whose [`Plan::Extensional`] evaluation reused the
     /// engine's memoized CNF lattice + Möbius values for `φ` instead of
     /// rebuilding them. The first extensional evaluation of each distinct
@@ -106,6 +115,11 @@ impl EngineStats {
             Plan::DdCircuit => self.dd_plans += 1,
             Plan::Extensional => self.extensional_plans += 1,
             Plan::BruteForce => self.brute_force_plans += 1,
+            Plan::Sample(_) => {
+                self.sample_plans += 1;
+                self.samples_drawn += q.samples;
+                self.sample_nanos += duration_nanos(q.eval_time);
+            }
         }
         if q.plan.is_cacheable() {
             if q.cache_hit {
@@ -144,6 +158,9 @@ impl EngineStats {
         self.dd_plans += other.dd_plans;
         self.extensional_plans += other.extensional_plans;
         self.brute_force_plans += other.brute_force_plans;
+        self.sample_plans += other.sample_plans;
+        self.samples_drawn += other.samples_drawn;
+        self.sample_nanos += other.sample_nanos;
         self.extensional_memo_hits += other.extensional_memo_hits;
         self.lane_kernel_calls += other.lane_kernel_calls;
         self.compile_time += other.compile_time;
@@ -168,15 +185,17 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} queries (obdd {}, d-D {}, extensional {}, brute {}); \
+            "{} queries (obdd {}, d-D {}, extensional {}, brute {}, sampled {}); \
              cache {} hits / {} misses / {} evictions / {} loads; \
              compile {:?} ({} ns), walk {} ns over {} lane-kernel call(s), \
-             eval {:?}; {} extensional memo hit(s)",
+             eval {:?}; {} extensional memo hit(s); \
+             {} sample(s) drawn over {} ns",
             self.queries,
             self.obdd_plans,
             self.dd_plans,
             self.extensional_plans,
             self.brute_force_plans,
+            self.sample_plans,
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
@@ -187,6 +206,8 @@ impl fmt::Display for EngineStats {
             self.lane_kernel_calls,
             self.eval_time,
             self.extensional_memo_hits,
+            self.samples_drawn,
+            self.sample_nanos,
         )
     }
 }
@@ -195,6 +216,8 @@ impl fmt::Display for EngineStats {
 mod tests {
     use super::*;
 
+    use crate::SamplerKind;
+
     fn q(plan: Plan, cache_hit: bool) -> QueryStats {
         QueryStats {
             plan,
@@ -202,7 +225,29 @@ mod tests {
             circuit_size: plan.is_cacheable().then_some(10),
             compile_time: Duration::from_micros(5),
             eval_time: Duration::from_micros(1),
+            samples: 0,
         }
+    }
+
+    #[test]
+    fn sample_plans_thread_counts_and_time() {
+        let mut s = EngineStats::default();
+        s.record(QueryStats {
+            samples: 1234,
+            ..q(Plan::Sample(SamplerKind::KarpLuby), false)
+        });
+        assert_eq!(s.sample_plans, 1);
+        assert_eq!(s.samples_drawn, 1234);
+        assert_eq!(s.sample_nanos, 1_000, "the sampler's eval_time share");
+        // Sampled queries are neither cache traffic nor circuit walks.
+        assert_eq!(s.cache_hits + s.cache_misses, 0);
+        assert_eq!(s.walk_nanos, 0);
+        let mut merged = EngineStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.samples_drawn, 2468);
+        assert_eq!(merged.sample_plans, 2);
+        assert!(merged.to_string().contains("2468 sample(s)"), "{merged}");
     }
 
     #[test]

@@ -93,6 +93,27 @@ impl BigUint {
         (top as f64) * 2f64.powi(scale)
     }
 
+    /// Shifts right by `n` bits, discarding the low-order bits.
+    pub fn shr_bits(&self, n: u64) -> BigUint {
+        if n >= self.bits() {
+            return BigUint::zero();
+        }
+        let limb_shift = (n / 32) as usize;
+        let bit_shift = (n % 32) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        for (i, &w) in src.iter().enumerate() {
+            let mut v = w >> bit_shift;
+            if bit_shift > 0 {
+                if let Some(&hi) = src.get(i + 1) {
+                    v |= hi << (32 - bit_shift);
+                }
+            }
+            limbs.push(v);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
     /// Shifts left by `n` bits.
     pub fn shl_bits(&self, n: u64) -> BigUint {
         if self.is_zero() {
@@ -538,6 +559,23 @@ mod tests {
             let expect = u128::from(0xdead_beefu64) << shift;
             assert_eq!(got.to_string(), expect.to_string(), "shift {shift}");
         }
+    }
+
+    #[test]
+    fn shr_bits_matches_u128_and_inverts_shl() {
+        let v = big(0xdead_beef_cafe_f00d);
+        for shift in [0u64, 1, 31, 32, 33, 63, 64, 65] {
+            let got = v.shr_bits(shift);
+            let expect = u128::from(0xdead_beef_cafe_f00du64) >> shift.min(127);
+            assert_eq!(got.to_string(), expect.to_string(), "shift {shift}");
+        }
+        // Shifting a value left then right by the same amount is lossless.
+        for shift in [0u64, 7, 32, 100] {
+            assert_eq!(v.shl_bits(shift).shr_bits(shift), v, "shift {shift}");
+        }
+        // Over-shifting empties the value.
+        assert!(v.shr_bits(64).is_zero());
+        assert!(BigUint::zero().shr_bits(3).is_zero());
     }
 
     #[test]

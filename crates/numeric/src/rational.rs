@@ -9,7 +9,7 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
-use crate::{BigInt, BigUint};
+use crate::{BigInt, BigUint, Sign};
 
 /// An exact rational number, always reduced, with positive denominator.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -69,6 +69,46 @@ impl BigRational {
             num: BigInt::from(v),
             den: BigUint::one(),
         }
+    }
+
+    /// Exact conversion from an IEEE 754 double: every finite `f64` is a
+    /// dyadic rational `±m · 2^e`, so the conversion is lossless —
+    /// `from_f64(v).unwrap().to_f64() == v` bit for bit. Returns `None`
+    /// for NaN and the infinities, which have no rational value.
+    ///
+    /// This is how the engine's Monte-Carlo estimates (computed in
+    /// `f64`) enter the exact-arithmetic API without introducing a
+    /// second, hidden rounding: sequential and sharded evaluation stay
+    /// bit-identical because the f64 → rational step is injective.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(BigRational::zero());
+        }
+        let bits = v.to_bits();
+        let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Normal doubles carry an implicit leading mantissa bit;
+        // subnormals (exponent field 0) do not, and sit at 2^-1074.
+        let (mantissa, exp) = if exp_bits == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        let mag = BigUint::from(mantissa);
+        let (num_mag, den) = if exp >= 0 {
+            (mag.shl_bits(exp as u64), BigUint::one())
+        } else {
+            (mag, BigUint::one().shl_bits((-exp) as u64))
+        };
+        let sign = if bits >> 63 == 1 {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        Some(BigRational::new(BigInt::from_sign_mag(sign, num_mag), den))
     }
 
     /// The numerator (sign-carrying).
@@ -138,8 +178,19 @@ impl BigRational {
                 self.den.clone(),
             )
         };
+        // The aligned operands share a bit length; past 1024 bits each
+        // would individually overflow `f64` (inf/inf = NaN), so drop the
+        // same number of low-order bits from both. The truncation
+        // perturbs the quotient by a relative ~2^-1000 — far below f64
+        // resolution — and operands at or below 1024 bits are untouched.
+        let width = n.bits().max(d.bits());
+        let (n, d) = if width > 1024 {
+            (n.shr_bits(width - 1024), d.shr_bits(width - 1024))
+        } else {
+            (n, d)
+        };
         let ratio = n.to_f64() / d.to_f64();
-        let v = ratio * 2f64.powi(shift as i32);
+        let v = mul_pow2(ratio, shift);
         if self.num.is_negative() {
             -v
         } else {
@@ -158,6 +209,25 @@ impl BigRational {
             self.num.magnitude().clone(),
         )
     }
+}
+
+/// `x · 2^e` (ldexp): steps the exponent in representable chunks so the
+/// scaling never routes through an overflowed (or fully underflowed)
+/// intermediate — `2f64.powi(-1024)` alone would already be `0`. Every
+/// step multiplies by an exact power of two, so no rounding happens
+/// until the result itself leaves the normal range.
+fn mul_pow2(x: f64, e: i64) -> f64 {
+    let mut x = x;
+    let mut e = e;
+    while e > 1023 {
+        x *= 2f64.powi(1023);
+        e -= 1023;
+    }
+    while e < -1022 {
+        x *= 2f64.powi(-1022);
+        e += 1022;
+    }
+    x * 2f64.powi(e as i32)
 }
 
 impl Default for BigRational {
@@ -257,6 +327,35 @@ mod tests {
 
     fn r(n: i64, d: u64) -> BigRational {
         BigRational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn from_f64_is_exact_and_round_trips() {
+        // Exactly representable values come back as the obvious ratios.
+        assert_eq!(BigRational::from_f64(0.0).unwrap(), BigRational::zero());
+        assert_eq!(BigRational::from_f64(1.0).unwrap(), BigRational::one());
+        assert_eq!(BigRational::from_f64(0.25).unwrap(), r(1, 4));
+        assert_eq!(BigRational::from_f64(-1.5).unwrap(), r(-3, 2));
+        // 0.1 is NOT 1/10 in binary; the conversion preserves the true
+        // dyadic value, so the round trip is bit-identical.
+        let tenth = BigRational::from_f64(0.1).unwrap();
+        assert_ne!(tenth, r(1, 10));
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            0.123_456_789,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            -0.75,
+            1e-300,
+            1e300,
+        ] {
+            let q = BigRational::from_f64(v).unwrap();
+            assert_eq!(q.to_f64().to_bits(), v.to_bits(), "{v}");
+        }
+        assert!(BigRational::from_f64(f64::NAN).is_none());
+        assert!(BigRational::from_f64(f64::INFINITY).is_none());
+        assert!(BigRational::from_f64(f64::NEG_INFINITY).is_none());
     }
 
     #[test]

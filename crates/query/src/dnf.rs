@@ -1,0 +1,234 @@
+//! Lineage-to-DNF export for monotone `H`-queries.
+//!
+//! When `φ` is monotone, the grounded lineage of `Q_φ` on a database is
+//! a *monotone* DNF over tuple variables: each prime implicant of `φ`
+//! (a set of `h` indices) grounds to the Cartesian product of the
+//! witness pairs of its `h`'s, and each combination contributes one
+//! clause — the conjunction of the tuples it mentions. This is exactly
+//! the input shape the Karp–Luby estimator needs: a union of cube
+//! events whose individual probabilities are trivial products.
+//!
+//! The export is deliberately *structural*: clauses carry tuple ids
+//! only, never probabilities, so one [`DnfLineage`] serves every
+//! probability re-weighting of the same database shape (the same
+//! contract as the engine's compiled artifacts).
+
+use intext_tid::Database;
+
+use crate::{h_witnesses, HQuery};
+
+/// The grounded lineage of a monotone `Q_φ` as a DNF over tuple ids.
+///
+/// Invariants: every clause is sorted and duplicate-free, the clause
+/// list itself is sorted and duplicate-free (so construction is
+/// deterministic — two builds over equal inputs are `==`), and an
+/// *empty clause* means the constant-true cube (it appears only when
+/// `φ` is satisfied by the all-false valuation, i.e. `φ ≡ ⊤` under
+/// monotonicity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnfLineage {
+    clauses: Vec<Vec<u32>>,
+    support: Vec<u32>,
+}
+
+impl DnfLineage {
+    /// The clauses: each is the sorted tuple ids of one conjunctive cube.
+    pub fn clauses(&self) -> &[Vec<u32>] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` iff the DNF has no clauses (the lineage is constant
+    /// false: no implicant of `φ` has witnesses).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The distinct tuple ids mentioned by any clause, ascending.
+    pub fn support(&self) -> &[u32] {
+        &self.support
+    }
+
+    /// Does the world given as a tuple-presence bitmask satisfy the DNF?
+    /// (Brute-force scale only: requires tuple ids below 64.)
+    pub fn eval(&self, world: u64) -> bool {
+        self.clauses.iter().any(|c| {
+            c.iter().all(|&t| {
+                assert!(t < 64, "world bitmask supports < 64 tuples");
+                world >> t & 1 == 1
+            })
+        })
+    }
+}
+
+/// Upper bound on the clause count [`lineage_dnf`] would produce — the
+/// sum over `φ`'s prime implicants of the product of witness counts —
+/// computed without materializing anything (saturating, so a blown-up
+/// instance reports `u64::MAX` rather than overflowing). Returns `None`
+/// when `φ` is non-monotone, where no DNF lineage of this shape exists.
+///
+/// The bound counts pre-deduplication clauses, so it dominates the real
+/// clause count; planners use it to decide whether grounding is
+/// affordable before paying for it.
+pub fn dnf_clause_bound(q: &HQuery, db: &Database) -> Option<u64> {
+    let phi = q.phi();
+    if !phi.is_monotone() {
+        return None;
+    }
+    let witness_counts: Vec<u64> = (0..=q.k())
+        .map(|i| h_witnesses(db, i).len() as u64)
+        .collect();
+    let mut total = 0u64;
+    for implicant in phi.monotone_dnf() {
+        let mut product = 1u64;
+        for (i, &count) in witness_counts.iter().enumerate() {
+            if implicant & (1 << i) != 0 {
+                product = product.saturating_mul(count);
+            }
+        }
+        total = total.saturating_add(product);
+    }
+    Some(total)
+}
+
+/// Grounds the lineage of a monotone `Q_φ` on `db` into a [`DnfLineage`]
+/// (`None` when `φ` is non-monotone). The result satisfies exactly the
+/// worlds [`HQuery::lineage_eval`] accepts.
+pub fn lineage_dnf(q: &HQuery, db: &Database) -> Option<DnfLineage> {
+    let phi = q.phi();
+    if !phi.is_monotone() {
+        return None;
+    }
+    let witnesses: Vec<_> = (0..=q.k()).map(|i| h_witnesses(db, i)).collect();
+    let mut clauses: Vec<Vec<u32>> = Vec::new();
+    for implicant in phi.monotone_dnf() {
+        let hs: Vec<usize> = (0..witnesses.len())
+            .filter(|&i| implicant & (1 << i) != 0)
+            .collect();
+        // An h with no witnesses grounds the whole implicant to false.
+        if hs.iter().any(|&i| witnesses[i].is_empty()) {
+            continue;
+        }
+        // Odometer over the Cartesian product of the witness lists. An
+        // empty implicant (φ ≡ ⊤) runs exactly once, yielding the empty
+        // — constant-true — clause.
+        let mut index = vec![0usize; hs.len()];
+        loop {
+            let mut clause: Vec<u32> = Vec::with_capacity(hs.len() * 2);
+            for (slot, &i) in hs.iter().enumerate() {
+                let (a, b) = witnesses[i][index[slot]];
+                clause.push(a.0);
+                clause.push(b.0);
+            }
+            clause.sort_unstable();
+            clause.dedup();
+            clauses.push(clause);
+            let mut slot = hs.len();
+            while slot > 0 {
+                index[slot - 1] += 1;
+                if index[slot - 1] < witnesses[hs[slot - 1]].len() {
+                    break;
+                }
+                index[slot - 1] = 0;
+                slot -= 1;
+            }
+            if slot == 0 {
+                break;
+            }
+        }
+    }
+    clauses.sort_unstable();
+    clauses.dedup();
+    let mut support: Vec<u32> = clauses.iter().flatten().copied().collect();
+    support.sort_unstable();
+    support.dedup();
+    Some(DnfLineage { clauses, support })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::BoolFn;
+    use intext_tid::{complete_database, Database, TupleDesc};
+
+    fn small_db() -> Database {
+        let mut db = Database::new(2, 2);
+        for t in [
+            TupleDesc::R(0),
+            TupleDesc::S(1, 0, 1),
+            TupleDesc::S(2, 0, 1),
+            TupleDesc::S(1, 1, 0),
+            TupleDesc::T(1),
+        ] {
+            db.insert(t).unwrap();
+        }
+        db
+    }
+
+    /// The DNF must accept exactly the worlds the lineage accepts, for
+    /// every monotone φ with k = 2 on a concrete small instance.
+    #[test]
+    fn dnf_agrees_with_lineage_eval_on_every_world() {
+        let db = small_db();
+        for table in 0..(1u64 << (1u32 << 3)) {
+            let phi = BoolFn::from_table_u64(3, table);
+            if !phi.is_monotone() {
+                continue;
+            }
+            let q = HQuery::new(phi);
+            let dnf = lineage_dnf(&q, &db).unwrap();
+            assert!(dnf.len() as u64 <= dnf_clause_bound(&q, &db).unwrap());
+            for world in 0..(1u64 << db.len()) {
+                assert_eq!(
+                    dnf.eval(world),
+                    q.lineage_eval(&db, world),
+                    "table {table:#x}, world {world:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clauses_are_sorted_deduped_and_support_is_exact() {
+        // h_{2,1} ∧ h_{2,2}-style overlap: shared tuples appear once.
+        let phi = BoolFn::from_fn(3, |v| v & 0b110 == 0b110);
+        let q = HQuery::new(phi);
+        let db = complete_database(2, 2);
+        let dnf = lineage_dnf(&q, &db).unwrap();
+        for c in dnf.clauses() {
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "{c:?}");
+        }
+        let mut sorted = dnf.clauses().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.as_slice(), dnf.clauses());
+        let mut expect: Vec<u32> = dnf.clauses().iter().flatten().copied().collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(dnf.support(), expect.as_slice());
+    }
+
+    #[test]
+    fn non_monotone_has_no_dnf_and_tautology_grounds_to_true() {
+        let db = small_db();
+        let non_monotone = BoolFn::from_fn(3, |v| v == 0);
+        let q = HQuery::new(non_monotone);
+        assert!(lineage_dnf(&q, &db).is_none());
+        assert!(dnf_clause_bound(&q, &db).is_none());
+
+        let top = BoolFn::from_fn(3, |_| true);
+        let q = HQuery::new(top);
+        let dnf = lineage_dnf(&q, &db).unwrap();
+        assert_eq!(dnf.clauses(), &[Vec::<u32>::new()]);
+        assert!(dnf.eval(0), "the empty clause is constant true");
+
+        let bottom = BoolFn::from_fn(3, |_| false);
+        let dnf = lineage_dnf(&HQuery::new(bottom), &db).unwrap();
+        assert!(dnf.is_empty());
+        assert!(!dnf.eval(u64::MAX >> 1));
+    }
+}

@@ -21,10 +21,12 @@
 
 mod brute;
 mod cq;
+mod dnf;
 mod hardness;
 mod hquery;
 
 pub use brute::{pqe_brute_force, pqe_brute_force_f64, BruteForceError};
 pub use cq::{Atom, ConjunctiveQuery, Term};
+pub use dnf::{dnf_clause_bound, lineage_dnf, DnfLineage};
 pub use hardness::{pqe_brute_force_cq, Pp2Cnf};
 pub use hquery::{h_cq, h_truth_vector, h_witnesses, HQuery};

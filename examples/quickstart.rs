@@ -6,17 +6,23 @@
 //!
 //! 1. brute force over all possible worlds (exponential, exact),
 //! 2. extensional lifted inference (Möbius inversion, Proposition 3.5),
-//! 3. the paper's intensional d-D pipeline (Theorem 5.2).
+//! 3. the paper's intensional d-D pipeline (Theorem 5.2),
+//!
+//! and finish in the hard region: a `#P`-hard query on an instance no
+//! exact route can touch gets an anytime `(ε, δ)`-bounded Monte-Carlo
+//! estimate (DESIGN.md §7).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use intext::boolfn::phi9;
+use intext::boolfn::{phi9, BoolFn};
 use intext::core::compile_dd;
-use intext::engine::PqeEngine;
+use intext::engine::{EngineConfig, PqeEngine, SamplingConfig};
 use intext::extensional::pqe_extensional;
 use intext::numeric::BigRational;
 use intext::query::{pqe_brute_force, HQuery};
-use intext::tid::{random_database, random_tid, DbGenConfig, TupleId};
+use intext::tid::{
+    complete_database, random_database, random_tid, uniform_tid, DbGenConfig, TupleId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -148,6 +154,33 @@ fn main() {
         report.artifacts,
         report.gates,
         snapshot.len(),
+    );
+
+    // The hard region: an H₀-style query (e(φ) ≠ 0, #P-hard) on an
+    // instance whose 2^40 possible worlds no brute-force budget can
+    // touch. With sampling enabled the engine returns an anytime
+    // (ε, δ)-bounded Monte-Carlo estimate instead of refusing
+    // (DESIGN.md §7) — deterministic per seed, shard-invariant.
+    let hard_q = HQuery::new(BoolFn::from_fn(3, |v| v != 0));
+    let hard_tid = uniform_tid(complete_database(2, 4), BigRational::from_ratio(1, 4));
+    let mut sampler = PqeEngine::with_config(EngineConfig {
+        sampling: Some(SamplingConfig {
+            eps: 0.02,
+            delta: 1e-3,
+            ..SamplingConfig::default()
+        }),
+        ..EngineConfig::default()
+    });
+    println!(
+        "\nhard query planner: {}",
+        sampler.explain(&hard_q, &hard_tid)
+    );
+    let est = sampler
+        .estimate(&hard_q, &hard_tid)
+        .expect("sampling is enabled");
+    println!(
+        "hard query estimate: {:.4} ± {} (δ = {}) from {} samples in {:?}",
+        est.value, est.eps, est.delta, est.samples, est.elapsed,
     );
 
     println!(

@@ -76,6 +76,23 @@
 //! replica.load_cache(&snapshot).unwrap();
 //! assert_eq!(replica.evaluate(&q, &tid).unwrap(), p);
 //! assert_eq!(replica.stats().cache_misses, 0); // loaded, never compiled
+//!
+//! // The hard region gets an anytime answer: enable sampling, and a
+//! // #P-hard query past the brute-force budget (2^40 worlds here)
+//! // returns an (ε, δ)-bounded Monte-Carlo estimate instead of
+//! // refusing (DESIGN.md §7). Same seed ⟹ same bits, every time.
+//! use intext::boolfn::BoolFn;
+//! use intext::engine::{EngineConfig, SamplingConfig};
+//! let hard = HQuery::new(BoolFn::from_fn(3, |v| v != 0)); // e(φ) ≠ 0
+//! let big = uniform_tid(complete_database(2, 4), BigRational::from_ratio(1, 4));
+//! let mut sampler = PqeEngine::with_config(EngineConfig {
+//!     sampling: Some(SamplingConfig { eps: 0.02, delta: 1e-3, ..SamplingConfig::default() }),
+//!     ..EngineConfig::default()
+//! });
+//! let est = sampler.estimate(&hard, &big).unwrap(); // Karp–Luby DNF sampling
+//! assert!(est.samples > 0 && est.eps == 0.02 && est.value <= 1.0);
+//! let why = sampler.explain(&hard, &big).to_string();
+//! assert!(why.contains("Karp-Luby") && why.contains("sampling chosen"));
 //! ```
 //!
 //! See `DESIGN.md` (repo root) for the paper-to-module map and the
