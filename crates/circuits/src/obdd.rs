@@ -671,6 +671,77 @@ impl ObddManager {
             .expect("lane block is exactly LANES wide")
     }
 
+    /// Copies the functions rooted at `refs` into `target`, rewriting
+    /// every node's level through `level_map`, and returns the images of
+    /// `refs` (terminals map to themselves). Shared structure stays
+    /// shared: the reachable closure of all roots is walked once, and
+    /// `target`'s unique table dedups against nodes it already holds.
+    ///
+    /// This is the patch primitive behind incremental lineage
+    /// maintenance: when a tuple insertion/removal shifts the variable
+    /// order of a compiled OBDD uniformly (by −1, 0, or +1 levels), the
+    /// still-valid sub-DAGs are transplanted into a fresh manager over
+    /// the new order instead of being recompiled. Only the live nodes
+    /// are copied, so repeated patches never accumulate dead arena.
+    ///
+    /// `level_map` must be strictly increasing on the levels that occur
+    /// below `refs`, and must keep every copied level inside `target`'s
+    /// order; because it is injective, distinct reduced source nodes map
+    /// to distinct target nodes and the copy is an embedding — every walk
+    /// from a returned root is bit-identical to the same walk from the
+    /// source root (modulo the variable renaming `target`'s order
+    /// implies).
+    ///
+    /// # Panics
+    /// Panics (in `mk`) if `level_map` violates the strict child-below-
+    /// parent ordering or maps outside `target`'s order.
+    pub fn copy_remapped(
+        &self,
+        target: &mut ObddManager,
+        level_map: &impl Fn(u32) -> u32,
+        refs: &[NodeRef],
+    ) -> Vec<NodeRef> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut topo: Vec<usize> = Vec::new();
+        for &r in refs {
+            if !r.is_terminal() && !visited[r.index()] {
+                stack.push(r.index());
+            }
+            while let Some(i) = stack.pop() {
+                if visited[i] {
+                    continue;
+                }
+                visited[i] = true;
+                topo.push(i);
+                let n = self.nodes[i];
+                for child in [n.lo, n.hi] {
+                    if !child.is_terminal() && !visited[child.index()] {
+                        stack.push(child.index());
+                    }
+                }
+            }
+        }
+        // Ascending arena index is a topological order (children precede
+        // parents), so one forward pass rebuilds bottom-up.
+        topo.sort_unstable();
+        let mut map: Vec<NodeRef> = vec![NodeRef::FALSE; self.nodes.len()];
+        let fetch = |map: &[NodeRef], child: NodeRef| {
+            if child.is_terminal() {
+                child
+            } else {
+                map[child.index()]
+            }
+        };
+        for &i in &topo {
+            let n = self.nodes[i];
+            let lo = fetch(&map, n.lo);
+            let hi = fetch(&map, n.hi);
+            map[i] = target.mk(level_map(n.level), lo, hi);
+        }
+        refs.iter().map(|&r| fetch(&map, r)).collect()
+    }
+
     /// Number of satisfying assignments over **all** variables of the
     /// order (level-aware: reduction-skipped variables count double).
     pub fn model_count(&self, r: NodeRef) -> BigUint {
@@ -1080,6 +1151,79 @@ mod tests {
         let lanes = m.probability_f64_many(node, &probs, &mut scratch);
         assert_eq!(lanes[0], 1.0, "∏ 1.0 over the whole chain");
         assert_eq!(lanes[1], 0.0, "x0 already absent");
+    }
+
+    #[test]
+    fn copy_remapped_identity_preserves_walks() {
+        let mut m = ObddManager::new(vec![10, 20, 30]);
+        let x0 = m.literal(10, true);
+        let x1 = m.literal(20, true);
+        let x2 = m.literal(30, true);
+        let t = m.and(x0, x1);
+        let f = m.xor(t, x2);
+        let mut target = ObddManager::new(vec![10, 20, 30]);
+        let mapped = m.copy_remapped(&mut target, &|l| l, &[f, t]);
+        for bits in 0..8u32 {
+            let assign = |v: u32| (bits >> (v / 10 - 1)) & 1 == 1;
+            assert_eq!(target.eval(mapped[0], &assign), m.eval(f, &assign));
+            assert_eq!(target.eval(mapped[1], &assign), m.eval(t, &assign));
+        }
+        let p = |v: u32| 0.1 + f64::from(v) / 100.0;
+        assert_eq!(
+            target.probability_f64(mapped[0], &p).to_bits(),
+            m.probability_f64(f, &p).to_bits(),
+            "bit-identical probability walk after the copy"
+        );
+    }
+
+    #[test]
+    fn copy_remapped_shifts_levels_and_compacts() {
+        // Source over [5, 6]; target order gains a new shallowest
+        // variable 4, shifting every copied level by +1 — the insert
+        // direction of a lineage patch.
+        let mut m = ObddManager::new(vec![5, 6]);
+        let a = m.literal(5, true);
+        let b = m.literal(6, true);
+        let f = m.or(a, b);
+        let dead = m.and(a, b); // not copied: unreachable from `f`
+        let _ = dead;
+        let mut target = ObddManager::new(vec![4, 5, 6]);
+        let mapped = m.copy_remapped(&mut target, &|l| l + 1, &[f]);
+        assert_eq!(
+            target.arena_size(),
+            m.size(f),
+            "only the live closure of the roots is copied"
+        );
+        // f = x5 ∨ x6 in the target, with x4 marginalized out.
+        let p = target.probability_f64(mapped[0], &|v| match v {
+            5 => 0.5,
+            6 => 0.25,
+            _ => 0.0,
+        });
+        assert!((p - (1.0 - 0.5 * 0.75)).abs() < 1e-15);
+        // Terminal roots map to themselves.
+        let terms = m.copy_remapped(&mut target, &|l| l + 1, &[NodeRef::TRUE, NodeRef::FALSE]);
+        assert_eq!(terms, vec![NodeRef::TRUE, NodeRef::FALSE]);
+    }
+
+    #[test]
+    fn copy_remapped_dedups_against_existing_target_nodes() {
+        let mut m = ObddManager::new(vec![0, 1]);
+        let x0 = m.literal(0, true);
+        let x1 = m.literal(1, true);
+        let f = m.or(x0, x1);
+        let mut target = ObddManager::new(vec![0, 1]);
+        let pre = target.literal(1, true);
+        let mapped = m.copy_remapped(&mut target, &|l| l, &[f, x1]);
+        assert_eq!(
+            mapped[1], pre,
+            "shared sub-DAGs unify with nodes the target already holds"
+        );
+        // A second copy of the same roots allocates nothing new.
+        let before = target.arena_size();
+        let again = m.copy_remapped(&mut target, &|l| l, &[f]);
+        assert_eq!(again[0], mapped[0]);
+        assert_eq!(target.arena_size(), before);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::fmt;
 
 use intext_boolfn::BoolFn;
 use intext_circuits::{Circuit, CircuitStats, GateId};
-use intext_lineage::{compile_degenerate_obdd, LineageError};
+use intext_lineage::{compile_degenerate_obdd, DegenerateLineage, LineageError};
 use intext_numeric::BigRational;
 use intext_tid::{Database, Tid, TupleId};
 
@@ -71,6 +71,12 @@ pub struct CompiledLineage {
     pub root: GateId,
     /// The fragmentation witness (template + degenerate leaves).
     pub fragmentation: Fragmentation,
+    /// The per-leaf OBDD lineages the circuit was plugged from, aligned
+    /// with `fragmentation.leaves`. Kept so single-tuple updates can
+    /// re-plug only the leaves via [`patched`](Self::patched); empty for
+    /// circuits rebuilt from serialized bytes (which recompile on shape
+    /// changes instead).
+    pub leaf_lineages: Vec<DegenerateLineage>,
 }
 
 impl CompiledLineage {
@@ -96,6 +102,56 @@ impl CompiledLineage {
     pub fn eval_world(&self, world: u64) -> bool {
         self.circuit.eval(self.root, &|v| (world >> v) & 1 == 1)
     }
+
+    /// Whether [`patched`](Self::patched) can succeed: the per-leaf
+    /// lineages (with their unroll traces) are still attached.
+    pub fn is_patchable(&self) -> bool {
+        self.leaf_lineages.len() == self.fragmentation.num_leaves()
+            && self.leaf_lineages.iter().all(|l| l.is_patchable())
+    }
+
+    /// Incrementally recompiles this d-D for `new_db`, given it was
+    /// compiled against `old_db` (differing by at most one tuple) — the
+    /// Theorem 5.2 patch path.
+    ///
+    /// Each degenerate leaf is patched through
+    /// [`DegenerateLineage::patched`] (leaves whose split puts the
+    /// changed tuple outside their `Π_L · Π_R` stream take the cheap
+    /// remap-only path), and the `¬`-`∨`-template is re-plugged over the
+    /// patched leaves. The template itself depends only on `φ`, so it is
+    /// reused as-is. Because patched leaf OBDDs are canonically equal to
+    /// freshly compiled ones and the gate instantiation order is a pure
+    /// function of the leaf DAGs and the template, the resulting circuit
+    /// answers every probability query **bit-identically** to a fresh
+    /// `compile_dd(phi, new_db)`.
+    ///
+    /// Returns `None` when any leaf refuses (deserialized circuit, more
+    /// than one slot changed, shape mismatch) — callers fall back to
+    /// full recompilation.
+    pub fn patched(&self, old_db: &Database, new_db: &Database) -> Option<CompiledLineage> {
+        if self.leaf_lineages.len() != self.fragmentation.num_leaves() {
+            return None;
+        }
+        let mut circuit = Circuit::new();
+        let mut leaf_gates = Vec::with_capacity(self.leaf_lineages.len());
+        let mut leaves = Vec::with_capacity(self.leaf_lineages.len());
+        for lin in &self.leaf_lineages {
+            let patched = lin.patched(old_db, new_db)?;
+            leaf_gates.push(
+                patched
+                    .manager
+                    .copy_into_circuit(patched.root, &mut circuit),
+            );
+            leaves.push(patched);
+        }
+        let root = instantiate(&self.fragmentation.template, &leaf_gates, &mut circuit);
+        Some(CompiledLineage {
+            circuit,
+            root,
+            fragmentation: self.fragmentation.clone(),
+            leaf_lineages: leaves,
+        })
+    }
 }
 
 /// Theorem 5.2: compiles `Lin(Q_φ, D)` into a d-D in polynomial time,
@@ -105,16 +161,22 @@ pub fn compile_dd(phi: &BoolFn, db: &Database) -> Result<CompiledLineage, Compil
     let frag = Fragmentation::of(phi)?;
     let mut circuit = Circuit::new();
     // Compile every degenerate leaf to an OBDD, then into shared gates.
+    // The leaf lineages are kept on the result: their unroll traces are
+    // what lets `CompiledLineage::patched` re-plug the template after a
+    // tuple update instead of recompiling.
     let mut leaf_gates = Vec::with_capacity(frag.leaves.len());
+    let mut leaf_lineages = Vec::with_capacity(frag.leaves.len());
     for leaf in &frag.leaves {
         let lin = compile_degenerate_obdd(leaf, db)?;
         leaf_gates.push(lin.manager.copy_into_circuit(lin.root, &mut circuit));
+        leaf_lineages.push(lin);
     }
     let root = instantiate(&frag.template, &leaf_gates, &mut circuit);
     Ok(CompiledLineage {
         circuit,
         root,
         fragmentation: frag,
+        leaf_lineages,
     })
 }
 
@@ -249,6 +311,59 @@ mod tests {
         assert!(sizes[1] < sizes[0] * 8, "{sizes:?}");
         assert!(sizes[2] < sizes[1] * 8, "{sizes:?}");
         assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+
+    #[test]
+    fn patched_dd_is_bit_identical_to_fresh_compile() {
+        // Insert and remove each tuple of a φ9 instance in turn; the
+        // template-re-plugged circuit must match a fresh compile on
+        // every world and every probability walk, to the bit.
+        let full = complete_database(3, 1);
+        for (id, missing) in full.iter() {
+            let mut without = Database::new(3, 1);
+            for (_, desc) in full.iter() {
+                if desc != missing {
+                    without.insert(desc).unwrap();
+                }
+            }
+            // Insert direction (append at the end = fresh-build order
+            // only when the missing tuple was last; otherwise the orders
+            // differ and patch correctly refuses nothing — it tracks the
+            // *old* database it was compiled against).
+            let old = without.clone();
+            let mut new = without.clone();
+            new.insert(missing).unwrap();
+            let compiled = compile_dd(&phi9(), &old).unwrap();
+            assert!(compiled.is_patchable());
+            let patched = compiled.patched(&old, &new).expect("one tuple inserted");
+            let fresh = compile_dd(&phi9(), &new).unwrap();
+            for world in 0..(1u64 << new.len()) {
+                assert_eq!(patched.eval_world(world), fresh.eval_world(world));
+            }
+            let p = |v: u32| 0.1 + 0.08 * f64::from(v);
+            assert_eq!(
+                patched.circuit.probability_f64(patched.root, &p).to_bits(),
+                fresh.circuit.probability_f64(fresh.root, &p).to_bits(),
+                "bit-identical d-D walks (insert)"
+            );
+            verify::check_dd(&patched.circuit, patched.root).expect("still a valid d-D");
+
+            // Remove direction, starting from the full instance.
+            let mut removed = full.clone();
+            removed.remove(id).unwrap();
+            let compiled = compile_dd(&phi9(), &full).unwrap();
+            let patched = compiled
+                .patched(&full, &removed)
+                .expect("one tuple removed");
+            let fresh = compile_dd(&phi9(), &removed).unwrap();
+            let pexact = patched.circuit.probability_f64(patched.root, &p);
+            assert_eq!(
+                pexact.to_bits(),
+                fresh.circuit.probability_f64(fresh.root, &p).to_bits(),
+                "bit-identical d-D walks (remove)"
+            );
+            assert!(patched.is_patchable(), "patches stay patchable");
+        }
     }
 
     #[test]

@@ -237,13 +237,45 @@ impl ArtifactCache {
             .collect()
     }
 
+    /// Every cached key, in unspecified order and without touching
+    /// recency — how the engine finds the artifacts affected by a live
+    /// tuple update (all keys over the updated database's shape,
+    /// whatever their `φ`).
+    pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.entries.keys()
+    }
+
     /// Inserts a freshly compiled artifact, evicting least-recently-used
     /// entries until the gate budget holds again. Returns the shared
     /// handle plus the number of entries evicted.
     pub fn insert(&mut self, key: CacheKey, artifact: Artifact) -> (Arc<Artifact>, u64) {
+        self.insert_arc(key, Arc::new(artifact))
+    }
+
+    /// Replaces the entry at `old_key` with an incrementally patched
+    /// artifact under its post-update `new_key`. The patched entry is
+    /// **LRU-refreshed** (a patch is a use: the artifact was just brought
+    /// up to date because somebody is maintaining it) and its budget
+    /// accounting uses the artifact's *new* size — patches that grow an
+    /// entry past the gate budget trigger the same eviction path as
+    /// inserts, including the oversized-never-retained rule. Returns the
+    /// shared handle plus the number of entries evicted.
+    pub fn patch(
+        &mut self,
+        old_key: &CacheKey,
+        new_key: CacheKey,
+        artifact: Arc<Artifact>,
+    ) -> (Arc<Artifact>, u64) {
+        if let Some(old) = self.entries.remove(old_key) {
+            self.total_gates -= old.gates;
+        }
+        self.insert_arc(new_key, artifact)
+    }
+
+    /// [`insert`](Self::insert) for an already-shared artifact.
+    fn insert_arc(&mut self, key: CacheKey, artifact: Arc<Artifact>) -> (Arc<Artifact>, u64) {
         self.clock += 1;
         let gates = artifact.size();
-        let artifact = Arc::new(artifact);
         if self.budget.is_some_and(|budget| gates > budget) {
             // An artifact that can never fit is not retained at all —
             // and must not flush the (still hot) existing entries as
@@ -459,6 +491,66 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.total_gates(), 0);
         assert_eq!(cache.evictions(), evictions_before);
+    }
+
+    #[test]
+    fn patch_refreshes_recency_and_rekeys() {
+        let (key_a, art_a) = compiled(1);
+        let (key_b, art_b) = compiled(2);
+        let mut cache = ArtifactCache::new(None);
+        cache.insert(key_a.clone(), art_a);
+        cache.insert(key_b.clone(), art_b);
+        // A is currently LRU. Patch it (same artifact shape, new key —
+        // here simulated with a re-compile for a grown domain).
+        let (key_a2, art_a2) = compiled(3);
+        cache.patch(&key_a, key_a2.clone(), Arc::new(art_a2));
+        assert!(!cache.contains(&key_a), "old key is gone after a patch");
+        assert!(cache.contains(&key_a2));
+        assert_eq!(cache.len(), 2);
+        // The patched entry was LRU-refreshed: B is now least recent.
+        let lru: Vec<_> = cache.entries_lru_order();
+        assert_eq!(lru[0].0, &key_b, "patching counts as a use");
+        assert_eq!(lru[1].0, &key_a2);
+        // Patching a key that was already evicted just inserts.
+        let (key_c, art_c) = compiled(1);
+        let absent = CacheKey::new(&phi9(), &complete_database(3, 4));
+        cache.patch(&absent, key_c.clone(), Arc::new(art_c));
+        assert!(cache.contains(&key_c));
+    }
+
+    #[test]
+    fn patch_past_budget_keeps_gate_invariant() {
+        // The satellite bugfix regression: a patched artifact must be
+        // budget-accounted at its *new* size. Patch a cached entry into
+        // one too large for the whole budget and check the invariant
+        // `total_gates() <= budget` — under the pre-fix accounting the
+        // grown artifact would be retained at its stale size.
+        let (key_small, art_small) = compiled(1);
+        let (key_big, art_big) = compiled(3);
+        let budget = art_big.size() - 1; // the patched artifact can never fit
+        assert!(art_small.size() <= budget);
+        let mut cache = ArtifactCache::new(Some(budget));
+        cache.insert(key_small.clone(), art_small);
+        let gates_before = cache.total_gates();
+        assert!(gates_before <= budget);
+        let (handle, evicted) = cache.patch(&key_small, key_big.clone(), Arc::new(art_big));
+        assert_eq!(evicted, 1, "oversized patch result is not retained");
+        assert!(handle.size() > budget, "caller still gets the artifact");
+        assert!(!cache.contains(&key_small));
+        assert!(!cache.contains(&key_big));
+        assert!(
+            cache.total_gates() <= budget,
+            "gate budget invariant must survive patching"
+        );
+        // And a patch that fits re-enters accounting at the new size.
+        let (key_mid, art_mid) = compiled(2);
+        let mut cache = ArtifactCache::new(Some(art_mid.size()));
+        let (key_small, art_small) = compiled(1);
+        cache.insert(key_small.clone(), art_small);
+        cache.patch(&key_small, key_mid.clone(), Arc::new(art_mid));
+        assert!(cache.contains(&key_mid));
+        assert_eq!(cache.total_gates(), cache.peek(&key_mid).unwrap().size());
+        assert!(cache.total_gates() <= cache.budget().unwrap());
     }
 
     #[test]

@@ -15,13 +15,14 @@ use intext_lattice::{cnf_lattice, QueryLattice};
 use intext_lineage::compile_degenerate_obdd;
 use intext_numeric::BigRational;
 use intext_query::{dnf_clause_bound, pqe_brute_force, pqe_brute_force_f64, HQuery};
-use intext_tid::{Tid, TupleId};
+use intext_tid::{Tid, TidError, TupleDesc, TupleId};
 
 use intext_tid::Database;
 
 use crate::cache::{Artifact, ArtifactCache, CacheKey};
 use crate::sample::{SampleRun, SamplerArtifact};
-use crate::store::{self, StoreError};
+use crate::stats::duration_nanos;
+use crate::store::{self, StoreError, TupleUpdate};
 use crate::{
     BatchPlan, EngineStats, Estimate, Explanation, Plan, QueryStats, SamplerKind, SamplingConfig,
 };
@@ -560,6 +561,226 @@ impl PqeEngine {
             report.evictions += evicted;
         }
         report
+    }
+
+    /// Inserts a tuple into a live TID **and incrementally patches every
+    /// cached artifact** compiled for the pre-insert shape (any `φ`), so
+    /// the next evaluation is a cache hit instead of a recompile. The
+    /// patch re-unrolls only the stream prefix up to the new tuple's
+    /// slot and transplants the rest of the Proposition 3.7 unroll (for
+    /// a d-D, per affected degenerate leaf), producing an artifact
+    /// bit-identical to a fresh compile (`DESIGN.md` §9). Counted in
+    /// [`EngineStats::patches_applied`] / `patch_nanos` /
+    /// `full_recompiles_avoided`; artifacts that cannot be patched
+    /// (e.g. deserialized without their unroll trace) are simply left
+    /// under their old key — never a wrong answer, the new shape just
+    /// recompiles on first use.
+    ///
+    /// A failed insert (duplicate tuple, out-of-domain constant, bad
+    /// probability) changes nothing: not the TID, not the cache.
+    pub fn insert_tuple(
+        &mut self,
+        tid: &mut Tid,
+        desc: TupleDesc,
+        p: BigRational,
+    ) -> Result<TupleId, TidError> {
+        let old_db = tid.database().clone();
+        let id = tid.insert(desc, p)?;
+        self.patch_all_artifacts(&old_db, tid.database());
+        Ok(id)
+    }
+
+    /// Removes a tuple from a live TID, incrementally patching every
+    /// cached artifact of the pre-remove shape — the contraction dual of
+    /// [`insert_tuple`](Self::insert_tuple), with the same counters and
+    /// the same bit-identity guarantee. Tuple ids above the removed one
+    /// shift down by one (see [`intext_tid::Database::remove`]); the
+    /// patched artifacts are renumbered accordingly.
+    pub fn remove_tuple(
+        &mut self,
+        tid: &mut Tid,
+        id: TupleId,
+    ) -> Result<(TupleDesc, BigRational), TidError> {
+        let old_db = tid.database().clone();
+        let removed = tid.remove(id)?;
+        self.patch_all_artifacts(&old_db, tid.database());
+        Ok(removed)
+    }
+
+    /// Replaces one tuple's probability. **No artifact is touched**:
+    /// cache keys deliberately exclude probabilities, so every cached
+    /// same-shape artifact stays valid as-is and the next evaluation is
+    /// a pure re-walk. Each such artifact counts one
+    /// [`EngineStats::full_recompiles_avoided`] — the win the
+    /// intensional representation exists for, made observable.
+    pub fn set_probability(
+        &mut self,
+        tid: &mut Tid,
+        id: TupleId,
+        p: BigRational,
+    ) -> Result<(), TidError> {
+        tid.set_prob(id, p)?;
+        let valid = self
+            .cache
+            .keys()
+            .filter(|key| Self::key_matches_shape(key, tid.database()))
+            .count();
+        self.stats.full_recompiles_avoided += valid as u64;
+        Ok(())
+    }
+
+    /// Serializes a live tuple update against the **pre-update** shape
+    /// of `db` into a delta blob (format: the [`store`](crate::store)
+    /// docs), shippable to replicas holding the same artifact. Call
+    /// *before* applying the update locally — the delta names the shape
+    /// its receivers still have. Requires the pre-update artifact to be
+    /// cached ([`StoreError::NotCached`] otherwise): a delta against an
+    /// artifact nobody holds could never be applied incrementally.
+    pub fn export_delta(
+        &self,
+        q: &HQuery,
+        db: &Database,
+        update: &TupleUpdate,
+    ) -> Result<Vec<u8>, StoreError> {
+        let key = CacheKey::new(q.phi(), db);
+        if !self.cache.contains(&key) {
+            return Err(StoreError::NotCached);
+        }
+        Ok(store::encode_delta(&key, update))
+    }
+
+    /// Applies an exported update delta: decodes and validates it,
+    /// replays the operation on the delta's pre-update shape, and brings
+    /// this engine's cache up to date — by **incremental patch** when
+    /// the pre-update artifact is resident (counted in
+    /// [`EngineStats::patches_applied`]), by a full compile of the
+    /// post-update artifact otherwise. Either way the cached result is
+    /// bit-identical to a fresh compile, so a replica stream of deltas
+    /// can never drift from the source engine.
+    ///
+    /// Total like the other import paths: malformed bytes, an operation
+    /// illegal on the shape (duplicate insert, unknown remove id), or a
+    /// `(φ, shape)` pair this engine could never compile all return a
+    /// typed [`StoreError`] before any state changes.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<LoadReport, StoreError> {
+        let (phi, old_db, update) = store::decode_delta(bytes)?;
+        let mut new_db = old_db.clone();
+        match &update {
+            TupleUpdate::Insert { desc } => {
+                new_db.insert(*desc).map_err(StoreError::BadTuple)?;
+            }
+            TupleUpdate::Remove { id } => {
+                new_db.remove(TupleId(*id)).map_err(StoreError::BadTuple)?;
+            }
+        }
+        let region = classify(&phi);
+        // The engine only ever compiles the two cacheable regions; a
+        // delta for any other φ is one no engine could have exported.
+        let kind = match region {
+            Region::DegenerateObdd => store::ArtifactKind::Obdd,
+            Region::ZeroEulerDD => store::ArtifactKind::Dd,
+            _ => {
+                return Err(StoreError::PlanMismatch {
+                    kind: store::ArtifactKind::Obdd,
+                    region,
+                })
+            }
+        };
+        let old_key = CacheKey::new(&phi, &old_db);
+        let new_key = CacheKey::new(&phi, &new_db);
+        let started = Instant::now();
+        let patched = self
+            .cache
+            .peek(&old_key)
+            .and_then(|artifact| Self::patch_artifact(artifact, &old_db, &new_db));
+        let (handle, evicted) = match patched {
+            Some(artifact) => {
+                let (handle, evicted) = self.cache.patch(&old_key, new_key, Arc::new(artifact));
+                self.stats.patches_applied += 1;
+                self.stats.full_recompiles_avoided += 1;
+                self.stats.patch_nanos += duration_nanos(started.elapsed());
+                (handle, evicted)
+            }
+            None => {
+                // Cold replica (or an unpatchable resident): compile the
+                // post-update artifact from scratch by φ's region.
+                let artifact = match kind {
+                    store::ArtifactKind::Obdd => Artifact::Obdd(
+                        compile_degenerate_obdd(&phi, &new_db)
+                            .map_err(|_| StoreError::PlanMismatch { kind, region })?,
+                    ),
+                    store::ArtifactKind::Dd => Artifact::Dd(
+                        compile_dd(&phi, &new_db)
+                            .map_err(|_| StoreError::PlanMismatch { kind, region })?,
+                    ),
+                };
+                self.cache.insert(new_key, artifact)
+            }
+        };
+        self.stats.cache_evictions += evicted;
+        self.stats.artifact_loads += 1;
+        Ok(LoadReport {
+            artifacts: 1,
+            gates: handle.size(),
+            evictions: evicted,
+        })
+    }
+
+    /// `true` iff `key` was built over exactly `db`'s shape (any `φ`) —
+    /// the filter the live-update paths use to find every cached
+    /// artifact a structural change affects.
+    fn key_matches_shape(key: &CacheKey, db: &Database) -> bool {
+        key.k() == db.k()
+            && key.domain_size() == db.domain_size()
+            && key.tuples().len() == db.len()
+            && db.iter().zip(key.tuples()).all(|((_, t), &kt)| t == kt)
+    }
+
+    /// The incremental patch of one artifact across `old_db → new_db`,
+    /// or `None` when it cannot be patched (no unroll trace, more than
+    /// one slot changed, shape parameters differ).
+    fn patch_artifact(
+        artifact: &Artifact,
+        old_db: &Database,
+        new_db: &Database,
+    ) -> Option<Artifact> {
+        match artifact {
+            Artifact::Obdd(lin) => lin.patched(old_db, new_db).map(Artifact::Obdd),
+            Artifact::Dd(dd) => dd.patched(old_db, new_db).map(Artifact::Dd),
+        }
+    }
+
+    /// Patches every cached artifact keyed to `old_db`'s shape over to
+    /// `new_db`'s, re-keying it under the post-update [`CacheKey`] and
+    /// counting [`EngineStats::patches_applied`] /
+    /// [`EngineStats::patch_nanos`] /
+    /// [`EngineStats::full_recompiles_avoided`]. Unpatchable artifacts
+    /// stay under their old key: their key still truthfully names the
+    /// shape they were compiled for, so they are merely idle (and age
+    /// out of the LRU), never wrong.
+    fn patch_all_artifacts(&mut self, old_db: &Database, new_db: &Database) {
+        let affected: Vec<CacheKey> = self
+            .cache
+            .keys()
+            .filter(|key| Self::key_matches_shape(key, old_db))
+            .cloned()
+            .collect();
+        for old_key in affected {
+            let started = Instant::now();
+            let Some(patched) = self
+                .cache
+                .peek(&old_key)
+                .and_then(|artifact| Self::patch_artifact(artifact, old_db, new_db))
+            else {
+                continue;
+            };
+            let new_key = CacheKey::new(old_key.phi(), new_db);
+            let (_, evicted) = self.cache.patch(&old_key, new_key, Arc::new(patched));
+            self.stats.cache_evictions += evicted;
+            self.stats.patches_applied += 1;
+            self.stats.full_recompiles_avoided += 1;
+            self.stats.patch_nanos += duration_nanos(started.elapsed());
+        }
     }
 
     /// The routing decision for `q` on `tid`, without evaluating.
@@ -1909,6 +2130,126 @@ mod tests {
         assert!(ex.cached);
         assert_eq!(ex.plan, Ok(Plan::DdCircuit));
         assert_eq!(ex.region, Region::ZeroEulerDD);
+    }
+
+    #[test]
+    fn live_updates_patch_cached_artifacts() {
+        let mut engine = PqeEngine::new();
+        let dd_q = HQuery::new(phi9());
+        let deg_q = HQuery::new(BoolFn::var(4, 0));
+        let mut tid = uniform_tid(complete_database(3, 2), half());
+        engine.evaluate(&dd_q, &tid).unwrap();
+        engine.evaluate(&deg_q, &tid).unwrap();
+        assert_eq!(engine.stats().cache_misses, 2);
+
+        // Remove R(0): both cached artifacts (d-D and OBDD) patch in
+        // place and stay resident under the post-update key.
+        let (desc, p) = engine.remove_tuple(&mut tid, TupleId(0)).unwrap();
+        assert_eq!(desc, TupleDesc::R(0));
+        assert_eq!(engine.stats().patches_applied, 2);
+        assert_eq!(engine.stats().full_recompiles_avoided, 2);
+        assert_eq!(engine.cache_len(), 2);
+        for q in [&dd_q, &deg_q] {
+            assert!(engine.explain(q, &tid).cached, "patched ⟹ still cached");
+            let got = engine.evaluate(q, &tid).unwrap();
+            assert_eq!(got, pqe_brute_force(q, &tid).unwrap());
+        }
+        assert_eq!(engine.stats().cache_misses, 2, "zero recompiles");
+        assert_eq!(engine.stats().cache_hits, 2);
+
+        // Insert it back (it takes the next dense id, a *new* shape):
+        // patched again, and the patched artifact is byte-identical to a
+        // fresh compile of the same shape.
+        engine.insert_tuple(&mut tid, desc, p).unwrap();
+        assert_eq!(engine.stats().patches_applied, 4);
+        let exported = engine.export_artifact(&dd_q, tid.database()).unwrap();
+        let mut fresh = PqeEngine::new();
+        fresh.evaluate(&dd_q, &tid).unwrap();
+        assert_eq!(
+            fresh.export_artifact(&dd_q, tid.database()).unwrap(),
+            exported,
+            "patch ≡ fresh compile, byte for byte"
+        );
+
+        // Probability-only change: no structural work at all, but every
+        // same-shape artifact counts as a recompile avoided.
+        engine
+            .set_probability(&mut tid, TupleId(0), BigRational::from_ratio(1, 3))
+            .unwrap();
+        assert_eq!(engine.stats().patches_applied, 4, "no patches");
+        assert_eq!(engine.stats().full_recompiles_avoided, 6);
+
+        // A failed update leaves TID, cache and counters untouched.
+        let len = tid.len();
+        assert!(engine
+            .insert_tuple(&mut tid, TupleDesc::R(99), half())
+            .is_err());
+        assert_eq!(tid.len(), len);
+        assert_eq!(engine.stats().patches_applied, 4);
+    }
+
+    #[test]
+    fn deltas_ship_updates_between_engines() {
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 2), half());
+        let mut source = PqeEngine::new();
+        source.evaluate(&q, &tid).unwrap();
+        // A replica that compiled its own copy (patchable trace intact).
+        let mut warm = PqeEngine::new();
+        warm.evaluate(&q, &tid).unwrap();
+
+        // Export BEFORE the local update — the delta names the shape the
+        // replicas still hold.
+        let update = TupleUpdate::Remove { id: 0 };
+        let delta = source.export_delta(&q, tid.database(), &update).unwrap();
+        let mut src_tid = tid.clone();
+        source.remove_tuple(&mut src_tid, TupleId(0)).unwrap();
+        assert_eq!(source.stats().patches_applied, 1);
+        assert_eq!(
+            source
+                .export_delta(&q, tid.database(), &update)
+                .unwrap_err(),
+            StoreError::NotCached,
+            "post-update the pre-update artifact is gone: export first"
+        );
+
+        // Warm replica: applies by incremental patch.
+        let report = warm.apply_delta(&delta).unwrap();
+        assert_eq!(report.artifacts, 1);
+        assert!(report.gates > 0);
+        assert_eq!(warm.stats().patches_applied, 1);
+
+        // Cold replica: no resident artifact, falls back to a compile.
+        let mut cold = PqeEngine::new();
+        cold.apply_delta(&delta).unwrap();
+        assert_eq!(cold.stats().patches_applied, 0);
+        assert_eq!(cold.cache_len(), 1);
+
+        // All three engines now hold byte-identical post-update artifacts.
+        let bytes = source.export_artifact(&q, src_tid.database()).unwrap();
+        assert_eq!(warm.export_artifact(&q, src_tid.database()).unwrap(), bytes);
+        assert_eq!(cold.export_artifact(&q, src_tid.database()).unwrap(), bytes);
+
+        // Deltas cannot be exported for uncached artifacts, and an
+        // operation illegal on the shape is rejected before any state
+        // changes.
+        assert_eq!(
+            PqeEngine::new()
+                .export_delta(&q, tid.database(), &update)
+                .unwrap_err(),
+            StoreError::NotCached
+        );
+        let mut other = PqeEngine::new();
+        other.evaluate(&q, &tid).unwrap();
+        let bad = other
+            .export_delta(&q, tid.database(), &TupleUpdate::Remove { id: 99 })
+            .unwrap();
+        assert!(matches!(
+            other.apply_delta(&bad).unwrap_err(),
+            StoreError::BadTuple(_)
+        ));
+        assert_eq!(other.stats().patches_applied, 0);
+        assert_eq!(other.cache_len(), 1, "failed delta touched nothing");
     }
 
     #[test]

@@ -56,6 +56,17 @@
 //! or naive world sampling through the lane kernel (everything else);
 //! [`PqeEngine::explain`] names the sampler and the reason.
 //!
+//! Live instances update **in place**: [`PqeEngine::insert_tuple`] /
+//! [`PqeEngine::remove_tuple`] incrementally *patch* every cached
+//! artifact across the structural change instead of recompiling
+//! ([`EngineStats::patches_applied`] / `patch_nanos`), a
+//! probability-only [`PqeEngine::set_probability`] touches no structure
+//! at all, and [`PqeEngine::export_delta`] / [`PqeEngine::apply_delta`]
+//! ship one update to replicas as a versioned [`store`] delta blob —
+//! patched artifacts are bit-identical to fresh compiles, so replicas
+//! can never drift. `DESIGN.md` §9 has the patch algorithm and the
+//! per-artifact soundness argument; E23 measures patch vs recompile.
+//!
 //! `DESIGN.md` (repo root) has the routing diagram, the cache-key
 //! rationale, the concurrency & memory model, the evaluation-kernel
 //! contract (§6), and the sampling backend (§7); `EXPERIMENTS.md`
@@ -102,4 +113,4 @@ pub use engine::{ConfigError, EngineConfig, EngineError, LoadReport, PqeEngine};
 pub use plan::{BatchPlan, Explanation, Plan};
 pub use sample::{Estimate, SamplerKind, SamplingConfig};
 pub use stats::{EngineStats, QueryStats};
-pub use store::{ArtifactKind, StoreError, FORMAT_VERSION, MAGIC};
+pub use store::{ArtifactKind, StoreError, TupleUpdate, FORMAT_VERSION, MAGIC};

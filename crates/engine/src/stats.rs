@@ -97,6 +97,22 @@ pub struct EngineStats {
     /// counterpart [`compile_nanos`](Self::compile_nanos) is derived
     /// from [`compile_time`](Self::compile_time).
     pub walk_nanos: u64,
+    /// Artifacts structurally carried across a live tuple update by
+    /// incremental patching ([`PqeEngine::insert_tuple`](crate::PqeEngine::insert_tuple)
+    /// / [`PqeEngine::remove_tuple`](crate::PqeEngine::remove_tuple))
+    /// instead of being recompiled from scratch. Each patch re-unrolls
+    /// only the stream prefix up to the changed slot and transplants the
+    /// rest — `patches_applied × (recompile − patch)` time is the win.
+    pub patches_applied: u64,
+    /// Total nanoseconds spent inside artifact patching.
+    pub patch_nanos: u64,
+    /// Full compilations the live-update path made unnecessary: one per
+    /// successful patch, plus one per cached same-shape artifact on a
+    /// probability-only update
+    /// ([`PqeEngine::set_probability`](crate::PqeEngine::set_probability)),
+    /// which touches no structure at all — cache keys exclude
+    /// probabilities, so every artifact stays valid as-is.
+    pub full_recompiles_avoided: u64,
     /// The most recent query's record.
     pub last: Option<QueryStats>,
     /// The most recent sharded batch's plan, if any batch ran.
@@ -166,6 +182,9 @@ impl EngineStats {
         self.compile_time += other.compile_time;
         self.eval_time += other.eval_time;
         self.walk_nanos += other.walk_nanos;
+        self.patches_applied += other.patches_applied;
+        self.patch_nanos += other.patch_nanos;
+        self.full_recompiles_avoided += other.full_recompiles_avoided;
         if other.last.is_some() {
             self.last = other.last;
         }
@@ -177,7 +196,7 @@ impl EngineStats {
 
 /// A `Duration` as saturating integer nanoseconds (an engine would need
 /// to spend ~585 years compiling to overflow the `u64`).
-fn duration_nanos(d: Duration) -> u64 {
+pub(crate) fn duration_nanos(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -189,7 +208,8 @@ impl fmt::Display for EngineStats {
              cache {} hits / {} misses / {} evictions / {} loads; \
              compile {:?} ({} ns), walk {} ns over {} lane-kernel call(s), \
              eval {:?}; {} extensional memo hit(s); \
-             {} sample(s) drawn over {} ns",
+             {} sample(s) drawn over {} ns; \
+             {} patch(es) over {} ns avoiding {} recompile(s)",
             self.queries,
             self.obdd_plans,
             self.dd_plans,
@@ -208,6 +228,9 @@ impl fmt::Display for EngineStats {
             self.extensional_memo_hits,
             self.samples_drawn,
             self.sample_nanos,
+            self.patches_applied,
+            self.patch_nanos,
+            self.full_recompiles_avoided,
         )
     }
 }
@@ -292,6 +315,12 @@ mod tests {
         b.cache_evictions = 1;
         b.lane_kernel_calls = 4;
         b.extensional_memo_hits = 1;
+        a.patches_applied = 2;
+        a.patch_nanos = 500;
+        a.full_recompiles_avoided = 5;
+        b.patches_applied = 1;
+        b.patch_nanos = 250;
+        b.full_recompiles_avoided = 1;
 
         let mut merged = EngineStats::default();
         merged.merge(&a);
@@ -309,6 +338,15 @@ mod tests {
         assert_eq!(merged.walk_nanos, 2_000, "the two cacheable walks");
         assert_eq!(merged.lane_kernel_calls, 7);
         assert_eq!(merged.extensional_memo_hits, 1);
+        assert_eq!(merged.patches_applied, 3);
+        assert_eq!(merged.patch_nanos, 750);
+        assert_eq!(merged.full_recompiles_avoided, 6);
+        assert!(
+            merged
+                .to_string()
+                .contains("3 patch(es) over 750 ns avoiding 6 recompile(s)"),
+            "{merged}"
+        );
         // b recorded last; its final record is the merged `last`.
         assert!(matches!(
             merged.last,

@@ -34,7 +34,11 @@
 //! OBDD body: split variable (1), order length (4), order entries
 //! (4 each), node count (4), nodes as `(level, lo, hi)` raw-`u32`
 //! triples (12 each, terminals 0/1, node *i* encodes as *i* + 2), root
-//! reference (4). d-D body: gate count (4), gates as tag + payload
+//! reference (4). The node table is written in *canonical postorder*
+//! from the root (lo subtree before hi, children before parents) and
+//! contains only reachable nodes — bytes are a pure function of the
+//! reduced DAG, never of the arena history that built it (see
+//! `canonical_obdd`). d-D body: gate count (4), gates as tag + payload
 //! (0/1 = const ⊥/⊤, 2 = var + id, 3/4 = ∧/∨ + fan-in + inputs,
 //! 5 = ¬ + input), root gate (4).
 //!
@@ -44,6 +48,22 @@
 //! final FNV-1a 64 checksum over the whole bundle. Artifacts are stored
 //! in ascending last-used order, so loading a snapshot replays the LRU
 //! recency ranking of the engine that saved it.
+//!
+//! An **update delta** (kind = 3, added under the same format version —
+//! additive kinds do not change existing layouts) ships a live tuple
+//! update instead of a whole circuit: the key section names the
+//! *pre-update* `(φ, shape)` and the body is one operation:
+//!
+//! | field | bytes | meaning |
+//! |---|---|---|
+//! | op | 1 | 0 = insert, 1 = remove |
+//! | payload | var | insert: tuple tag + constants; remove: tuple id (`u32`) |
+//!
+//! A replica holding the pre-update artifact applies the delta by
+//! incremental patching ([`PqeEngine::apply_delta`]); one without it
+//! falls back to a full compile of the post-update shape. Either way the
+//! resulting artifact is bit-identical to a fresh compile, so deltas are
+//! a bandwidth optimization, never a semantic one.
 //!
 //! # Totality
 //!
@@ -63,6 +83,7 @@
 //! [`PqeEngine::load_cache`]: crate::PqeEngine::load_cache
 //! [`PqeEngine::export_artifact`]: crate::PqeEngine::export_artifact
 //! [`PqeEngine::import_artifact`]: crate::PqeEngine::import_artifact
+//! [`PqeEngine::apply_delta`]: crate::PqeEngine::apply_delta
 
 use std::fmt;
 use std::sync::Arc;
@@ -114,6 +135,24 @@ impl fmt::Display for ArtifactKind {
 const KIND_OBDD: u8 = 0;
 const KIND_DD: u8 = 1;
 const KIND_BUNDLE: u8 = 2;
+const KIND_DELTA: u8 = 3;
+
+/// One live tuple update, the unit the delta format ships. Probability
+/// changes are deliberately absent: probabilities are not part of any
+/// artifact or cache key, so a reweight has no structural delta to ship.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TupleUpdate {
+    /// Insert a tuple into the shape (it takes the next dense id).
+    Insert {
+        /// The tuple to insert.
+        desc: TupleDesc,
+    },
+    /// Remove the tuple with this raw id (later ids shift down by one).
+    Remove {
+        /// Raw [`TupleId`](intext_tid::TupleId) value of the victim.
+        id: u32,
+    },
+}
 
 /// Smallest possible blob: magic + version + kind + checksum.
 const MIN_LEN: usize = 8 + 2 + 1 + 8;
@@ -160,6 +199,8 @@ pub enum StoreError {
     BadTupleTag(u8),
     /// A gate tag byte is none of the six gate encodings.
     BadGateTag(u8),
+    /// A delta op byte is neither insert nor remove.
+    BadDeltaOp(u8),
     /// A tuple was rejected while rebuilding the database shape
     /// (bad relation index, out-of-domain constant, duplicate).
     BadTuple(DatabaseError),
@@ -225,6 +266,7 @@ impl fmt::Display for StoreError {
             StoreError::ZeroChainLength => write!(f, "shape declares k = 0"),
             StoreError::BadTupleTag(t) => write!(f, "unknown tuple tag {t}"),
             StoreError::BadGateTag(t) => write!(f, "unknown gate tag {t}"),
+            StoreError::BadDeltaOp(op) => write!(f, "unknown delta op {op}"),
             StoreError::BadTuple(e) => write!(f, "invalid shape tuple: {e}"),
             StoreError::Obdd(e) => write!(f, "invalid OBDD table: {e}"),
             StoreError::Circuit(e) => write!(f, "invalid gate table: {e}"),
@@ -345,6 +387,53 @@ impl Writer {
     }
 }
 
+/// The sub-arena reachable from `root`, renumbered into canonical
+/// postorder (lo subtree before hi, children before parents), as the
+/// `(level, lo_raw, hi_raw)` triples the OBDD body serializes plus the
+/// renumbered root reference.
+///
+/// Serialized bytes must be a pure function of the *reduced DAG*, not
+/// of the arena history that built it: a fresh compile leaves
+/// backward-unroll intermediates in its arena, while an incremental
+/// patch leaves transplanted suffix checkpoints — two histories, one
+/// canonical OBDD. The byte-identity guarantee (a patched artifact
+/// serializes exactly like a fresh compile, `DESIGN.md` §9) hinges on
+/// writing only that DAG in a history-free order; dropping dead nodes
+/// also keeps blobs minimal.
+fn canonical_obdd(manager: &ObddManager, root: NodeRef) -> (Vec<(u32, u32, u32)>, u32) {
+    let arena: Vec<(u32, NodeRef, NodeRef)> = manager.node_entries().collect();
+    // Arena index -> canonical raw id; `u32::MAX` marks "not visited".
+    let mut map: Vec<u32> = vec![u32::MAX; arena.len()];
+    let renum = |map: &[u32], r: NodeRef| {
+        if r.is_terminal() {
+            r.to_raw()
+        } else {
+            map[(r.to_raw() - 2) as usize]
+        }
+    };
+    let mut out = Vec::new();
+    let mut stack = vec![(root, false)];
+    while let Some((node, expanded)) = stack.pop() {
+        if node.is_terminal() {
+            continue;
+        }
+        let idx = (node.to_raw() - 2) as usize;
+        if map[idx] != u32::MAX {
+            continue;
+        }
+        let (level, lo, hi) = arena[idx];
+        if expanded {
+            map[idx] = out.len() as u32 + 2;
+            out.push((level, renum(&map, lo), renum(&map, hi)));
+        } else {
+            stack.push((node, true));
+            stack.push((hi, false));
+            stack.push((lo, false));
+        }
+    }
+    (out, renum(&map, root))
+}
+
 /// Serializes one artifact under its cache key into a standalone blob.
 pub(crate) fn encode_artifact(key: &CacheKey, artifact: &Artifact) -> Vec<u8> {
     let kind = match artifact {
@@ -361,13 +450,14 @@ pub(crate) fn encode_artifact(key: &CacheKey, artifact: &Artifact) -> Vec<u8> {
             for &v in order {
                 w.u32(v);
             }
-            w.u32(lin.manager.arena_size() as u32);
-            for (level, lo, hi) in lin.manager.node_entries() {
+            let (entries, root) = canonical_obdd(&lin.manager, lin.root);
+            w.u32(entries.len() as u32);
+            for (level, lo, hi) in entries {
                 w.u32(level);
-                w.u32(lo.to_raw());
-                w.u32(hi.to_raw());
+                w.u32(lo);
+                w.u32(hi);
             }
-            w.u32(lin.root.to_raw());
+            w.u32(root);
         }
         Artifact::Dd(dd) => {
             let gates = dd.circuit.gates();
@@ -394,6 +484,39 @@ pub(crate) fn encode_artifact(key: &CacheKey, artifact: &Artifact) -> Vec<u8> {
                 }
             }
             w.u32(dd.root.0);
+        }
+    }
+    w.seal()
+}
+
+/// Serializes a live tuple update against its pre-update key into a
+/// delta blob.
+pub(crate) fn encode_delta(key: &CacheKey, update: &TupleUpdate) -> Vec<u8> {
+    let mut w = Writer::with_header(KIND_DELTA);
+    w.key(key);
+    match update {
+        TupleUpdate::Insert { desc } => {
+            w.u8(0);
+            match *desc {
+                TupleDesc::R(a) => {
+                    w.u8(0);
+                    w.u32(a);
+                }
+                TupleDesc::S(i, a, b) => {
+                    w.u8(1);
+                    w.u8(i);
+                    w.u32(a);
+                    w.u32(b);
+                }
+                TupleDesc::T(b) => {
+                    w.u8(2);
+                    w.u32(b);
+                }
+            }
+        }
+        TupleUpdate::Remove { id } => {
+            w.u8(1);
+            w.u32(*id);
         }
     }
     w.seal()
@@ -542,6 +665,12 @@ pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<(CacheKey, Artifact), Stor
                 got: "cache bundle",
             })
         }
+        KIND_DELTA => {
+            return Err(StoreError::WrongContainer {
+                expected: "artifact",
+                got: "update delta",
+            })
+        }
         other => return Err(StoreError::BadKind(other)),
     };
     let (phi, db) = read_key(&mut r)?;
@@ -588,11 +717,15 @@ pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<(CacheKey, Artifact), Stor
                     len: entries.len(),
                 });
             }
-            Artifact::Obdd(DegenerateLineage {
+            // `new` builds a trace-less lineage: a deserialized OBDD can
+            // be walked and shipped but not incrementally patched — the
+            // unroll trace is a compile-time object and is not persisted
+            // (`DESIGN.md` §9).
+            Artifact::Obdd(DegenerateLineage::new(
                 manager,
-                root: NodeRef::from_raw(root),
+                NodeRef::from_raw(root),
                 split,
-            })
+            ))
         }
         ArtifactKind::Dd => {
             let gate_count = r.u32()? as usize;
@@ -643,12 +776,56 @@ pub(crate) fn decode_artifact(bytes: &[u8]) -> Result<(CacheKey, Artifact), Stor
                 circuit,
                 root: GateId(root),
                 fragmentation,
+                // No per-leaf OBDDs survive serialization: a loaded d-D
+                // is walkable but not patchable (`DESIGN.md` §9).
+                leaf_lineages: Vec::new(),
             })
         }
     };
     r.done()?;
     let key = CacheKey::new(&phi, &db);
     Ok((key, artifact))
+}
+
+/// Decodes and validates an update-delta blob, yielding the pre-update
+/// `(φ, shape)` and the shipped operation. The shape is revalidated the
+/// same way artifact keys are; whether the *operation* is legal on that
+/// shape (duplicate insert, unknown remove id) is checked when it is
+/// applied, because that is a property of the pairing, not of the bytes.
+pub(crate) fn decode_delta(bytes: &[u8]) -> Result<(BoolFn, Database, TupleUpdate), StoreError> {
+    let (kind, mut r) = open(bytes)?;
+    match kind {
+        KIND_DELTA => {}
+        KIND_OBDD | KIND_DD => {
+            return Err(StoreError::WrongContainer {
+                expected: "update delta",
+                got: "artifact",
+            })
+        }
+        KIND_BUNDLE => {
+            return Err(StoreError::WrongContainer {
+                expected: "update delta",
+                got: "cache bundle",
+            })
+        }
+        other => return Err(StoreError::BadKind(other)),
+    }
+    let (phi, db) = read_key(&mut r)?;
+    let update = match r.u8()? {
+        0 => {
+            let desc = match r.u8()? {
+                0 => TupleDesc::R(r.u32()?),
+                1 => TupleDesc::S(r.u8()?, r.u32()?, r.u32()?),
+                2 => TupleDesc::T(r.u32()?),
+                tag => return Err(StoreError::BadTupleTag(tag)),
+            };
+            TupleUpdate::Insert { desc }
+        }
+        1 => TupleUpdate::Remove { id: r.u32()? },
+        op => return Err(StoreError::BadDeltaOp(op)),
+    };
+    r.done()?;
+    Ok((phi, db, update))
 }
 
 /// Decodes a cache bundle into its artifacts, in stored (ascending
@@ -662,6 +839,12 @@ pub(crate) fn decode_bundle(bytes: &[u8]) -> Result<Vec<(CacheKey, Artifact)>, S
             return Err(StoreError::WrongContainer {
                 expected: "cache bundle",
                 got: "artifact",
+            })
+        }
+        KIND_DELTA => {
+            return Err(StoreError::WrongContainer {
+                expected: "cache bundle",
+                got: "update delta",
             })
         }
         other => return Err(StoreError::BadKind(other)),
@@ -755,6 +938,66 @@ mod tests {
                 expected: "cache bundle",
                 got: "artifact"
             }
+        );
+    }
+
+    #[test]
+    fn delta_blobs_round_trip_and_validate() {
+        let (phi, db) = dd_ctx();
+        let key = CacheKey::new(&phi, &db);
+        for update in [
+            TupleUpdate::Insert {
+                desc: TupleDesc::S(2, 0, 0),
+            },
+            TupleUpdate::Remove { id: 3 },
+        ] {
+            let bytes = encode_delta(&key, &update);
+            let (phi2, db2, update2) = decode_delta(&bytes).unwrap();
+            assert_eq!(CacheKey::new(&phi2, &db2), key, "key section survives");
+            assert_eq!(update2, update);
+            // Canonical encoding, like artifacts: re-encode reproduces
+            // the bytes, so delta fixtures can be pinned byte-for-byte.
+            assert_eq!(encode_delta(&CacheKey::new(&phi2, &db2), &update2), bytes);
+        }
+
+        // A delta is not an artifact or a bundle, and vice versa.
+        let delta = encode_delta(
+            &key,
+            &TupleUpdate::Insert {
+                desc: TupleDesc::R(0),
+            },
+        );
+        assert_eq!(
+            decode_artifact(&delta).unwrap_err(),
+            StoreError::WrongContainer {
+                expected: "artifact",
+                got: "update delta"
+            }
+        );
+        assert_eq!(
+            decode_bundle(&delta).unwrap_err(),
+            StoreError::WrongContainer {
+                expected: "cache bundle",
+                got: "update delta"
+            }
+        );
+        assert_eq!(
+            decode_delta(&dd_blob()).unwrap_err(),
+            StoreError::WrongContainer {
+                expected: "update delta",
+                got: "artifact"
+            }
+        );
+
+        // Malformed bodies: unknown op, unknown tuple tag, truncation,
+        // trailing bytes — all typed errors, never panics.
+        let body = |bytes: &[u8]| decode_delta(&blob(KIND_DELTA, &phi, &db, bytes)).unwrap_err();
+        assert_eq!(body(&[9]), StoreError::BadDeltaOp(9));
+        assert_eq!(body(&[0, 7]), StoreError::BadTupleTag(7));
+        assert_eq!(body(&[1]), StoreError::Truncated);
+        assert_eq!(
+            body(&[1, 0, 0, 0, 0, 0xaa]),
+            StoreError::TrailingBytes { extra: 1 }
         );
     }
 

@@ -42,6 +42,25 @@ impl fmt::Display for LineageError {
 
 impl std::error::Error for LineageError {}
 
+/// Suffix checkpoints of the backward unrolling, recorded so a later
+/// single-slot presence change can resume compilation mid-stream instead
+/// of replaying the whole product automaton (incremental maintenance,
+/// DESIGN.md §9).
+///
+/// Entry `(j, v)` means: `v[state]` is the OBDD of the residual stream
+/// `steps[j..]` from automaton state `state`, over the variables at
+/// levels `≥ #present reads in steps[0..j]`. Checkpoints are kept at
+/// every **group** reset (`2·|dom|` of them, so the gap to the next one
+/// is one group — `O(k·|dom|)` reads) plus the terminal vector at
+/// `steps.len()`, sorted ascending by `j`. Denser checkpoints (every
+/// pair reset) would shorten the re-unrolled prefix by less than a
+/// group but multiply the transplant volume by `|dom|` — measured, that
+/// trade loses badly (E23).
+#[derive(Clone, Debug)]
+struct UnrollTrace {
+    checkpoints: Vec<(u32, Vec<NodeRef>)>,
+}
+
 /// A compiled lineage: a reduced OBDD over the tuple variables of the
 /// database, in the grouped order `Π_L · Π_R`.
 #[derive(Debug)]
@@ -53,9 +72,32 @@ pub struct DegenerateLineage {
     pub root: NodeRef,
     /// The split variable `l` that was used.
     pub split: u8,
+    /// Unroll checkpoints enabling [`patched`](Self::patched); `None`
+    /// for lineages rebuilt from serialized bytes (the trace is not part
+    /// of the on-disk format) — those fall back to recompilation.
+    trace: Option<UnrollTrace>,
 }
 
 impl DegenerateLineage {
+    /// Assembles a lineage from its parts without an unroll trace — the
+    /// deserialization path. The result answers every query identically
+    /// to a freshly compiled lineage but [`patched`](Self::patched)
+    /// returns `None` (callers recompile on shape changes instead).
+    pub fn new(manager: ObddManager, root: NodeRef, split: u8) -> Self {
+        DegenerateLineage {
+            manager,
+            root,
+            split,
+            trace: None,
+        }
+    }
+
+    /// Whether [`patched`](Self::patched) can succeed (an unroll trace
+    /// was recorded at compile time).
+    pub fn is_patchable(&self) -> bool {
+        self.trace.is_some()
+    }
+
     /// OBDD node count.
     pub fn size(&self) -> usize {
         self.manager.size(self.root)
@@ -77,6 +119,213 @@ impl DegenerateLineage {
     pub fn to_circuit(&self) -> (Circuit, GateId) {
         self.manager.to_circuit(self.root)
     }
+
+    /// Incrementally re-compiles this lineage for `new_db`, given that it
+    /// was compiled against `old_db` — the Proposition 3.7 patch path.
+    ///
+    /// The two databases must differ by at most one slot of the
+    /// `Π_L · Π_R` stream (one tuple inserted or removed; same `k` and
+    /// domain). Everything *after* the changed slot is transplanted from
+    /// the recorded unroll checkpoints via
+    /// [`ObddManager::copy_remapped`] — a single slot change shifts the
+    /// suffix's variable levels uniformly by `−1`, `0`, or `+1` — and
+    /// only the stream *prefix* up to the nearest checkpoint past the
+    /// change is re-unrolled. Tuples outside the stream (the skipped
+    /// unary relation at `l = 0` / `l = k`) and pure tuple-id renumbering
+    /// after a removal take the remap-only fast path.
+    ///
+    /// Because reduced OBDDs are canonical per order and every
+    /// probability walk depends only on the reduced DAG, the returned
+    /// lineage answers every query **bit-identically** to a fresh
+    /// `compile_degenerate_obdd(psi, new_db)`.
+    ///
+    /// Returns `None` when no trace was recorded (deserialized
+    /// artifacts), when the shapes are incompatible, or when the
+    /// databases differ in more than one stream slot — callers fall back
+    /// to full recompilation.
+    pub fn patched(&self, old_db: &Database, new_db: &Database) -> Option<DegenerateLineage> {
+        let trace = self.trace.as_ref()?;
+        if old_db.k() != new_db.k() || old_db.domain_size() != new_db.domain_size() {
+            return None;
+        }
+        let k = old_db.k();
+        let l = self.split;
+        let old_steps = automaton::slot_stream(old_db, l);
+        let new_steps = automaton::slot_stream(new_db, l);
+        debug_assert_eq!(old_steps.len(), new_steps.len(), "same shape, same stream");
+        // Defensive: `old_db` must really be the database this lineage
+        // was compiled against (its present reads are the OBDD order).
+        let old_order: Vec<u32> = old_steps
+            .iter()
+            .filter_map(|s| match s {
+                StreamStep::Read { tuple: Some(t), .. } => Some(t.0),
+                _ => None,
+            })
+            .collect();
+        if old_order != self.manager.order() {
+            return None;
+        }
+        // Locate the (at most one) slot whose presence flipped.
+        let mut flipped = None;
+        for (j, (o, n)) in old_steps.iter().zip(new_steps.iter()).enumerate() {
+            let was = matches!(o, StreamStep::Read { tuple: Some(_), .. });
+            let is = matches!(n, StreamStep::Read { tuple: Some(_), .. });
+            if was != is {
+                if flipped.is_some() {
+                    return None; // more than one structural change
+                }
+                flipped = Some(j);
+            }
+        }
+        // Resume point: the first checkpoint at or after the slot past
+        // the change (0 when nothing flipped — remap-only renumbering).
+        let resume_from = flipped.map_or(0, |p| p + 1);
+        let ck_from = trace
+            .checkpoints
+            .partition_point(|(j, _)| (*j as usize) < resume_from);
+        let c = trace.checkpoints.get(ck_from)?.0 as usize;
+
+        let new_order: Vec<u32> = new_steps
+            .iter()
+            .filter_map(|s| match s {
+                StreamStep::Read { tuple: Some(t), .. } => Some(t.0),
+                _ => None,
+            })
+            .collect();
+        let mut manager = ObddManager::new(new_order);
+        // One slot flip shifts the rank of every later present read by
+        // the same amount, so suffix levels translate uniformly.
+        let delta = manager.order().len() as i64 - self.manager.order().len() as i64;
+        debug_assert!(delta.abs() <= 1);
+        let level_map = |lvl: u32| u32::try_from(i64::from(lvl) + delta).expect("level stays ≥ 0");
+
+        // Transplant all suffix checkpoints in one shared-closure copy.
+        let suffix = &trace.checkpoints[ck_from..];
+        let states = suffix[0].1.len();
+        let flat: Vec<NodeRef> = suffix.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        let mapped = self.manager.copy_remapped(&mut manager, &level_map, &flat);
+        let mut checkpoints: Vec<(u32, Vec<NodeRef>)> = suffix
+            .iter()
+            .zip(mapped.chunks(states))
+            .map(|(&(j, _), chunk)| (j, chunk.to_vec()))
+            .collect();
+
+        // Re-unroll only the prefix before the resumed checkpoint.
+        let start_level = new_steps[..c]
+            .iter()
+            .filter(|s| matches!(s, StreamStep::Read { tuple: Some(_), .. }))
+            .count();
+        let mut prefix = Vec::new();
+        let cur = unroll_backward(
+            &mut manager,
+            &new_steps[..c],
+            k,
+            start_level,
+            checkpoints[0].1.clone(),
+            Some(&mut prefix),
+        );
+        let nbits = u32::from(k) + 1;
+        let root = cur[encode_state(0, nbits)];
+        prefix.reverse();
+        prefix.append(&mut checkpoints);
+        Some(DegenerateLineage {
+            manager,
+            root,
+            split: l,
+            trace: Some(UnrollTrace {
+                checkpoints: prefix,
+            }),
+        })
+    }
+}
+
+/// Compact state index → automaton state (witness bits, then `r`/`t`/
+/// `prev` latches).
+fn decode_state(idx: usize, nbits: u32) -> u32 {
+    let idx = idx as u32;
+    let mut s = idx & ((1 << nbits) - 1);
+    if idx & (1 << nbits) != 0 {
+        s |= automaton::R_BIT;
+    }
+    if idx & (1 << (nbits + 1)) != 0 {
+        s |= automaton::T_BIT;
+    }
+    if idx & (1 << (nbits + 2)) != 0 {
+        s |= automaton::PREV_BIT;
+    }
+    s
+}
+
+/// Automaton state → compact state index; inverse of [`decode_state`].
+fn encode_state(s: u32, nbits: u32) -> usize {
+    let mut idx = witnesses(s);
+    if s & automaton::R_BIT != 0 {
+        idx |= 1 << nbits;
+    }
+    if s & automaton::T_BIT != 0 {
+        idx |= 1 << (nbits + 1);
+    }
+    if s & automaton::PREV_BIT != 0 {
+        idx |= 1 << (nbits + 2);
+    }
+    idx as usize
+}
+
+/// The backward pass shared by full compilation and incremental
+/// patching: starting from `cur` = the per-state OBDD vector for the
+/// residual stream `steps[len..]` (with `start_level` present reads in
+/// `steps`), processes `steps` back-to-front and returns the vector for
+/// the whole of `steps`. When `checkpoints` is provided, the vector is
+/// snapshotted after every *group* reset step (pushed in descending
+/// step order).
+fn unroll_backward(
+    manager: &mut ObddManager,
+    steps: &[StreamStep],
+    k: u8,
+    start_level: usize,
+    mut cur: Vec<NodeRef>,
+    mut checkpoints: Option<&mut Vec<(u32, Vec<NodeRef>)>>,
+) -> Vec<NodeRef> {
+    let nbits = u32::from(k) + 1;
+    let total_states = cur.len();
+    let mut next = vec![NodeRef::FALSE; total_states];
+    let mut level = start_level;
+    for (j, &step) in steps.iter().enumerate().rev() {
+        match step {
+            StreamStep::Read { op, tuple: Some(_) } => {
+                level -= 1;
+                for (idx, slot) in next.iter_mut().enumerate() {
+                    let s = decode_state(idx, nbits);
+                    let lo = cur[encode_state(automaton::read(s, op, false, k), nbits)];
+                    let hi = cur[encode_state(automaton::read(s, op, true, k), nbits)];
+                    *slot = manager.mk(level as u32, lo, hi);
+                }
+            }
+            StreamStep::Read { op, tuple: None } => {
+                for (idx, slot) in next.iter_mut().enumerate() {
+                    let s = decode_state(idx, nbits);
+                    *slot = cur[encode_state(automaton::read(s, op, false, k), nbits)];
+                }
+            }
+            reset_step => {
+                for (idx, slot) in next.iter_mut().enumerate() {
+                    let s = decode_state(idx, nbits);
+                    *slot = cur[encode_state(automaton::reset(s, reset_step), nbits)];
+                }
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if let Some(cks) = checkpoints.as_deref_mut() {
+            if matches!(
+                step,
+                StreamStep::ResetLeftGroup | StreamStep::ResetRightGroup
+            ) {
+                cks.push((j as u32, cur.clone()));
+            }
+        }
+    }
+    debug_assert_eq!(level, 0, "every variable level consumed");
+    cur
 }
 
 /// A reusable compiler for a fixed database and split variable `l`:
@@ -131,6 +380,27 @@ impl SplitCompiler {
     /// Unrolls the product automaton for `psi` (which must not depend on
     /// the split variable) into a reduced OBDD; `O(2^k · |D|)`.
     pub fn compile(&mut self, psi: &BoolFn) -> Result<NodeRef, LineageError> {
+        Ok(self.compile_inner(psi, None)?[encode_state(0, u32::from(self.k) + 1)])
+    }
+
+    /// [`compile`](Self::compile), additionally recording the unroll
+    /// checkpoints that make the result patchable under single-tuple
+    /// updates.
+    fn compile_with_trace(&mut self, psi: &BoolFn) -> Result<(NodeRef, UnrollTrace), LineageError> {
+        let mut checkpoints = Vec::new();
+        let cur = self.compile_inner(psi, Some(&mut checkpoints))?;
+        checkpoints.reverse();
+        Ok((
+            cur[encode_state(0, u32::from(self.k) + 1)],
+            UnrollTrace { checkpoints },
+        ))
+    }
+
+    fn compile_inner(
+        &mut self,
+        psi: &BoolFn,
+        mut checkpoints: Option<&mut Vec<(u32, Vec<NodeRef>)>>,
+    ) -> Result<Vec<NodeRef>, LineageError> {
         if psi.k() != self.k {
             return Err(LineageError::VocabularyMismatch {
                 expected: psi.k(),
@@ -144,78 +414,31 @@ impl SplitCompiler {
         let num_levels = self.manager.order().len();
 
         // Compact state indexing: witness bits 0..=k, then r/t/prev.
+        // `cur[idx]` = OBDD of the residual stream as a function of the
+        // remaining tuple variables, per automaton state — seeded with
+        // the per-state terminal vector `psi(witnesses)`.
         let nbits = u32::from(k) + 1;
         let total_states = 1usize << (nbits + 3);
-        let decode = |idx: usize| -> u32 {
-            let idx = idx as u32;
-            let mut s = idx & ((1 << nbits) - 1);
-            if idx & (1 << nbits) != 0 {
-                s |= automaton::R_BIT;
-            }
-            if idx & (1 << (nbits + 1)) != 0 {
-                s |= automaton::T_BIT;
-            }
-            if idx & (1 << (nbits + 2)) != 0 {
-                s |= automaton::PREV_BIT;
-            }
-            s
-        };
-        let encode = |s: u32| -> usize {
-            let mut idx = witnesses(s);
-            if s & automaton::R_BIT != 0 {
-                idx |= 1 << nbits;
-            }
-            if s & automaton::T_BIT != 0 {
-                idx |= 1 << (nbits + 1);
-            }
-            if s & automaton::PREV_BIT != 0 {
-                idx |= 1 << (nbits + 2);
-            }
-            idx as usize
-        };
-
-        // Backward pass: `cur[idx]` = OBDD of the residual stream as a
-        // function of the remaining tuple variables, per automaton state.
-        let mut cur: Vec<NodeRef> = (0..total_states)
+        let terminal: Vec<NodeRef> = (0..total_states)
             .map(|idx| {
-                if psi.eval(witnesses(decode(idx))) {
+                if psi.eval(witnesses(decode_state(idx, nbits))) {
                     NodeRef::TRUE
                 } else {
                     NodeRef::FALSE
                 }
             })
             .collect();
-        let mut next = vec![NodeRef::FALSE; total_states];
-        let mut level = num_levels;
-
-        for &step in self.steps.iter().rev() {
-            match step {
-                StreamStep::Read { op, tuple: Some(_) } => {
-                    level -= 1;
-                    for (idx, slot) in next.iter_mut().enumerate() {
-                        let s = decode(idx);
-                        let lo = cur[encode(automaton::read(s, op, false, k))];
-                        let hi = cur[encode(automaton::read(s, op, true, k))];
-                        *slot = self.manager.mk(level as u32, lo, hi);
-                    }
-                }
-                StreamStep::Read { op, tuple: None } => {
-                    for (idx, slot) in next.iter_mut().enumerate() {
-                        let s = decode(idx);
-                        *slot = cur[encode(automaton::read(s, op, false, k))];
-                    }
-                }
-                reset_step => {
-                    for (idx, slot) in next.iter_mut().enumerate() {
-                        let s = decode(idx);
-                        *slot = cur[encode(automaton::reset(s, reset_step))];
-                    }
-                }
-            }
-            std::mem::swap(&mut cur, &mut next);
+        if let Some(cks) = checkpoints.as_deref_mut() {
+            cks.push((self.steps.len() as u32, terminal.clone()));
         }
-        debug_assert_eq!(level, 0, "every variable level consumed");
-        Ok(cur[encode(0)])
+        Ok(unroll_backward(
+            &mut self.manager,
+            &self.steps,
+            k,
+            num_levels,
+            terminal,
+            checkpoints,
+        ))
     }
 }
 
@@ -239,11 +462,12 @@ pub fn compile_degenerate_obdd(
     }
     let l = psi.independent_var().ok_or(LineageError::NotDegenerate)?;
     let mut compiler = SplitCompiler::new(db, l);
-    let root = compiler.compile(psi)?;
+    let (root, trace) = compiler.compile_with_trace(psi)?;
     Ok(DegenerateLineage {
         manager: compiler.into_manager(),
         root,
         split: l,
+        trace: Some(trace),
     })
 }
 
@@ -290,11 +514,7 @@ pub fn compile_degenerate_obdd_apply(
         }
         psi.eval(mask)
     });
-    Ok(DegenerateLineage {
-        manager,
-        root,
-        split: l,
-    })
+    Ok(DegenerateLineage::new(manager, root, l))
 }
 
 #[cfg(test)]
@@ -515,6 +735,162 @@ mod tests {
             compiler.compile(&BoolFn::var(3, 1)).unwrap_err(),
             LineageError::NotDegenerate
         );
+    }
+
+    /// The patched lineage must be **bit-identical** to a fresh compile:
+    /// canonicity per order means equal reduced DAGs, and every walk
+    /// depends only on the DAG — so exact probabilities are equal and
+    /// f64 walks agree to the bit.
+    fn assert_patch_matches_fresh(psi: &BoolFn, old_db: &Database, new_db: &Database) {
+        let lin = compile_degenerate_obdd(psi, old_db).expect("compiles");
+        let patched = lin.patched(old_db, new_db).expect("single-slot patch");
+        let fresh = compile_degenerate_obdd(psi, new_db).expect("compiles");
+        assert_eq!(patched.split, fresh.split);
+        assert_eq!(patched.manager.order(), fresh.manager.order());
+        for world in 0..(1u64 << new_db.len()) {
+            assert_eq!(
+                patched
+                    .manager
+                    .eval(patched.root, &|v| (world >> v) & 1 == 1),
+                fresh.manager.eval(fresh.root, &|v| (world >> v) & 1 == 1),
+                "world={world:#b}"
+            );
+        }
+        let p = |v: u32| 0.05 + 0.9 * f64::from(v + 1) / f64::from(new_db.len() as u32 + 1);
+        assert_eq!(
+            patched.manager.probability_f64(patched.root, &p).to_bits(),
+            fresh.manager.probability_f64(fresh.root, &p).to_bits(),
+            "bit-identical probability walks"
+        );
+        assert!(patched.is_patchable(), "patches stay patchable");
+    }
+
+    #[test]
+    fn patched_insert_matches_fresh_compile_everywhere() {
+        // Start from a complete instance minus one tuple, insert it
+        // back — for every possible missing tuple and several ψ (so the
+        // flipped slot ranges over Π_L, Π_R, and out-of-stream).
+        let full = complete_database(2, 2);
+        let functions = [
+            &BoolFn::var(3, 0) & &!&BoolFn::var(3, 2), // split l = 1
+            &BoolFn::var(3, 1) ^ &BoolFn::var(3, 2),   // split l = 0: R out of stream
+            &BoolFn::var(3, 0) | &BoolFn::var(3, 1),   // split l = 2: T out of stream
+        ];
+        for (_, missing) in full.iter() {
+            let mut old_db = Database::new(2, 2);
+            for (_, desc) in full.iter() {
+                if desc != missing {
+                    old_db.insert(desc).unwrap();
+                }
+            }
+            let mut new_db = old_db.clone();
+            new_db.insert(missing).unwrap();
+            for psi in &functions {
+                assert_patch_matches_fresh(psi, &old_db, &new_db);
+            }
+        }
+    }
+
+    #[test]
+    fn patched_remove_matches_fresh_compile_everywhere() {
+        // Removal also renumbers every later tuple id — the remap must
+        // track both the level shift and the new order.
+        let full = complete_database(2, 2);
+        let functions = [
+            &BoolFn::var(3, 0) & &!&BoolFn::var(3, 2),
+            &BoolFn::var(3, 1) ^ &BoolFn::var(3, 2),
+            &BoolFn::var(3, 0) | &BoolFn::var(3, 1),
+        ];
+        for (id, _) in full.iter() {
+            let old_db = full.clone();
+            let mut new_db = full.clone();
+            new_db.remove(id).unwrap();
+            for psi in &functions {
+                assert_patch_matches_fresh(psi, &old_db, &new_db);
+            }
+        }
+    }
+
+    #[test]
+    fn patched_update_streams_on_sparse_instances() {
+        // Random insert/remove walks starting from sparse instances,
+        // patching step over step (patch-of-patch composition).
+        let mut rng = StdRng::seed_from_u64(41);
+        let psi = &BoolFn::var(3, 0) ^ &BoolFn::var(3, 2); // split l = 1
+        for _ in 0..5 {
+            let mut db = random_database(
+                &DbGenConfig {
+                    k: 2,
+                    domain_size: 2,
+                    density: 0.4,
+                    prob_denominator: 10,
+                },
+                &mut rng,
+            );
+            let mut lin = compile_degenerate_obdd(&psi, &db).unwrap();
+            let all = complete_database(2, 2);
+            for step in 0..6 {
+                let old_db = db.clone();
+                // Alternate: insert a missing tuple, then remove some tuple.
+                if step % 2 == 0 {
+                    let missing = all
+                        .iter()
+                        .map(|(_, d)| d)
+                        .find(|&d| db.tuple_id(d).is_none());
+                    match missing {
+                        Some(d) => {
+                            db.insert(d).unwrap();
+                        }
+                        None => continue,
+                    }
+                } else if db.len() > 1 {
+                    db.remove(TupleId((step * 7) as u32 % db.len() as u32))
+                        .unwrap();
+                } else {
+                    continue;
+                }
+                lin = lin.patched(&old_db, &db).expect("one tuple changed");
+                let fresh = compile_degenerate_obdd(&psi, &db).unwrap();
+                for world in 0..(1u64 << db.len()) {
+                    assert_eq!(
+                        lin.manager.eval(lin.root, &|v| (world >> v) & 1 == 1),
+                        fresh.manager.eval(fresh.root, &|v| (world >> v) & 1 == 1),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patched_rejects_what_it_cannot_patch() {
+        let db = complete_database(2, 2);
+        let psi = &BoolFn::var(3, 0) & &!&BoolFn::var(3, 2);
+        let lin = compile_degenerate_obdd(&psi, &db).unwrap();
+        // Two tuples removed at once: more than one slot flips.
+        let mut two_gone = db.clone();
+        two_gone.remove(TupleId(0)).unwrap();
+        two_gone.remove(TupleId(0)).unwrap();
+        assert!(lin.patched(&db, &two_gone).is_none());
+        // Mismatched k or domain.
+        assert!(lin.patched(&db, &complete_database(3, 2)).is_none());
+        assert!(lin.patched(&db, &complete_database(2, 3)).is_none());
+        // `old_db` that is not the compile-time database.
+        let mut other = db.clone();
+        other.remove(TupleId(3)).unwrap();
+        assert!(lin.patched(&other, &db).is_none());
+        // Trace-less lineages (the deserialization constructor) refuse.
+        let bare = DegenerateLineage::new(
+            ObddManager::new(lin.manager.order().to_vec()),
+            NodeRef::FALSE,
+            lin.split,
+        );
+        assert!(!bare.is_patchable());
+        let mut one_gone = db.clone();
+        one_gone.remove(TupleId(0)).unwrap();
+        assert!(bare.patched(&db, &one_gone).is_none());
+        // The apply-route ablation records no trace either.
+        let ablation = compile_degenerate_obdd_apply(&psi, &db).unwrap();
+        assert!(!ablation.is_patchable());
     }
 
     #[test]

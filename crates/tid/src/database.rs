@@ -60,6 +60,8 @@ pub enum DatabaseError {
     BadConstant(u32),
     /// The tuple was already inserted.
     DuplicateTuple(TupleDesc),
+    /// No tuple with this id exists (removal of a dangling id).
+    UnknownTuple(TupleId),
 }
 
 impl fmt::Display for DatabaseError {
@@ -68,6 +70,7 @@ impl fmt::Display for DatabaseError {
             DatabaseError::BadRelationIndex(i) => write!(f, "relation index S{i} out of range"),
             DatabaseError::BadConstant(c) => write!(f, "constant {c} outside the domain"),
             DatabaseError::DuplicateTuple(t) => write!(f, "duplicate tuple {t}"),
+            DatabaseError::UnknownTuple(id) => write!(f, "no tuple with id {}", id.0),
         }
     }
 }
@@ -164,6 +167,38 @@ impl Database {
         }
         self.tuples.push(tuple);
         Ok(id)
+    }
+
+    /// Removes a tuple, returning its description. Tuple ids stay dense:
+    /// every id above the removed one shifts down by one, exactly
+    /// mirroring how re-inserting the remaining tuples in order would
+    /// number them — so downstream shape comparisons and incremental
+    /// artifact patches see the same ids a fresh build would.
+    pub fn remove(&mut self, id: TupleId) -> Result<TupleDesc, DatabaseError> {
+        if id.0 as usize >= self.tuples.len() {
+            return Err(DatabaseError::UnknownTuple(id));
+        }
+        let removed = self.tuples.remove(id.0 as usize);
+        self.r.clear();
+        self.t.clear();
+        for rel in &mut self.s {
+            rel.clear();
+        }
+        for (i, &tuple) in self.tuples.iter().enumerate() {
+            let id = TupleId(i as u32);
+            match tuple {
+                TupleDesc::R(a) => {
+                    self.r.insert(a, id);
+                }
+                TupleDesc::S(j, a, b) => {
+                    self.s[usize::from(j) - 1].insert((a, b), id);
+                }
+                TupleDesc::T(b) => {
+                    self.t.insert(b, id);
+                }
+            }
+        }
+        Ok(removed)
     }
 
     /// Looks up `R(a)`.
@@ -281,6 +316,35 @@ mod tests {
         }
         let ids: Vec<u32> = db.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_shifts_ids_like_a_fresh_build() {
+        let mut db = Database::new(2, 3);
+        db.insert(TupleDesc::R(0)).unwrap();
+        db.insert(TupleDesc::S(1, 0, 2)).unwrap();
+        db.insert(TupleDesc::S(2, 1, 1)).unwrap();
+        db.insert(TupleDesc::T(2)).unwrap();
+        assert_eq!(db.remove(TupleId(1)).unwrap(), TupleDesc::S(1, 0, 2));
+        // Later ids shifted down; lookups agree with the new numbering.
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.s_tuple(1, 0, 2), None);
+        assert_eq!(db.s_tuple(2, 1, 1), Some(TupleId(1)));
+        assert_eq!(db.t_tuple(2), Some(TupleId(2)));
+        assert_eq!(db.describe(TupleId(2)), TupleDesc::T(2));
+        // Same shape as building the remainder from scratch.
+        let mut fresh = Database::new(2, 3);
+        fresh.insert(TupleDesc::R(0)).unwrap();
+        fresh.insert(TupleDesc::S(2, 1, 1)).unwrap();
+        fresh.insert(TupleDesc::T(2)).unwrap();
+        assert!(db.same_shape(&fresh));
+        // Dangling ids are typed errors, and remove-then-reinsert is
+        // an identity on the id assignment.
+        assert_eq!(
+            db.remove(TupleId(3)),
+            Err(DatabaseError::UnknownTuple(TupleId(3)))
+        );
+        assert_eq!(db.insert(TupleDesc::S(1, 0, 2)).unwrap(), TupleId(3));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt;
 
 use intext_numeric::BigRational;
 
-use crate::{Database, TupleId};
+use crate::{Database, DatabaseError, TupleDesc, TupleId};
 
 /// Errors from TID construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -13,6 +13,8 @@ pub enum TidError {
     OutOfRange(TupleId),
     /// Probability vector length differs from the tuple count.
     LengthMismatch { tuples: usize, probs: usize },
+    /// The underlying instance rejected a structural update.
+    Database(DatabaseError),
 }
 
 impl fmt::Display for TidError {
@@ -24,11 +26,18 @@ impl fmt::Display for TidError {
             TidError::LengthMismatch { tuples, probs } => {
                 write!(f, "{probs} probabilities for {tuples} tuples")
             }
+            TidError::Database(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for TidError {}
+
+impl From<DatabaseError> for TidError {
+    fn from(e: DatabaseError) -> Self {
+        TidError::Database(e)
+    }
+}
 
 /// A tuple-independent database: an instance plus a probability per tuple.
 #[derive(Clone, Debug)]
@@ -78,6 +87,28 @@ impl Tid {
         }
         self.probs[id.0 as usize] = p;
         Ok(())
+    }
+
+    /// Inserts a tuple with its probability — the live-update entry
+    /// point. The new tuple takes the next dense [`TupleId`]; validation
+    /// (probability range, duplicates, domain) happens before any state
+    /// changes, so a failed insert leaves the TID untouched.
+    pub fn insert(&mut self, tuple: TupleDesc, p: BigRational) -> Result<TupleId, TidError> {
+        if !p.is_probability() {
+            return Err(TidError::OutOfRange(TupleId(self.db.len() as u32)));
+        }
+        let id = self.db.insert(tuple)?;
+        self.probs.push(p);
+        Ok(id)
+    }
+
+    /// Removes a tuple, returning its description and probability. Ids
+    /// above the removed one shift down by one (see
+    /// [`Database::remove`]); the probability vector shifts with them.
+    pub fn remove(&mut self, id: TupleId) -> Result<(TupleDesc, BigRational), TidError> {
+        let desc = self.db.remove(id)?;
+        let p = self.probs.remove(id.0 as usize);
+        Ok((desc, p))
     }
 
     /// The probability of one possible world, specified as the bitmask of
@@ -167,6 +198,34 @@ mod tests {
         assert!(total.is_one());
         assert_eq!(tid.world_probability(0b11), r(1, 6));
         assert_eq!(tid.world_probability(0b00), r(1, 3));
+    }
+
+    #[test]
+    fn insert_and_remove_keep_probs_aligned() {
+        let mut tid = Tid::new(two_tuple_db(), vec![r(1, 2), r(1, 3)]).unwrap();
+        let id = tid.insert(TupleDesc::T(1), r(1, 5)).unwrap();
+        assert_eq!(id, TupleId(2));
+        assert_eq!(tid.prob(id), &r(1, 5));
+        // Failed inserts are atomic: nothing changed.
+        assert_eq!(
+            tid.insert(TupleDesc::T(1), r(1, 7)).unwrap_err(),
+            TidError::Database(DatabaseError::DuplicateTuple(TupleDesc::T(1)))
+        );
+        assert_eq!(
+            tid.insert(TupleDesc::R(1), r(7, 5)).unwrap_err(),
+            TidError::OutOfRange(TupleId(3))
+        );
+        assert_eq!(tid.len(), 3);
+        // Removal shifts the probability vector with the ids.
+        let (desc, p) = tid.remove(TupleId(0)).unwrap();
+        assert_eq!(desc, TupleDesc::R(0));
+        assert_eq!(p, r(1, 2));
+        assert_eq!(tid.prob(TupleId(0)), &r(1, 3));
+        assert_eq!(tid.prob(TupleId(1)), &r(1, 5));
+        assert_eq!(
+            tid.remove(TupleId(9)).unwrap_err(),
+            TidError::Database(DatabaseError::UnknownTuple(TupleId(9)))
+        );
     }
 
     #[test]

@@ -72,6 +72,36 @@ fn main() {
     );
     assert!(second.cache_hit, "re-weighting must reuse the artifact");
 
+    // Live updates: remove a tuple, then put it back. Each structural
+    // change patches every cached artifact in place (Prop 3.7 group
+    // extension / d-D leaf re-plugging, DESIGN.md §9) — zero
+    // recompiles, and the patched circuit stays exact ground truth.
+    let (desc, p0) = engine
+        .remove_tuple(&mut tid, TupleId(0))
+        .expect("tuple 0 exists");
+    let without = engine.evaluate(&q, &tid).expect("patched artifact");
+    assert_eq!(
+        without,
+        pqe_brute_force(&q, &tid).expect("small instance"),
+        "patched artifact must equal ground truth"
+    );
+    engine
+        .insert_tuple(&mut tid, desc, p0)
+        .expect("the removed tuple fits back");
+    let restored = engine.evaluate(&q, &tid).expect("patched artifact");
+    assert_eq!(restored, reweighted, "same tuples, same probability");
+    assert_eq!(
+        engine.stats().cache_misses,
+        1,
+        "live updates never recompile — the warm-up compile stays the only one"
+    );
+    println!(
+        "live update (remove {desc}, re-insert): P = {without} without it; \
+         {} patches applied, {} recompiles avoided, still 1 compile ever",
+        engine.stats().patches_applied,
+        engine.stats().full_recompiles_avoided,
+    );
+
     // Equivalence demo: the three routes agree bit-for-bit.
     let brute: BigRational = pqe_brute_force(&q, &tid).expect("small instance");
     println!("\nbrute force over 2^{} worlds : {brute}", tid.len());

@@ -11,15 +11,16 @@
 //! drift in the format *or* in the compiler's deterministic output is
 //! caught before it ships. `tests/engine_store.rs` must agree with the
 //! `(φ, shape)` pairs below — it recompiles them fresh and asserts
-//! byte-identical exports.
+//! byte-identical exports. The `delta_*.intx` fixtures pin the update
+//! delta container the live-update API ships (`DESIGN.md` §9).
 
 use std::path::PathBuf;
 
 use intext::boolfn::{phi9, BoolFn};
-use intext::engine::PqeEngine;
+use intext::engine::{PqeEngine, TupleUpdate};
 use intext::numeric::BigRational;
 use intext::query::HQuery;
-use intext::tid::{complete_database, uniform_tid, Database};
+use intext::tid::{complete_database, uniform_tid, Database, TupleId};
 
 /// The two pinned cases: one per artifact kind.
 ///
@@ -55,4 +56,32 @@ fn main() {
         std::fs::write(&path, &blob).expect("fixture file is writable");
         println!("wrote {} ({} bytes)", path.display(), blob.len());
     }
+
+    // Delta fixtures pin the `KIND_DELTA` wire format (DESIGN.md §9):
+    // a remove of tuple 0 from the degenerate-OBDD shape, and the
+    // insert that restores it. Exported against the database each delta
+    // *applies to*, exactly as a live publisher would ship them.
+    let (_, psi, db) = fixtures().swap_remove(0);
+    let q = HQuery::new(psi);
+    let mut tid = uniform_tid(db, BigRational::from_ratio(1, 2));
+    let mut engine = PqeEngine::new();
+    engine.evaluate(&q, &tid).expect("cacheable");
+    let remove = TupleUpdate::Remove { id: 0 };
+    let blob = engine
+        .export_delta(&q, tid.database(), &remove)
+        .expect("cached, so exportable");
+    let path = out.join("delta_remove.intx");
+    std::fs::write(&path, &blob).expect("fixture file is writable");
+    println!("wrote {} ({} bytes)", path.display(), blob.len());
+
+    let (desc, _) = engine
+        .remove_tuple(&mut tid, TupleId(0))
+        .expect("tuple 0 exists");
+    let insert = TupleUpdate::Insert { desc };
+    let blob = engine
+        .export_delta(&q, tid.database(), &insert)
+        .expect("still cached after the patch");
+    let path = out.join("delta_insert.intx");
+    std::fs::write(&path, &blob).expect("fixture file is writable");
+    println!("wrote {} ({} bytes)", path.display(), blob.len());
 }

@@ -77,6 +77,20 @@
 //! assert_eq!(replica.evaluate(&q, &tid).unwrap(), p);
 //! assert_eq!(replica.stats().cache_misses, 0); // loaded, never compiled
 //!
+//! // Live updates patch the cached artifact instead of recompiling:
+//! // removing a tuple contracts the compiled lineage in place, and
+//! // re-inserting extends it back — bit-identical to fresh compiles
+//! // at every step (DESIGN.md §9).
+//! use intext::tid::TupleId;
+//! let mut live = tid.clone();
+//! let (desc, p0) = engine.remove_tuple(&mut live, TupleId(0)).unwrap();
+//! let without = engine.evaluate(&q, &live).unwrap();
+//! assert_eq!(without, pqe_brute_force(&q, &live).unwrap());
+//! engine.insert_tuple(&mut live, desc, p0).unwrap();
+//! assert_eq!(engine.evaluate(&q, &live).unwrap(), p); // same tuples back
+//! assert_eq!(engine.stats().cache_misses, 1); // still just the warm-up
+//! assert!(engine.stats().patches_applied >= 2); // patched, never recompiled
+//!
 //! // The hard region gets an anytime answer: enable sampling, and a
 //! // #P-hard query past the brute-force budget (2^40 worlds here)
 //! // returns an (ε, δ)-bounded Monte-Carlo estimate instead of

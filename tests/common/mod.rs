@@ -1,0 +1,28 @@
+//! Shared constants for the integration-test harness, declared as
+//! `mod common;` by each test binary that needs them (the standard
+//! Cargo integration-test idiom) so one definition pins the statistical
+//! corpus across files.
+#![allow(dead_code)] // not every test binary uses every item
+
+/// Base seed of the statistical corpora: run `r` of a seeded sweep uses
+/// seed `BASE_SEED + r`, so every run is reproducible bit for bit.
+pub const BASE_SEED: u64 = 0xD00D;
+
+/// Seed-corpus size used when `INTEXT_TEST_SEEDS` is unset: large
+/// enough for the binomial tolerances derived at each statistical test,
+/// small enough that a local `cargo test` stays fast.
+pub const DEFAULT_SEEDS: u64 = 50;
+
+/// Number of independently seeded runs per statistical test: the
+/// `INTEXT_TEST_SEEDS` environment variable when set to a positive
+/// integer, [`DEFAULT_SEEDS`] otherwise (unparsable or zero values fall
+/// back rather than fail — a misconfigured knob should never turn a
+/// correctness suite red). CI exports `INTEXT_TEST_SEEDS=400` on the
+/// statistical steps to keep the full corpus; see `DESIGN.md` §8.
+pub fn seed_count() -> u64 {
+    std::env::var("INTEXT_TEST_SEEDS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(DEFAULT_SEEDS)
+}

@@ -4,9 +4,10 @@
 //! * every hard-region `φ` with `k ≤ 2` gets a sampled estimate within
 //!   its advertised `ε` of `pqe_brute_force` (fixed seed, `δ = 10⁻⁶`,
 //!   so a violation is a sampler bug, not bad luck),
-//! * the `(ε, δ)` contract holds statistically: across hundreds of
-//!   independent seeds the violation count stays at or below `δ · R`
-//!   (tolerance documented at the test),
+//! * the `(ε, δ)` contract holds statistically: across the seed corpus
+//!   (`tests/common/mod.rs` — 50 seeds locally, 400 in CI via
+//!   `INTEXT_TEST_SEEDS`) the violation count stays at or below
+//!   `⌊δ · R⌋` (tolerance derived at the test),
 //! * sampling is deterministic — same `(seed, ε, δ)` ⟹ bit-identical
 //!   estimates across repeated calls and engine instances — and
 //!   sharding-invariant: mixed hard/easy batches return the same bits
@@ -29,6 +30,8 @@ use intext::query::{pqe_brute_force, HQuery};
 use intext::tid::{complete_database, uniform_tid, Tid, TupleId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+mod common;
 
 fn half() -> BigRational {
     BigRational::from_ratio(1, 2)
@@ -154,16 +157,24 @@ fn conjectured_hard_region_is_sampled_and_cross_validated() {
 }
 
 /// The statistical contract itself: an `(ε, δ)` estimator may miss by
-/// more than `ε` with probability at most `δ`. Run `R = 400`
-/// independently seeded engines per sampler at `(ε, δ) = (0.15, 0.05)`
-/// and count violations. The binomial mean is `δ · R = 20`; we assert
-/// `violations ≤ 20`, which is tight against the *guarantee* but very
-/// loose against *reality* — the Hoeffding sample count is conservative
-/// by orders of magnitude, so the observed count is 0 for these seeds
-/// (and the fixed base seed makes the run deterministic regardless).
+/// more than `ε` with probability at most `δ`. Run `R` independently
+/// seeded engines per sampler at `(ε, δ) = (0.15, 0.05)` and count
+/// violations; `R` comes from the shared corpus (`common::seed_count`):
+/// 50 locally, 400 in CI via `INTEXT_TEST_SEEDS=400`.
+///
+/// Tolerance, derived for both sizes: under the guarantee, violations
+/// are Binomial(R, p) with p ≤ δ, so the mean is at most `δ · R` —
+/// `2.5` at `R = 50`, `20` at `R = 400` — and we assert
+/// `violations ≤ ⌊δ · R⌋` (`2` and `20` respectively). That is tight
+/// against the *guarantee* but very loose against *reality*: the
+/// Hoeffding sample count is conservative by orders of magnitude, so
+/// the observed count is 0 for every seed in the 400-seed corpus — of
+/// which the 50-seed default is a prefix (`BASE_SEED + r`), so the
+/// small run can never flag anything the full run would not (and the
+/// fixed base seed makes either run deterministic regardless).
 #[test]
 fn violation_rate_respects_delta_for_both_samplers() {
-    const R: u64 = 400;
+    let r_total: u64 = common::seed_count();
     const EPS: f64 = 0.15;
     const DELTA: f64 = 0.05;
     let cases = [
@@ -181,8 +192,8 @@ fn violation_rate_respects_delta_for_both_samplers() {
         let q = HQuery::new(phi);
         let exact = pqe_brute_force(&q, &tid).unwrap().to_f64();
         let mut violations = 0u64;
-        for r in 0..R {
-            let mut engine = sampling_engine(0xD00D + r, EPS, DELTA);
+        for r in 0..r_total {
+            let mut engine = sampling_engine(common::BASE_SEED + r, EPS, DELTA);
             let est = engine.estimate(&q, &tid).unwrap();
             assert_eq!(est.sampler, Some(expected_kind));
             if (est.value - exact).abs() > est.eps {
@@ -190,10 +201,10 @@ fn violation_rate_respects_delta_for_both_samplers() {
             }
         }
         assert!(
-            violations <= (DELTA * R as f64) as u64,
-            "{expected_kind}: {violations} violations out of {R} runs \
-             exceeds δR = {}",
-            DELTA * R as f64
+            violations <= (DELTA * r_total as f64) as u64,
+            "{expected_kind}: {violations} violations out of {r_total} runs \
+             exceeds ⌊δR⌋ = {}",
+            (DELTA * r_total as f64) as u64
         );
     }
 }
