@@ -18,6 +18,9 @@
 //! | `sharding`   | E18/E19    | sharded vs sequential batch; eviction rate vs cache budget |
 //! | `store`      | E20        | persistent-store warm start vs cold compile vs cache hit |
 //! | `kernel`     | E21        | scalar-per-scenario vs lane-batched batch evaluation |
+//! | `sampling`   | E22        | Monte-Carlo samplers: samples/sec and time-to-ε |
+//! | `incremental`| E23        | patching a cached artifact vs recompiling it |
+//! | `serve`      | E24        | served request throughput vs worker count × queue depth |
 
 use intext_tid::{random_database, random_tid, DbGenConfig, Tid};
 use rand::rngs::StdRng;

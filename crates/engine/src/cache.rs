@@ -218,6 +218,17 @@ impl ArtifactCache {
     /// The artifact for `key` *without* bumping recency — the read
     /// serializers use, so exporting a snapshot never perturbs the
     /// eviction order it records.
+    ///
+    /// This is also the probe behind
+    /// [`PqeEngine::prepare_shared`](crate::PqeEngine::prepare_shared),
+    /// which fixes the serve layer's **locking contract**: shared
+    /// (read-locked) probes never reorder the LRU, so recency is driven
+    /// only by exclusive-path traffic ([`get`](Self::get) /
+    /// [`insert`](Self::insert) under `&mut`). Concurrent readers
+    /// therefore agree on eviction order with a sequential engine that
+    /// saw only the exclusive-path accesses — the price is that a
+    /// read-served hit does not refresh its entry, which only matters
+    /// under a budget tight enough to evict between exclusive uses.
     pub fn peek(&self, key: &CacheKey) -> Option<&Arc<Artifact>> {
         self.entries.get(key).map(|slot| &slot.artifact)
     }

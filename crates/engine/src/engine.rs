@@ -400,6 +400,214 @@ fn record_fallback(
     stats.record(record);
 }
 
+/// A planned query whose shared state — the cached `Arc<Artifact>`, the
+/// memoized CNF lattice, or a grounded sampler — has already been
+/// fetched, so evaluation is a **pure function of the prepared state**:
+/// no cache probe, no lock, no `&mut PqeEngine`. This is the unit of
+/// work the serve layer hands its worker pool; `PreparedQuery` is
+/// `Send + Sync`, and many threads may evaluate clones of the same
+/// preparation concurrently.
+///
+/// Obtain one from [`PqeEngine::prepare`] (may compile; needs
+/// `&mut self`) or [`PqeEngine::prepare_shared`] (read-only probe;
+/// `&self`). Every evaluation records one [`QueryStats`] into the
+/// *caller's* [`EngineStats`], so worker-local stats merged back via
+/// [`EngineStats::merge`] equal the counters a sequential engine
+/// evaluating the same requests would report — the invariant the
+/// serve-layer differential tests pin.
+pub struct PreparedQuery {
+    task: Task,
+    /// The lattice came from a read-path memo probe
+    /// ([`PqeEngine::prepare_shared`]) rather than being built by this
+    /// preparation: evaluation records the
+    /// [`EngineStats::extensional_memo_hits`] the write path would have
+    /// counted inside the engine.
+    memo_hit: bool,
+}
+
+/// Reusable lane-kernel scratch for [`PreparedQuery::eval_run_f64`]:
+/// one per worker thread, reused across runs so steady-state batch
+/// evaluation allocates nothing.
+#[derive(Default)]
+pub struct LaneScratch {
+    probs: ProbMatrix,
+    scratch: EvalScratch,
+}
+
+impl LaneScratch {
+    /// Empty scratch; buffers grow to the largest run evaluated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PreparedQuery {
+    /// The backend the planner chose.
+    pub fn plan(&self) -> Plan {
+        self.task.plan
+    }
+
+    /// Whether the artifact came from the cache (always `false` for
+    /// non-cacheable plans).
+    pub fn cache_hit(&self) -> bool {
+        self.task.cache_hit
+    }
+
+    /// Size of the compiled circuit, when the plan is cacheable.
+    pub fn circuit_size(&self) -> Option<usize> {
+        self.task.size
+    }
+
+    /// A preparation for another same-shape scenario sharing this one's
+    /// fetched state: the share is accounted exactly like the engine's
+    /// own batch paths (a cache hit for artifact plans, one
+    /// [`EngineStats::extensional_memo_hits`] for extensional ones,
+    /// zero compile time).
+    pub fn share(&self) -> PreparedQuery {
+        PreparedQuery {
+            task: self.task.shared(),
+            memo_hit: self.task.plan == Plan::Extensional,
+        }
+    }
+
+    /// Exact `PQE(Q_φ)` on `tid`, recording one [`QueryStats`] into
+    /// `stats`. `stream` is the scenario's global batch position (the
+    /// RNG stream under a [`Plan::Sample`] route — pass `0` for a
+    /// standalone query to match [`PqeEngine::evaluate`] bit for bit).
+    pub fn eval_exact(
+        &self,
+        q: &HQuery,
+        tid: &Tid,
+        stream: u64,
+        stats: &mut EngineStats,
+    ) -> BigRational {
+        if self.memo_hit {
+            stats.extensional_memo_hits += 1;
+        }
+        let started = Instant::now();
+        let (p, sample_run) = match &self.task.artifact {
+            Some(artifact) => (artifact.probability_exact(tid), None),
+            None => self.task.eval_fallback_exact(q, tid, stream),
+        };
+        record_fallback(
+            stats,
+            self.task.query_stats(Duration::ZERO),
+            started.elapsed(),
+            sample_run,
+        );
+        p
+    }
+
+    /// Floating-point [`eval_exact`](Self::eval_exact), bit-identical to
+    /// [`PqeEngine::evaluate_f64`] at `stream = 0`.
+    pub fn eval_f64(&self, q: &HQuery, tid: &Tid, stream: u64, stats: &mut EngineStats) -> f64 {
+        if self.memo_hit {
+            stats.extensional_memo_hits += 1;
+        }
+        let started = Instant::now();
+        let (p, sample_run) = match &self.task.artifact {
+            Some(artifact) => (artifact.probability_f64(tid), None),
+            None => self.task.eval_fallback_f64(q, tid, stream),
+        };
+        record_fallback(
+            stats,
+            self.task.query_stats(Duration::ZERO),
+            started.elapsed(),
+            sample_run,
+        );
+        p
+    }
+
+    /// `PQE(Q_φ)` as a uniformly-shaped [`Estimate`], bit-identical to
+    /// [`PqeEngine::estimate`] at `stream = 0`: exact routes come back
+    /// with `eps = delta = 0`, [`Plan::Sample`] routes Monte-Carlo
+    /// bounded.
+    pub fn eval_estimate(
+        &self,
+        q: &HQuery,
+        tid: &Tid,
+        stream: u64,
+        stats: &mut EngineStats,
+    ) -> Estimate {
+        match self.task.plan {
+            Plan::Sample(_) => {
+                let started = Instant::now();
+                let run = self.task.run_sampler(tid, stream);
+                record_fallback(
+                    stats,
+                    self.task.query_stats(Duration::ZERO),
+                    started.elapsed(),
+                    Some(run),
+                );
+                run.estimate
+            }
+            _ => {
+                let started = Instant::now();
+                let value = self.eval_f64(q, tid, stream, stats);
+                Estimate {
+                    value,
+                    eps: 0.0,
+                    delta: 0.0,
+                    samples: 0,
+                    elapsed: started.elapsed(),
+                    sampler: None,
+                    deadline_hit: false,
+                }
+            }
+        }
+    }
+
+    /// Evaluates a contiguous same-shape run of scenarios in f64,
+    /// through the lane-batched kernel when the plan carries an
+    /// artifact — bit-identical to [`PqeEngine::evaluate_batch_f64`] on
+    /// the same run (the kernel's fixed-op-order contract), pushing one
+    /// probability per scenario onto `out` and recording one
+    /// [`QueryStats`] per scenario. `base` is the run's global batch
+    /// offset: scenario `i` of the run samples from RNG stream
+    /// `base + i`, which is what keeps server-side sharding
+    /// bit-identical to a sequential batch at any split.
+    pub fn eval_run_f64(
+        &self,
+        q: &HQuery,
+        tids: &[Tid],
+        base: u64,
+        scratch: &mut LaneScratch,
+        out: &mut Vec<f64>,
+        stats: &mut EngineStats,
+    ) {
+        if tids.is_empty() {
+            return;
+        }
+        match &self.task.artifact {
+            Some(artifact) => PqeEngine::walk_lane_run_f64(
+                artifact,
+                tids,
+                &mut scratch.probs,
+                &mut scratch.scratch,
+                out,
+                stats,
+                |offset| self.task.query_stats_at(offset),
+            ),
+            None => {
+                for (offset, tid) in tids.iter().enumerate() {
+                    if self.task.plan == Plan::Extensional && (offset > 0 || self.memo_hit) {
+                        stats.extensional_memo_hits += 1;
+                    }
+                    let started = Instant::now();
+                    let (p, sample_run) = self.task.eval_fallback_f64(q, tid, base + offset as u64);
+                    out.push(p);
+                    record_fallback(
+                        stats,
+                        self.task.query_stats_at(offset),
+                        started.elapsed(),
+                        sample_run,
+                    );
+                }
+            }
+        }
+    }
+}
+
 impl Default for PqeEngine {
     fn default() -> Self {
         Self::with_config(EngineConfig::default())
@@ -1100,6 +1308,85 @@ impl PqeEngine {
             task.compile_time = started.elapsed();
         }
         Ok(task)
+    }
+
+    /// Prepares `(q, tid)` for pure `&self` evaluation, compiling (and
+    /// caching) the artifact or building the lattice memo when the key
+    /// is cold — the **write path** of the serve layer's locking
+    /// contract (`DESIGN.md` §10): hold the engine exclusively for this
+    /// call, then evaluate the returned [`PreparedQuery`] outside any
+    /// lock. Cache-hit/miss attribution lands in the preparation and is
+    /// recorded at evaluation time, exactly as the engine's own
+    /// `evaluate` records it.
+    pub fn prepare(&mut self, q: &HQuery, tid: &Tid) -> Result<PreparedQuery, EngineError> {
+        Ok(PreparedQuery {
+            task: self.begin_run(q, tid)?,
+            memo_hit: false,
+        })
+    }
+
+    /// The read path of the serve layer's locking contract: plans
+    /// `(q, tid)` and probes the artifact cache / lattice memo
+    /// **without mutating anything** — no compile, no LRU recency bump
+    /// (probes use [`ArtifactCache::peek`]-style reads, so concurrent
+    /// readers never contend on eviction order). Returns:
+    ///
+    /// * `Ok(Some(_))` — the preparation is complete: a cached artifact
+    ///   was resident (accounted as a cache hit), the lattice was
+    ///   memoized, or the plan needs no shared state at all
+    ///   ([`Plan::BruteForce`], and [`Plan::Sample`] — sampler grounding
+    ///   is a deterministic pure function, rebuilt here exactly as the
+    ///   single-query path rebuilds it).
+    /// * `Ok(None)` — the key is cold; escalate to
+    ///   [`prepare`](Self::prepare) under exclusive access. A
+    ///   double-checked re-probe is free: `prepare` re-probes the cache
+    ///   itself, so two racing readers cost one compile, not two.
+    /// * `Err(_)` — no sound plan ([`EngineError`] as from
+    ///   [`plan`](Self::plan)).
+    pub fn prepare_shared(
+        &self,
+        q: &HQuery,
+        tid: &Tid,
+    ) -> Result<Option<PreparedQuery>, EngineError> {
+        let plan = self.plan(q, tid)?;
+        let mut task = Task {
+            plan,
+            artifact: None,
+            lattice: None,
+            sampler: None,
+            size: None,
+            cache_hit: false,
+            compile_time: Duration::ZERO,
+        };
+        let mut memo_hit = false;
+        if plan.is_cacheable() {
+            let key = CacheKey::new(q.phi(), tid.database());
+            match self.cache.peek(&key) {
+                Some(artifact) => {
+                    task.cache_hit = true;
+                    task.size = Some(artifact.size());
+                    task.artifact = Some(Arc::clone(artifact));
+                }
+                None => return Ok(None),
+            }
+        } else if plan == Plan::Extensional {
+            match self.lattices.get(q.phi()) {
+                Some(lat) => {
+                    task.lattice = Some(Arc::clone(lat));
+                    memo_hit = true;
+                }
+                None => return Ok(None),
+            }
+        } else if let Plan::Sample(kind) = plan {
+            let sampling = self
+                .config
+                .sampling
+                .expect("a Sample plan implies sampling is configured");
+            let started = Instant::now();
+            task.sampler = Some(Arc::new(SamplerArtifact::build(kind, q, tid, sampling)));
+            task.compile_time = started.elapsed();
+        }
+        Ok(Some(PreparedQuery { task, memo_hit }))
     }
 
     /// Evaluates `q` on every TID of a workload, amortizing compilation:

@@ -109,8 +109,10 @@ mod stats;
 pub mod store;
 
 pub use cache::{Artifact, ArtifactCache, CacheKey};
-pub use engine::{ConfigError, EngineConfig, EngineError, LoadReport, PqeEngine};
+pub use engine::{
+    ConfigError, EngineConfig, EngineError, LaneScratch, LoadReport, PqeEngine, PreparedQuery,
+};
 pub use plan::{BatchPlan, Explanation, Plan};
 pub use sample::{Estimate, SamplerKind, SamplingConfig};
-pub use stats::{EngineStats, QueryStats};
+pub use stats::{EngineStats, LatencyHistogram, QueryStats, RouteLatency};
 pub use store::{ArtifactKind, StoreError, TupleUpdate, FORMAT_VERSION, MAGIC};

@@ -113,10 +113,166 @@ pub struct EngineStats {
     /// which touches no structure at all — cache keys exclude
     /// probabilities, so every artifact stays valid as-is.
     pub full_recompiles_avoided: u64,
+    /// Per-route latency histograms: one [`LatencyHistogram`] per
+    /// [`Plan`] route, fed one sample (`compile_time + eval_time`) per
+    /// recorded query. Merging adds bucket counts, so a server that
+    /// folds worker-local stats reports the same distribution a
+    /// sequential run of the same requests would.
+    pub route_latency: RouteLatency,
     /// The most recent query's record.
     pub last: Option<QueryStats>,
     /// The most recent sharded batch's plan, if any batch ran.
+    ///
+    /// **Overwrite semantics:** [`merge`](Self::merge) is last-writer-wins
+    /// here — `other.last_batch` replaces `self.last_batch` whenever it is
+    /// `Some`, and is kept otherwise. Callers merging shards (or server
+    /// workers) in submission order therefore end with the batch a
+    /// sequential run would have reported last; merging in any other
+    /// order makes `last_batch` (and `last`) order-dependent, while every
+    /// counter and histogram stays order-independent.
     pub last_batch: Option<BatchPlan>,
+}
+
+/// Number of power-of-two buckets in a [`LatencyHistogram`]: bucket 39
+/// covers `[2^38, 2^39)` ns ≈ up to nine minutes, far beyond any single
+/// query this engine serves.
+const LATENCY_BUCKETS: usize = 40;
+
+/// A power-of-two latency histogram: bucket `i` counts samples whose
+/// latency in nanoseconds lies in `[2^(i-1), 2^i)` (bucket 0 counts
+/// sub-nanosecond samples, the top bucket saturates). Buckets are plain
+/// counters, so merging two histograms is bucket-wise addition — the
+/// property the serve layer relies on to fold worker-local stats into
+/// one server-wide distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Index of the bucket covering `nanos` (saturating at the top).
+    fn bucket_index(nanos: u64) -> usize {
+        let bits = u64::BITS - nanos.leading_zeros();
+        (bits as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_nanos(duration_nanos(latency));
+    }
+
+    /// Records one latency sample given in integer nanoseconds.
+    pub fn record_nanos(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_index(nanos)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counters; bucket `i` covers `[2^(i-1), 2^i)` ns.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Upper bound (in nanoseconds, exclusive) of the bucket containing
+    /// the `q`-quantile sample, or `None` when the histogram is empty.
+    /// `quantile(0.5)` is a p50 upper bound, `quantile(0.99)` a p99
+    /// upper bound — coarse (power-of-two resolution) but merge-stable.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(1u64.checked_shl(i as u32).unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Bucket-wise addition: afterwards every bucket holds the sum of
+    /// both operands' counts, so `count()` adds and quantile bounds are
+    /// those of the combined sample set.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+}
+
+/// One [`LatencyHistogram`] per [`Plan`] route. Total request latency
+/// (`compile_time + eval_time`) is recorded under the route the planner
+/// chose, so a bounded cache shows up as the cacheable routes' tail
+/// (recompiles) and the hard region's cost stays separated from the
+/// polynomial engines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouteLatency {
+    /// Latencies of queries routed to [`Plan::Obdd`].
+    pub obdd: LatencyHistogram,
+    /// Latencies of queries routed to [`Plan::DdCircuit`].
+    pub dd: LatencyHistogram,
+    /// Latencies of queries routed to [`Plan::Extensional`].
+    pub extensional: LatencyHistogram,
+    /// Latencies of queries routed to [`Plan::BruteForce`].
+    pub brute_force: LatencyHistogram,
+    /// Latencies of queries routed to [`Plan::Sample`] (either sampler).
+    pub sample: LatencyHistogram,
+}
+
+impl RouteLatency {
+    /// The histogram for `plan`'s route.
+    pub fn for_plan(&self, plan: Plan) -> &LatencyHistogram {
+        match plan {
+            Plan::Obdd => &self.obdd,
+            Plan::DdCircuit => &self.dd,
+            Plan::Extensional => &self.extensional,
+            Plan::BruteForce => &self.brute_force,
+            Plan::Sample(_) => &self.sample,
+        }
+    }
+
+    fn for_plan_mut(&mut self, plan: Plan) -> &mut LatencyHistogram {
+        match plan {
+            Plan::Obdd => &mut self.obdd,
+            Plan::DdCircuit => &mut self.dd,
+            Plan::Extensional => &mut self.extensional,
+            Plan::BruteForce => &mut self.brute_force,
+            Plan::Sample(_) => &mut self.sample,
+        }
+    }
+
+    /// Samples recorded across all routes; equals the recorder's
+    /// `queries` counter, which the unit tests pin.
+    pub fn total_count(&self) -> u64 {
+        self.obdd.count()
+            + self.dd.count()
+            + self.extensional.count()
+            + self.brute_force.count()
+            + self.sample.count()
+    }
+
+    /// Route-wise [`LatencyHistogram::merge`] (bucket-wise addition).
+    pub fn merge(&mut self, other: &RouteLatency) {
+        self.obdd.merge(&other.obdd);
+        self.dd.merge(&other.dd);
+        self.extensional.merge(&other.extensional);
+        self.brute_force.merge(&other.brute_force);
+        self.sample.merge(&other.sample);
+    }
 }
 
 impl EngineStats {
@@ -149,6 +305,9 @@ impl EngineStats {
         if q.plan.is_cacheable() {
             self.walk_nanos += duration_nanos(q.eval_time);
         }
+        self.route_latency
+            .for_plan_mut(q.plan)
+            .record(q.compile_time + q.eval_time);
         self.last = Some(q);
     }
 
@@ -185,6 +344,7 @@ impl EngineStats {
         self.patches_applied += other.patches_applied;
         self.patch_nanos += other.patch_nanos;
         self.full_recompiles_avoided += other.full_recompiles_avoided;
+        self.route_latency.merge(&other.route_latency);
         if other.last.is_some() {
             self.last = other.last;
         }
@@ -360,5 +520,77 @@ mod tests {
         merged.merge(&EngineStats::default());
         assert_eq!(merged.queries, snapshot);
         assert!(merged.last.is_some());
+    }
+
+    #[test]
+    fn latency_buckets_cover_powers_of_two() {
+        let mut h = LatencyHistogram::default();
+        h.record_nanos(0); // bucket 0
+        h.record_nanos(1); // [1, 2) → bucket 1
+        h.record_nanos(2); // [2, 4) → bucket 2
+        h.record_nanos(3); // [2, 4) → bucket 2
+        h.record_nanos(1_023); // [512, 1024) → bucket 10
+        h.record_nanos(u64::MAX); // saturates into the top bucket
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[10], 1);
+        assert_eq!(h.buckets()[LATENCY_BUCKETS - 1], 1);
+        // Quantile upper bounds are bucket upper bounds.
+        assert_eq!(h.quantile(0.5), Some(4), "p50 lands in the [2,4) bucket");
+        assert_eq!(LatencyHistogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn record_feeds_the_plans_route_histogram() {
+        let mut s = EngineStats::default();
+        s.record(q(Plan::DdCircuit, false));
+        s.record(q(Plan::DdCircuit, true));
+        s.record(q(Plan::BruteForce, false));
+        s.record(QueryStats {
+            samples: 7,
+            ..q(Plan::Sample(SamplerKind::NaiveWorlds), false)
+        });
+        assert_eq!(s.route_latency.dd.count(), 2);
+        assert_eq!(s.route_latency.brute_force.count(), 1);
+        assert_eq!(s.route_latency.sample.count(), 1);
+        assert_eq!(s.route_latency.obdd.count(), 0);
+        // One sample per recorded query, no more, no less.
+        assert_eq!(s.route_latency.total_count(), s.queries);
+        // The sample is compile + eval: 5 µs + 1 µs = 6000 ns → [4096, 8192).
+        assert_eq!(s.route_latency.dd.buckets()[13], 2);
+    }
+
+    #[test]
+    fn histograms_merge_additively_bucket_by_bucket() {
+        let mut a = EngineStats::default();
+        a.record(q(Plan::Obdd, false));
+        a.record(q(Plan::Extensional, false));
+        let mut b = EngineStats::default();
+        b.record(q(Plan::Obdd, true));
+        b.record(QueryStats {
+            eval_time: Duration::from_millis(3),
+            ..q(Plan::Obdd, true)
+        });
+
+        let mut merged = EngineStats::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.route_latency.obdd.count(), 3);
+        assert_eq!(merged.route_latency.extensional.count(), 1);
+        assert_eq!(merged.route_latency.total_count(), merged.queries);
+        // Bucket-wise: the two 6 µs obdd walks sit together, the 3 ms
+        // outlier alone, regardless of merge grouping.
+        let mut expected = LatencyHistogram::default();
+        expected.record_nanos(6_000);
+        expected.record_nanos(6_000);
+        expected.record_nanos(3_005_000);
+        assert_eq!(merged.route_latency.obdd, expected);
+        // Merge order cannot change any histogram (pure addition).
+        let mut reversed = EngineStats::default();
+        reversed.merge(&b);
+        reversed.merge(&a);
+        assert_eq!(reversed.route_latency, merged.route_latency);
     }
 }

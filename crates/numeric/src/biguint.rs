@@ -45,6 +45,14 @@ impl BigUint {
         BigUint { limbs }
     }
 
+    /// The little-endian 32-bit limbs, normalized (no trailing zeros, so
+    /// zero is the empty slice). Round-trips through
+    /// [`from_limbs`](Self::from_limbs) losslessly — the serialization
+    /// form wire codecs use.
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
     /// Number of significant bits (`0` for zero).
     pub fn bits(&self) -> u64 {
         match self.limbs.last() {
@@ -449,6 +457,17 @@ mod tests {
         assert!(BigUint::one().is_one());
         assert_eq!(BigUint::zero().to_string(), "0");
         assert_eq!(BigUint::one().to_string(), "1");
+    }
+
+    #[test]
+    fn limbs_round_trip_through_from_limbs() {
+        assert_eq!(BigUint::zero().limbs(), &[] as &[u32]);
+        let v = big(0x0123_4567_89ab_cdef);
+        assert_eq!(v.limbs(), &[0x89ab_cdef, 0x0123_4567]);
+        assert_eq!(BigUint::from_limbs(v.limbs().to_vec()), v);
+        // from_limbs normalizes, so exposed limbs never carry trailing zeros.
+        let n = BigUint::from_limbs(vec![7, 0, 0]);
+        assert_eq!(n.limbs(), &[7]);
     }
 
     #[test]

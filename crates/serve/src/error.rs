@@ -1,0 +1,103 @@
+//! The serve layer's typed error vocabulary.
+//!
+//! Overload never surfaces as a wrong answer, a panic, or a hang: every
+//! request resolves to exactly one of an answer or one of these errors,
+//! and the backpressure trio ([`ServeError::QueueFull`],
+//! [`ServeError::DeadlineExceeded`], [`ServeError::BudgetExceeded`]) is
+//! the *only* way the server sheds load — the contract the saturation
+//! tests pin.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use intext_engine::EngineError;
+
+/// Why a request did not come back with an answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request outright: the bounded
+    /// queue already holds `capacity` requests. Backpressure, not
+    /// failure — retry after draining, or add workers.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The request's deadline passed while it waited in the queue; the
+    /// worker that picked it up discarded it without evaluating.
+    DeadlineExceeded {
+        /// How long past the deadline the request was when a worker
+        /// finally reached it.
+        late_by: Duration,
+    },
+    /// Admission control rejected a batch larger than the server's
+    /// per-request scenario budget.
+    BudgetExceeded {
+        /// Scenarios the batch asked for.
+        scenarios: usize,
+        /// The configured per-request bound.
+        budget: usize,
+    },
+    /// The submitter cancelled the request before a worker reached it.
+    Cancelled,
+    /// The server is shutting down (or has shut down) and accepts no
+    /// new requests.
+    Closed,
+    /// The planner found no sound backend for the query (vocabulary
+    /// mismatch, or a hard instance beyond the brute-force budget with
+    /// sampling disabled).
+    Engine(EngineError),
+    /// A worker panicked while evaluating this request. The panic is
+    /// contained (other requests and the server survive), but the
+    /// answer is lost; this is a bug, never load shedding.
+    WorkerPanicked,
+}
+
+impl ServeError {
+    /// Whether this error is *backpressure* — deliberate load shedding
+    /// under overload, as opposed to an unsound query or a server bug.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. }
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::BudgetExceeded { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue is full ({capacity} requests)")
+            }
+            ServeError::DeadlineExceeded { late_by } => {
+                write!(f, "deadline exceeded: request was {late_by:?} late")
+            }
+            ServeError::BudgetExceeded { scenarios, budget } => write!(
+                f,
+                "batch of {scenarios} scenarios exceeds the per-request budget of {budget}"
+            ),
+            ServeError::Cancelled => write!(f, "request cancelled by the submitter"),
+            ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::WorkerPanicked => write!(f, "worker panicked while evaluating"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}

@@ -1,0 +1,277 @@
+//! Socket transports: the same [`ServeHandle`] front door, reachable
+//! over TCP or a Unix-domain socket with the [`wire`] frame protocol
+//! (std only — no async runtime, no external crates).
+//!
+//! Threading model: one non-blocking accept loop per listener (polled
+//! so [`ListenerHandle::stop`] and `Drop` can interrupt it), one
+//! blocking thread per connection. Each connection thread speaks
+//! frames synchronously — read a request, push it through the handle
+//! (admission control and all: a remote client sees exactly the same
+//! typed backpressure as an in-process one), write the reply. A
+//! malformed frame closes the connection; it never reaches the engine
+//! and never panics the server.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::server::{Request, Response, ServeHandle};
+use crate::wire::{self, MAX_FRAME_LEN};
+
+/// How often the accept loop re-checks its stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Writes one `u32`-length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&len| len <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary (the
+/// peer hung up between requests), `Err` on a torn frame or an
+/// oversized length prefix.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    // Read the first byte by hand to tell clean EOF (0 bytes at a
+    // boundary) from a frame truncated mid-prefix.
+    let mut got = 0;
+    while got < len_bytes.len() {
+        match r.read(&mut len_bytes[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            wire::WireError::FrameTooLarge(len),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serves one connection until the peer hangs up: decode a request,
+/// run it through `handle` (same admission control as in-process
+/// callers), reply with the response or the typed error. Returns `Err`
+/// only on transport failures or protocol violations — engine and
+/// backpressure errors travel *inside* the protocol.
+pub fn serve_connection<S: Read + Write>(handle: &ServeHandle, stream: &mut S) -> io::Result<()> {
+    loop {
+        let Some(payload) = read_frame(stream)? else {
+            return Ok(());
+        };
+        let reply = match wire::decode_request(&payload) {
+            Ok(request) => handle.request(request),
+            Err(e) => {
+                // Framing is broken — past this point offsets can't be
+                // trusted, so close rather than guess.
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        };
+        let bytes = match &reply {
+            Ok(response) => wire::encode_response(response),
+            Err(err) => wire::encode_error(err),
+        };
+        write_frame(stream, &bytes)?;
+    }
+}
+
+/// Where a listener is bound.
+#[derive(Clone, Debug)]
+pub enum BoundAddr {
+    /// A TCP socket address (with the OS-assigned port when bound to
+    /// port 0).
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A running accept loop. Dropping it (or calling
+/// [`stop`](ListenerHandle::stop)) stops accepting new connections;
+/// already-established connections finish their in-flight exchanges on
+/// their own threads.
+pub struct ListenerHandle {
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    addr: BoundAddr,
+}
+
+impl ListenerHandle {
+    /// Where this listener accepts connections.
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// The bound TCP address, for `TcpStream::connect` in tests
+    /// (`None` for Unix listeners).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self.addr {
+            BoundAddr::Tcp(addr) => Some(addr),
+            #[cfg(unix)]
+            BoundAddr::Unix(_) => None,
+        }
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        #[cfg(unix)]
+        if let BoundAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ListenerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Binds a TCP listener and serves `handle` from it; bind to port 0
+/// for an OS-assigned port ([`ListenerHandle::tcp_addr`] reports it).
+pub fn listen_tcp(handle: ServeHandle, addr: impl ToSocketAddrs) -> io::Result<ListenerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = spawn_accept_loop(Arc::clone(&stop), move |stop| {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                // The accept socket is non-blocking; connections are
+                // served blocking on their own threads.
+                let _ = stream.set_nonblocking(false);
+                let handle = handle.clone();
+                thread::spawn(move || {
+                    let _ = serve_connection(&handle, &mut stream);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => stop.store(true, Ordering::Relaxed),
+        }
+    });
+    Ok(ListenerHandle {
+        stop,
+        accept_thread: Some(accept_thread),
+        addr: BoundAddr::Tcp(local),
+    })
+}
+
+/// Binds a Unix-domain socket at `path` and serves `handle` from it;
+/// the socket file is removed when the listener stops.
+#[cfg(unix)]
+pub fn listen_unix(handle: ServeHandle, path: impl AsRef<Path>) -> io::Result<ListenerHandle> {
+    let path = path.as_ref().to_path_buf();
+    let listener = UnixListener::bind(&path)?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = spawn_accept_loop(Arc::clone(&stop), move |stop| match listener.accept() {
+        Ok((mut stream, _peer)) => {
+            let _ = stream.set_nonblocking(false);
+            let handle = handle.clone();
+            thread::spawn(move || {
+                let _ = serve_connection(&handle, &mut stream);
+            });
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+        Err(_) => stop.store(true, Ordering::Relaxed),
+    });
+    Ok(ListenerHandle {
+        stop,
+        accept_thread: Some(accept_thread),
+        addr: BoundAddr::Unix(path),
+    })
+}
+
+fn spawn_accept_loop(
+    stop: Arc<AtomicBool>,
+    mut step: impl FnMut(&AtomicBool) + Send + 'static,
+) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name("intext-serve-accept".into())
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                step(&stop);
+            }
+        })
+        .expect("spawning the accept thread")
+}
+
+/// A blocking frame-protocol client over any byte stream.
+pub struct RemoteClient<S: Read + Write> {
+    stream: S,
+}
+
+impl RemoteClient<TcpStream> {
+    /// Connects over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(RemoteClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+}
+
+#[cfg(unix)]
+impl RemoteClient<UnixStream> {
+    /// Connects over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(RemoteClient {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+}
+
+impl<S: Read + Write> RemoteClient<S> {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: S) -> Self {
+        RemoteClient { stream }
+    }
+
+    /// One round trip. The outer `Result` is transport health; the
+    /// inner one is the server's verdict (answers and typed
+    /// backpressure both decode losslessly — exact probabilities
+    /// compare `==` against a local engine's).
+    pub fn request(&mut self, req: &Request) -> io::Result<Result<Response, ServeError>> {
+        write_frame(&mut self.stream, &wire::encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        wire::decode_reply(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// The underlying stream (e.g. to set timeouts).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+}

@@ -1,0 +1,748 @@
+//! The length-prefixed binary protocol (std only, no serde).
+//!
+//! Every message is one **frame**: a little-endian `u32` payload length
+//! (capped at [`MAX_FRAME_LEN`]) followed by the payload, whose first
+//! byte is an opcode. Requests use opcodes `0x01..`, responses `0x81..`
+//! with `0xEE` carrying a typed [`ServeError`]. Decoding is **total**:
+//! every byte is validated and malformed input returns a typed
+//! [`WireError`] — the server never panics on hostile frames.
+//!
+//! Exact probabilities cross the wire as sign + numerator/denominator
+//! limbs ([`BigUint::limbs`]), already normalized, so a round trip is
+//! bit-lossless — the property that lets the differential tests compare
+//! remote answers with `==` on [`BigRational`]. Floating-point values
+//! travel as IEEE 754 bits, likewise lossless.
+
+use std::time::Duration;
+
+use intext_boolfn::BoolFn;
+use intext_core::Region;
+use intext_engine::{EngineError, Estimate, SamplerKind};
+use intext_numeric::{BigInt, BigRational, BigUint, Sign};
+use intext_query::HQuery;
+use intext_tid::{Database, Tid, TupleDesc};
+
+use crate::error::ServeError;
+use crate::server::{Request, Response};
+
+/// Protocol version byte, the first payload byte of a `Hello` exchange
+/// is reserved for future use; for now the opcode set is the version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Largest accepted frame payload (64 MiB): big enough for any
+/// realistic snapshot, small enough that a hostile length prefix
+/// cannot OOM the server.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Why a frame failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being read.
+    Truncated,
+    /// The payload has bytes after the last field.
+    TrailingBytes,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A field failed validation (the name says which).
+    BadValue(&'static str),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TrailingBytes => write!(f, "frame has trailing bytes"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::BadValue(what) => write!(f, "invalid field: {what}"),
+            WireError::FrameTooLarge(len) => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- opcodes
+
+const OP_EVALUATE: u8 = 0x01;
+const OP_EVALUATE_F64: u8 = 0x02;
+const OP_ESTIMATE: u8 = 0x03;
+const OP_BATCH: u8 = 0x04;
+const OP_BATCH_F64: u8 = 0x05;
+const OP_SNAPSHOT: u8 = 0x06;
+const OP_PING: u8 = 0x07;
+
+const OP_RESP_EXACT: u8 = 0x81;
+const OP_RESP_F64: u8 = 0x82;
+const OP_RESP_ESTIMATE: u8 = 0x83;
+const OP_RESP_BATCH: u8 = 0x84;
+const OP_RESP_BATCH_F64: u8 = 0x85;
+const OP_RESP_SNAPSHOT: u8 = 0x86;
+const OP_RESP_PONG: u8 = 0x87;
+const OP_RESP_ERROR: u8 = 0xEE;
+
+// ------------------------------------------------------------ primitives
+
+/// Growing payload writer; all integers little-endian.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn with_opcode(op: u8) -> Self {
+        Writer { buf: vec![op] }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("payload fits a frame"));
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+    /// A length prefix for `count` items of at least `min_item_bytes`
+    /// each — rejects hostile counts before any allocation.
+    fn count(&mut self, min_item_bytes: usize) -> Result<usize, WireError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(min_item_bytes) > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        Ok(count)
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+// ------------------------------------------------------------ value codecs
+
+fn put_biguint(w: &mut Writer, v: &BigUint) {
+    let limbs = v.limbs();
+    w.u32(u32::try_from(limbs.len()).expect("limb count fits u32"));
+    for &limb in limbs {
+        w.u32(limb);
+    }
+}
+
+fn get_biguint(r: &mut Reader) -> Result<BigUint, WireError> {
+    let count = r.count(4)?;
+    let mut limbs = Vec::with_capacity(count);
+    for _ in 0..count {
+        limbs.push(r.u32()?);
+    }
+    if limbs.last() == Some(&0) {
+        // from_limbs would normalize, but a non-canonical encoding is a
+        // protocol violation worth surfacing (it breaks byte-level
+        // determinism of re-encoded values).
+        return Err(WireError::BadValue("denormalized limbs"));
+    }
+    Ok(BigUint::from_limbs(limbs))
+}
+
+fn put_rational(w: &mut Writer, v: &BigRational) {
+    w.u8(match v.numer().sign() {
+        Sign::Negative => 1,
+        Sign::Zero | Sign::Positive => 0,
+    });
+    put_biguint(w, v.numer().magnitude());
+    put_biguint(w, v.denom());
+}
+
+fn get_rational(r: &mut Reader) -> Result<BigRational, WireError> {
+    let sign_byte = r.u8()?;
+    let numer_mag = get_biguint(r)?;
+    let denom = get_biguint(r)?;
+    if denom.is_zero() {
+        return Err(WireError::BadValue("zero denominator"));
+    }
+    let sign = match (sign_byte, numer_mag.is_zero()) {
+        (0, true) => Sign::Zero,
+        (0, false) => Sign::Positive,
+        (1, false) => Sign::Negative,
+        _ => return Err(WireError::BadValue("rational sign")),
+    };
+    Ok(BigRational::new(
+        BigInt::from_sign_mag(sign, numer_mag),
+        denom,
+    ))
+}
+
+fn put_query(w: &mut Writer, q: &HQuery) {
+    let phi = q.phi();
+    w.u8(phi.num_vars());
+    let words = phi.words();
+    w.u32(u32::try_from(words.len()).expect("word count fits u32"));
+    for &word in words {
+        w.u64(word);
+    }
+}
+
+fn get_query(r: &mut Reader) -> Result<HQuery, WireError> {
+    let num_vars = r.u8()?;
+    let count = r.count(8)?;
+    let mut words = Vec::with_capacity(count);
+    for _ in 0..count {
+        words.push(r.u64()?);
+    }
+    let phi = BoolFn::from_words(num_vars, words).ok_or(WireError::BadValue("truth table"))?;
+    Ok(HQuery::new(phi))
+}
+
+fn put_tid(w: &mut Writer, tid: &Tid) {
+    let db = tid.database();
+    w.u8(db.k());
+    w.u32(db.domain_size());
+    w.u32(u32::try_from(db.len()).expect("tuple count fits u32"));
+    for (id, desc) in db.iter() {
+        match desc {
+            TupleDesc::R(a) => {
+                w.u8(0);
+                w.u32(a);
+            }
+            TupleDesc::S(i, a, b) => {
+                w.u8(1);
+                w.u8(i);
+                w.u32(a);
+                w.u32(b);
+            }
+            TupleDesc::T(b) => {
+                w.u8(2);
+                w.u32(b);
+            }
+        }
+        put_rational(w, tid.prob(id));
+    }
+}
+
+fn get_tid(r: &mut Reader) -> Result<Tid, WireError> {
+    let k = r.u8()?;
+    if k == 0 {
+        return Err(WireError::BadValue("vocabulary k"));
+    }
+    let domain_size = r.u32()?;
+    let mut db = Database::new(k, domain_size);
+    let count = r.count(6)?;
+    let mut probs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let desc = match r.u8()? {
+            0 => TupleDesc::R(r.u32()?),
+            1 => TupleDesc::S(r.u8()?, r.u32()?, r.u32()?),
+            2 => TupleDesc::T(r.u32()?),
+            _ => return Err(WireError::BadValue("tuple tag")),
+        };
+        db.insert(desc).map_err(|_| WireError::BadValue("tuple"))?;
+        probs.push(get_rational(r)?);
+    }
+    Tid::new(db, probs).map_err(|_| WireError::BadValue("tuple probability"))
+}
+
+fn put_estimate(w: &mut Writer, e: &Estimate) {
+    w.f64(e.value);
+    w.f64(e.eps);
+    w.f64(e.delta);
+    w.u64(e.samples);
+    w.u64(u64::try_from(e.elapsed.as_nanos()).unwrap_or(u64::MAX));
+    w.u8(match e.sampler {
+        None => 0,
+        Some(SamplerKind::KarpLuby) => 1,
+        Some(SamplerKind::NaiveWorlds) => 2,
+    });
+    w.u8(u8::from(e.deadline_hit));
+}
+
+fn get_estimate(r: &mut Reader) -> Result<Estimate, WireError> {
+    Ok(Estimate {
+        value: r.f64()?,
+        eps: r.f64()?,
+        delta: r.f64()?,
+        samples: r.u64()?,
+        elapsed: Duration::from_nanos(r.u64()?),
+        sampler: match r.u8()? {
+            0 => None,
+            1 => Some(SamplerKind::KarpLuby),
+            2 => Some(SamplerKind::NaiveWorlds),
+            _ => return Err(WireError::BadValue("sampler kind")),
+        },
+        deadline_hit: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::BadValue("deadline flag")),
+        },
+    })
+}
+
+fn put_region(w: &mut Writer, region: Region) {
+    w.u8(match region {
+        Region::DegenerateObdd => 0,
+        Region::ZeroEulerDD => 1,
+        Region::HardMonotone => 2,
+        Region::HardByTransfer => 3,
+        Region::ConjecturedHard => 4,
+    });
+}
+
+fn get_region(r: &mut Reader) -> Result<Region, WireError> {
+    Ok(match r.u8()? {
+        0 => Region::DegenerateObdd,
+        1 => Region::ZeroEulerDD,
+        2 => Region::HardMonotone,
+        3 => Region::HardByTransfer,
+        4 => Region::ConjecturedHard,
+        _ => return Err(WireError::BadValue("region")),
+    })
+}
+
+fn put_usize(w: &mut Writer, v: usize) {
+    w.u64(u64::try_from(v).expect("usize fits u64"));
+}
+
+fn get_usize(r: &mut Reader) -> Result<usize, WireError> {
+    usize::try_from(r.u64()?).map_err(|_| WireError::BadValue("size"))
+}
+
+// ---------------------------------------------------------- frame codecs
+
+/// Encodes a request into one frame payload (opcode + body).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w;
+    match req {
+        Request::Evaluate { q, tid } => {
+            w = Writer::with_opcode(OP_EVALUATE);
+            put_query(&mut w, q);
+            put_tid(&mut w, tid);
+        }
+        Request::EvaluateF64 { q, tid } => {
+            w = Writer::with_opcode(OP_EVALUATE_F64);
+            put_query(&mut w, q);
+            put_tid(&mut w, tid);
+        }
+        Request::Estimate { q, tid } => {
+            w = Writer::with_opcode(OP_ESTIMATE);
+            put_query(&mut w, q);
+            put_tid(&mut w, tid);
+        }
+        Request::Batch { q, tids } => {
+            w = Writer::with_opcode(OP_BATCH);
+            put_query(&mut w, q);
+            w.u32(u32::try_from(tids.len()).expect("batch fits u32"));
+            for tid in tids {
+                put_tid(&mut w, tid);
+            }
+        }
+        Request::BatchF64 { q, tids, shards } => {
+            w = Writer::with_opcode(OP_BATCH_F64);
+            put_query(&mut w, q);
+            put_usize(&mut w, *shards);
+            w.u32(u32::try_from(tids.len()).expect("batch fits u32"));
+            for tid in tids {
+                put_tid(&mut w, tid);
+            }
+        }
+        Request::Snapshot => w = Writer::with_opcode(OP_SNAPSHOT),
+        Request::Ping => w = Writer::with_opcode(OP_PING),
+    }
+    w.buf
+}
+
+/// Decodes one frame payload into a request (total: every malformed
+/// byte is a typed [`WireError`]).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let op = r.u8()?;
+    let req = match op {
+        OP_EVALUATE => Request::Evaluate {
+            q: get_query(&mut r)?,
+            tid: get_tid(&mut r)?,
+        },
+        OP_EVALUATE_F64 => Request::EvaluateF64 {
+            q: get_query(&mut r)?,
+            tid: get_tid(&mut r)?,
+        },
+        OP_ESTIMATE => Request::Estimate {
+            q: get_query(&mut r)?,
+            tid: get_tid(&mut r)?,
+        },
+        OP_BATCH => {
+            let q = get_query(&mut r)?;
+            let count = r.count(1)?;
+            let mut tids = Vec::with_capacity(count);
+            for _ in 0..count {
+                tids.push(get_tid(&mut r)?);
+            }
+            Request::Batch { q, tids }
+        }
+        OP_BATCH_F64 => {
+            let q = get_query(&mut r)?;
+            let shards = get_usize(&mut r)?;
+            let count = r.count(1)?;
+            let mut tids = Vec::with_capacity(count);
+            for _ in 0..count {
+                tids.push(get_tid(&mut r)?);
+            }
+            Request::BatchF64 { q, tids, shards }
+        }
+        OP_SNAPSHOT => Request::Snapshot,
+        OP_PING => Request::Ping,
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encodes a successful response into one frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w;
+    match resp {
+        Response::Exact(p) => {
+            w = Writer::with_opcode(OP_RESP_EXACT);
+            put_rational(&mut w, p);
+        }
+        Response::F64(v) => {
+            w = Writer::with_opcode(OP_RESP_F64);
+            w.f64(*v);
+        }
+        Response::Estimate(e) => {
+            w = Writer::with_opcode(OP_RESP_ESTIMATE);
+            put_estimate(&mut w, e);
+        }
+        Response::Batch(ps) => {
+            w = Writer::with_opcode(OP_RESP_BATCH);
+            w.u32(u32::try_from(ps.len()).expect("batch fits u32"));
+            for p in ps {
+                put_rational(&mut w, p);
+            }
+        }
+        Response::BatchF64(vs) => {
+            w = Writer::with_opcode(OP_RESP_BATCH_F64);
+            w.u32(u32::try_from(vs.len()).expect("batch fits u32"));
+            for &v in vs {
+                w.f64(v);
+            }
+        }
+        Response::Snapshot(bytes) => {
+            w = Writer::with_opcode(OP_RESP_SNAPSHOT);
+            w.bytes(bytes);
+        }
+        Response::Pong => w = Writer::with_opcode(OP_RESP_PONG),
+    }
+    w.buf
+}
+
+/// Encodes a typed rejection into one frame payload.
+pub fn encode_error(err: &ServeError) -> Vec<u8> {
+    let mut w = Writer::with_opcode(OP_RESP_ERROR);
+    match err {
+        ServeError::QueueFull { capacity } => {
+            w.u8(1);
+            put_usize(&mut w, *capacity);
+        }
+        ServeError::DeadlineExceeded { late_by } => {
+            w.u8(2);
+            w.u64(u64::try_from(late_by.as_nanos()).unwrap_or(u64::MAX));
+        }
+        ServeError::BudgetExceeded { scenarios, budget } => {
+            w.u8(3);
+            put_usize(&mut w, *scenarios);
+            put_usize(&mut w, *budget);
+        }
+        ServeError::Cancelled => w.u8(4),
+        ServeError::Closed => w.u8(5),
+        ServeError::WorkerPanicked => w.u8(6),
+        ServeError::Engine(EngineError::VocabularyMismatch {
+            query_k,
+            database_k,
+        }) => {
+            w.u8(7);
+            w.u8(*query_k);
+            w.u8(*database_k);
+        }
+        ServeError::Engine(EngineError::Intractable {
+            region,
+            tuples,
+            budget,
+        }) => {
+            w.u8(8);
+            put_region(&mut w, *region);
+            put_usize(&mut w, *tuples);
+            put_usize(&mut w, *budget);
+        }
+    }
+    w.buf
+}
+
+/// Decodes one frame payload into a response or a typed rejection.
+pub fn decode_reply(payload: &[u8]) -> Result<Result<Response, ServeError>, WireError> {
+    let mut r = Reader::new(payload);
+    let op = r.u8()?;
+    let reply = match op {
+        OP_RESP_EXACT => Ok(Response::Exact(get_rational(&mut r)?)),
+        OP_RESP_F64 => Ok(Response::F64(r.f64()?)),
+        OP_RESP_ESTIMATE => Ok(Response::Estimate(get_estimate(&mut r)?)),
+        OP_RESP_BATCH => {
+            let count = r.count(1)?;
+            let mut ps = Vec::with_capacity(count);
+            for _ in 0..count {
+                ps.push(get_rational(&mut r)?);
+            }
+            Ok(Response::Batch(ps))
+        }
+        OP_RESP_BATCH_F64 => {
+            let count = r.count(8)?;
+            let mut vs = Vec::with_capacity(count);
+            for _ in 0..count {
+                vs.push(r.f64()?);
+            }
+            Ok(Response::BatchF64(vs))
+        }
+        OP_RESP_SNAPSHOT => Ok(Response::Snapshot(r.bytes()?.to_vec())),
+        OP_RESP_PONG => Ok(Response::Pong),
+        OP_RESP_ERROR => Err(match r.u8()? {
+            1 => ServeError::QueueFull {
+                capacity: get_usize(&mut r)?,
+            },
+            2 => ServeError::DeadlineExceeded {
+                late_by: Duration::from_nanos(r.u64()?),
+            },
+            3 => ServeError::BudgetExceeded {
+                scenarios: get_usize(&mut r)?,
+                budget: get_usize(&mut r)?,
+            },
+            4 => ServeError::Cancelled,
+            5 => ServeError::Closed,
+            6 => ServeError::WorkerPanicked,
+            7 => ServeError::Engine(EngineError::VocabularyMismatch {
+                query_k: r.u8()?,
+                database_k: r.u8()?,
+            }),
+            8 => ServeError::Engine(EngineError::Intractable {
+                region: get_region(&mut r)?,
+                tuples: get_usize(&mut r)?,
+                budget: get_usize(&mut r)?,
+            }),
+            _ => return Err(WireError::BadValue("error code")),
+        }),
+        other => return Err(WireError::BadOpcode(other)),
+    };
+    r.finish()?;
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_boolfn::phi9;
+    use intext_tid::{complete_database, uniform_tid};
+
+    fn sample_tid() -> Tid {
+        uniform_tid(complete_database(3, 2), BigRational::from_ratio(1, 3))
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let q = HQuery::new(phi9());
+        let tid = sample_tid();
+        let requests = [
+            Request::Evaluate {
+                q: q.clone(),
+                tid: tid.clone(),
+            },
+            Request::EvaluateF64 {
+                q: q.clone(),
+                tid: tid.clone(),
+            },
+            Request::Estimate {
+                q: q.clone(),
+                tid: tid.clone(),
+            },
+            Request::Batch {
+                q: q.clone(),
+                tids: vec![tid.clone(), tid.clone()],
+            },
+            Request::BatchF64 {
+                q: q.clone(),
+                tids: vec![tid.clone()],
+                shards: 4,
+            },
+            Request::Snapshot,
+            Request::Ping,
+        ];
+        for req in &requests {
+            let bytes = encode_request(req);
+            let back = decode_request(&bytes).unwrap();
+            // Request has no PartialEq (Tid doesn't); compare re-encodings,
+            // which are canonical.
+            assert_eq!(encode_request(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_bit_exactly() {
+        let p = BigRational::from_ratio(355, 452);
+        let replies: Vec<Result<Response, ServeError>> = vec![
+            Ok(Response::Exact(p.clone())),
+            Ok(Response::F64(0.1 + 0.2)),
+            Ok(Response::Batch(vec![p.clone(), BigRational::zero()])),
+            Ok(Response::BatchF64(vec![f64::MIN_POSITIVE, 1.0])),
+            Ok(Response::Snapshot(vec![1, 2, 3])),
+            Ok(Response::Pong),
+            Err(ServeError::QueueFull { capacity: 8 }),
+            Err(ServeError::DeadlineExceeded {
+                late_by: Duration::from_micros(17),
+            }),
+            Err(ServeError::BudgetExceeded {
+                scenarios: 100,
+                budget: 10,
+            }),
+            Err(ServeError::Cancelled),
+            Err(ServeError::Closed),
+            Err(ServeError::WorkerPanicked),
+            Err(ServeError::Engine(EngineError::VocabularyMismatch {
+                query_k: 2,
+                database_k: 3,
+            })),
+            Err(ServeError::Engine(EngineError::Intractable {
+                region: Region::HardMonotone,
+                tuples: 99,
+                budget: 20,
+            })),
+        ];
+        for reply in &replies {
+            let bytes = match reply {
+                Ok(resp) => encode_response(resp),
+                Err(err) => encode_error(err),
+            };
+            let back = decode_reply(&bytes).unwrap();
+            match (reply, &back) {
+                (Ok(Response::Exact(a)), Ok(Response::Exact(b))) => assert_eq!(a, b),
+                (Ok(Response::F64(a)), Ok(Response::F64(b))) => {
+                    assert_eq!(a.to_bits(), b.to_bits())
+                }
+                (Ok(Response::Batch(a)), Ok(Response::Batch(b))) => assert_eq!(a, b),
+                (Ok(Response::BatchF64(a)), Ok(Response::BatchF64(b))) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                (Ok(Response::Snapshot(a)), Ok(Response::Snapshot(b))) => assert_eq!(a, b),
+                (Ok(Response::Pong), Ok(Response::Pong)) => {}
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                other => panic!("reply changed shape over the wire: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_round_trip() {
+        let e = Estimate {
+            value: 0.123456789,
+            eps: 0.05,
+            delta: 1e-3,
+            samples: 738,
+            elapsed: Duration::from_nanos(98_765),
+            sampler: Some(SamplerKind::KarpLuby),
+            deadline_hit: true,
+        };
+        let bytes = encode_response(&Response::Estimate(e));
+        match decode_reply(&bytes).unwrap().unwrap() {
+            Response::Estimate(back) => {
+                assert_eq!(back.value.to_bits(), e.value.to_bits());
+                assert_eq!(back.eps.to_bits(), e.eps.to_bits());
+                assert_eq!(back.delta.to_bits(), e.delta.to_bits());
+                assert_eq!(back.samples, e.samples);
+                assert_eq!(back.elapsed, e.elapsed);
+                assert_eq!(back.sampler, e.sampler);
+                assert_eq!(back.deadline_hit, e.deadline_hit);
+            }
+            other => panic!("expected an estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors_not_panics() {
+        assert_eq!(decode_request(&[]).unwrap_err(), WireError::Truncated);
+        assert_eq!(
+            decode_request(&[0x99]).unwrap_err(),
+            WireError::BadOpcode(0x99)
+        );
+        assert_eq!(
+            decode_request(&[OP_PING, 0xFF]).unwrap_err(),
+            WireError::TrailingBytes
+        );
+        // A hostile tuple count cannot force a huge allocation.
+        let mut bad = vec![OP_EVALUATE, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        bad.extend_from_slice(&[1, 4, 0, 0, 0]); // k=1, domain=4
+        bad.extend_from_slice(&u32::MAX.to_le_bytes()); // "4 billion tuples"
+        assert_eq!(decode_request(&bad).unwrap_err(), WireError::Truncated);
+        // Zero denominators are rejected, not a divide-by-zero panic.
+        let mut w = Writer::with_opcode(OP_RESP_EXACT);
+        w.u8(0);
+        w.u32(1);
+        w.u32(5); // numerator 5
+        w.u32(0); // denominator: zero limbs = 0
+        assert_eq!(
+            decode_reply(&w.buf).unwrap_err(),
+            WireError::BadValue("zero denominator")
+        );
+    }
+}

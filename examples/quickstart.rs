@@ -20,6 +20,7 @@ use intext::engine::{EngineConfig, PqeEngine, SamplingConfig};
 use intext::extensional::pqe_extensional;
 use intext::numeric::BigRational;
 use intext::query::{pqe_brute_force, HQuery};
+use intext::serve::{ServeConfig, Server};
 use intext::tid::{
     complete_database, random_database, random_tid, uniform_tid, DbGenConfig, TupleId,
 };
@@ -211,6 +212,32 @@ fn main() {
     println!(
         "hard query estimate: {:.4} ± {} (δ = {}) from {} samples in {:?}",
         est.value, est.eps, est.delta, est.samples, est.elapsed,
+    );
+
+    // PQE-as-a-service (DESIGN.md §10): the same engine behind a
+    // concurrent front door — bounded admission queue, worker pool
+    // walking Arc-shared artifacts, snapshot endpoint — with answers
+    // bit-identical to the direct calls above. `ServeHandle` clones
+    // are the per-client-thread entry point; `intext-serve --tcp`
+    // exposes the same requests over a socket.
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("default engine config is valid");
+    let handle = server.handle();
+    let served = handle
+        .evaluate(&q, &tid)
+        .expect("same query, same instance");
+    assert_eq!(served, int, "served answers are bit-identical");
+    let served_snapshot = handle.snapshot().expect("snapshot endpoint");
+    let stats = server.shutdown();
+    println!(
+        "\nserved: {} == direct engine ✓  ({} queries via the server, \
+         {}-byte snapshot for replicas)",
+        served,
+        stats.queries,
+        served_snapshot.len(),
     );
 
     println!(

@@ -1,0 +1,252 @@
+//! `intext-serve` — the PQE server, as a process.
+//!
+//! ```text
+//! intext-serve --demo                      # embedded workload, then exit
+//! intext-serve --tcp 127.0.0.1:7979        # serve the frame protocol over TCP
+//! intext-serve --unix /tmp/intext.sock     # ... or a Unix-domain socket
+//!     [--workers N] [--queue N] [--batch-budget N] [--deadline-ms N]
+//! ```
+//!
+//! The demo starts an in-process server, pushes a mixed workload
+//! through it (single exact queries, a sharded f64 batch, an estimate,
+//! a cache snapshot), cross-checks every answer against a sequential
+//! engine, and prints the merged stats — a smoke test of the whole
+//! serve stack in one command.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use intext::boolfn::phi9;
+use intext::engine::{EngineConfig, PqeEngine};
+use intext::numeric::BigRational;
+use intext::query::HQuery;
+use intext::serve::{listen_tcp, ServeConfig, Server};
+use intext::tid::{complete_database, uniform_tid, Tid};
+
+#[cfg(unix)]
+use intext::serve::listen_unix;
+
+struct Args {
+    tcp: Option<String>,
+    unix: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    batch_budget: Option<usize>,
+    deadline_ms: Option<u64>,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        unix: None,
+        workers: None,
+        queue: None,
+        batch_budget: None,
+        deadline_ms: None,
+        demo: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--unix" => args.unix = Some(value("--unix")?),
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--queue" => {
+                args.queue = Some(
+                    value("--queue")?
+                        .parse()
+                        .map_err(|e| format!("--queue: {e}"))?,
+                )
+            }
+            "--batch-budget" => {
+                args.batch_budget = Some(
+                    value("--batch-budget")?
+                        .parse()
+                        .map_err(|e| format!("--batch-budget: {e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--demo" => args.demo = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: intext-serve [--demo] [--tcp ADDR] [--unix PATH] \
+                     [--workers N] [--queue N] [--batch-budget N] [--deadline-ms N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if !args.demo && args.tcp.is_none() && args.unix.is_none() {
+        return Err("nothing to do: pass --demo, --tcp ADDR, or --unix PATH".into());
+    }
+    Ok(args)
+}
+
+fn serve_config(args: &Args) -> ServeConfig {
+    let mut config = ServeConfig {
+        engine: EngineConfig::default(),
+        ..ServeConfig::default()
+    };
+    if let Some(workers) = args.workers {
+        config.workers = workers;
+    }
+    if let Some(queue) = args.queue {
+        config.queue_capacity = queue;
+    }
+    config.max_batch_scenarios = args.batch_budget;
+    config.default_deadline = args.deadline_ms.map(Duration::from_millis);
+    config
+}
+
+fn demo(server: &Server) -> Result<(), String> {
+    let handle = server.handle();
+    let q9 = HQuery::new(phi9());
+    let tid = uniform_tid(complete_database(3, 2), BigRational::from_ratio(1, 2));
+    let scenarios: Vec<Tid> = (1..=6)
+        .map(|i| uniform_tid(complete_database(3, 2), BigRational::from_ratio(i, 7)))
+        .collect();
+
+    // Sequential oracle for the cross-check.
+    let mut oracle = PqeEngine::new();
+
+    let served = handle.evaluate(&q9, &tid).map_err(|e| e.to_string())?;
+    let expected = oracle.evaluate(&q9, &tid).map_err(|e| format!("{e}"))?;
+    if served != expected {
+        return Err("served exact answer diverged from the sequential engine".into());
+    }
+    println!("evaluate  φ9: {served} (= sequential engine, bit-identical)");
+
+    let batch = handle
+        .evaluate_batch_f64(&q9, &scenarios, 3)
+        .map_err(|e| e.to_string())?;
+    let expected_batch = oracle
+        .evaluate_batch_sharded_f64(&q9, &scenarios, 3)
+        .map_err(|e| format!("{e}"))?;
+    if batch
+        .iter()
+        .zip(&expected_batch)
+        .any(|(a, b)| a.to_bits() != b.to_bits())
+    {
+        return Err("served batch diverged from the sequential engine".into());
+    }
+    println!(
+        "batch     φ9: {} scenarios across 3 shards, bit-identical to the engine's sharded path",
+        batch.len()
+    );
+
+    let estimate = handle.estimate(&q9, &tid).map_err(|e| e.to_string())?;
+    println!(
+        "estimate  φ9: {:.6} (ε = {}, exact route)",
+        estimate.value, estimate.eps
+    );
+
+    let snapshot = handle.snapshot().map_err(|e| e.to_string())?;
+    let mut replica = PqeEngine::new();
+    let report = replica
+        .load_cache(&snapshot)
+        .map_err(|e| format!("snapshot load: {e}"))?;
+    if replica.evaluate(&q9, &tid).map_err(|e| format!("{e}"))? != expected {
+        return Err("warm-started replica diverged".into());
+    }
+    println!(
+        "snapshot : {} bytes, {} artifacts — replica warm-started, answers bit-identical",
+        snapshot.len(),
+        report.artifacts
+    );
+
+    let stats = handle.stats();
+    println!(
+        "stats    : {} queries ({} obdd / {} d-D / {} extensional / {} brute / {} sampled), \
+         {} cache hits / {} misses",
+        stats.queries,
+        stats.obdd_plans,
+        stats.dd_plans,
+        stats.extensional_plans,
+        stats.brute_force_plans,
+        stats.sample_plans,
+        stats.cache_hits,
+        stats.cache_misses,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("intext-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(serve_config(&args)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("intext-serve: bad engine config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.demo {
+        if let Err(e) = demo(&server) {
+            eprintln!("intext-serve: demo failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        server.shutdown();
+        return ExitCode::SUCCESS;
+    }
+
+    // Keep the listeners alive until the process is killed.
+    let mut listeners = Vec::new();
+    if let Some(addr) = &args.tcp {
+        match listen_tcp(server.handle(), addr.as_str()) {
+            Ok(listener) => {
+                println!(
+                    "intext-serve: listening on tcp {}",
+                    listener.tcp_addr().expect("tcp listener has a tcp addr")
+                );
+                listeners.push(listener);
+            }
+            Err(e) => {
+                eprintln!("intext-serve: tcp bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(unix)]
+    if let Some(path) = &args.unix {
+        match listen_unix(server.handle(), path) {
+            Ok(listener) => {
+                println!("intext-serve: listening on unix {path}");
+                listeners.push(listener);
+            }
+            Err(e) => {
+                eprintln!("intext-serve: unix bind {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    if args.unix.is_some() {
+        eprintln!("intext-serve: --unix is unsupported on this platform");
+        return ExitCode::FAILURE;
+    }
+
+    loop {
+        std::thread::park();
+    }
+}

@@ -19,7 +19,12 @@
 //! paper's Figure 1 region map, routes to the cheapest sound backend
 //! (OBDD, d-D pipeline, lifted inference, or brute force), and caches
 //! compiled lineage artifacts so probability re-weightings are linear
-//! circuit walks instead of recompilations.
+//! circuit walks instead of recompilations. For long-lived deployments,
+//! [`serve`] puts one engine behind a concurrent front door — bounded
+//! admission queue, worker pool evaluating over shared artifacts, typed
+//! backpressure, and a length-prefixed socket protocol — with answers
+//! bit-identical to calling the engine directly (see the `intext-serve`
+//! binary).
 //!
 //! # Quickstart
 //!
@@ -123,4 +128,5 @@ pub use intext_lineage as lineage;
 pub use intext_matching as matching;
 pub use intext_numeric as numeric;
 pub use intext_query as query;
+pub use intext_serve as serve;
 pub use intext_tid as tid;
