@@ -21,6 +21,7 @@
 //! | `sampling`   | E22        | Monte-Carlo samplers: samples/sec and time-to-ε |
 //! | `incremental`| E23        | patching a cached artifact vs recompiling it |
 //! | `serve`      | E24        | served request throughput vs worker count × queue depth |
+//! | `ucq`        | E25        | UCQ routes: lifted vs grounded vs brute across domains |
 
 use intext_tid::{random_database, random_tid, DbGenConfig, Tid};
 use rand::rngs::StdRng;

@@ -22,12 +22,27 @@ pub enum Region {
     /// Dotted gray: non-monotone with `e(φ)` beyond the monotone range
     /// (e.g. `φ_max-Euler`) — conjectured `#P`-hard (Open problem 1).
     ConjecturedHard,
+    /// Off the Figure 1 map: a general query that is not H-shaped but
+    /// passes the Dalvi–Suciu safety test, answered in PTIME by lifted
+    /// (extensional) inference.
+    SafeLifted,
+    /// Off the Figure 1 map: a general query that is neither H-shaped
+    /// nor safe, answered exactly by grounding its lineage to a
+    /// circuit — exponential in the worst case, so budgeted.
+    GroundCircuit,
 }
 
 impl Region {
-    /// Does the paper give a PTIME compilation for this region?
+    /// Is there a PTIME-or-budgeted evaluation for this region (the
+    /// paper's compilations, lifted inference, or a grounded circuit)?
     pub fn is_tractable(self) -> bool {
-        matches!(self, Region::DegenerateObdd | Region::ZeroEulerDD)
+        matches!(
+            self,
+            Region::DegenerateObdd
+                | Region::ZeroEulerDD
+                | Region::SafeLifted
+                | Region::GroundCircuit
+        )
     }
 
     /// Does the paper prove `#P`-hardness for this region?
@@ -106,6 +121,10 @@ mod tests {
         assert!(Region::HardByTransfer.is_proven_hard());
         assert!(!Region::ConjecturedHard.is_proven_hard());
         assert!(!Region::ConjecturedHard.is_tractable());
+        assert!(Region::SafeLifted.is_tractable());
+        assert!(Region::GroundCircuit.is_tractable());
+        assert!(!Region::SafeLifted.is_proven_hard());
+        assert!(!Region::GroundCircuit.is_proven_hard());
     }
 
     #[test]

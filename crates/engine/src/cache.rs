@@ -30,12 +30,21 @@ use intext_tid::{Database, Tid, TupleDesc};
 /// Tuple **probabilities are not part of the key**. That is the entire
 /// point of caching the intensional representation: re-weighting the
 /// TID reuses the artifact, and evaluation is one linear circuit walk.
+///
+/// Grounded-circuit artifacts (general queries off the H map) key on a
+/// canonical query *text* instead of a `φ` table: `ground` carries the
+/// normalized rendering and `phi` holds a fixed placeholder. Ground
+/// keys never collide with H keys, are excluded from snapshot
+/// persistence (the store format is `φ`-addressed), and are skipped by
+/// incremental patching — the artifact simply ages out of the LRU when
+/// its database shape stops recurring.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CacheKey {
     phi: BoolFn,
     k: u8,
     domain_size: u32,
     tuples: Vec<TupleDesc>,
+    ground: Option<Arc<str>>,
 }
 
 impl CacheKey {
@@ -46,7 +55,27 @@ impl CacheKey {
             k: db.k(),
             domain_size: db.domain_size(),
             tuples: db.iter().map(|(_, t)| t).collect(),
+            ground: None,
         }
+    }
+
+    /// Builds a grounded-circuit key from a canonical query rendering on
+    /// `db`'s shape. The `φ` slot holds a placeholder; `is_ground`
+    /// distinguishes these keys wherever `φ`-addressed machinery
+    /// (snapshots, patching) must skip them.
+    pub fn for_ground(text: &str, db: &Database) -> Self {
+        CacheKey {
+            phi: BoolFn::bottom(1),
+            k: db.k(),
+            domain_size: db.domain_size(),
+            tuples: db.iter().map(|(_, t)| t).collect(),
+            ground: Some(Arc::from(text)),
+        }
+    }
+
+    /// `true` iff this key addresses a grounded-circuit artifact.
+    pub fn is_ground(&self) -> bool {
+        self.ground.is_some()
     }
 
     /// The canonical truth table of `φ`.
@@ -393,6 +422,25 @@ mod tests {
         // Different φ table: different key.
         let d = CacheKey::new(&!&phi9(), &db);
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn ground_keys_are_text_addressed_and_disjoint_from_h_keys() {
+        let db = complete_database(3, 2);
+        let a = CacheKey::for_ground("R(x0),S1(x0,x1)", &db);
+        let b = CacheKey::for_ground("R(x0),S1(x0,x1)", &db);
+        assert_eq!(a, b, "Arc<str> compares and hashes by content");
+        assert!(a.is_ground());
+        let c = CacheKey::for_ground("R(x0)", &db);
+        assert_ne!(a, c);
+        // A ground key never equals any H key, even one whose φ matches
+        // the placeholder.
+        let h = CacheKey::new(&intext_boolfn::BoolFn::bottom(1), &db);
+        assert!(!h.is_ground());
+        assert_ne!(a, h);
+        // Shape still participates.
+        let other = CacheKey::for_ground("R(x0),S1(x0,x1)", &complete_database(3, 3));
+        assert_ne!(a, other);
     }
 
     #[test]

@@ -12,10 +12,13 @@ use intext_circuits::{EvalScratch, ProbMatrix, LANES};
 use intext_core::{classify, compile_dd, Region};
 use intext_extensional::{pqe_extensional_with_lattice, pqe_extensional_with_lattice_f64};
 use intext_lattice::{cnf_lattice, QueryLattice};
-use intext_lineage::compile_degenerate_obdd;
+use intext_lineage::{compile_degenerate_obdd, DegenerateLineage};
 use intext_numeric::BigRational;
-use intext_query::{dnf_clause_bound, pqe_brute_force, pqe_brute_force_f64, HQuery};
-use intext_tid::{Tid, TidError, TupleDesc, TupleId};
+use intext_query::{
+    dnf_clause_bound, ground_circuit, is_safe_ucq, lifted_probability, lifted_probability_f64,
+    pqe_brute_force, pqe_brute_force_f64, recognize_h, HQuery, Query, QueryExpr, Ucq,
+};
+use intext_tid::{Relation, Tid, TidError, TupleDesc, TupleId};
 
 use intext_tid::Database;
 
@@ -74,6 +77,13 @@ pub struct EngineConfig {
     /// [`EngineError::Intractable`]. `None` (the default) keeps the
     /// refuse-to-guess behaviour.
     pub sampling: Option<SamplingConfig>,
+    /// General queries that are neither H-shaped nor Dalvi–Suciu safe
+    /// ground their lineage to a circuit ([`Plan::GroundCircuit`]) only
+    /// up to this many tuples; larger instances return
+    /// [`EngineError::GroundingTooLarge`]. Grounding is worst-case
+    /// exponential in the instance, so the budget is the planner's
+    /// promise that an unsafe query cannot silently blow up.
+    pub max_ground_tuples: usize,
 }
 
 impl Default for EngineConfig {
@@ -83,11 +93,84 @@ impl Default for EngineConfig {
             prefer_extensional: false,
             cache_gate_budget: None,
             sampling: None,
+            max_ground_tuples: 64,
         }
     }
 }
 
+/// Step-by-step construction of an [`EngineConfig`], ending in a
+/// validated [`EngineConfigBuilder::build`] — the typed-error
+/// counterpart of writing the struct literal and hoping
+/// [`PqeEngine::with_config`] does not panic.
+///
+/// ```
+/// use intext_engine::{EngineConfig, ConfigError};
+///
+/// let config = EngineConfig::builder()
+///     .max_brute_force_tuples(16)
+///     .prefer_extensional(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.max_brute_force_tuples, 16);
+///
+/// let err = EngineConfig::builder().max_brute_force_tuples(64).build().unwrap_err();
+/// assert_eq!(err, ConfigError::BruteForceBudgetTooLarge { requested: 64 });
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets [`EngineConfig::max_brute_force_tuples`].
+    pub fn max_brute_force_tuples(mut self, tuples: usize) -> Self {
+        self.config.max_brute_force_tuples = tuples;
+        self
+    }
+
+    /// Sets [`EngineConfig::prefer_extensional`].
+    pub fn prefer_extensional(mut self, prefer: bool) -> Self {
+        self.config.prefer_extensional = prefer;
+        self
+    }
+
+    /// Sets [`EngineConfig::cache_gate_budget`].
+    pub fn cache_gate_budget(mut self, budget: Option<usize>) -> Self {
+        self.config.cache_gate_budget = budget;
+        self
+    }
+
+    /// Enables sampling with [`EngineConfig::sampling`]`= Some(sampling)`.
+    pub fn sampling(mut self, sampling: SamplingConfig) -> Self {
+        self.config.sampling = Some(sampling);
+        self
+    }
+
+    /// Sets [`EngineConfig::max_ground_tuples`].
+    pub fn max_ground_tuples(mut self, tuples: usize) -> Self {
+        self.config.max_ground_tuples = tuples;
+        self
+    }
+
+    /// Validates and returns the configuration; every invalid knob
+    /// combination is a typed [`ConfigError`], never a panic.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 impl EngineConfig {
+    /// Starts an [`EngineConfigBuilder`] from the defaults; chain the
+    /// setters and finish with the validating
+    /// [`build`](EngineConfigBuilder::build). The struct-literal style
+    /// (and [`PqeEngine::with_config`] /
+    /// [`PqeEngine::try_with_config`]) keeps working — the builder is
+    /// the path that can never construct an unvalidated config.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
     /// Validates the configuration — the check
     /// [`PqeEngine::try_with_config`] runs before accepting it.
     ///
@@ -185,6 +268,15 @@ pub enum EngineError {
         /// The configured brute-force budget it exceeded.
         budget: usize,
     },
+    /// A general query that is neither H-shaped nor Dalvi–Suciu safe
+    /// must ground its lineage, and the instance exceeds
+    /// [`EngineConfig::max_ground_tuples`].
+    GroundingTooLarge {
+        /// Tuple count of the instance.
+        tuples: usize,
+        /// The configured grounding budget it exceeded.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -205,6 +297,11 @@ impl fmt::Display for EngineError {
                 f,
                 "query classified {region:?} (#P-hard side of Figure 1) and \
                  {tuples} tuples exceed the brute-force budget of {budget}"
+            ),
+            EngineError::GroundingTooLarge { tuples, budget } => write!(
+                f,
+                "query is unsafe and not H-shaped, and {tuples} tuples exceed \
+                 the grounding budget of {budget}"
             ),
         }
     }
@@ -232,10 +329,55 @@ pub struct PqeEngine {
     stats: EngineStats,
 }
 
+/// A [`Query`] resolved into the routing family the planner works
+/// with. Resolution is pure (no engine state): H-shaped queries —
+/// whether built as [`HQuery`] or *recognized* in a parsed general
+/// query — flow into the full Figure 1 machinery (classification,
+/// artifact cache, lane kernel, patching, sampling) with zero extra
+/// work; general queries split by the Dalvi–Suciu safety test.
+enum Resolved {
+    /// H-shaped: `Q_φ` over the chain vocabulary, routed by Figure 1.
+    H(HQuery),
+    /// General and Dalvi–Suciu safe: lifted inference, PTIME, no
+    /// artifact.
+    Lifted {
+        /// The normalized union of conjunctive queries.
+        ucq: Ucq,
+        /// Largest binary-relation index the query mentions, plus one —
+        /// the minimum vocabulary `k` an instance must provide.
+        required_k: u8,
+    },
+    /// General and unsafe (or non-UCQ): ground the lineage to an OBDD
+    /// over raw tuple ids, within [`EngineConfig::max_ground_tuples`].
+    Ground {
+        /// The query expression to ground per instance.
+        expr: QueryExpr,
+        /// Canonical rendering of the normalized expression — the
+        /// text component of the ground [`CacheKey`], so syntactic
+        /// variants of one query share an artifact.
+        text: Arc<str>,
+        /// Minimum vocabulary `k` an instance must provide.
+        required_k: u8,
+    },
+}
+
+impl Resolved {
+    /// The H-query, when this resolution is H-shaped.
+    fn as_h(&self) -> Option<&HQuery> {
+        match self {
+            Resolved::H(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
 /// One scenario's precomputed work order inside a batch: everything the
 /// evaluation loop (or a shard worker) needs so that walking never
 /// touches the cache, the lattice memo, or `&mut self`.
 struct Task {
+    /// The resolved query this task evaluates — shared across a run so
+    /// fallback backends (and shard workers) never re-resolve.
+    query: Arc<Resolved>,
     plan: Plan,
     artifact: Option<Arc<Artifact>>,
     /// The memoized CNF lattice, present iff `plan` is
@@ -258,6 +400,7 @@ impl Task {
     /// lattice, or sampler) instead of fetching its own.
     fn shared(&self) -> Task {
         Task {
+            query: Arc::clone(&self.query),
             plan: self.plan,
             artifact: self.artifact.clone(),
             lattice: self.lattice.clone(),
@@ -324,14 +467,10 @@ impl Task {
     /// `stream` is the scenario's global batch index (used only by
     /// [`Plan::Sample`]); the returned [`SampleRun`] is present iff the
     /// sampler ran.
-    fn eval_fallback_exact(
-        &self,
-        q: &HQuery,
-        tid: &Tid,
-        stream: u64,
-    ) -> (BigRational, Option<SampleRun>) {
+    fn eval_fallback_exact(&self, tid: &Tid, stream: u64) -> (BigRational, Option<SampleRun>) {
         match self.plan {
             Plan::Extensional => {
+                let q = self.query.as_h().expect("extensional plans are H-only");
                 let lat = self
                     .lattice
                     .as_deref()
@@ -341,6 +480,7 @@ impl Task {
                 (p, None)
             }
             Plan::BruteForce => {
+                let q = self.query.as_h().expect("brute force is H-only");
                 let p =
                     pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples");
                 (p, None)
@@ -353,14 +493,24 @@ impl Task {
                     .expect("estimates are finite by construction");
                 (p, Some(run))
             }
-            Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable tasks carry an artifact"),
+            Plan::Lifted => {
+                let Resolved::Lifted { ucq, .. } = &*self.query else {
+                    unreachable!("a Lifted plan carries a lifted resolution")
+                };
+                let p = lifted_probability(ucq, tid).expect("the planner verified the safety test");
+                (p, None)
+            }
+            Plan::Obdd | Plan::DdCircuit | Plan::GroundCircuit => {
+                unreachable!("cacheable tasks carry an artifact")
+            }
         }
     }
 
     /// Floating-point [`eval_fallback_exact`](Self::eval_fallback_exact).
-    fn eval_fallback_f64(&self, q: &HQuery, tid: &Tid, stream: u64) -> (f64, Option<SampleRun>) {
+    fn eval_fallback_f64(&self, tid: &Tid, stream: u64) -> (f64, Option<SampleRun>) {
         match self.plan {
             Plan::Extensional => {
+                let q = self.query.as_h().expect("extensional plans are H-only");
                 let lat = self
                     .lattice
                     .as_deref()
@@ -370,6 +520,7 @@ impl Task {
                 (p, None)
             }
             Plan::BruteForce => {
+                let q = self.query.as_h().expect("brute force is H-only");
                 let p = pqe_brute_force_f64(q, tid)
                     .expect("planner bounds the instance below 64 tuples");
                 (p, None)
@@ -378,7 +529,17 @@ impl Task {
                 let run = self.run_sampler(tid, stream);
                 (run.estimate.value, Some(run))
             }
-            Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable tasks carry an artifact"),
+            Plan::Lifted => {
+                let Resolved::Lifted { ucq, .. } = &*self.query else {
+                    unreachable!("a Lifted plan carries a lifted resolution")
+                };
+                let p =
+                    lifted_probability_f64(ucq, tid).expect("the planner verified the safety test");
+                (p, None)
+            }
+            Plan::Obdd | Plan::DdCircuit | Plan::GroundCircuit => {
+                unreachable!("cacheable tasks carry an artifact")
+            }
         }
     }
 }
@@ -470,24 +631,18 @@ impl PreparedQuery {
         }
     }
 
-    /// Exact `PQE(Q_φ)` on `tid`, recording one [`QueryStats`] into
+    /// Exact `PQE(Q)` on `tid`, recording one [`QueryStats`] into
     /// `stats`. `stream` is the scenario's global batch position (the
     /// RNG stream under a [`Plan::Sample`] route — pass `0` for a
     /// standalone query to match [`PqeEngine::evaluate`] bit for bit).
-    pub fn eval_exact(
-        &self,
-        q: &HQuery,
-        tid: &Tid,
-        stream: u64,
-        stats: &mut EngineStats,
-    ) -> BigRational {
+    pub fn eval_exact(&self, tid: &Tid, stream: u64, stats: &mut EngineStats) -> BigRational {
         if self.memo_hit {
             stats.extensional_memo_hits += 1;
         }
         let started = Instant::now();
         let (p, sample_run) = match &self.task.artifact {
             Some(artifact) => (artifact.probability_exact(tid), None),
-            None => self.task.eval_fallback_exact(q, tid, stream),
+            None => self.task.eval_fallback_exact(tid, stream),
         };
         record_fallback(
             stats,
@@ -500,14 +655,14 @@ impl PreparedQuery {
 
     /// Floating-point [`eval_exact`](Self::eval_exact), bit-identical to
     /// [`PqeEngine::evaluate_f64`] at `stream = 0`.
-    pub fn eval_f64(&self, q: &HQuery, tid: &Tid, stream: u64, stats: &mut EngineStats) -> f64 {
+    pub fn eval_f64(&self, tid: &Tid, stream: u64, stats: &mut EngineStats) -> f64 {
         if self.memo_hit {
             stats.extensional_memo_hits += 1;
         }
         let started = Instant::now();
         let (p, sample_run) = match &self.task.artifact {
             Some(artifact) => (artifact.probability_f64(tid), None),
-            None => self.task.eval_fallback_f64(q, tid, stream),
+            None => self.task.eval_fallback_f64(tid, stream),
         };
         record_fallback(
             stats,
@@ -518,17 +673,11 @@ impl PreparedQuery {
         p
     }
 
-    /// `PQE(Q_φ)` as a uniformly-shaped [`Estimate`], bit-identical to
+    /// `PQE(Q)` as a uniformly-shaped [`Estimate`], bit-identical to
     /// [`PqeEngine::estimate`] at `stream = 0`: exact routes come back
     /// with `eps = delta = 0`, [`Plan::Sample`] routes Monte-Carlo
     /// bounded.
-    pub fn eval_estimate(
-        &self,
-        q: &HQuery,
-        tid: &Tid,
-        stream: u64,
-        stats: &mut EngineStats,
-    ) -> Estimate {
+    pub fn eval_estimate(&self, tid: &Tid, stream: u64, stats: &mut EngineStats) -> Estimate {
         match self.task.plan {
             Plan::Sample(_) => {
                 let started = Instant::now();
@@ -543,7 +692,7 @@ impl PreparedQuery {
             }
             _ => {
                 let started = Instant::now();
-                let value = self.eval_f64(q, tid, stream, stats);
+                let value = self.eval_f64(tid, stream, stats);
                 Estimate {
                     value,
                     eps: 0.0,
@@ -568,7 +717,6 @@ impl PreparedQuery {
     /// bit-identical to a sequential batch at any split.
     pub fn eval_run_f64(
         &self,
-        q: &HQuery,
         tids: &[Tid],
         base: u64,
         scratch: &mut LaneScratch,
@@ -594,7 +742,7 @@ impl PreparedQuery {
                         stats.extensional_memo_hits += 1;
                     }
                     let started = Instant::now();
-                    let (p, sample_run) = self.task.eval_fallback_f64(q, tid, base + offset as u64);
+                    let (p, sample_run) = self.task.eval_fallback_f64(tid, base + offset as u64);
                     out.push(p);
                     record_fallback(
                         stats,
@@ -714,9 +862,17 @@ impl PqeEngine {
     /// — and the bytes are deterministic, which is what lets CI pin
     /// golden fixtures. Probabilities are never serialized, for the same
     /// reason they are not in the cache key: one stored circuit serves
-    /// every re-weighting.
+    /// every re-weighting. Grounded general-query artifacts are skipped:
+    /// the store format addresses artifacts by `φ`, and a ground circuit
+    /// is cheap to rebuild from its query text on first use.
     pub fn save_cache(&self) -> Vec<u8> {
-        store::encode_bundle(&self.cache.entries_lru_order())
+        let entries: Vec<_> = self
+            .cache
+            .entries_lru_order()
+            .into_iter()
+            .filter(|(key, _)| !key.is_ground())
+            .collect();
+        store::encode_bundle(&entries)
     }
 
     /// Warm-starts this engine from a [`save_cache`](Self::save_cache)
@@ -967,10 +1123,13 @@ impl PqeEngine {
     /// shape they were compiled for, so they are merely idle (and age
     /// out of the LRU), never wrong.
     fn patch_all_artifacts(&mut self, old_db: &Database, new_db: &Database) {
+        // Ground artifacts are excluded up front: they carry no unroll
+        // trace (never patchable), and re-keying below derives the new
+        // key from `φ`, which a ground key does not have.
         let affected: Vec<CacheKey> = self
             .cache
             .keys()
-            .filter(|key| Self::key_matches_shape(key, old_db))
+            .filter(|key| !key.is_ground() && Self::key_matches_shape(key, old_db))
             .cloned()
             .collect();
         for old_key in affected {
@@ -991,9 +1150,156 @@ impl PqeEngine {
         }
     }
 
-    /// The routing decision for `q` on `tid`, without evaluating.
+    /// Resolves a [`Query`] into the routing family the planner works
+    /// with, against a database vocabulary of chain length `k`. Pure —
+    /// no engine state is read or written:
     ///
-    /// Precedence (soundness argument in `DESIGN.md`):
+    /// 1. an H-built query stays H ([`Resolved::H`]);
+    /// 2. a general query whose normalized shape *is* an `H`-query at
+    ///    `k` is recognized ([`recognize_h`]) and mapped onto the full
+    ///    `φ + h_{k,i}` machinery — caches, lane kernel, patching and
+    ///    sampling apply with zero extra compiles;
+    /// 3. a negation-free query that passes the Dalvi–Suciu safety test
+    ///    becomes [`Resolved::Lifted`];
+    /// 4. everything else grounds per instance ([`Resolved::Ground`]).
+    ///
+    /// A general query needing a longer chain than the instance
+    /// provides fails here with [`EngineError::VocabularyMismatch`];
+    /// H-queries keep their exact-`k` check in
+    /// [`plan_resolved`](Self::plan_resolved), per instance.
+    fn resolve(q: &Query, k: u8) -> Result<Resolved, EngineError> {
+        if let Some(h) = q.as_h() {
+            return Ok(Resolved::H(h.clone()));
+        }
+        let (expr, _voc) = q.general().expect("a Query is either H or general");
+        let required_k = q.required_k();
+        if required_k > k {
+            return Err(EngineError::VocabularyMismatch {
+                query_k: required_k,
+                database_k: k,
+            });
+        }
+        if let Some(h) = recognize_h(expr, k) {
+            return Ok(Resolved::H(h));
+        }
+        if let Some(ucq) = expr.to_ucq() {
+            let ucq = ucq.normalize();
+            if is_safe_ucq(&ucq) {
+                return Ok(Resolved::Lifted { ucq, required_k });
+            }
+        }
+        // Canonical, vocabulary-independent text: the ground cache key.
+        let text: Arc<str> = Arc::from(
+            expr.normalize_leaves()
+                .render(&|rel: Relation| rel.to_string()),
+        );
+        Ok(Resolved::Ground {
+            expr: expr.clone(),
+            text,
+            required_k,
+        })
+    }
+
+    /// The Figure 1 region of an H resolution, or the off-map region of
+    /// a general one.
+    fn region_of(r: &Resolved) -> Region {
+        match r {
+            Resolved::H(q) => classify(q.phi()),
+            Resolved::Lifted { .. } => Region::SafeLifted,
+            Resolved::Ground { .. } => Region::GroundCircuit,
+        }
+    }
+
+    /// The artifact-cache key of a cacheable resolution on `db`.
+    fn resolved_cache_key(r: &Resolved, db: &Database) -> CacheKey {
+        match r {
+            Resolved::H(q) => CacheKey::new(q.phi(), db),
+            Resolved::Ground { text, .. } => CacheKey::for_ground(text, db),
+            Resolved::Lifted { .. } => unreachable!("lifted plans are not cacheable"),
+        }
+    }
+
+    /// The routing decision for an already-resolved query on `tid` —
+    /// the per-instance half of [`plan`](Self::plan), also run per
+    /// scenario inside batches (so a mixed-vocabulary batch still fails
+    /// all-or-nothing).
+    fn plan_resolved(&self, r: &Resolved, tid: &Tid) -> Result<Plan, EngineError> {
+        match r {
+            Resolved::H(q) => {
+                let phi = q.phi();
+                if tid.database().k() != q.k() {
+                    return Err(EngineError::VocabularyMismatch {
+                        query_k: q.k(),
+                        database_k: tid.database().k(),
+                    });
+                }
+                let region = classify(phi);
+                match region {
+                    Region::DegenerateObdd => Ok(Plan::Obdd),
+                    Region::ZeroEulerDD => {
+                        if self.config.prefer_extensional && phi.is_monotone() {
+                            Ok(Plan::Extensional)
+                        } else {
+                            Ok(Plan::DdCircuit)
+                        }
+                    }
+                    Region::HardMonotone | Region::HardByTransfer | Region::ConjecturedHard => {
+                        // Validated ≤ 63 at construction (ConfigError otherwise).
+                        let budget = self.config.max_brute_force_tuples;
+                        if tid.len() <= budget {
+                            Ok(Plan::BruteForce)
+                        } else if self.config.sampling.is_some() {
+                            Ok(Plan::Sample(Self::sampler_kind(q, tid)))
+                        } else {
+                            Err(EngineError::Intractable {
+                                region,
+                                tuples: tid.len(),
+                                budget,
+                            })
+                        }
+                    }
+                    Region::SafeLifted | Region::GroundCircuit => {
+                        unreachable!("classify is defined on H-queries only")
+                    }
+                }
+            }
+            Resolved::Lifted { required_k, .. } => {
+                if *required_k > tid.database().k() {
+                    return Err(EngineError::VocabularyMismatch {
+                        query_k: *required_k,
+                        database_k: tid.database().k(),
+                    });
+                }
+                Ok(Plan::Lifted)
+            }
+            Resolved::Ground { required_k, .. } => {
+                if *required_k > tid.database().k() {
+                    return Err(EngineError::VocabularyMismatch {
+                        query_k: *required_k,
+                        database_k: tid.database().k(),
+                    });
+                }
+                let budget = self.config.max_ground_tuples;
+                if tid.len() <= budget {
+                    Ok(Plan::GroundCircuit)
+                } else {
+                    Err(EngineError::GroundingTooLarge {
+                        tuples: tid.len(),
+                        budget,
+                    })
+                }
+            }
+        }
+    }
+
+    /// The routing decision for `q` on `tid`, without evaluating.
+    /// Accepts anything convertible into a [`Query`]: an [`HQuery`]
+    /// (by reference or value), a parsed general query, or a `Query`
+    /// built from an expression.
+    ///
+    /// Precedence for H-shaped queries — built as [`HQuery`] or
+    /// recognized in a parsed query (soundness argument in
+    /// `DESIGN.md`):
     ///
     /// 1. degenerate `φ` → [`Plan::Obdd`] (Proposition 3.7);
     /// 2. monotone `φ`, `e(φ) = 0`, with
@@ -1006,40 +1312,16 @@ impl PqeEngine {
     ///    (Karp–Luby over the grounded DNF when `φ` is monotone and the
     ///    grounding is small enough, naive world sampling otherwise),
     ///    else [`EngineError::Intractable`].
-    pub fn plan(&self, q: &HQuery, tid: &Tid) -> Result<Plan, EngineError> {
-        let phi = q.phi();
-        if tid.database().k() != q.k() {
-            return Err(EngineError::VocabularyMismatch {
-                query_k: q.k(),
-                database_k: tid.database().k(),
-            });
-        }
-        let region = classify(phi);
-        match region {
-            Region::DegenerateObdd => Ok(Plan::Obdd),
-            Region::ZeroEulerDD => {
-                if self.config.prefer_extensional && phi.is_monotone() {
-                    Ok(Plan::Extensional)
-                } else {
-                    Ok(Plan::DdCircuit)
-                }
-            }
-            Region::HardMonotone | Region::HardByTransfer | Region::ConjecturedHard => {
-                // Validated ≤ 63 at construction (ConfigError otherwise).
-                let budget = self.config.max_brute_force_tuples;
-                if tid.len() <= budget {
-                    Ok(Plan::BruteForce)
-                } else if self.config.sampling.is_some() {
-                    Ok(Plan::Sample(Self::sampler_kind(q, tid)))
-                } else {
-                    Err(EngineError::Intractable {
-                        region,
-                        tuples: tid.len(),
-                        budget,
-                    })
-                }
-            }
-        }
+    ///
+    /// General queries that are not H-shaped split by the Dalvi–Suciu
+    /// safety test: safe → [`Plan::Lifted`] (PTIME, no artifact);
+    /// unsafe → [`Plan::GroundCircuit`] within
+    /// [`EngineConfig::max_ground_tuples`], else
+    /// [`EngineError::GroundingTooLarge`].
+    pub fn plan(&self, q: impl Into<Query>, tid: &Tid) -> Result<Plan, EngineError> {
+        let q = q.into();
+        let resolved = Self::resolve(&q, tid.database().k())?;
+        self.plan_resolved(&resolved, tid)
     }
 
     /// Which sampler a [`Plan::Sample`] query runs: Karp–Luby needs a
@@ -1054,170 +1336,163 @@ impl PqeEngine {
         }
     }
 
-    /// The full routing rationale for `q` on `tid`: region, chosen plan
-    /// (or why none exists), and whether the artifact is already cached.
-    pub fn explain(&self, q: &HQuery, tid: &Tid) -> Explanation {
-        let plan = self.plan(q, tid);
-        let cached = matches!(plan, Ok(p) if p.is_cacheable())
-            && self.cache.contains(&CacheKey::new(q.phi(), tid.database()));
-        Explanation {
-            region: classify(q.phi()),
-            tuples: tid.len(),
-            plan,
-            cached,
-        }
-    }
-
-    /// The shared evaluation path behind [`evaluate`](Self::evaluate)
-    /// and [`evaluate_f64`](Self::evaluate_f64): route, compile or reuse
-    /// the cached artifact, evaluate with the given backends, record
-    /// [`QueryStats`].
-    fn evaluate_dispatch<T>(
-        &mut self,
-        q: &HQuery,
-        tid: &Tid,
-        walk: impl Fn(&Artifact, &Tid) -> T,
-        lifted: impl Fn(&HQuery, &Tid, &QueryLattice) -> T,
-        worlds: impl Fn(&HQuery, &Tid) -> T,
-    ) -> Result<T, EngineError> {
-        let plan = self.plan(q, tid)?;
-        let (p, record) = if plan.is_cacheable() {
-            // Build the key once and probe once: the hit path — the one
-            // the cache exists to make hot — must not re-hash the O(|D|)
-            // key per probe.
-            let key = CacheKey::new(q.phi(), tid.database());
-            let (cache_hit, compile_time, artifact) = match self.cache.get(&key) {
-                Some(artifact) => (true, Duration::ZERO, artifact),
-                None => {
-                    let started = Instant::now();
-                    let compiled = Self::compile_artifact(plan, q, tid);
-                    let compile_time = started.elapsed();
-                    let (artifact, evicted) = self.cache.insert(key, compiled);
-                    self.stats.cache_evictions += evicted;
-                    (false, compile_time, artifact)
+    /// The full routing rationale for `q` on `tid`: region (Figure 1
+    /// for H-shaped queries, the off-map general regions otherwise),
+    /// chosen plan (or why none exists), and whether the artifact is
+    /// already cached.
+    pub fn explain(&self, q: impl Into<Query>, tid: &Tid) -> Explanation {
+        let q = q.into();
+        match Self::resolve(&q, tid.database().k()) {
+            Ok(resolved) => {
+                let plan = self.plan_resolved(&resolved, tid);
+                let cached = matches!(plan, Ok(p) if p.is_cacheable())
+                    && self
+                        .cache
+                        .contains(&Self::resolved_cache_key(&resolved, tid.database()));
+                Explanation {
+                    region: Self::region_of(&resolved),
+                    tuples: tid.len(),
+                    plan,
+                    cached,
                 }
-            };
-            let started = Instant::now();
-            let p = walk(&artifact, tid);
-            let circuit_size = Some(artifact.size());
-            (
-                p,
-                QueryStats {
-                    plan,
-                    cache_hit,
-                    circuit_size,
-                    compile_time,
-                    eval_time: started.elapsed(),
-                    samples: 0,
-                },
-            )
-        } else {
-            // The lattice fetch (a memo probe, possibly a build) happens
-            // outside the eval timer: it is `φ`-only work the memo exists
-            // to amortize, not per-TID evaluation.
-            let lattice = match plan {
-                Plan::Extensional => Some(self.extensional_lattice(q.phi())),
-                _ => None,
-            };
-            let started = Instant::now();
-            let p = match plan {
-                Plan::Extensional => lifted(q, tid, lattice.as_deref().expect("fetched above")),
-                Plan::BruteForce => worlds(q, tid),
-                Plan::Sample(_) => unreachable!("sampling is intercepted before dispatch"),
-                Plan::Obdd | Plan::DdCircuit => unreachable!("cacheable plans handled above"),
-            };
-            (
-                p,
-                QueryStats {
-                    plan,
-                    cache_hit: false,
-                    circuit_size: None,
-                    compile_time: Duration::ZERO,
-                    eval_time: started.elapsed(),
-                    samples: 0,
-                },
-            )
-        };
-        self.stats.record(record);
-        Ok(p)
+            }
+            Err(e) => {
+                // The instance's vocabulary is too short to resolve the
+                // query against; re-resolve at the query's own k for a
+                // best-effort region (that resolution cannot mismatch).
+                let region = Self::resolve(&q, q.required_k())
+                    .map_or(Region::GroundCircuit, |r| Self::region_of(&r));
+                Explanation {
+                    region,
+                    tuples: tid.len(),
+                    plan: Err(e),
+                    cached: false,
+                }
+            }
+        }
     }
 
     /// Compiles the artifact a cacheable `plan` promised. The planner
     /// already established the backend preconditions (vocabulary match,
-    /// degeneracy / zero Euler characteristic), so compilation cannot
-    /// fail.
-    fn compile_artifact(plan: Plan, q: &HQuery, tid: &Tid) -> Artifact {
+    /// degeneracy / zero Euler characteristic, grounding budget), so
+    /// compilation cannot fail.
+    fn compile_artifact(plan: Plan, query: &Resolved, tid: &Tid) -> Artifact {
         match plan {
-            Plan::Obdd => Artifact::Obdd(
-                compile_degenerate_obdd(q.phi(), tid.database())
-                    .expect("planner guarantees a degenerate φ on a matching vocabulary"),
-            ),
-            Plan::DdCircuit => Artifact::Dd(
-                compile_dd(q.phi(), tid.database()).expect("planner guarantees e(φ) = 0"),
-            ),
-            Plan::Extensional | Plan::BruteForce | Plan::Sample(_) => {
+            Plan::Obdd => {
+                let q = query.as_h().expect("an Obdd plan implies an H resolution");
+                Artifact::Obdd(
+                    compile_degenerate_obdd(q.phi(), tid.database())
+                        .expect("planner guarantees a degenerate φ on a matching vocabulary"),
+                )
+            }
+            Plan::DdCircuit => {
+                let q = query
+                    .as_h()
+                    .expect("a DdCircuit plan implies an H resolution");
+                Artifact::Dd(
+                    compile_dd(q.phi(), tid.database()).expect("planner guarantees e(φ) = 0"),
+                )
+            }
+            Plan::GroundCircuit => {
+                let Resolved::Ground { expr, .. } = query else {
+                    unreachable!("a GroundCircuit plan carries a ground resolution")
+                };
+                let (manager, root) = ground_circuit(expr, tid.database());
+                // Split 0 and no unroll trace: a ground artifact walks
+                // and lane-batches like any degenerate OBDD but is never
+                // structurally patched (the trace is what patching
+                // replays), so live updates simply leave it to recompile.
+                Artifact::Obdd(DegenerateLineage::new(manager, root, 0))
+            }
+            Plan::Extensional | Plan::BruteForce | Plan::Sample(_) | Plan::Lifted => {
                 unreachable!("only cacheable plans compile artifacts")
             }
         }
     }
 
-    /// Exact `PQE(Q_φ)` through the planner: routes, compiles or reuses
-    /// a cached artifact, evaluates, and records [`QueryStats`].
+    /// Exact `PQE(Q)` through the planner: resolves, routes, compiles
+    /// or reuses a cached artifact, evaluates, and records
+    /// [`QueryStats`]. Accepts an [`HQuery`] or any general [`Query`].
     ///
     /// Under a [`Plan::Sample`] route the returned rational is the
     /// sampler's `(ε, δ)`-bounded estimate embedded exactly (an f64 is
     /// a dyadic rational) — use [`estimate`](Self::estimate) when the
     /// error bound itself matters.
-    pub fn evaluate(&mut self, q: &HQuery, tid: &Tid) -> Result<BigRational, EngineError> {
-        if let Plan::Sample(kind) = self.plan(q, tid)? {
-            let run = self.run_sampler_single(q, tid, kind);
-            return Ok(BigRational::from_f64(run.estimate.value)
-                .expect("estimates are finite by construction"));
-        }
-        self.evaluate_dispatch(
-            q,
-            tid,
-            |artifact, tid| artifact.probability_exact(tid),
-            |q, tid, lat| {
-                pqe_extensional_with_lattice(q, tid, lat)
-                    .expect("planner guarantees a monotone safe φ")
-            },
-            |q, tid| pqe_brute_force(q, tid).expect("planner bounds the instance below 64 tuples"),
-        )
+    pub fn evaluate(&mut self, q: impl Into<Query>, tid: &Tid) -> Result<BigRational, EngineError> {
+        let q = q.into();
+        let resolved = Arc::new(Self::resolve(&q, tid.database().k())?);
+        self.evaluate_resolved(&resolved, tid)
     }
 
-    /// Floating-point `PQE(Q_φ)` through the same planner and cache
+    /// The single-query exact path shared by [`evaluate`](Self::evaluate)
+    /// and [`estimate`](Self::estimate): one [`begin_run`](Self::begin_run)
+    /// (plan + fetch/compile shared state), one evaluation, one record.
+    fn evaluate_resolved(
+        &mut self,
+        resolved: &Arc<Resolved>,
+        tid: &Tid,
+    ) -> Result<BigRational, EngineError> {
+        let task = self.begin_run(resolved, tid)?;
+        let started = Instant::now();
+        let (p, sample_run) = match &task.artifact {
+            Some(artifact) => (artifact.probability_exact(tid), None),
+            None => task.eval_fallback_exact(tid, 0),
+        };
+        record_fallback(
+            &mut self.stats,
+            task.query_stats(Duration::ZERO),
+            started.elapsed(),
+            sample_run,
+        );
+        Ok(p)
+    }
+
+    /// Floating-point `PQE(Q)` through the same planner and cache
     /// (used by the benchmarks; cached-artifact walks stay linear).
     /// [`Plan::Sample`] routes return the Monte-Carlo estimate's value.
-    pub fn evaluate_f64(&mut self, q: &HQuery, tid: &Tid) -> Result<f64, EngineError> {
-        if let Plan::Sample(kind) = self.plan(q, tid)? {
-            return Ok(self.run_sampler_single(q, tid, kind).estimate.value);
-        }
-        self.evaluate_dispatch(
-            q,
-            tid,
-            |artifact, tid| artifact.probability_f64(tid),
-            |q, tid, lat| {
-                pqe_extensional_with_lattice_f64(q, tid, lat)
-                    .expect("planner guarantees a monotone safe φ")
-            },
-            |q, tid| {
-                pqe_brute_force_f64(q, tid).expect("planner bounds the instance below 64 tuples")
-            },
-        )
+    pub fn evaluate_f64(&mut self, q: impl Into<Query>, tid: &Tid) -> Result<f64, EngineError> {
+        let q = q.into();
+        let resolved = Arc::new(Self::resolve(&q, tid.database().k())?);
+        self.evaluate_f64_resolved(&resolved, tid)
     }
 
-    /// `PQE(Q_φ)` as a uniformly-shaped [`Estimate`]: exact routes come
+    /// Floating-point [`evaluate_resolved`](Self::evaluate_resolved).
+    fn evaluate_f64_resolved(
+        &mut self,
+        resolved: &Arc<Resolved>,
+        tid: &Tid,
+    ) -> Result<f64, EngineError> {
+        let task = self.begin_run(resolved, tid)?;
+        let started = Instant::now();
+        let (p, sample_run) = match &task.artifact {
+            Some(artifact) => (artifact.probability_f64(tid), None),
+            None => task.eval_fallback_f64(tid, 0),
+        };
+        record_fallback(
+            &mut self.stats,
+            task.query_stats(Duration::ZERO),
+            started.elapsed(),
+            sample_run,
+        );
+        Ok(p)
+    }
+
+    /// `PQE(Q)` as a uniformly-shaped [`Estimate`]: exact routes come
     /// back with `eps = delta = 0` and `sampler: None`; hard queries
     /// beyond the brute-force budget (with sampling enabled) come back
     /// Monte-Carlo-bounded with the sampler named. This is the anytime
     /// front door the hard region previously lacked.
-    pub fn estimate(&mut self, q: &HQuery, tid: &Tid) -> Result<Estimate, EngineError> {
-        match self.plan(q, tid)? {
-            Plan::Sample(kind) => Ok(self.run_sampler_single(q, tid, kind).estimate),
+    pub fn estimate(&mut self, q: impl Into<Query>, tid: &Tid) -> Result<Estimate, EngineError> {
+        let q = q.into();
+        let resolved = Arc::new(Self::resolve(&q, tid.database().k())?);
+        match self.plan_resolved(&resolved, tid)? {
+            Plan::Sample(kind) => {
+                let h = resolved.as_h().expect("sampling is H-only");
+                Ok(self.run_sampler_single(h, tid, kind).estimate)
+            }
             _ => {
                 let started = Instant::now();
-                let value = self.evaluate_f64(q, tid)?;
+                let value = self.evaluate_f64_resolved(&resolved, tid)?;
                 Ok(Estimate {
                     value,
                     eps: 0.0,
@@ -1267,9 +1542,10 @@ impl PqeEngine {
     /// lattice for extensional ones. Every later scenario of the run
     /// reuses the returned [`Task`] via [`Task::shared`], skipping the
     /// `O(|D|)` cache-key hash entirely.
-    fn begin_run(&mut self, q: &HQuery, tid: &Tid) -> Result<Task, EngineError> {
-        let plan = self.plan(q, tid)?;
+    fn begin_run(&mut self, query: &Arc<Resolved>, tid: &Tid) -> Result<Task, EngineError> {
+        let plan = self.plan_resolved(query, tid)?;
         let mut task = Task {
+            query: Arc::clone(query),
             plan,
             artifact: None,
             lattice: None,
@@ -1279,7 +1555,7 @@ impl PqeEngine {
             compile_time: Duration::ZERO,
         };
         if plan.is_cacheable() {
-            let key = CacheKey::new(q.phi(), tid.database());
+            let key = Self::resolved_cache_key(query, tid.database());
             let artifact = match self.cache.get(&key) {
                 Some(artifact) => {
                     task.cache_hit = true;
@@ -1287,7 +1563,7 @@ impl PqeEngine {
                 }
                 None => {
                     let started = Instant::now();
-                    let compiled = Self::compile_artifact(plan, q, tid);
+                    let compiled = Self::compile_artifact(plan, query, tid);
                     task.compile_time = started.elapsed();
                     let (artifact, evicted) = self.cache.insert(key, compiled);
                     self.stats.cache_evictions += evicted;
@@ -1297,8 +1573,10 @@ impl PqeEngine {
             task.size = Some(artifact.size());
             task.artifact = Some(artifact);
         } else if plan == Plan::Extensional {
-            task.lattice = Some(self.extensional_lattice(q.phi()));
+            let phi = query.as_h().expect("extensional plans are H-only").phi();
+            task.lattice = Some(self.extensional_lattice(phi));
         } else if let Plan::Sample(kind) = plan {
+            let q = query.as_h().expect("sampling is H-only");
             let sampling = self
                 .config
                 .sampling
@@ -1318,9 +1596,15 @@ impl PqeEngine {
     /// lock. Cache-hit/miss attribution lands in the preparation and is
     /// recorded at evaluation time, exactly as the engine's own
     /// `evaluate` records it.
-    pub fn prepare(&mut self, q: &HQuery, tid: &Tid) -> Result<PreparedQuery, EngineError> {
+    pub fn prepare(
+        &mut self,
+        q: impl Into<Query>,
+        tid: &Tid,
+    ) -> Result<PreparedQuery, EngineError> {
+        let q = q.into();
+        let resolved = Arc::new(Self::resolve(&q, tid.database().k())?);
         Ok(PreparedQuery {
-            task: self.begin_run(q, tid)?,
+            task: self.begin_run(&resolved, tid)?,
             memo_hit: false,
         })
     }
@@ -1334,9 +1618,10 @@ impl PqeEngine {
     /// * `Ok(Some(_))` — the preparation is complete: a cached artifact
     ///   was resident (accounted as a cache hit), the lattice was
     ///   memoized, or the plan needs no shared state at all
-    ///   ([`Plan::BruteForce`], and [`Plan::Sample`] — sampler grounding
-    ///   is a deterministic pure function, rebuilt here exactly as the
-    ///   single-query path rebuilds it).
+    ///   ([`Plan::BruteForce`], [`Plan::Lifted`] — lifted inference is
+    ///   a pure function of the query structure — and [`Plan::Sample`],
+    ///   whose sampler grounding is a deterministic pure function,
+    ///   rebuilt here exactly as the single-query path rebuilds it).
     /// * `Ok(None)` — the key is cold; escalate to
     ///   [`prepare`](Self::prepare) under exclusive access. A
     ///   double-checked re-probe is free: `prepare` re-probes the cache
@@ -1345,11 +1630,14 @@ impl PqeEngine {
     ///   [`plan`](Self::plan)).
     pub fn prepare_shared(
         &self,
-        q: &HQuery,
+        q: impl Into<Query>,
         tid: &Tid,
     ) -> Result<Option<PreparedQuery>, EngineError> {
-        let plan = self.plan(q, tid)?;
+        let q = q.into();
+        let resolved = Arc::new(Self::resolve(&q, tid.database().k())?);
+        let plan = self.plan_resolved(&resolved, tid)?;
         let mut task = Task {
+            query: Arc::clone(&resolved),
             plan,
             artifact: None,
             lattice: None,
@@ -1360,7 +1648,7 @@ impl PqeEngine {
         };
         let mut memo_hit = false;
         if plan.is_cacheable() {
-            let key = CacheKey::new(q.phi(), tid.database());
+            let key = Self::resolved_cache_key(&resolved, tid.database());
             match self.cache.peek(&key) {
                 Some(artifact) => {
                     task.cache_hit = true;
@@ -1370,7 +1658,8 @@ impl PqeEngine {
                 None => return Ok(None),
             }
         } else if plan == Plan::Extensional {
-            match self.lattices.get(q.phi()) {
+            let phi = resolved.as_h().expect("extensional plans are H-only").phi();
+            match self.lattices.get(phi) {
                 Some(lat) => {
                     task.lattice = Some(Arc::clone(lat));
                     memo_hit = true;
@@ -1378,12 +1667,13 @@ impl PqeEngine {
                 None => return Ok(None),
             }
         } else if let Plan::Sample(kind) = plan {
+            let h = resolved.as_h().expect("sampling is H-only");
             let sampling = self
                 .config
                 .sampling
                 .expect("a Sample plan implies sampling is configured");
             let started = Instant::now();
-            task.sampler = Some(Arc::new(SamplerArtifact::build(kind, q, tid, sampling)));
+            task.sampler = Some(Arc::new(SamplerArtifact::build(kind, h, tid, sampling)));
             task.compile_time = started.elapsed();
         }
         Ok(Some(PreparedQuery { task, memo_hit }))
@@ -1403,9 +1693,14 @@ impl PqeEngine {
     /// floating-point one.
     pub fn evaluate_batch(
         &mut self,
-        q: &HQuery,
+        q: impl Into<Query>,
         tids: &[Tid],
     ) -> Result<Vec<BigRational>, EngineError> {
+        let Some(first) = tids.first() else {
+            return Ok(Vec::new());
+        };
+        let q = q.into();
+        let resolved = Arc::new(Self::resolve(&q, first.database().k())?);
         let mut out = Vec::with_capacity(tids.len());
         let mut run: Option<Task> = None;
         for (i, tid) in tids.iter().enumerate() {
@@ -1417,12 +1712,12 @@ impl PqeEngine {
                     }
                     prev.shared()
                 }
-                _ => self.begin_run(q, tid)?,
+                _ => self.begin_run(&resolved, tid)?,
             };
             let started = Instant::now();
             let (p, sample_run) = match &task.artifact {
                 Some(artifact) => (artifact.probability_exact(tid), None),
-                None => task.eval_fallback_exact(q, tid, i as u64),
+                None => task.eval_fallback_exact(tid, i as u64),
             };
             record_fallback(
                 &mut self.stats,
@@ -1448,9 +1743,14 @@ impl PqeEngine {
     /// [`EngineStats::lane_kernel_calls`].
     pub fn evaluate_batch_f64(
         &mut self,
-        q: &HQuery,
+        q: impl Into<Query>,
         tids: &[Tid],
     ) -> Result<Vec<f64>, EngineError> {
+        let Some(head) = tids.first() else {
+            return Ok(Vec::new());
+        };
+        let q = q.into();
+        let resolved = Arc::new(Self::resolve(&q, head.database().k())?);
         let mut out = Vec::with_capacity(tids.len());
         let mut probs = ProbMatrix::new();
         let mut scratch = EvalScratch::new();
@@ -1461,7 +1761,7 @@ impl PqeEngine {
             while end < tids.len() && tids[end].database().same_shape(tids[end - 1].database()) {
                 end += 1;
             }
-            let first = self.begin_run(q, &tids[start])?;
+            let first = self.begin_run(&resolved, &tids[start])?;
             match &first.artifact {
                 Some(artifact) => Self::walk_lane_run_f64(
                     artifact,
@@ -1478,8 +1778,7 @@ impl PqeEngine {
                             self.stats.extensional_memo_hits += 1;
                         }
                         let started = Instant::now();
-                        let (p, sample_run) =
-                            first.eval_fallback_f64(q, tid, (start + offset) as u64);
+                        let (p, sample_run) = first.eval_fallback_f64(tid, (start + offset) as u64);
                         out.push(p);
                         record_fallback(
                             &mut self.stats,
@@ -1506,26 +1805,33 @@ impl PqeEngine {
     /// compile more.
     pub fn plan_batch(
         &self,
-        q: &HQuery,
+        q: impl Into<Query>,
         scenarios: &[Tid],
         shards: usize,
     ) -> Result<BatchPlan, EngineError> {
         let mut compiles = 0;
         let mut shared = 0;
         let mut sampled = 0;
+        let resolved = match scenarios.first() {
+            Some(first) => Some(Self::resolve(&q.into(), first.database().k())?),
+            None => None,
+        };
         let mut simulated: HashSet<CacheKey> = HashSet::new();
         let mut prev_plan = None;
         for (i, tid) in scenarios.iter().enumerate() {
-            // `plan` depends on the TID only through its shape
+            let resolved = resolved
+                .as_ref()
+                .expect("a scenario exists, so resolution ran");
+            // The plan depends on the TID only through its shape
             // (vocabulary k and tuple count), so a same-shape run shares
             // one decision.
             let plan = match prev_plan {
                 Some(p) if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) => p,
-                _ => self.plan(q, tid)?,
+                _ => self.plan_resolved(resolved, tid)?,
             };
             prev_plan = Some(plan);
             if plan.is_cacheable() {
-                let key = CacheKey::new(q.phi(), tid.database());
+                let key = Self::resolved_cache_key(resolved, tid.database());
                 if simulated.contains(&key) || self.cache.contains(&key) {
                     shared += 1;
                 } else {
@@ -1584,11 +1890,12 @@ impl PqeEngine {
     /// scenarios it finished before hitting the unsound one.)
     pub fn evaluate_batch_sharded(
         &mut self,
-        q: &HQuery,
+        q: impl Into<Query>,
         scenarios: &[Tid],
         shards: usize,
     ) -> Result<Vec<BigRational>, EngineError> {
-        let Some((tasks, compiles, shared, sampled)) = self.compile_batch_tasks(q, scenarios)?
+        let q = q.into();
+        let Some((tasks, compiles, shared, sampled)) = self.compile_batch_tasks(&q, scenarios)?
         else {
             return Ok(Vec::new());
         };
@@ -1603,7 +1910,7 @@ impl PqeEngine {
                     let started = Instant::now();
                     let (p, sample_run) = match &task.artifact {
                         Some(artifact) => (artifact.probability_exact(tid), None),
-                        None => task.eval_fallback_exact(q, tid, (base + offset) as u64),
+                        None => task.eval_fallback_exact(tid, (base + offset) as u64),
                     };
                     record_fallback(
                         &mut stats,
@@ -1630,17 +1937,18 @@ impl PqeEngine {
     /// [`evaluate_f64`](Self::evaluate_f64) loop.
     pub fn evaluate_batch_sharded_f64(
         &mut self,
-        q: &HQuery,
+        q: impl Into<Query>,
         scenarios: &[Tid],
         shards: usize,
     ) -> Result<Vec<f64>, EngineError> {
-        let Some((tasks, compiles, shared, sampled)) = self.compile_batch_tasks(q, scenarios)?
+        let q = q.into();
+        let Some((tasks, compiles, shared, sampled)) = self.compile_batch_tasks(&q, scenarios)?
         else {
             return Ok(Vec::new());
         };
         let shards = Self::shard_count(scenarios.len(), shards);
         let outputs = Self::fan_out(scenarios, &tasks, shards, |base, tids, tasks| {
-            Self::walk_chunk_f64(q, base, tids, tasks)
+            Self::walk_chunk_f64(base, tids, tasks)
         });
         Ok(self.merge_shard_outputs(scenarios.len(), shards, compiles, shared, sampled, outputs))
     }
@@ -1661,7 +1969,7 @@ impl PqeEngine {
     #[allow(clippy::type_complexity)]
     fn compile_batch_tasks(
         &mut self,
-        q: &HQuery,
+        q: &Query,
         scenarios: &[Tid],
     ) -> Result<Option<(Vec<Task>, usize, usize, usize)>, EngineError> {
         if scenarios.is_empty() {
@@ -1674,15 +1982,16 @@ impl PqeEngine {
             });
             return Ok(None);
         }
+        let resolved = Arc::new(Self::resolve(q, scenarios[0].database().k())?);
 
-        // Phase 1a: plan every scenario first. `plan` depends on the TID
-        // only through its shape (vocabulary k and tuple count), so a
-        // same-shape run shares one decision.
+        // Phase 1a: plan every scenario first. The plan depends on the
+        // TID only through its shape (vocabulary k and tuple count), so
+        // a same-shape run shares one decision.
         let mut plans: Vec<Plan> = Vec::with_capacity(scenarios.len());
         for (i, tid) in scenarios.iter().enumerate() {
             let plan = match plans.last() {
                 Some(&p) if i > 0 && tid.database().same_shape(scenarios[i - 1].database()) => p,
-                _ => self.plan(q, tid)?,
+                _ => self.plan_resolved(&resolved, tid)?,
             };
             plans.push(plan);
         }
@@ -1711,21 +2020,26 @@ impl PqeEngine {
             if !plan.is_cacheable() {
                 let mut compile_time = Duration::ZERO;
                 let sampler = if let Plan::Sample(kind) = plan {
+                    let h = resolved.as_h().expect("sampling is H-only");
                     let sampling = self
                         .config
                         .sampling
                         .expect("a Sample plan implies sampling is configured");
                     let started = Instant::now();
-                    let built = Arc::new(SamplerArtifact::build(kind, q, tid, sampling));
+                    let built = Arc::new(SamplerArtifact::build(kind, h, tid, sampling));
                     compile_time = started.elapsed();
                     Some(built)
                 } else {
                     None
                 };
                 tasks.push(Task {
+                    query: Arc::clone(&resolved),
                     plan,
                     artifact: None,
-                    lattice: (plan == Plan::Extensional).then(|| self.extensional_lattice(q.phi())),
+                    lattice: (plan == Plan::Extensional).then(|| {
+                        let phi = resolved.as_h().expect("extensional plans are H-only").phi();
+                        self.extensional_lattice(phi)
+                    }),
                     sampler,
                     size: None,
                     cache_hit: false,
@@ -1733,7 +2047,7 @@ impl PqeEngine {
                 });
                 continue;
             }
-            let key = CacheKey::new(q.phi(), tid.database());
+            let key = Self::resolved_cache_key(&resolved, tid.database());
             let (artifact, cache_hit, compile_time) = match self.cache.get(&key) {
                 Some(artifact) => {
                     shared += 1;
@@ -1741,7 +2055,7 @@ impl PqeEngine {
                 }
                 None => {
                     let started = Instant::now();
-                    let compiled = Self::compile_artifact(plan, q, tid);
+                    let compiled = Self::compile_artifact(plan, &resolved, tid);
                     let compile_time = started.elapsed();
                     let (artifact, evicted) = self.cache.insert(key, compiled);
                     self.stats.cache_evictions += evicted;
@@ -1750,6 +2064,7 @@ impl PqeEngine {
                 }
             };
             tasks.push(Task {
+                query: Arc::clone(&resolved),
                 plan,
                 size: Some(artifact.size()),
                 artifact: Some(artifact),
@@ -1802,12 +2117,7 @@ impl PqeEngine {
     /// through the lane kernel in blocks of up to [`LANES`]; everything
     /// else falls back to the scalar backends. Pure function of its
     /// inputs — statistics come back in the returned [`EngineStats`].
-    fn walk_chunk_f64(
-        q: &HQuery,
-        base: usize,
-        tids: &[Tid],
-        tasks: &[Task],
-    ) -> (Vec<f64>, EngineStats) {
+    fn walk_chunk_f64(base: usize, tids: &[Tid], tasks: &[Task]) -> (Vec<f64>, EngineStats) {
         let mut stats = EngineStats::default();
         let mut out = Vec::with_capacity(tids.len());
         let mut probs = ProbMatrix::new();
@@ -1820,7 +2130,7 @@ impl PqeEngine {
                 // scenario's global batch position).
                 let (task, tid) = (&tasks[start], &tids[start]);
                 let started = Instant::now();
-                let (p, sample_run) = task.eval_fallback_f64(q, tid, (base + start) as u64);
+                let (p, sample_run) = task.eval_fallback_f64(tid, (base + start) as u64);
                 out.push(p);
                 record_fallback(
                     &mut stats,
@@ -2553,5 +2863,242 @@ mod tests {
         // Post-clear evaluation recompiles.
         engine.evaluate(&q, &tid).unwrap();
         assert_eq!(engine.stats().cache_misses, 1);
+    }
+
+    // ——— the UCQ front door: parsed general queries ———
+
+    use intext_query::ucq_brute_force;
+    use intext_tid::{Database, TupleDesc, Vocabulary};
+
+    /// A k = 1 instance with one S1 slot left open so live-update tests
+    /// can insert into it.
+    fn k1_tid() -> Tid {
+        let mut db = Database::new(1, 2);
+        for d in [
+            TupleDesc::R(0),
+            TupleDesc::R(1),
+            TupleDesc::S(1, 0, 0),
+            TupleDesc::S(1, 0, 1),
+            TupleDesc::S(1, 1, 0),
+            TupleDesc::T(0),
+            TupleDesc::T(1),
+        ] {
+            db.insert(d).unwrap();
+        }
+        uniform_tid(db, half())
+    }
+
+    #[test]
+    fn safe_parsed_queries_take_the_lifted_route() {
+        let mut engine = PqeEngine::new();
+        let q = Query::parse("S1(0,y),T(y)", &Vocabulary::h(1)).unwrap();
+        let tid = k1_tid();
+        assert_eq!(engine.plan(&q, &tid), Ok(Plan::Lifted));
+        let ex = engine.explain(&q, &tid);
+        assert_eq!(ex.region, Region::SafeLifted);
+        assert!(!ex.cached);
+        let p = engine.evaluate(&q, &tid).unwrap();
+        let (expr, _) = q.general().unwrap();
+        assert_eq!(p, ucq_brute_force(expr, &tid).unwrap());
+        // Lifted plans produce no artifact and touch no cache.
+        assert_eq!(engine.cache_len(), 0);
+        assert_eq!(engine.stats().lifted_plans, 1);
+        assert_eq!(engine.stats().queries, 1);
+    }
+
+    #[test]
+    fn recognized_h_text_shares_the_h_cache() {
+        let mut engine = PqeEngine::new();
+        let h = HQuery::new(BoolFn::var(2, 0)); // φ = x₀, i.e. Q = h_{1,0}
+        let tid = k1_tid();
+        let p1 = engine.evaluate(&h, &tid).unwrap();
+        // The same query arriving as text is recognized as H-shaped and
+        // served by the artifact the native HQuery already compiled.
+        let parsed = Query::parse("R(x), S1(x,y)", &Vocabulary::h(1)).unwrap();
+        assert_eq!(engine.plan(&parsed, &tid), Ok(Plan::Obdd));
+        let p2 = engine.evaluate(&parsed, &tid).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(engine.cache_len(), 1);
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn unsafe_queries_ground_cache_and_match_brute_force() {
+        let mut engine = PqeEngine::new();
+        // The canonical unsafe CQ: R(x), S1(x,y), T(y) with shared
+        // variables across all three atoms.
+        let q = Query::parse("R(x),S1(x,y),T(y)", &Vocabulary::h(1)).unwrap();
+        let tid = k1_tid();
+        assert_eq!(engine.plan(&q, &tid), Ok(Plan::GroundCircuit));
+        assert_eq!(engine.explain(&q, &tid).region, Region::GroundCircuit);
+        let p1 = engine.evaluate(&q, &tid).unwrap();
+        let (expr, _) = q.general().unwrap();
+        assert_eq!(p1, ucq_brute_force(expr, &tid).unwrap());
+        // The grounded circuit is cached: the second evaluation is a
+        // pure re-walk, observable via explain and the hit counters.
+        let p2 = engine.evaluate(&q, &tid).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert!(engine.explain(&q, &tid).cached);
+        assert_eq!(engine.stats().ground_plans, 2);
+    }
+
+    #[test]
+    fn ground_circuits_rewalk_under_reweighting() {
+        let mut engine = PqeEngine::new();
+        let q = Query::parse("R(x),S1(x,y),T(y)", &Vocabulary::h(1)).unwrap();
+        let mut tid = k1_tid();
+        let before = engine.evaluate(&q, &tid).unwrap();
+        engine
+            .set_probability(&mut tid, TupleId(0), BigRational::from_ratio(1, 97))
+            .unwrap();
+        let after = engine.evaluate(&q, &tid).unwrap();
+        assert_ne!(before, after);
+        let (expr, _) = q.general().unwrap();
+        assert_eq!(after, ucq_brute_force(expr, &tid).unwrap());
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn grounding_budget_is_enforced() {
+        let config = EngineConfig::builder()
+            .max_ground_tuples(4)
+            .build()
+            .unwrap();
+        let mut engine = PqeEngine::with_config(config);
+        let q = Query::parse("R(x),S1(x,y),T(y)", &Vocabulary::h(1)).unwrap();
+        let tid = k1_tid(); // 7 tuples > budget 4
+        let expected = EngineError::GroundingTooLarge {
+            tuples: 7,
+            budget: 4,
+        };
+        assert_eq!(engine.plan(&q, &tid), Err(expected));
+        assert_eq!(engine.evaluate(&q, &tid), Err(expected));
+        assert_eq!(engine.stats().queries, 0);
+        let shown = expected.to_string();
+        assert!(shown.contains('7') && shown.contains('4'), "{shown}");
+    }
+
+    #[test]
+    fn general_queries_reject_short_vocabularies() {
+        let mut engine = PqeEngine::new();
+        let q = Query::parse("S2(x,y)", &Vocabulary::h(2)).unwrap();
+        let tid = k1_tid(); // k = 1 cannot host an S2 atom
+        let expected = EngineError::VocabularyMismatch {
+            query_k: 2,
+            database_k: 1,
+        };
+        assert_eq!(engine.plan(&q, &tid), Err(expected));
+        assert_eq!(engine.evaluate(&q, &tid), Err(expected));
+        // explain still places the query: S2(x,y) alone is safe.
+        let ex = engine.explain(&q, &tid);
+        assert_eq!(ex.plan, Err(expected));
+        assert_eq!(ex.region, Region::SafeLifted);
+    }
+
+    #[test]
+    fn ground_artifacts_are_not_persisted_or_patched() {
+        let mut engine = PqeEngine::new();
+        let ground = Query::parse("R(x),S1(x,y),T(y)", &Vocabulary::h(1)).unwrap();
+        let h = HQuery::new(BoolFn::var(2, 0));
+        let mut tid = k1_tid();
+        engine.evaluate(&ground, &tid).unwrap();
+        engine.evaluate(&h, &tid).unwrap();
+        assert_eq!(engine.cache_len(), 2);
+        // Persistence: the bundle carries only the φ-addressed artifact.
+        let mut warm = PqeEngine::new();
+        let report = warm.load_cache(&engine.save_cache()).unwrap();
+        assert_eq!(report.artifacts, 1);
+        // Live updates: the H artifact patches across the insert; the
+        // ground circuit is skipped (stale shape, never wrong) and
+        // recompiles on next use.
+        engine
+            .insert_tuple(&mut tid, TupleDesc::S(1, 1, 1), half())
+            .unwrap();
+        assert_eq!(engine.stats().patches_applied, 1);
+        let miss_before = engine.stats().cache_misses;
+        let p = engine.evaluate(&ground, &tid).unwrap();
+        assert_eq!(engine.stats().cache_misses, miss_before + 1);
+        let (expr, _) = ground.general().unwrap();
+        assert_eq!(p, ucq_brute_force(expr, &tid).unwrap());
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob_and_validates() {
+        let cfg = EngineConfig::builder()
+            .max_brute_force_tuples(12)
+            .prefer_extensional(true)
+            .cache_gate_budget(Some(1000))
+            .max_ground_tuples(10)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_brute_force_tuples, 12);
+        assert!(cfg.prefer_extensional);
+        assert_eq!(cfg.cache_gate_budget, Some(1000));
+        assert_eq!(cfg.max_ground_tuples, 10);
+        let bad = EngineConfig::builder()
+            .sampling(SamplingConfig {
+                eps: 0.0,
+                ..SamplingConfig::default()
+            })
+            .build();
+        assert_eq!(bad.unwrap_err(), ConfigError::InvalidEps { eps: 0.0 });
+    }
+
+    #[test]
+    fn parsed_queries_flow_through_prepare_and_batches() {
+        let mut engine = PqeEngine::new();
+        let q = Query::parse("R(x),S1(x,y),T(y)", &Vocabulary::h(1)).unwrap();
+        let tid = k1_tid();
+        let expected = engine.evaluate(&q, &tid).unwrap();
+        // prepare / prepare_shared serve the cached ground circuit.
+        let mut stats = EngineStats::default();
+        let prepared = engine.prepare(&q, &tid).unwrap();
+        assert_eq!(prepared.plan(), Plan::GroundCircuit);
+        assert!(prepared.cache_hit());
+        assert_eq!(prepared.eval_exact(&tid, 0, &mut stats), expected);
+        let shared = engine.prepare_shared(&q, &tid).unwrap().unwrap();
+        assert_eq!(shared.eval_exact(&tid, 0, &mut stats), expected);
+        // Batches: sequential, lane-batched f64, and sharded agree.
+        let tids = vec![tid.clone(), tid.clone(), tid.clone()];
+        let batch = engine.evaluate_batch(&q, &tids).unwrap();
+        assert!(batch.iter().all(|p| *p == expected));
+        let plan = engine.plan_batch(&q, &tids, 2).unwrap();
+        assert_eq!(plan.compiles, 0);
+        assert_eq!(plan.shared, 3);
+        let sharded = engine.evaluate_batch_sharded(&q, &tids, 2).unwrap();
+        assert_eq!(sharded, batch);
+        let f64s = engine.evaluate_batch_f64(&q, &tids).unwrap();
+        let sharded_f64 = engine.evaluate_batch_sharded_f64(&q, &tids, 2).unwrap();
+        assert_eq!(f64s, sharded_f64);
+    }
+
+    #[test]
+    fn lifted_plans_flow_through_batches_and_prepare() {
+        let mut engine = PqeEngine::new();
+        let q = Query::parse("S1(0,y),T(y)", &Vocabulary::h(1)).unwrap();
+        let tid = k1_tid();
+        let expected = engine.evaluate(&q, &tid).unwrap();
+        // A lifted plan needs no shared state: prepare_shared completes
+        // on a read-only probe.
+        let mut stats = EngineStats::default();
+        let shared = engine
+            .prepare_shared(&q, &tid)
+            .unwrap()
+            .expect("lifted plans need no shared state");
+        assert_eq!(shared.plan(), Plan::Lifted);
+        assert_eq!(shared.eval_exact(&tid, 0, &mut stats), expected);
+        let tids = vec![tid.clone(), tid.clone()];
+        let batch = engine.evaluate_batch(&q, &tids).unwrap();
+        assert!(batch.iter().all(|p| *p == expected));
+        let sharded = engine.evaluate_batch_sharded(&q, &tids, 2).unwrap();
+        assert_eq!(sharded, batch);
+        let f64s = engine.evaluate_batch_f64(&q, &tids).unwrap();
+        let sharded_f64 = engine.evaluate_batch_sharded_f64(&q, &tids, 2).unwrap();
+        assert_eq!(f64s, sharded_f64);
+        assert_eq!(engine.cache_len(), 0);
     }
 }

@@ -1,16 +1,23 @@
-//! The unified PQE front door: one planner over the workspace's five
+//! The unified PQE front door: one planner over the workspace's seven
 //! evaluation backends, with compiled-lineage caching.
 //!
-//! The repo implements five routes for `PQE(Q_φ)` — brute-force
-//! possible-worlds enumeration, Dalvi–Suciu lifted inference, the
-//! degenerate-`φ` OBDD of Proposition 3.7, the zero-Euler d-D
-//! pipeline of Theorem 5.2, and a Monte-Carlo anytime backend
-//! ([`Plan::Sample`]) for hard instances beyond the brute-force budget.
+//! The repo implements seven routes for probabilistic query evaluation —
+//! brute-force possible-worlds enumeration, Dalvi–Suciu lifted
+//! inference over `φ`'s CNF lattice, the degenerate-`φ` OBDD of
+//! Proposition 3.7, the zero-Euler d-D pipeline of Theorem 5.2, a
+//! Monte-Carlo anytime backend ([`Plan::Sample`]) for hard instances
+//! beyond the brute-force budget, and — behind the UCQ front door — a
+//! structural lifted plan ([`Plan::Lifted`]) for Dalvi–Suciu-safe
+//! general queries plus a grounded lineage circuit
+//! ([`Plan::GroundCircuit`]) for unsafe ones within a budget.
 //! [`PqeEngine`] makes the choice automatic:
 //!
-//! 1. **Plan** — classify `φ` on the paper's Figure 1 region map
-//!    ([`intext_core::classify()`]) and pick the cheapest sound backend;
-//!    the decision is an inspectable [`Plan`] and
+//! 1. **Plan** — resolve any [`Query`] (an [`intext_query::HQuery`], or
+//!    a parsed UCQ over a vocabulary): H-shaped queries — including
+//!    parsed queries *recognized* as H-shaped — classify on the paper's
+//!    Figure 1 region map ([`intext_core::classify()`]) and pick the
+//!    cheapest sound backend; general queries split by the Dalvi–Suciu
+//!    safety test. The decision is an inspectable [`Plan`] and
 //!    [`PqeEngine::explain`] narrates the rationale.
 //! 2. **Cache** — compiled artifacts (OBDD or d-D circuit) are keyed by
 //!    `(φ's canonical truth table, database shape)` and *not* by tuple
@@ -110,8 +117,10 @@ pub mod store;
 
 pub use cache::{Artifact, ArtifactCache, CacheKey};
 pub use engine::{
-    ConfigError, EngineConfig, EngineError, LaneScratch, LoadReport, PqeEngine, PreparedQuery,
+    ConfigError, EngineConfig, EngineConfigBuilder, EngineError, LaneScratch, LoadReport,
+    PqeEngine, PreparedQuery,
 };
+pub use intext_query::Query;
 pub use plan::{BatchPlan, Explanation, Plan};
 pub use sample::{Estimate, SamplerKind, SamplingConfig};
 pub use stats::{EngineStats, LatencyHistogram, QueryStats, RouteLatency};

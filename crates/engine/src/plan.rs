@@ -8,9 +8,10 @@ use crate::{EngineError, SamplerKind};
 
 /// The backend the planner chose for a query.
 ///
-/// The five plans correspond to the five evaluation routes the workspace
-/// implements; see `DESIGN.md` for the routing diagram and the exact
-/// precedence rules.
+/// The plans correspond to the evaluation routes the workspace
+/// implements — the five Figure 1 routes for H-queries plus the two
+/// general-query routes behind the UCQ front door; see `DESIGN.md`
+/// for the routing diagram and the exact precedence rules.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Plan {
     /// Degenerate `φ`: compile a linear-size reduced OBDD by the
@@ -32,13 +33,21 @@ pub enum Plan {
     /// brute-force budget, with sampling enabled: a Monte-Carlo
     /// `(ε, δ)`-bounded estimate by the named sampler.
     Sample(SamplerKind),
+    /// A general (non-H-shaped) query that passed the Dalvi–Suciu
+    /// safety test: lifted inference over the query structure.
+    /// Produces no reusable artifact.
+    Lifted,
+    /// A general query that is neither H-shaped nor safe, on an
+    /// instance within the grounding budget: ground the lineage and
+    /// compile an OBDD over raw tuple ids. Cacheable.
+    GroundCircuit,
 }
 
 impl Plan {
     /// Does this plan produce a compiled artifact the engine can cache
     /// and re-walk under new tuple probabilities?
     pub fn is_cacheable(self) -> bool {
-        matches!(self, Plan::Obdd | Plan::DdCircuit)
+        matches!(self, Plan::Obdd | Plan::DdCircuit | Plan::GroundCircuit)
     }
 }
 
@@ -50,6 +59,8 @@ impl fmt::Display for Plan {
             Plan::Extensional => write!(f, "extensional lifted inference (Proposition 3.5)"),
             Plan::BruteForce => write!(f, "brute force over possible worlds"),
             Plan::Sample(kind) => write!(f, "Monte-Carlo sampling ({kind})"),
+            Plan::Lifted => write!(f, "lifted inference (Dalvi-Suciu safe plan)"),
+            Plan::GroundCircuit => write!(f, "grounded lineage circuit"),
         }
     }
 }
@@ -114,8 +125,14 @@ impl fmt::Display for Explanation {
             Region::HardMonotone => "monotone with e(φ) ≠ 0 (#P-hard, Corollary 3.9)",
             Region::HardByTransfer => "non-monotone, e(φ) ≠ 0 (#P-hard by transfer, Prop 6.4)",
             Region::ConjecturedHard => "e(φ) beyond the monotone range (conjectured #P-hard)",
+            Region::SafeLifted => "a safe non-H query (lifted inference, PTIME)",
+            Region::GroundCircuit => "an unsafe non-H query (grounded circuit, budgeted)",
         };
-        write!(f, "φ is {region}; ")?;
+        let subject = match self.region {
+            Region::SafeLifted | Region::GroundCircuit => "the query",
+            _ => "φ",
+        };
+        write!(f, "{subject} is {region}; ")?;
         match &self.plan {
             Ok(plan) => {
                 write!(f, "plan: {plan} on {} tuples", self.tuples)?;
@@ -152,6 +169,30 @@ mod tests {
         assert!(!Plan::BruteForce.is_cacheable());
         assert!(!Plan::Sample(SamplerKind::KarpLuby).is_cacheable());
         assert!(!Plan::Sample(SamplerKind::NaiveWorlds).is_cacheable());
+        assert!(!Plan::Lifted.is_cacheable());
+        assert!(Plan::GroundCircuit.is_cacheable());
+    }
+
+    #[test]
+    fn general_route_explanations_name_the_route() {
+        let lifted = Explanation {
+            region: Region::SafeLifted,
+            tuples: 40,
+            plan: Ok(Plan::Lifted),
+            cached: false,
+        };
+        let s = lifted.to_string();
+        assert!(s.contains("lifted inference"), "{s}");
+        assert!(s.contains("safe"), "{s}");
+        let ground = Explanation {
+            region: Region::GroundCircuit,
+            tuples: 12,
+            plan: Ok(Plan::GroundCircuit),
+            cached: true,
+        };
+        let s = ground.to_string();
+        assert!(s.contains("grounded lineage circuit"), "{s}");
+        assert!(s.contains("cached"), "{s}");
     }
 
     #[test]

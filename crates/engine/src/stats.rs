@@ -67,6 +67,11 @@ pub struct EngineStats {
     pub brute_force_plans: u64,
     /// Queries routed to [`Plan::Sample`] (either sampler).
     pub sample_plans: u64,
+    /// Queries routed to [`Plan::Lifted`] (safe general queries).
+    pub lifted_plans: u64,
+    /// Queries routed to [`Plan::GroundCircuit`] (unsafe general
+    /// queries within the grounding budget).
+    pub ground_plans: u64,
     /// Total Monte-Carlo samples drawn across all sampled queries.
     pub samples_drawn: u64,
     /// Nanoseconds spent inside the samplers (the sampling share of
@@ -231,6 +236,10 @@ pub struct RouteLatency {
     pub brute_force: LatencyHistogram,
     /// Latencies of queries routed to [`Plan::Sample`] (either sampler).
     pub sample: LatencyHistogram,
+    /// Latencies of queries routed to [`Plan::Lifted`].
+    pub lifted: LatencyHistogram,
+    /// Latencies of queries routed to [`Plan::GroundCircuit`].
+    pub ground: LatencyHistogram,
 }
 
 impl RouteLatency {
@@ -242,6 +251,8 @@ impl RouteLatency {
             Plan::Extensional => &self.extensional,
             Plan::BruteForce => &self.brute_force,
             Plan::Sample(_) => &self.sample,
+            Plan::Lifted => &self.lifted,
+            Plan::GroundCircuit => &self.ground,
         }
     }
 
@@ -252,6 +263,8 @@ impl RouteLatency {
             Plan::Extensional => &mut self.extensional,
             Plan::BruteForce => &mut self.brute_force,
             Plan::Sample(_) => &mut self.sample,
+            Plan::Lifted => &mut self.lifted,
+            Plan::GroundCircuit => &mut self.ground,
         }
     }
 
@@ -263,6 +276,8 @@ impl RouteLatency {
             + self.extensional.count()
             + self.brute_force.count()
             + self.sample.count()
+            + self.lifted.count()
+            + self.ground.count()
     }
 
     /// Route-wise [`LatencyHistogram::merge`] (bucket-wise addition).
@@ -272,6 +287,8 @@ impl RouteLatency {
         self.extensional.merge(&other.extensional);
         self.brute_force.merge(&other.brute_force);
         self.sample.merge(&other.sample);
+        self.lifted.merge(&other.lifted);
+        self.ground.merge(&other.ground);
     }
 }
 
@@ -292,6 +309,8 @@ impl EngineStats {
                 self.samples_drawn += q.samples;
                 self.sample_nanos += duration_nanos(q.eval_time);
             }
+            Plan::Lifted => self.lifted_plans += 1,
+            Plan::GroundCircuit => self.ground_plans += 1,
         }
         if q.plan.is_cacheable() {
             if q.cache_hit {
@@ -334,6 +353,8 @@ impl EngineStats {
         self.extensional_plans += other.extensional_plans;
         self.brute_force_plans += other.brute_force_plans;
         self.sample_plans += other.sample_plans;
+        self.lifted_plans += other.lifted_plans;
+        self.ground_plans += other.ground_plans;
         self.samples_drawn += other.samples_drawn;
         self.sample_nanos += other.sample_nanos;
         self.extensional_memo_hits += other.extensional_memo_hits;
@@ -364,7 +385,8 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} queries (obdd {}, d-D {}, extensional {}, brute {}, sampled {}); \
+            "{} queries (obdd {}, d-D {}, extensional {}, brute {}, sampled {}, \
+             lifted {}, ground {}); \
              cache {} hits / {} misses / {} evictions / {} loads; \
              compile {:?} ({} ns), walk {} ns over {} lane-kernel call(s), \
              eval {:?}; {} extensional memo hit(s); \
@@ -376,6 +398,8 @@ impl fmt::Display for EngineStats {
             self.extensional_plans,
             self.brute_force_plans,
             self.sample_plans,
+            self.lifted_plans,
+            self.ground_plans,
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
@@ -520,6 +544,32 @@ mod tests {
         merged.merge(&EngineStats::default());
         assert_eq!(merged.queries, snapshot);
         assert!(merged.last.is_some());
+    }
+
+    #[test]
+    fn general_routes_have_their_own_counters_and_histograms() {
+        let mut s = EngineStats::default();
+        s.record(q(Plan::Lifted, false));
+        s.record(q(Plan::GroundCircuit, false));
+        s.record(q(Plan::GroundCircuit, true));
+        assert_eq!(s.lifted_plans, 1);
+        assert_eq!(s.ground_plans, 2);
+        // Ground circuits are cacheable artifacts; lifted runs are not.
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.route_latency.lifted.count(), 1);
+        assert_eq!(s.route_latency.ground.count(), 2);
+        assert_eq!(s.route_latency.total_count(), s.queries);
+        let mut merged = EngineStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.lifted_plans, 2);
+        assert_eq!(merged.ground_plans, 4);
+        assert_eq!(merged.route_latency.total_count(), merged.queries);
+        assert!(
+            merged.to_string().contains("lifted 2, ground 4"),
+            "{merged}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fmt;
 use intext_tid::{Database, Relation};
 
 /// A term: a query variable or a domain constant.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Term {
     /// A query variable, identified by a small index.
     Var(u8),
@@ -29,7 +29,7 @@ impl fmt::Display for Term {
 }
 
 /// A relational atom `Rel(t1)` or `Rel(t1, t2)`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Atom {
     /// The relation symbol.
     pub rel: Relation,
@@ -69,7 +69,7 @@ impl fmt::Display for Atom {
 
 /// A Boolean conjunctive query: an existentially quantified conjunction
 /// of atoms.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ConjunctiveQuery {
     /// The atoms of the query body.
     pub atoms: Vec<Atom>,
@@ -165,6 +165,172 @@ impl ConjunctiveQuery {
     }
 }
 
+impl ConjunctiveQuery {
+    /// The variables of the query in order of first occurrence (the
+    /// order a left-to-right parse assigns indices in).
+    pub fn variables_in_order(&self) -> Vec<u8> {
+        let mut vars = Vec::new();
+        for atom in &self.atoms {
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    if !vars.contains(v) {
+                        vars.push(*v);
+                    }
+                }
+            }
+        }
+        vars
+    }
+
+    /// The canonical representative of this query's variable-renaming
+    /// class: atoms sorted and deduplicated, variables renamed to
+    /// `0..n`, choosing (over all `n!` renamings when `n ≤ 7`, else
+    /// over the first-occurrence renaming only) the lexicographically
+    /// least sorted atom list. Two queries equal up to variable renaming
+    /// and atom order/duplication canonicalize identically.
+    pub fn canonical(&self) -> ConjunctiveQuery {
+        let vars = self.variables_in_order();
+        let n = vars.len();
+        let rename = |perm: &[u8]| -> Vec<Atom> {
+            let mut atoms: Vec<Atom> = self
+                .atoms
+                .iter()
+                .map(|a| Atom {
+                    rel: a.rel,
+                    args: a
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => {
+                                let i = vars.iter().position(|w| w == v).expect("collected");
+                                Term::Var(perm[i])
+                            }
+                            Term::Const(c) => Term::Const(*c),
+                        })
+                        .collect(),
+                })
+                .collect();
+            atoms.sort();
+            atoms.dedup();
+            atoms
+        };
+        let identity: Vec<u8> = (0..n as u8).collect();
+        let mut best = rename(&identity);
+        if n <= 7 {
+            permutations(n as u8, &mut |perm| {
+                let candidate = rename(perm);
+                if candidate < best {
+                    best = candidate;
+                }
+            });
+        }
+        ConjunctiveQuery::new(best)
+    }
+
+    /// The core of the query: repeatedly drops an atom whenever the
+    /// full query has a homomorphism into the remainder (so the
+    /// remainder is logically equivalent). Eliminates redundant atoms
+    /// like the second `R` in `R(x), R(y), S1(x,z)`.
+    pub fn minimized(&self) -> ConjunctiveQuery {
+        let mut atoms: Vec<Atom> = Vec::new();
+        for a in &self.atoms {
+            if !atoms.contains(a) {
+                atoms.push(a.clone());
+            }
+        }
+        loop {
+            let mut removed = false;
+            for i in 0..atoms.len() {
+                if atoms.len() == 1 {
+                    break;
+                }
+                let mut reduced = atoms.clone();
+                reduced.remove(i);
+                if homomorphism(&atoms, &reduced) {
+                    atoms = reduced;
+                    removed = true;
+                    break;
+                }
+            }
+            if !removed {
+                return ConjunctiveQuery::new(atoms);
+            }
+        }
+    }
+}
+
+/// Calls `visit` with every permutation of `0..n` (Heap's algorithm).
+fn permutations(n: u8, visit: &mut impl FnMut(&[u8])) {
+    fn heap(slice: &mut [u8], n: usize, visit: &mut impl FnMut(&[u8])) {
+        if n <= 1 {
+            visit(slice);
+            return;
+        }
+        for i in 0..n {
+            heap(slice, n - 1, visit);
+            if n.is_multiple_of(2) {
+                slice.swap(i, n - 1);
+            } else {
+                slice.swap(0, n - 1);
+            }
+        }
+    }
+    let mut scratch: Vec<u8> = (0..n).collect();
+    let len = scratch.len();
+    heap(&mut scratch, len, visit);
+}
+
+/// Is there a homomorphism from the atom set `from` into `to` — a map
+/// of `from`'s variables to `to`'s terms, fixing constants, that sends
+/// every atom of `from` onto an atom of `to`? For Boolean CQs `Q, Q'`,
+/// `hom(Q → Q')` means `Q'` implies `Q` on every database.
+pub(crate) fn homomorphism(from: &[Atom], to: &[Atom]) -> bool {
+    fn search(from: &[Atom], to: &[Atom], idx: usize, binding: &mut HashMap<u8, Term>) -> bool {
+        let Some(atom) = from.get(idx) else {
+            return true;
+        };
+        'target: for target in to {
+            if target.rel != atom.rel || target.args.len() != atom.args.len() {
+                continue;
+            }
+            let mut newly_bound: Vec<u8> = Vec::new();
+            for (t, image) in atom.args.iter().zip(&target.args) {
+                match t {
+                    Term::Const(c) => {
+                        if *image != Term::Const(*c) {
+                            for v in newly_bound.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'target;
+                        }
+                    }
+                    Term::Var(v) => match binding.get(v) {
+                        Some(bound) if bound != image => {
+                            for v in newly_bound.drain(..) {
+                                binding.remove(&v);
+                            }
+                            continue 'target;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(*v, *image);
+                            newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            if search(from, to, idx + 1, binding) {
+                return true;
+            }
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        }
+        false
+    }
+    search(from, to, 0, &mut HashMap::new())
+}
+
 impl fmt::Display for ConjunctiveQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let vars = self.variables();
@@ -254,6 +420,59 @@ mod tests {
         // All pieces present but not joinable.
         let db = db_with(&[TupleDesc::R(0), TupleDesc::S(1, 1, 2), TupleDesc::T(3)]);
         assert!(!q.eval(&db));
+    }
+
+    #[test]
+    fn canonical_is_invariant_under_renaming_and_reordering() {
+        let a = ConjunctiveQuery::new(vec![
+            Atom::unary(Relation::R, Term::Var(3)),
+            Atom::binary(Relation::S(1), Term::Var(3), Term::Var(7)),
+        ]);
+        let b = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(1)),
+            Atom::unary(Relation::R, Term::Var(0)),
+            Atom::unary(Relation::R, Term::Var(0)), // duplicate
+        ]);
+        assert_eq!(a.canonical(), b.canonical());
+        let c = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Var(1), Term::Var(0)), // swapped roles
+            Atom::unary(Relation::R, Term::Var(1)),
+        ]);
+        assert_eq!(a.canonical(), c.canonical());
+        // Constants are fixed points: different constants, different class.
+        let d = ConjunctiveQuery::new(vec![Atom::unary(Relation::R, Term::Const(2))]);
+        let e = ConjunctiveQuery::new(vec![Atom::unary(Relation::R, Term::Const(3))]);
+        assert_ne!(d.canonical(), e.canonical());
+    }
+
+    #[test]
+    fn minimized_drops_redundant_atoms() {
+        // R(x), R(y), S1(x,z): R(y) folds onto R(x).
+        let q = ConjunctiveQuery::new(vec![
+            Atom::unary(Relation::R, Term::Var(0)),
+            Atom::unary(Relation::R, Term::Var(1)),
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(2)),
+        ]);
+        let core = q.minimized();
+        assert_eq!(core.atoms.len(), 2);
+        // S1(x,y), S1(x,z): the second atom folds onto the first.
+        let q = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(1)),
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(2)),
+        ]);
+        assert_eq!(q.minimized().atoms.len(), 1);
+        // S1(x,y), S1(y,x): a genuine cycle, nothing to drop.
+        let q = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Var(1)),
+            Atom::binary(Relation::S(1), Term::Var(1), Term::Var(0)),
+        ]);
+        assert_eq!(q.minimized().atoms.len(), 2);
+        // Constants block folding: S1(x,1), S1(x,2) is already a core.
+        let q = ConjunctiveQuery::new(vec![
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Const(1)),
+            Atom::binary(Relation::S(1), Term::Var(0), Term::Const(2)),
+        ]);
+        assert_eq!(q.minimized().atoms.len(), 2);
     }
 
     #[test]

@@ -17,16 +17,36 @@
 //! * the specialized [`HQuery`] type with fast witness enumeration,
 //! * brute-force probabilistic evaluation over all possible worlds
 //!   ([`pqe_brute_force`]) — exponential, but the exact ground truth that
-//!   every other engine in the workspace is validated against.
+//!   every other engine in the workspace is validated against,
+//! * the general UCQ front door: a text [`parse_query`] over a named
+//!   vocabulary, the unified [`Query`] type every engine entry point
+//!   accepts, Dalvi–Suciu safety testing and lifted inference for safe
+//!   UCQs ([`is_safe_ucq`], [`lifted_probability`]), H-shape
+//!   recognition onto the `φ + h_{k,i}` machinery ([`recognize_h`]),
+//!   and grounded circuit compilation for everything else
+//!   ([`ground_circuit`]).
 
 mod brute;
 mod cq;
 mod dnf;
+mod ground;
 mod hardness;
 mod hquery;
+mod lifted;
+mod parse;
+mod query;
+mod ucq;
 
 pub use brute::{pqe_brute_force, pqe_brute_force_f64, BruteForceError};
 pub use cq::{Atom, ConjunctiveQuery, Term};
 pub use dnf::{dnf_clause_bound, lineage_dnf, DnfLineage};
+pub use ground::{
+    ground_circuit, ground_circuit_probability, ground_circuit_probability_f64, ground_cq,
+    ucq_brute_force, ucq_brute_force_f64,
+};
 pub use hardness::{pqe_brute_force_cq, Pp2Cnf};
 pub use hquery::{h_cq, h_truth_vector, h_witnesses, HQuery};
+pub use lifted::{is_safe_ucq, lifted_probability, lifted_probability_f64};
+pub use parse::{parse_query, ParseError, MAX_DEPTH};
+pub use query::{h_query_text, recognize_h, Query};
+pub use ucq::{QueryExpr, Ucq, MAX_UCQ_DISJUNCTS};

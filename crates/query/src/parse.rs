@@ -1,0 +1,474 @@
+//! A total text parser for the UCQ grammar.
+//!
+//! ```text
+//! query  := or                          (then end of input)
+//! or     := and ('|' and)*
+//! and    := factor ('&' factor)*
+//! factor := '!' factor | '(' or ')' | cq
+//! cq     := atom (',' atom)*
+//! atom   := ident '(' term (',' term)* ')'
+//! term   := number | ident
+//! ```
+//!
+//! Precedence from loose to tight: `|`, `&`, `!`, `,`. The comma is
+//! atom-level conjunction *inside one CQ leaf* — atoms joined by `,`
+//! share a variable scope — while `&` conjoins independently
+//! existentially closed subqueries. Identifiers in term position are
+//! variables (scoped per CQ leaf, numbered in first-occurrence order);
+//! numbers are domain constants; identifiers in atom position resolve
+//! against a [`Vocabulary`] with their arity.
+//!
+//! The parser is **total**: any input — including hostile bytes — comes
+//! back as a [`QueryExpr`] or a typed [`ParseError`], never a panic.
+//! Nesting depth (parentheses and negations) is capped at
+//! [`MAX_DEPTH`] so recursion cannot overflow the stack.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use intext_tid::Vocabulary;
+
+use crate::cq::{Atom, ConjunctiveQuery, Term};
+use crate::ucq::QueryExpr;
+
+/// Maximum nesting depth of `(...)` and `!` the parser accepts.
+pub const MAX_DEPTH: usize = 64;
+
+/// Why a query text did not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A character outside the grammar's alphabet.
+    UnexpectedChar {
+        /// Byte offset of the character.
+        pos: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// The input ended where a token was required.
+    UnexpectedEnd,
+    /// A well-formed token in the wrong place.
+    Unexpected {
+        /// Byte offset of the token.
+        pos: usize,
+        /// The token found.
+        found: String,
+        /// What the grammar required instead.
+        expected: &'static str,
+    },
+    /// An atom's relation name (at its arity) is not in the vocabulary.
+    UnknownRelation {
+        /// Byte offset of the relation name.
+        pos: usize,
+        /// The name as written.
+        name: String,
+        /// The arity implied by the argument list.
+        arity: usize,
+    },
+    /// A constant larger than the `u32` domain.
+    ConstantTooLarge {
+        /// Byte offset of the number.
+        pos: usize,
+    },
+    /// More than 256 distinct variables in one CQ leaf.
+    TooManyVariables {
+        /// Byte offset of the variable that overflowed the scope.
+        pos: usize,
+    },
+    /// Nesting beyond [`MAX_DEPTH`] parentheses/negations.
+    TooDeep,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { pos, ch } => {
+                write!(f, "unexpected character {ch:?} at byte {pos}")
+            }
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            ParseError::Unexpected {
+                pos,
+                found,
+                expected,
+            } => write!(f, "expected {expected} at byte {pos}, found {found:?}"),
+            ParseError::UnknownRelation { pos, name, arity } => write!(
+                f,
+                "unknown relation {name:?} of arity {arity} at byte {pos}"
+            ),
+            ParseError::ConstantTooLarge { pos } => {
+                write!(f, "constant at byte {pos} exceeds the u32 domain")
+            }
+            ParseError::TooManyVariables { pos } => write!(
+                f,
+                "more than 256 distinct variables in one conjunctive query (byte {pos})"
+            ),
+            ParseError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH} levels"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(u32),
+    LParen,
+    RParen,
+    Comma,
+    Amp,
+    Pipe,
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(pos, ch)) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push((pos, Token::LParen));
+            }
+            ')' => {
+                chars.next();
+                tokens.push((pos, Token::RParen));
+            }
+            ',' => {
+                chars.next();
+                tokens.push((pos, Token::Comma));
+            }
+            '&' => {
+                chars.next();
+                tokens.push((pos, Token::Amp));
+            }
+            '|' => {
+                chars.next();
+                tokens.push((pos, Token::Pipe));
+            }
+            '!' => {
+                chars.next();
+                tokens.push((pos, Token::Bang));
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(&(_, d)) = chars.peek() {
+                    let Some(digit) = d.to_digit(10) else { break };
+                    chars.next();
+                    value = value * 10 + u64::from(digit);
+                    if value > u64::from(u32::MAX) {
+                        return Err(ParseError::ConstantTooLarge { pos });
+                    }
+                }
+                tokens.push((pos, Token::Number(value as u32)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((pos, Token::Ident(name)));
+            }
+            _ => return Err(ParseError::UnexpectedChar { pos, ch }),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    voc: &'a Vocabulary,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&(usize, Token)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<(usize, Token)> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token, expected: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some((_, t)) if t == want => Ok(()),
+            Some((pos, t)) => Err(ParseError::Unexpected {
+                pos,
+                found: t.to_string(),
+                expected,
+            }),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+
+    fn parse_or(&mut self, depth: usize) -> Result<QueryExpr, ParseError> {
+        let mut parts = vec![self.parse_and(depth)?];
+        while matches!(self.peek(), Some((_, Token::Pipe))) {
+            self.next();
+            parts.push(self.parse_and(depth)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            QueryExpr::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self, depth: usize) -> Result<QueryExpr, ParseError> {
+        let mut parts = vec![self.parse_factor(depth)?];
+        while matches!(self.peek(), Some((_, Token::Amp))) {
+            self.next();
+            parts.push(self.parse_factor(depth)?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            QueryExpr::And(parts)
+        })
+    }
+
+    fn parse_factor(&mut self, depth: usize) -> Result<QueryExpr, ParseError> {
+        if depth >= MAX_DEPTH {
+            return Err(ParseError::TooDeep);
+        }
+        match self.peek() {
+            Some((_, Token::Bang)) => {
+                self.next();
+                Ok(QueryExpr::Not(Box::new(self.parse_factor(depth + 1)?)))
+            }
+            Some((_, Token::LParen)) => {
+                self.next();
+                let inner = self.parse_or(depth + 1)?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some((_, Token::Ident(_))) => self.parse_cq(),
+            Some(&(pos, ref t)) => Err(ParseError::Unexpected {
+                pos,
+                found: t.to_string(),
+                expected: "an atom, `!`, or `(`",
+            }),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+
+    fn parse_cq(&mut self) -> Result<QueryExpr, ParseError> {
+        let mut scope: HashMap<String, u8> = HashMap::new();
+        let mut atoms = vec![self.parse_atom(&mut scope)?];
+        while matches!(self.peek(), Some((_, Token::Comma))) {
+            self.next();
+            atoms.push(self.parse_atom(&mut scope)?);
+        }
+        Ok(QueryExpr::Cq(ConjunctiveQuery::new(atoms)))
+    }
+
+    fn parse_atom(&mut self, scope: &mut HashMap<String, u8>) -> Result<Atom, ParseError> {
+        let (name_pos, name) = match self.next() {
+            Some((pos, Token::Ident(name))) => (pos, name),
+            Some((pos, t)) => {
+                return Err(ParseError::Unexpected {
+                    pos,
+                    found: t.to_string(),
+                    expected: "a relation name",
+                })
+            }
+            None => return Err(ParseError::UnexpectedEnd),
+        };
+        self.expect(Token::LParen, "`(` after a relation name")?;
+        let mut args = vec![self.parse_term(scope)?];
+        while matches!(self.peek(), Some((_, Token::Comma))) {
+            self.next();
+            args.push(self.parse_term(scope)?);
+        }
+        self.expect(Token::RParen, "`)` closing the argument list")?;
+        let rel = self
+            .voc
+            .resolve(&name, args.len())
+            .ok_or(ParseError::UnknownRelation {
+                pos: name_pos,
+                name,
+                arity: args.len(),
+            })?;
+        Ok(Atom { rel, args })
+    }
+
+    fn parse_term(&mut self, scope: &mut HashMap<String, u8>) -> Result<Term, ParseError> {
+        match self.next() {
+            Some((_, Token::Number(n))) => Ok(Term::Const(n)),
+            Some((pos, Token::Ident(name))) => {
+                if let Some(&v) = scope.get(&name) {
+                    return Ok(Term::Var(v));
+                }
+                if scope.len() > usize::from(u8::MAX) {
+                    return Err(ParseError::TooManyVariables { pos });
+                }
+                let v = scope.len() as u8;
+                scope.insert(name, v);
+                Ok(Term::Var(v))
+            }
+            Some((pos, t)) => Err(ParseError::Unexpected {
+                pos,
+                found: t.to_string(),
+                expected: "a variable or constant",
+            }),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+}
+
+/// Parses a UCQ-grammar query against a vocabulary. Total: every input
+/// yields a [`QueryExpr`] or a typed [`ParseError`].
+pub fn parse_query(text: &str, voc: &Vocabulary) -> Result<QueryExpr, ParseError> {
+    let tokens = tokenize(text)?;
+    if tokens.is_empty() {
+        return Err(ParseError::UnexpectedEnd);
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        voc,
+    };
+    let expr = parser.parse_or(0)?;
+    match parser.next() {
+        None => Ok(expr),
+        Some((pos, t)) => Err(ParseError::Unexpected {
+            pos,
+            found: t.to_string(),
+            expected: "end of input",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intext_tid::Relation;
+
+    fn h3() -> Vocabulary {
+        Vocabulary::h(3)
+    }
+
+    #[test]
+    fn parses_the_grammar_with_precedence() {
+        let e = parse_query("R(x),S1(x,y) & !(T(z)) | S2(u,u)", &h3()).unwrap();
+        let QueryExpr::Or(parts) = &e else {
+            panic!("`|` binds loosest: {e:?}")
+        };
+        assert_eq!(parts.len(), 2);
+        let QueryExpr::And(conj) = &parts[0] else {
+            panic!("`&` under `|`: {parts:?}")
+        };
+        assert!(matches!(&conj[0], QueryExpr::Cq(cq) if cq.atoms.len() == 2));
+        assert!(matches!(&conj[1], QueryExpr::Not(_)));
+        assert!(
+            matches!(&parts[1], QueryExpr::Cq(cq) if cq.atoms[0].args[0] == cq.atoms[0].args[1])
+        );
+    }
+
+    #[test]
+    fn comma_shares_scope_and_amp_does_not() {
+        // In one CQ leaf, both `x`s are the same variable.
+        let e = parse_query("R(x),T(x)", &h3()).unwrap();
+        let QueryExpr::Cq(cq) = &e else { panic!() };
+        assert_eq!(cq.atoms[0].args[0], cq.atoms[1].args[0]);
+        // Across `&`, each leaf opens a fresh scope (both are Var(0)
+        // *within their own leaf*).
+        let e = parse_query("R(x) & T(x)", &h3()).unwrap();
+        let QueryExpr::And(parts) = &e else { panic!() };
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn constants_and_custom_vocabularies_resolve() {
+        let voc =
+            Vocabulary::new(vec!["Person".into(), "City".into()], vec!["LivesIn".into()]).unwrap();
+        let e = parse_query("Person(x), LivesIn(x, 4), City(4)", &voc).unwrap();
+        let QueryExpr::Cq(cq) = &e else { panic!() };
+        assert_eq!(cq.atoms[1].rel, Relation::S(1));
+        assert_eq!(cq.atoms[1].args[1], Term::Const(4));
+        assert_eq!(cq.atoms[2].args[0], Term::Const(4));
+    }
+
+    #[test]
+    fn errors_are_typed_and_total() {
+        let voc = h3();
+        assert_eq!(parse_query("", &voc), Err(ParseError::UnexpectedEnd));
+        assert_eq!(parse_query("R(x", &voc), Err(ParseError::UnexpectedEnd));
+        assert!(matches!(
+            parse_query("R(x))", &voc),
+            Err(ParseError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            parse_query("(R(x)), T(y)", &voc), // comma after a paren group
+            Err(ParseError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            parse_query("Q(x)", &voc),
+            Err(ParseError::UnknownRelation { arity: 1, .. })
+        ));
+        assert!(matches!(
+            parse_query("R(x,y)", &voc), // R at the wrong arity
+            Err(ParseError::UnknownRelation { arity: 2, .. })
+        ));
+        assert!(matches!(
+            parse_query("S4(x,y)", &voc), // beyond k = 3
+            Err(ParseError::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            parse_query("R(99999999999)", &voc),
+            Err(ParseError::ConstantTooLarge { .. })
+        ));
+        assert!(matches!(
+            parse_query("R(#)", &voc),
+            Err(ParseError::UnexpectedChar { ch: '#', .. })
+        ));
+        let deep = format!("{}R(x){}", "(".repeat(80), ")".repeat(80));
+        assert_eq!(parse_query(&deep, &voc), Err(ParseError::TooDeep));
+        let negs = format!("{}R(x)", "!".repeat(80));
+        assert_eq!(parse_query(&negs, &voc), Err(ParseError::TooDeep));
+    }
+
+    #[test]
+    fn render_then_parse_is_identity_on_parser_output() {
+        let voc = h3();
+        for text in [
+            "R(x0)",
+            "R(x0),S1(x0,x1)",
+            "R(x0),S1(x0,x1) & !(T(x0)) | S2(x0,x0)",
+            "!(R(x0) | T(x0)) & S3(x0,7)",
+            "S1(x0,x1),S2(x1,x0),T(x1)",
+        ] {
+            let e = parse_query(text, &voc).unwrap();
+            let rendered = e.render(&|rel: Relation| rel.to_string());
+            assert_eq!(rendered, text);
+            assert_eq!(parse_query(&rendered, &voc).unwrap(), e);
+        }
+    }
+}

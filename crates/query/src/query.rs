@@ -1,0 +1,282 @@
+//! The unified front-door query type.
+//!
+//! [`Query`] is what the engine and the wire protocol accept: either a
+//! pre-built [`HQuery`] (the paper's `Q_φ`, upgraded via `From`) or a
+//! *general* query — a parsed Boolean combination of conjunctive
+//! queries over a named [`Vocabulary`]. The engine resolves a general
+//! query at plan time: H-shaped queries collapse onto the existing
+//! `φ + h_{k,i}` machinery (and its caches), safe UCQs go to lifted
+//! inference, and everything else grounds to a circuit.
+
+use std::fmt;
+
+use intext_boolfn::BoolFn;
+use intext_tid::{Relation, Vocabulary};
+
+use crate::cq::ConjunctiveQuery;
+use crate::hquery::{h_cq, HQuery};
+use crate::parse::{parse_query, ParseError};
+use crate::ucq::QueryExpr;
+
+#[derive(Clone, Debug)]
+enum Repr {
+    H(HQuery),
+    General { expr: QueryExpr, voc: Vocabulary },
+}
+
+/// A query the engine can answer: an [`HQuery`] or a parsed general
+/// query over a vocabulary.
+///
+/// Every engine entry point takes `impl Into<Query>`, and `From`
+/// impls cover `HQuery` (by value and by reference), so pre-redesign
+/// call sites keep compiling unchanged:
+///
+/// ```
+/// use intext_boolfn::BoolFn;
+/// use intext_query::{HQuery, Query};
+/// use intext_tid::Vocabulary;
+///
+/// let h: Query = HQuery::new(BoolFn::var(2, 0)).into();
+/// let parsed = Query::parse("R(x),S1(x,y)", &Vocabulary::h(1)).unwrap();
+/// assert_eq!(h.required_k(), 1);
+/// assert_eq!(parsed.to_string(), "R(x0),S1(x0,x1)");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Query {
+    repr: Repr,
+}
+
+impl Query {
+    /// Parses a general query from text against a vocabulary.
+    pub fn parse(text: &str, voc: &Vocabulary) -> Result<Query, ParseError> {
+        let expr = parse_query(text, voc)?;
+        Ok(Query {
+            repr: Repr::General {
+                expr,
+                voc: voc.clone(),
+            },
+        })
+    }
+
+    /// Wraps an already-built expression with its vocabulary.
+    pub fn from_expr(expr: QueryExpr, voc: Vocabulary) -> Query {
+        Query {
+            repr: Repr::General { expr, voc },
+        }
+    }
+
+    /// The `HQuery` inside, if this query was built from one.
+    pub fn as_h(&self) -> Option<&HQuery> {
+        match &self.repr {
+            Repr::H(q) => Some(q),
+            Repr::General { .. } => None,
+        }
+    }
+
+    /// The parsed expression and vocabulary, if this is a general query.
+    pub fn general(&self) -> Option<(&QueryExpr, &Vocabulary)> {
+        match &self.repr {
+            Repr::H(_) => None,
+            Repr::General { expr, voc } => Some((expr, voc)),
+        }
+    }
+
+    /// The smallest database arity `k` this query needs: the largest
+    /// `Sᵢ` index it mentions (`k` itself for an [`HQuery`]).
+    pub fn required_k(&self) -> u8 {
+        match &self.repr {
+            Repr::H(q) => q.k(),
+            Repr::General { expr, .. } => expr.required_k(),
+        }
+    }
+}
+
+impl From<HQuery> for Query {
+    fn from(q: HQuery) -> Query {
+        Query { repr: Repr::H(q) }
+    }
+}
+
+impl From<&HQuery> for Query {
+    fn from(q: &HQuery) -> Query {
+        Query {
+            repr: Repr::H(q.clone()),
+        }
+    }
+}
+
+impl From<&Query> for Query {
+    fn from(q: &Query) -> Query {
+        q.clone()
+    }
+}
+
+impl fmt::Display for Query {
+    /// Renders to the UCQ grammar. An [`HQuery`] renders as its
+    /// minterm expansion over the `h` leaves (see [`h_query_text`])
+    /// with the canonical `R/S1../T` names; parsing the output with
+    /// the same vocabulary reproduces the query.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.repr {
+            Repr::H(q) => f.write_str(&h_query_text(q)),
+            Repr::General { expr, voc } => {
+                let name = |rel: Relation| {
+                    voc.relation_name(rel)
+                        .map(str::to_owned)
+                        .unwrap_or_else(|| rel.to_string())
+                };
+                f.write_str(&expr.render(&name))
+            }
+        }
+    }
+}
+
+/// Recognizes a query expression as an H-query over a `k`-ary
+/// database: every leaf CQ must be equivalent (up to minimization and
+/// canonical renaming) to some `h_{k,i}`, and the Boolean skeleton
+/// then *is* `φ`. Returns the equivalent [`HQuery`], whose plans and
+/// cache entries are shared with natively-built H-queries.
+pub fn recognize_h(expr: &QueryExpr, k: u8) -> Option<HQuery> {
+    // φ's truth table has 2^(k+1) entries; past k = 16 an H-encoding
+    // would be larger than any plan it could unlock.
+    if k == 0 || k > 16 || expr.required_k() > k {
+        return None;
+    }
+    let targets: Vec<ConjunctiveQuery> = (0..=k)
+        .map(|i| h_cq(k, i).minimized().canonical())
+        .collect();
+    let mut idx = Vec::new();
+    for leaf in expr.leaves() {
+        let c = leaf.minimized().canonical();
+        idx.push(targets.iter().position(|t| *t == c)?);
+    }
+    // Evaluate the skeleton with leaf `j` read from truth-vector bit
+    // `idx[j]`. Children are folded without short-circuiting so the
+    // leaf cursor stays in sync with `leaves()` order.
+    fn eval_bits(expr: &QueryExpr, idx: &[usize], pos: &mut usize, v: u32) -> bool {
+        match expr {
+            QueryExpr::Cq(_) => {
+                let i = idx[*pos];
+                *pos += 1;
+                v >> i & 1 == 1
+            }
+            QueryExpr::And(ps) => ps
+                .iter()
+                .map(|p| eval_bits(p, idx, pos, v))
+                .fold(true, |a, b| a & b),
+            QueryExpr::Or(ps) => ps
+                .iter()
+                .map(|p| eval_bits(p, idx, pos, v))
+                .fold(false, |a, b| a | b),
+            QueryExpr::Not(inner) => !eval_bits(inner, idx, pos, v),
+        }
+    }
+    let phi = BoolFn::from_fn(k + 1, |v| {
+        let mut pos = 0;
+        eval_bits(expr, &idx, &mut pos, v)
+    });
+    Some(HQuery::new(phi))
+}
+
+/// Renders an [`HQuery`] in the UCQ grammar using the canonical
+/// `R/S1../T` vocabulary: the minterm (DNF) expansion of `φ` over the
+/// `h_{k,i}` leaf texts, with negated leaves written `!(…)`. The
+/// unsatisfiable `φ = ⊥` renders as the contradiction
+/// `h_{k,0} & !(h_{k,0})`.
+pub fn h_query_text(q: &HQuery) -> String {
+    let k = q.k();
+    let name = |rel: Relation| rel.to_string();
+    let leaf_texts: Vec<String> = (0..=k)
+        .map(|i| QueryExpr::Cq(h_cq(k, i)).render(&name))
+        .collect();
+    let phi = q.phi();
+    if phi.is_bottom() {
+        return format!("{} & !({})", leaf_texts[0], leaf_texts[0]);
+    }
+    let n = u32::from(k) + 1;
+    let mut minterms = Vec::new();
+    for v in 0..(1u32 << n) {
+        if !phi.eval(v) {
+            continue;
+        }
+        let factors: Vec<String> = (0..n)
+            .map(|i| {
+                let t = &leaf_texts[i as usize];
+                if v >> i & 1 == 1 {
+                    t.clone()
+                } else {
+                    format!("!({t})")
+                }
+            })
+            .collect();
+        minterms.push(factors.join(" & "));
+    }
+    minterms.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_queries_round_trip_through_text() {
+        // Every φ on k+1 ≤ 3 variables: render, parse, recognize, and
+        // land on the same truth table.
+        for k in 1u8..=2 {
+            let n = u32::from(k) + 1;
+            for table in 0u64..(1u64 << (1u32 << n)) {
+                let phi = BoolFn::from_table_u64(n as u8, table);
+                let q = HQuery::new(phi.clone());
+                let text = h_query_text(&q);
+                let parsed = Query::parse(&text, &Vocabulary::h(k)).unwrap();
+                let (expr, _) = parsed.general().unwrap();
+                let back = recognize_h(expr, k).expect("h text re-recognizes");
+                assert_eq!(back.phi(), &phi, "k={k} table={table:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn recognition_is_robust_to_renaming_and_redundancy() {
+        let voc = Vocabulary::h(2);
+        // h_{2,0} with swapped variable names, a duplicated atom, and a
+        // redundant extra S1 atom that minimizes away.
+        let text = "S1(b,a),R(b),S1(b,c)";
+        let q = Query::parse(text, &voc).unwrap();
+        let (expr, _) = q.general().unwrap();
+        let h = recognize_h(expr, 2).unwrap();
+        assert_eq!(h.phi(), &BoolFn::var(3, 0));
+    }
+
+    #[test]
+    fn non_h_shapes_are_rejected() {
+        let voc = Vocabulary::h(2);
+        for text in [
+            "R(x)",                             // lone R is no h leaf
+            "R(x),S1(x,y),T(y)",                // chain through both endpoints
+            "S1(x,y),S2(y,x)",                  // twisted join is not h_{2,1}
+            "R(0),S1(0,y)",                     // constants break leaf shape
+            "S1(x,y) , S2(x,y) & R(z),S1(z,w)", // mixed: one leaf is h, pair is fine
+        ] {
+            let q = Query::parse(text, &voc).unwrap();
+            let (expr, _) = q.general().unwrap();
+            let recognized = recognize_h(expr, 2);
+            if text.starts_with("S1(x,y) , S2(x,y)") {
+                assert!(recognized.is_some(), "{text}");
+            } else {
+                assert!(recognized.is_none(), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_impls_cover_existing_call_shapes() {
+        let h = HQuery::new(BoolFn::var(2, 1));
+        let by_ref: Query = (&h).into();
+        let by_val: Query = h.into();
+        let again: Query = (&by_val).into();
+        assert_eq!(by_ref.required_k(), 1);
+        assert!(by_val.as_h().is_some());
+        assert!(again.as_h().is_some());
+    }
+}

@@ -1,0 +1,395 @@
+//! Boolean combinations of conjunctive queries, and their UCQ normal
+//! form.
+//!
+//! The parser ([`crate::parse`]) produces a [`QueryExpr`]: a Boolean
+//! tree (`&`/`|`/`!`) whose leaves are independently existentially
+//! closed [`ConjunctiveQuery`]s. This is deliberately *more* than a
+//! union of conjunctive queries — the non-monotone `H`-queries the rest
+//! of the workspace revolves around are Boolean combinations of the
+//! `h_{k,i}` CQs, not UCQs — and the engine's safe-or-H normalizer
+//! needs both views:
+//!
+//! * [`QueryExpr::to_ucq`] rewrites a negation-free expression into a
+//!   flat [`Ucq`] (distributing `&` over `|`, renaming variables
+//!   apart), the input shape of the Dalvi–Suciu safety test and lifted
+//!   evaluator ([`crate::lifted`]);
+//! * [`Ucq::normalize`] canonicalizes each disjunct (core minimization
+//!   and variable canonicalization, [`ConjunctiveQuery::minimized`] /
+//!   [`ConjunctiveQuery::canonical`]), deduplicates, and drops subsumed
+//!   disjuncts, so syntactically different spellings of the same query
+//!   meet in one normal form.
+
+use std::fmt::Write as _;
+
+use intext_tid::{Database, Relation};
+
+use crate::cq::{homomorphism, Atom, ConjunctiveQuery, Term};
+
+/// Hard bound on how many disjuncts [`QueryExpr::to_ucq`] will produce
+/// while distributing `&` over `|` — past it the expression is treated
+/// as not-a-UCQ (the engine falls back to the grounding route).
+pub const MAX_UCQ_DISJUNCTS: usize = 1024;
+
+/// A Boolean combination of existentially closed conjunctive queries.
+///
+/// Each [`ConjunctiveQuery`] leaf is closed independently: its
+/// variables are scoped to the leaf, so `R(x) & T(x)` is
+/// `(∃x R(x)) ∧ (∃x T(x))` — two independent facts — while the
+/// comma-conjunction `R(x),S1(x,y)` shares `x` across atoms *inside*
+/// one leaf.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum QueryExpr {
+    /// An existentially closed conjunctive query (atoms share scope).
+    Cq(ConjunctiveQuery),
+    /// Boolean conjunction of independently closed subqueries.
+    And(Vec<QueryExpr>),
+    /// Disjunction.
+    Or(Vec<QueryExpr>),
+    /// Negation.
+    Not(Box<QueryExpr>),
+}
+
+impl QueryExpr {
+    /// Does the (deterministic) database satisfy the query?
+    pub fn eval(&self, db: &Database) -> bool {
+        match self {
+            QueryExpr::Cq(cq) => cq.eval(db),
+            QueryExpr::And(cs) => cs.iter().all(|c| c.eval(db)),
+            QueryExpr::Or(cs) => cs.iter().any(|c| c.eval(db)),
+            QueryExpr::Not(c) => !c.eval(db),
+        }
+    }
+
+    /// The CQ leaves in left-to-right order.
+    pub fn leaves(&self) -> Vec<&ConjunctiveQuery> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a ConjunctiveQuery>) {
+        match self {
+            QueryExpr::Cq(cq) => out.push(cq),
+            QueryExpr::And(cs) | QueryExpr::Or(cs) => {
+                for c in cs {
+                    c.collect_leaves(out);
+                }
+            }
+            QueryExpr::Not(c) => c.collect_leaves(out),
+        }
+    }
+
+    /// The smallest database arity `k` this query can be evaluated on:
+    /// the largest `i` with an `S_i` atom (0 when only `R`/`T` occur).
+    pub fn required_k(&self) -> u8 {
+        self.leaves()
+            .iter()
+            .flat_map(|cq| cq.atoms.iter())
+            .map(|a| match a.rel {
+                Relation::S(i) => i,
+                Relation::R | Relation::T => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Does the expression contain a negation?
+    pub fn has_negation(&self) -> bool {
+        match self {
+            QueryExpr::Cq(_) => false,
+            QueryExpr::And(cs) | QueryExpr::Or(cs) => cs.iter().any(QueryExpr::has_negation),
+            QueryExpr::Not(_) => true,
+        }
+    }
+
+    /// Rewrites a negation-free expression into a flat union of
+    /// conjunctive queries, distributing `&` over `|` and renaming
+    /// variables apart when conjoining leaves. `None` if the expression
+    /// contains negation, runs out of variable indices, or the
+    /// distribution exceeds [`MAX_UCQ_DISJUNCTS`] disjuncts.
+    pub fn to_ucq(&self) -> Option<Ucq> {
+        let disjuncts = self.disjuncts()?;
+        Some(Ucq { disjuncts })
+    }
+
+    fn disjuncts(&self) -> Option<Vec<ConjunctiveQuery>> {
+        match self {
+            QueryExpr::Cq(cq) => Some(vec![cq.clone()]),
+            QueryExpr::Or(cs) => {
+                let mut out = Vec::new();
+                for c in cs {
+                    out.extend(c.disjuncts()?);
+                    if out.len() > MAX_UCQ_DISJUNCTS {
+                        return None;
+                    }
+                }
+                Some(out)
+            }
+            QueryExpr::And(cs) => {
+                let mut acc = vec![ConjunctiveQuery::new(Vec::new())];
+                for c in cs {
+                    let child = c.disjuncts()?;
+                    if acc.len().checked_mul(child.len())? > MAX_UCQ_DISJUNCTS {
+                        return None;
+                    }
+                    let mut next = Vec::with_capacity(acc.len() * child.len());
+                    for a in &acc {
+                        for b in &child {
+                            next.push(merge_cqs(a, b)?);
+                        }
+                    }
+                    acc = next;
+                }
+                Some(acc)
+            }
+            QueryExpr::Not(_) => None,
+        }
+    }
+
+    /// The same expression with every leaf replaced by its normal form
+    /// (core minimization, then canonical variable renaming). The
+    /// Boolean structure is untouched; this is the shape the engine
+    /// renders into grounding-route cache keys.
+    pub fn normalize_leaves(&self) -> QueryExpr {
+        match self {
+            QueryExpr::Cq(cq) => QueryExpr::Cq(cq.minimized().canonical()),
+            QueryExpr::And(cs) => {
+                QueryExpr::And(cs.iter().map(QueryExpr::normalize_leaves).collect())
+            }
+            QueryExpr::Or(cs) => {
+                QueryExpr::Or(cs.iter().map(QueryExpr::normalize_leaves).collect())
+            }
+            QueryExpr::Not(c) => QueryExpr::Not(Box::new(c.normalize_leaves())),
+        }
+    }
+
+    /// Renders the expression in the UCQ grammar, naming relations via
+    /// `name`. With a [`intext_tid::Vocabulary`]'s names the output
+    /// re-parses to this expression (up to per-leaf variable
+    /// renumbering); with [`Relation`]'s `Display` names it is the
+    /// vocabulary-independent text used for cache keys.
+    pub fn render(&self, name: &impl Fn(Relation) -> String) -> String {
+        let mut out = String::new();
+        self.render_or(name, &mut out);
+        out
+    }
+
+    fn render_or(&self, name: &impl Fn(Relation) -> String, out: &mut String) {
+        match self {
+            QueryExpr::Or(cs) if !cs.is_empty() => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" | ");
+                    }
+                    c.render_and(name, out);
+                }
+            }
+            _ => self.render_and(name, out),
+        }
+    }
+
+    fn render_and(&self, name: &impl Fn(Relation) -> String, out: &mut String) {
+        match self {
+            QueryExpr::And(cs) if !cs.is_empty() => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" & ");
+                    }
+                    c.render_factor(name, out);
+                }
+            }
+            _ => self.render_factor(name, out),
+        }
+    }
+
+    fn render_factor(&self, name: &impl Fn(Relation) -> String, out: &mut String) {
+        match self {
+            QueryExpr::Cq(cq) => {
+                debug_assert!(!cq.atoms.is_empty(), "rendering an empty CQ");
+                for (i, atom) in cq.atoms.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&name(atom.rel));
+                    out.push('(');
+                    for (j, t) in atom.args.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        match t {
+                            Term::Var(v) => {
+                                let _ = write!(out, "x{v}");
+                            }
+                            Term::Const(c) => {
+                                let _ = write!(out, "{c}");
+                            }
+                        }
+                    }
+                    out.push(')');
+                }
+            }
+            QueryExpr::Not(c) => {
+                out.push_str("!(");
+                c.render_or(name, out);
+                out.push(')');
+            }
+            QueryExpr::And(_) | QueryExpr::Or(_) => {
+                out.push('(');
+                self.render_or(name, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Conjoins two CQs into one, renaming `b`'s variables apart from
+/// `a`'s. `None` when the combined query would run out of `u8` variable
+/// indices.
+pub(crate) fn merge_cqs(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> Option<ConjunctiveQuery> {
+    let offset = a.variables().last().map_or(0u16, |v| u16::from(*v) + 1);
+    let bvars = b.variables_in_order();
+    if offset + bvars.len() as u16 > 256 {
+        return None;
+    }
+    let mut atoms = a.atoms.clone();
+    for atom in &b.atoms {
+        atoms.push(Atom {
+            rel: atom.rel,
+            args: atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => {
+                        let i = bvars.iter().position(|w| w == v).expect("collected");
+                        Term::Var((offset + i as u16) as u8)
+                    }
+                    Term::Const(c) => Term::Const(*c),
+                })
+                .collect(),
+        });
+    }
+    Some(ConjunctiveQuery::new(atoms))
+}
+
+/// A union of Boolean conjunctive queries, `Q = Q_1 ∨ ... ∨ Q_m`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Ucq {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl Ucq {
+    /// Builds a UCQ from its disjuncts.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Ucq {
+        Ucq { disjuncts }
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Does the (deterministic) database satisfy the union?
+    pub fn eval(&self, db: &Database) -> bool {
+        self.disjuncts.iter().any(|cq| cq.eval(db))
+    }
+
+    /// Normal form: each disjunct core-minimized and canonicalized,
+    /// exact duplicates removed, and any disjunct implied by another
+    /// (a homomorphism from the other into it) dropped — sorted for
+    /// determinism.
+    pub fn normalize(&self) -> Ucq {
+        let mut ds: Vec<ConjunctiveQuery> = self
+            .disjuncts
+            .iter()
+            .map(|cq| cq.minimized().canonical())
+            .collect();
+        ds.sort();
+        ds.dedup();
+        let keep: Vec<bool> = (0..ds.len())
+            .map(|j| !(0..ds.len()).any(|i| i != j && homomorphism(&ds[i].atoms, &ds[j].atoms)))
+            .collect();
+        Ucq {
+            disjuncts: ds
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(d, k)| k.then_some(d))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u8) -> Atom {
+        Atom::unary(Relation::R, Term::Var(v))
+    }
+
+    fn t(v: u8) -> Atom {
+        Atom::unary(Relation::T, Term::Var(v))
+    }
+
+    fn s(i: u8, a: u8, b: u8) -> Atom {
+        Atom::binary(Relation::S(i), Term::Var(a), Term::Var(b))
+    }
+
+    fn cq(atoms: Vec<Atom>) -> QueryExpr {
+        QueryExpr::Cq(ConjunctiveQuery::new(atoms))
+    }
+
+    #[test]
+    fn and_distributes_over_or_with_variables_renamed_apart() {
+        // (R(x) | T(x)) & S1(x,y) — the leaf variables are independent.
+        let e = QueryExpr::And(vec![
+            QueryExpr::Or(vec![cq(vec![r(0)]), cq(vec![t(0)])]),
+            cq(vec![s(1, 0, 1)]),
+        ]);
+        let ucq = e.to_ucq().unwrap();
+        assert_eq!(ucq.disjuncts().len(), 2);
+        for d in ucq.disjuncts() {
+            assert_eq!(d.atoms.len(), 2);
+            // The S1 atom's variables were renamed apart from the unary's.
+            let unary_var = match d.atoms[0].args[0] {
+                Term::Var(v) => v,
+                Term::Const(_) => unreachable!(),
+            };
+            assert!(d.atoms[1].args.iter().all(|a| *a != Term::Var(unary_var)));
+        }
+        assert!(QueryExpr::Not(Box::new(cq(vec![r(0)]))).to_ucq().is_none());
+    }
+
+    #[test]
+    fn normalize_drops_duplicates_and_subsumed_disjuncts() {
+        // R(x) ∨ R(y) ∨ (R(z),T(w)): the renamed duplicate collapses and
+        // the conjunction is subsumed by R alone.
+        let u = Ucq::new(vec![
+            ConjunctiveQuery::new(vec![r(0)]),
+            ConjunctiveQuery::new(vec![r(5)]),
+            ConjunctiveQuery::new(vec![r(0), t(1)]),
+        ]);
+        let n = u.normalize();
+        assert_eq!(n.disjuncts().len(), 1);
+        assert_eq!(n.disjuncts()[0].atoms.len(), 1);
+    }
+
+    #[test]
+    fn required_k_is_the_largest_s_index() {
+        let e = QueryExpr::Or(vec![cq(vec![r(0)]), cq(vec![s(2, 0, 1), s(1, 1, 2)])]);
+        assert_eq!(e.required_k(), 2);
+        assert_eq!(cq(vec![r(0), t(1)]).required_k(), 0);
+    }
+
+    #[test]
+    fn render_round_trips_structure() {
+        let e = QueryExpr::Or(vec![
+            QueryExpr::And(vec![
+                cq(vec![r(0), s(1, 0, 1)]),
+                QueryExpr::Not(Box::new(cq(vec![t(0)]))),
+            ]),
+            cq(vec![s(2, 0, 0)]),
+        ]);
+        let text = e.render(&|rel: Relation| rel.to_string());
+        assert_eq!(text, "R(x0),S1(x0,x1) & !(T(x0)) | S2(x0,x0)");
+    }
+}

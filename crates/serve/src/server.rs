@@ -33,7 +33,7 @@ use intext_engine::{
     ConfigError, EngineConfig, EngineStats, Estimate, LaneScratch, PqeEngine, PreparedQuery,
 };
 use intext_numeric::BigRational;
-use intext_query::HQuery;
+use intext_query::Query;
 use intext_tid::Tid;
 
 use crate::error::ServeError;
@@ -45,39 +45,39 @@ use crate::shared::SharedEngine;
 pub enum Request {
     /// Exact `PQE(Q_φ)` on one scenario.
     Evaluate {
-        /// The H-query.
-        q: HQuery,
+        /// The query (an H-query or a parsed UCQ).
+        q: Query,
         /// The tuple-independent database.
         tid: Tid,
     },
     /// Floating-point `PQE(Q_φ)` on one scenario.
     EvaluateF64 {
-        /// The H-query.
-        q: HQuery,
+        /// The query (an H-query or a parsed UCQ).
+        q: Query,
         /// The tuple-independent database.
         tid: Tid,
     },
     /// `(ε, δ)`-shaped estimate (exact routes come back with
     /// `eps = delta = 0`).
     Estimate {
-        /// The H-query.
-        q: HQuery,
+        /// The query (an H-query or a parsed UCQ).
+        q: Query,
         /// The tuple-independent database.
         tid: Tid,
     },
     /// Exact batch: scenario `i` is bit-identical to
     /// [`PqeEngine::evaluate_batch`]'s element `i`.
     Batch {
-        /// The H-query.
-        q: HQuery,
+        /// The query (an H-query or a parsed UCQ).
+        q: Query,
         /// The probability scenarios, evaluated in order.
         tids: Vec<Tid>,
     },
     /// Sharded f64 batch through the lane kernel, bit-identical to
     /// [`PqeEngine::evaluate_batch_sharded_f64`] at the same `shards`.
     BatchF64 {
-        /// The H-query.
-        q: HQuery,
+        /// The query (an H-query or a parsed UCQ).
+        q: Query,
         /// The probability scenarios, evaluated in order.
         tids: Vec<Tid>,
         /// Requested fan-out (clamped like the engine's own sharded
@@ -349,15 +349,15 @@ impl Server {
         match request {
             Request::Evaluate { q, tid } => {
                 let prepared = shared.engine.prepare(q, tid)?;
-                Ok(Response::Exact(prepared.eval_exact(q, tid, 0, stats)))
+                Ok(Response::Exact(prepared.eval_exact(tid, 0, stats)))
             }
             Request::EvaluateF64 { q, tid } => {
                 let prepared = shared.engine.prepare(q, tid)?;
-                Ok(Response::F64(prepared.eval_f64(q, tid, 0, stats)))
+                Ok(Response::F64(prepared.eval_f64(tid, 0, stats)))
             }
             Request::Estimate { q, tid } => {
                 let prepared = shared.engine.prepare(q, tid)?;
-                Ok(Response::Estimate(prepared.eval_estimate(q, tid, 0, stats)))
+                Ok(Response::Estimate(prepared.eval_estimate(tid, 0, stats)))
             }
             Request::Batch { q, tids } => Ok(Response::Batch(Self::eval_batch_exact(
                 &shared.engine,
@@ -383,7 +383,7 @@ impl Server {
     /// counters.
     fn eval_batch_exact(
         engine: &SharedEngine,
-        q: &HQuery,
+        q: &Query,
         tids: &[Tid],
         stats: &mut EngineStats,
     ) -> Result<Vec<BigRational>, ServeError> {
@@ -395,7 +395,7 @@ impl Server {
                 Some(prev) if !fresh => prev.share(),
                 _ => engine.prepare(q, tid)?,
             };
-            out.push(prepared.eval_exact(q, tid, i as u64, stats));
+            out.push(prepared.eval_exact(tid, i as u64, stats));
             run = Some(prepared);
         }
         Ok(out)
@@ -408,7 +408,7 @@ impl Server {
     /// match the engine's own sharded path at the same `shards`.
     fn eval_batch_f64(
         engine: &SharedEngine,
-        q: &HQuery,
+        q: &Query,
         tids: &[Tid],
         shards: usize,
         stats: &mut EngineStats,
@@ -456,7 +456,6 @@ impl Server {
                                 seg_end += 1;
                             }
                             prepared[start].eval_run_f64(
-                                q,
                                 &tids[start..seg_end],
                                 start as u64,
                                 &mut scratch,
@@ -542,10 +541,12 @@ impl ServeHandle {
         self.submit(request)?.wait()
     }
 
-    /// Exact `PQE(Q_φ)` — bit-identical to [`PqeEngine::evaluate`].
-    pub fn evaluate(&self, q: &HQuery, tid: &Tid) -> Result<BigRational, ServeError> {
+    /// Exact `PQE(Q)` — bit-identical to [`PqeEngine::evaluate`].
+    /// Accepts anything convertible to a [`Query`]: an
+    /// [`HQuery`](intext_query::HQuery) by reference, or a parsed UCQ.
+    pub fn evaluate(&self, q: impl Into<Query>, tid: &Tid) -> Result<BigRational, ServeError> {
         match self.request(Request::Evaluate {
-            q: q.clone(),
+            q: q.into(),
             tid: tid.clone(),
         })? {
             Response::Exact(p) => Ok(p),
@@ -553,11 +554,11 @@ impl ServeHandle {
         }
     }
 
-    /// Floating-point `PQE(Q_φ)` — bit-identical to
+    /// Floating-point `PQE(Q)` — bit-identical to
     /// [`PqeEngine::evaluate_f64`].
-    pub fn evaluate_f64(&self, q: &HQuery, tid: &Tid) -> Result<f64, ServeError> {
+    pub fn evaluate_f64(&self, q: impl Into<Query>, tid: &Tid) -> Result<f64, ServeError> {
         match self.request(Request::EvaluateF64 {
-            q: q.clone(),
+            q: q.into(),
             tid: tid.clone(),
         })? {
             Response::F64(p) => Ok(p),
@@ -566,9 +567,9 @@ impl ServeHandle {
     }
 
     /// `(ε, δ)` estimate — bit-identical to [`PqeEngine::estimate`].
-    pub fn estimate(&self, q: &HQuery, tid: &Tid) -> Result<Estimate, ServeError> {
+    pub fn estimate(&self, q: impl Into<Query>, tid: &Tid) -> Result<Estimate, ServeError> {
         match self.request(Request::Estimate {
-            q: q.clone(),
+            q: q.into(),
             tid: tid.clone(),
         })? {
             Response::Estimate(e) => Ok(e),
@@ -577,9 +578,13 @@ impl ServeHandle {
     }
 
     /// Exact batch — bit-identical to [`PqeEngine::evaluate_batch`].
-    pub fn evaluate_batch(&self, q: &HQuery, tids: &[Tid]) -> Result<Vec<BigRational>, ServeError> {
+    pub fn evaluate_batch(
+        &self,
+        q: impl Into<Query>,
+        tids: &[Tid],
+    ) -> Result<Vec<BigRational>, ServeError> {
         match self.request(Request::Batch {
-            q: q.clone(),
+            q: q.into(),
             tids: tids.to_vec(),
         })? {
             Response::Batch(ps) => Ok(ps),
@@ -591,12 +596,12 @@ impl ServeHandle {
     /// [`PqeEngine::evaluate_batch_sharded_f64`].
     pub fn evaluate_batch_f64(
         &self,
-        q: &HQuery,
+        q: impl Into<Query>,
         tids: &[Tid],
         shards: usize,
     ) -> Result<Vec<f64>, ServeError> {
         match self.request(Request::BatchF64 {
-            q: q.clone(),
+            q: q.into(),
             tids: tids.to_vec(),
             shards,
         })? {
@@ -694,6 +699,7 @@ impl PendingResponse {
 mod tests {
     use super::*;
     use intext_boolfn::phi9;
+    use intext_query::HQuery;
     use intext_tid::{complete_database, uniform_tid};
 
     fn tid3() -> Tid {
@@ -749,7 +755,7 @@ mod tests {
         })
         .unwrap();
         let handle = server.handle();
-        let q = HQuery::new(phi9());
+        let q = Query::from(HQuery::new(phi9()));
         let tid = tid3();
         let pending: Vec<_> = (0..4)
             .map(|_| {

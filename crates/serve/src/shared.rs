@@ -19,7 +19,7 @@ use intext_engine::{
     EngineError, EngineStats, LoadReport, PqeEngine, PreparedQuery, StoreError, TupleUpdate,
 };
 use intext_numeric::BigRational;
-use intext_query::HQuery;
+use intext_query::{HQuery, Query};
 use intext_tid::{Database, Tid, TidError, TupleDesc, TupleId};
 
 /// One [`PqeEngine`] behind a read-write lock, shared by every worker
@@ -41,7 +41,9 @@ impl SharedEngine {
     /// Prepares `(q, tid)` for lock-free evaluation: read-locked probe
     /// first, write-locked compile only when the key is cold
     /// (double-checked, so concurrent cold probes compile once).
-    pub fn prepare(&self, q: &HQuery, tid: &Tid) -> Result<PreparedQuery, EngineError> {
+    /// Accepts any [`Query`] — an H-query, or a parsed UCQ routed to
+    /// the lifted or grounded-circuit backend.
+    pub fn prepare(&self, q: &Query, tid: &Tid) -> Result<PreparedQuery, EngineError> {
         if let Some(prepared) = self.read().prepare_shared(q, tid)? {
             return Ok(prepared);
         }
@@ -173,8 +175,8 @@ mod tests {
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = EngineStats::default();
-                        let prepared = shared.prepare(&q, &tid).unwrap();
-                        let p = prepared.eval_exact(&q, &tid, 0, &mut local);
+                        let prepared = shared.prepare(&Query::from(&q), &tid).unwrap();
+                        let p = prepared.eval_exact(&tid, 0, &mut local);
                         (p, local)
                     })
                 })

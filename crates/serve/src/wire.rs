@@ -19,15 +19,23 @@ use intext_boolfn::BoolFn;
 use intext_core::Region;
 use intext_engine::{EngineError, Estimate, SamplerKind};
 use intext_numeric::{BigInt, BigRational, BigUint, Sign};
-use intext_query::HQuery;
-use intext_tid::{Database, Tid, TupleDesc};
+use intext_query::{HQuery, Query};
+use intext_tid::{Database, Tid, TupleDesc, Vocabulary};
 
 use crate::error::ServeError;
 use crate::server::{Request, Response};
 
 /// Protocol version byte, the first payload byte of a `Hello` exchange
 /// is reserved for future use; for now the opcode set is the version.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version 2 (the UCQ front door): queries are tagged — tag `0` is an
+/// H-query as `φ`'s truth-table words, tag `1` a general UCQ as its
+/// vocabulary names plus the query text, decoded by re-parsing — and
+/// the region/error codes grew [`Region::SafeLifted`],
+/// [`Region::GroundCircuit`], and
+/// [`EngineError::GroundingTooLarge`]. Version 1 peers reject the new
+/// tag byte instead of misreading it.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Largest accepted frame payload (64 MiB): big enough for any
 /// realistic snapshot, small enough that a hostile length prefix
@@ -227,7 +235,16 @@ fn get_rational(r: &mut Reader) -> Result<BigRational, WireError> {
     ))
 }
 
-fn put_query(w: &mut Writer, q: &HQuery) {
+fn put_str(w: &mut Writer, s: &str) {
+    w.bytes(s.as_bytes());
+}
+
+fn get_str<'a>(r: &mut Reader<'a>) -> Result<&'a str, WireError> {
+    std::str::from_utf8(r.bytes()?).map_err(|_| WireError::BadValue("utf-8 string"))
+}
+
+/// Query tag `0`: H-query, `φ` as truth-table words.
+fn put_h_query(w: &mut Writer, q: &HQuery) {
     let phi = q.phi();
     w.u8(phi.num_vars());
     let words = phi.words();
@@ -237,7 +254,7 @@ fn put_query(w: &mut Writer, q: &HQuery) {
     }
 }
 
-fn get_query(r: &mut Reader) -> Result<HQuery, WireError> {
+fn get_h_query(r: &mut Reader) -> Result<HQuery, WireError> {
     let num_vars = r.u8()?;
     let count = r.count(8)?;
     let mut words = Vec::with_capacity(count);
@@ -246,6 +263,53 @@ fn get_query(r: &mut Reader) -> Result<HQuery, WireError> {
     }
     let phi = BoolFn::from_words(num_vars, words).ok_or(WireError::BadValue("truth table"))?;
     Ok(HQuery::new(phi))
+}
+
+/// Tagged query codec (protocol v2). An H-query travels as `φ` (tag
+/// `0`), a general UCQ as its vocabulary names plus the rendered query
+/// text (tag `1`); the receiver rebuilds it by re-parsing, so every
+/// hostile byte funnels through the parser's own validation and comes
+/// back as a typed [`WireError::BadValue`].
+fn put_query(w: &mut Writer, q: &Query) {
+    if let Some(h) = q.as_h() {
+        w.u8(0);
+        put_h_query(w, h);
+        return;
+    }
+    let (_, voc) = q.general().expect("a query is H or general");
+    w.u8(1);
+    w.u8(u8::try_from(voc.unary_names().len()).expect("2 unary names"));
+    for name in voc.unary_names() {
+        put_str(w, name);
+    }
+    w.u8(voc.k());
+    for name in voc.binary_names() {
+        put_str(w, name);
+    }
+    put_str(w, &q.to_string());
+}
+
+fn get_query(r: &mut Reader) -> Result<Query, WireError> {
+    match r.u8()? {
+        0 => Ok(Query::from(get_h_query(r)?)),
+        1 => {
+            let unary_count = r.u8()? as usize;
+            let mut unary = Vec::with_capacity(unary_count.min(2));
+            for _ in 0..unary_count {
+                unary.push(get_str(r)?.to_owned());
+            }
+            let binary_count = r.u8()? as usize;
+            let mut binary = Vec::with_capacity(binary_count.min(255));
+            for _ in 0..binary_count {
+                binary.push(get_str(r)?.to_owned());
+            }
+            let voc =
+                Vocabulary::new(unary, binary).map_err(|_| WireError::BadValue("vocabulary"))?;
+            let text = get_str(r)?;
+            Query::parse(text, &voc).map_err(|_| WireError::BadValue("query text"))
+        }
+        _ => Err(WireError::BadValue("query tag")),
+    }
 }
 
 fn put_tid(w: &mut Writer, tid: &Tid) {
@@ -338,6 +402,8 @@ fn put_region(w: &mut Writer, region: Region) {
         Region::HardMonotone => 2,
         Region::HardByTransfer => 3,
         Region::ConjecturedHard => 4,
+        Region::SafeLifted => 5,
+        Region::GroundCircuit => 6,
     });
 }
 
@@ -348,6 +414,8 @@ fn get_region(r: &mut Reader) -> Result<Region, WireError> {
         2 => Region::HardMonotone,
         3 => Region::HardByTransfer,
         4 => Region::ConjecturedHard,
+        5 => Region::SafeLifted,
+        6 => Region::GroundCircuit,
         _ => return Err(WireError::BadValue("region")),
     })
 }
@@ -526,6 +594,11 @@ pub fn encode_error(err: &ServeError) -> Vec<u8> {
             put_usize(&mut w, *tuples);
             put_usize(&mut w, *budget);
         }
+        ServeError::Engine(EngineError::GroundingTooLarge { tuples, budget }) => {
+            w.u8(9);
+            put_usize(&mut w, *tuples);
+            put_usize(&mut w, *budget);
+        }
     }
     w.buf
 }
@@ -579,6 +652,10 @@ pub fn decode_reply(payload: &[u8]) -> Result<Result<Response, ServeError>, Wire
                 tuples: get_usize(&mut r)?,
                 budget: get_usize(&mut r)?,
             }),
+            9 => ServeError::Engine(EngineError::GroundingTooLarge {
+                tuples: get_usize(&mut r)?,
+                budget: get_usize(&mut r)?,
+            }),
             _ => return Err(WireError::BadValue("error code")),
         }),
         other => return Err(WireError::BadOpcode(other)),
@@ -599,7 +676,7 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        let q = HQuery::new(phi9());
+        let q = Query::from(HQuery::new(phi9()));
         let tid = sample_tid();
         let requests = [
             Request::Evaluate {
@@ -633,6 +710,97 @@ mod tests {
             // which are canonical.
             assert_eq!(encode_request(&back), bytes);
         }
+    }
+
+    #[test]
+    fn general_queries_round_trip_by_reparsing() {
+        let voc =
+            Vocabulary::new(vec!["Author".into(), "Cited".into()], vec!["Wrote".into()]).unwrap();
+        let q = Query::parse("Author(x), Wrote(x,y), Cited(y)", &voc).unwrap();
+        let req = Request::Evaluate {
+            q,
+            tid: sample_tid(),
+        };
+        let bytes = encode_request(&req);
+        let back = decode_request(&bytes).unwrap();
+        assert_eq!(encode_request(&back), bytes);
+        let Request::Evaluate { q: decoded, .. } = back else {
+            panic!("request changed shape over the wire");
+        };
+        // The user's relation names survive (variables normalize to
+        // the canonical x0, x1, … at parse time on both sides).
+        assert_eq!(decoded.to_string(), "Author(x0),Wrote(x0,x1),Cited(x1)");
+        assert!(decoded.as_h().is_none());
+    }
+
+    #[test]
+    fn hostile_query_frames_are_typed_errors() {
+        let good = {
+            let voc = Vocabulary::h(1);
+            let q = Query::parse("R(x),S1(x,y),T(y)", &voc).unwrap();
+            encode_request(&Request::Evaluate {
+                q,
+                tid: sample_tid(),
+            })
+        };
+        // An unknown query tag is rejected, not misread.
+        let mut bad_tag = good.clone();
+        bad_tag[1] = 7;
+        assert_eq!(
+            decode_request(&bad_tag).unwrap_err(),
+            WireError::BadValue("query tag")
+        );
+        // Corrupting the text bytes funnels through the parser.
+        let mut w = Writer::with_opcode(OP_EVALUATE);
+        w.u8(1); // general tag
+        w.u8(2);
+        put_str(&mut w, "R");
+        put_str(&mut w, "T");
+        w.u8(1);
+        put_str(&mut w, "S1");
+        put_str(&mut w, "R(x,"); // torn query text
+        assert_eq!(
+            decode_request(&w.buf).unwrap_err(),
+            WireError::BadValue("query text")
+        );
+        // A vocabulary with duplicate names is rejected before parsing.
+        let mut w = Writer::with_opcode(OP_EVALUATE);
+        w.u8(1);
+        w.u8(2);
+        put_str(&mut w, "R");
+        put_str(&mut w, "R");
+        w.u8(1);
+        put_str(&mut w, "S1");
+        put_str(&mut w, "R(x)");
+        assert_eq!(
+            decode_request(&w.buf).unwrap_err(),
+            WireError::BadValue("vocabulary")
+        );
+        // Non-UTF-8 name bytes are a typed error, not a panic.
+        let mut w = Writer::with_opcode(OP_EVALUATE);
+        w.u8(1);
+        w.u8(2);
+        w.bytes(&[0xFF, 0xFE]);
+        assert_eq!(
+            decode_request(&w.buf).unwrap_err(),
+            WireError::BadValue("utf-8 string")
+        );
+    }
+
+    #[test]
+    fn general_regions_and_errors_cross_the_wire() {
+        for region in [Region::SafeLifted, Region::GroundCircuit] {
+            let mut w = Writer::default();
+            put_region(&mut w, region);
+            let mut r = Reader::new(&w.buf);
+            assert_eq!(get_region(&mut r).unwrap(), region);
+        }
+        let err = ServeError::Engine(EngineError::GroundingTooLarge {
+            tuples: 4096,
+            budget: 2048,
+        });
+        let bytes = encode_error(&err);
+        assert_eq!(decode_reply(&bytes).unwrap().unwrap_err(), err);
     }
 
     #[test]
@@ -730,7 +898,8 @@ mod tests {
             WireError::TrailingBytes
         );
         // A hostile tuple count cannot force a huge allocation.
-        let mut bad = vec![OP_EVALUATE, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        // (Leading 0 after the opcode: the H-query tag.)
+        let mut bad = vec![OP_EVALUATE, 0, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
         bad.extend_from_slice(&[1, 4, 0, 0, 0]); // k=1, domain=4
         bad.extend_from_slice(&u32::MAX.to_le_bytes()); // "4 billion tuples"
         assert_eq!(decode_request(&bad).unwrap_err(), WireError::Truncated);

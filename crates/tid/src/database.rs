@@ -111,6 +111,12 @@ impl Database {
         self.k
     }
 
+    /// The canonical `R/S1../T` naming view over this database's
+    /// physical schema (see [`crate::Vocabulary::h`]).
+    pub fn vocabulary(&self) -> crate::Vocabulary {
+        crate::Vocabulary::h(self.k)
+    }
+
     /// Size of the active domain.
     pub fn domain_size(&self) -> u32 {
         self.domain_size

@@ -14,7 +14,9 @@
 mod database;
 mod gen;
 mod tid;
+mod vocabulary;
 
 pub use database::{Database, DatabaseError, Relation, TupleDesc, TupleId};
 pub use gen::{complete_database, random_database, random_tid, uniform_tid, DbGenConfig};
 pub use tid::{Tid, TidError};
+pub use vocabulary::{Vocabulary, VocabularyError};

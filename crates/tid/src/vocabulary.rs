@@ -1,0 +1,236 @@
+//! Named vocabularies over the fixed physical schema.
+//!
+//! The storage layer is hard-wired to the paper's `H` signature — two
+//! unary relations and `k` binary ones ([`Relation`]) — but nothing
+//! forces *users* to spell them `R`, `S1..Sk`, `T`. A [`Vocabulary`] is
+//! a naming view: it maps user-facing relation names (checked, distinct
+//! identifiers) onto the physical [`Relation`] slots, so the UCQ parser
+//! can resolve `Person(x), Knows(x,y)` against a database whose first
+//! unary relation plays `Person` and whose first binary relation plays
+//! `Knows`. The mapping is positional and total: the first unary name
+//! is [`Relation::R`], the second is [`Relation::T`], and the `i`-th
+//! binary name is `Relation::S(i+1)`.
+//!
+//! A vocabulary is *not* stored inside [`Database`] — the physical
+//! shape (and with it cache keys, shape equality, and the store format)
+//! stays name-free. [`Database::vocabulary`] hands out the canonical
+//! `R/S1../T` view for the database's `k`.
+
+use std::fmt;
+
+use crate::database::Relation;
+
+/// Why a set of names does not form a valid [`Vocabulary`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VocabularyError {
+    /// The physical schema has exactly two unary relations.
+    UnaryCount(usize),
+    /// At least one binary relation is required (`k ≥ 1`).
+    NoBinary,
+    /// More binary names than `Relation::S(u8)` can index.
+    TooManyBinary(usize),
+    /// A name is not an identifier (`[A-Za-z_][A-Za-z0-9_]*`).
+    BadName(String),
+    /// The same name was used for two relations.
+    DuplicateName(String),
+}
+
+impl fmt::Display for VocabularyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VocabularyError::UnaryCount(n) => {
+                write!(f, "a vocabulary needs exactly 2 unary names, got {n}")
+            }
+            VocabularyError::NoBinary => write!(f, "a vocabulary needs at least 1 binary name"),
+            VocabularyError::TooManyBinary(n) => {
+                write!(f, "{n} binary names exceed the schema maximum of 255")
+            }
+            VocabularyError::BadName(name) => {
+                write!(f, "relation name {name:?} is not an identifier")
+            }
+            VocabularyError::DuplicateName(name) => {
+                write!(f, "relation name {name:?} is used twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VocabularyError {}
+
+/// Is `name` an identifier the UCQ grammar can tokenize?
+fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A naming view over the physical `H` schema: two unary relation
+/// names (mapped to [`Relation::R`] and [`Relation::T`] in order) and
+/// `k ≥ 1` binary names (mapped to `Relation::S(1)..Relation::S(k)`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Vocabulary {
+    unary: Vec<String>,
+    binary: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from user-chosen names, validating that all
+    /// names are distinct identifiers and the counts match the physical
+    /// schema (exactly 2 unary, `1..=255` binary).
+    pub fn new(unary: Vec<String>, binary: Vec<String>) -> Result<Vocabulary, VocabularyError> {
+        if unary.len() != 2 {
+            return Err(VocabularyError::UnaryCount(unary.len()));
+        }
+        if binary.is_empty() {
+            return Err(VocabularyError::NoBinary);
+        }
+        if binary.len() > usize::from(u8::MAX) {
+            return Err(VocabularyError::TooManyBinary(binary.len()));
+        }
+        let mut seen: Vec<&str> = Vec::with_capacity(unary.len() + binary.len());
+        for name in unary.iter().chain(binary.iter()) {
+            if !is_identifier(name) {
+                return Err(VocabularyError::BadName(name.clone()));
+            }
+            if seen.contains(&name.as_str()) {
+                return Err(VocabularyError::DuplicateName(name.clone()));
+            }
+            seen.push(name);
+        }
+        Ok(Vocabulary { unary, binary })
+    }
+
+    /// The canonical paper vocabulary for arity `k`: `R`, `T`, and
+    /// `S1..Sk` — the names [`Relation`]'s own `Display` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (the `H` schema needs at least one `S_i`).
+    pub fn h(k: u8) -> Vocabulary {
+        assert!(k >= 1, "the H vocabulary needs k >= 1");
+        Vocabulary {
+            unary: vec!["R".to_string(), "T".to_string()],
+            binary: (1..=k).map(|i| format!("S{i}")).collect(),
+        }
+    }
+
+    /// How many binary relations this vocabulary names.
+    pub fn k(&self) -> u8 {
+        self.binary.len() as u8
+    }
+
+    /// Resolves a `(name, arity)` pair to its physical slot; `None` if
+    /// the name is unknown or known at a different arity.
+    pub fn resolve(&self, name: &str, arity: usize) -> Option<Relation> {
+        match arity {
+            1 => match self.unary.iter().position(|n| n == name) {
+                Some(0) => Some(Relation::R),
+                Some(_) => Some(Relation::T),
+                None => None,
+            },
+            2 => self
+                .binary
+                .iter()
+                .position(|n| n == name)
+                .map(|i| Relation::S(i as u8 + 1)),
+            _ => None,
+        }
+    }
+
+    /// The user-facing name of a physical relation; `None` if the slot
+    /// is outside this vocabulary (an `S_i` with `i > k`).
+    pub fn relation_name(&self, rel: Relation) -> Option<&str> {
+        match rel {
+            Relation::R => Some(self.unary[0].as_str()),
+            Relation::T => Some(self.unary[1].as_str()),
+            Relation::S(i) => self
+                .binary
+                .get(usize::from(i).checked_sub(1)?)
+                .map(String::as_str),
+        }
+    }
+
+    /// The two unary names, in `R`-then-`T` order.
+    pub fn unary_names(&self) -> &[String] {
+        &self.unary
+    }
+
+    /// The `k` binary names, in `S1..Sk` order.
+    pub fn binary_names(&self) -> &[String] {
+        &self.binary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_vocabulary_matches_relation_display() {
+        let voc = Vocabulary::h(3);
+        assert_eq!(voc.k(), 3);
+        for rel in [
+            Relation::R,
+            Relation::T,
+            Relation::S(1),
+            Relation::S(2),
+            Relation::S(3),
+        ] {
+            let name = voc.relation_name(rel).unwrap();
+            assert_eq!(name, rel.to_string());
+            let arity = if matches!(rel, Relation::S(_)) { 2 } else { 1 };
+            assert_eq!(voc.resolve(name, arity), Some(rel));
+        }
+        assert_eq!(voc.relation_name(Relation::S(4)), None);
+        assert_eq!(voc.resolve("R", 2), None);
+        assert_eq!(voc.resolve("S1", 1), None);
+        assert_eq!(voc.resolve("Q", 1), None);
+    }
+
+    #[test]
+    fn custom_names_map_positionally() {
+        let voc = Vocabulary::new(
+            vec!["Person".into(), "City".into()],
+            vec!["Knows".into(), "LivesIn".into()],
+        )
+        .unwrap();
+        assert_eq!(voc.resolve("Person", 1), Some(Relation::R));
+        assert_eq!(voc.resolve("City", 1), Some(Relation::T));
+        assert_eq!(voc.resolve("Knows", 2), Some(Relation::S(1)));
+        assert_eq!(voc.resolve("LivesIn", 2), Some(Relation::S(2)));
+        assert_eq!(voc.relation_name(Relation::S(2)), Some("LivesIn"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes_and_names() {
+        assert_eq!(
+            Vocabulary::new(vec!["R".into()], vec!["S".into()]),
+            Err(VocabularyError::UnaryCount(1))
+        );
+        assert_eq!(
+            Vocabulary::new(vec!["R".into(), "T".into()], vec![]),
+            Err(VocabularyError::NoBinary)
+        );
+        assert_eq!(
+            Vocabulary::new(vec!["R".into(), "T".into()], vec!["9S".into()]),
+            Err(VocabularyError::BadName("9S".into()))
+        );
+        assert_eq!(
+            Vocabulary::new(vec!["R".into(), "R".into()], vec!["S".into()]),
+            Err(VocabularyError::DuplicateName("R".into()))
+        );
+        assert_eq!(
+            Vocabulary::new(vec!["R".into(), "T".into()], vec!["".into()]),
+            Err(VocabularyError::BadName("".into()))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn h_requires_positive_k() {
+        let _ = Vocabulary::h(0);
+    }
+}

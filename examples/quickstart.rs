@@ -1,8 +1,11 @@
-//! Quickstart: evaluate Dalvi–Suciu's query `q9` (the paper's `Q_φ9`)
-//! through the [`PqeEngine`] front door, which classifies the query on
-//! the paper's Figure 1 map, routes it to the cheapest sound backend,
-//! and caches the compiled lineage so probability re-weightings are
-//! linear circuit walks — then cross-check all three underlying routes:
+//! Quickstart: open the [`PqeEngine`] front door with a **UCQ parsed
+//! from text** over a named vocabulary — safe queries take a lifted
+//! PTIME plan, unsafe ones ground to a lineage circuit (DESIGN.md §11)
+//! — then evaluate Dalvi–Suciu's query `q9` (the paper's `Q_φ9`), which
+//! the engine classifies on the paper's Figure 1 map, routes to the
+//! cheapest sound backend, and caches the compiled lineage so
+//! probability re-weightings are linear circuit walks. Cross-check all
+//! three underlying routes:
 //!
 //! 1. brute force over all possible worlds (exponential, exact),
 //! 2. extensional lifted inference (Möbius inversion, Proposition 3.5),
@@ -19,15 +22,36 @@ use intext::core::compile_dd;
 use intext::engine::{EngineConfig, PqeEngine, SamplingConfig};
 use intext::extensional::pqe_extensional;
 use intext::numeric::BigRational;
-use intext::query::{pqe_brute_force, HQuery};
+use intext::query::{pqe_brute_force, HQuery, Query};
 use intext::serve::{ServeConfig, Server};
 use intext::tid::{
-    complete_database, random_database, random_tid, uniform_tid, DbGenConfig, TupleId,
+    complete_database, random_database, random_tid, uniform_tid, DbGenConfig, TupleId, Vocabulary,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    // Any UCQ text over a named vocabulary (two unary relations plus k
+    // binary ones) is a query. The planner routes parsed queries like
+    // everything else: Dalvi–Suciu-safe ones get a lifted PTIME plan,
+    // H-shaped ones are recognized onto the Figure 1 machinery, and
+    // unsafe ones ground to a lineage OBDD within a budget.
+    let voc = Vocabulary::new(
+        vec!["Author".to_string(), "Cited".to_string()],
+        vec!["Wrote".to_string()],
+    )
+    .expect("two unary + one binary relation is a valid vocabulary");
+    let papers = uniform_tid(complete_database(1, 2), BigRational::from_ratio(1, 2));
+    let safe_q = Query::parse("Wrote(0,y), Cited(y)", &voc).expect("well-formed UCQ");
+    let unsafe_q = Query::parse("Author(x), Wrote(x,y), Cited(y)", &voc).expect("well-formed UCQ");
+    let mut front = PqeEngine::new();
+    println!("UCQ front door (DESIGN.md §11):");
+    println!("  {safe_q}\n    {}", front.explain(&safe_q, &papers));
+    println!("  {unsafe_q}\n    {}", front.explain(&unsafe_q, &papers));
+    let p_safe = front.evaluate(&safe_q, &papers).expect("safe: lifted");
+    let p_unsafe = front.evaluate(&unsafe_q, &papers).expect("small: grounded");
+    println!("  P(safe) = {p_safe}   P(unsafe) = {p_unsafe}\n");
+
     let mut rng = StdRng::seed_from_u64(2020);
     let db = random_database(
         &DbGenConfig {

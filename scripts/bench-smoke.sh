@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # 10 ms per benchmark: one warm-up + at least one timed iteration each,
-# keeping the whole 17-target suite in CI-friendly time.
+# keeping the whole 18-target suite in CI-friendly time.
 export INTEXT_BENCH_BUDGET_MS="${INTEXT_BENCH_BUDGET_MS:-10}"
 
 echo "bench smoke: executing all targets with ${INTEXT_BENCH_BUDGET_MS} ms budgets"

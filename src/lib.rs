@@ -15,11 +15,19 @@
 //!   `H⁺`-queries* and shows that inclusion–exclusion can be simulated
 //!   with determinism, decomposability and negation alone.
 //!
-//! The front door is [`engine::PqeEngine`]: it classifies `φ` on the
-//! paper's Figure 1 region map, routes to the cheapest sound backend
-//! (OBDD, d-D pipeline, lifted inference, or brute force), and caches
-//! compiled lineage artifacts so probability re-weightings are linear
-//! circuit walks instead of recompilations. For long-lived deployments,
+//! The front door is [`engine::PqeEngine`], and it accepts any
+//! [`query::Query`] — an `H`-query built from `φ`, or a **UCQ parsed
+//! from text** over a named vocabulary ([`Query::parse`]). H-shaped
+//! queries (including parsed text *recognized* as H-shaped) classify on
+//! the paper's Figure 1 region map and route to the cheapest sound
+//! backend (OBDD, d-D pipeline, lifted inference, or brute force);
+//! general queries split on the Dalvi–Suciu safety test — safe ones get
+//! a lifted PTIME plan, unsafe ones ground to a lineage OBDD within a
+//! budget (DESIGN.md §11). Compiled lineage artifacts are cached so
+//! probability re-weightings are linear circuit walks instead of
+//! recompilations. For long-lived deployments,
+//!
+//! [`Query::parse`]: query::Query::parse
 //! [`serve`] puts one engine behind a concurrent front door — bounded
 //! admission queue, worker pool evaluating over shared artifacts, typed
 //! backpressure, and a length-prefixed socket protocol — with answers
@@ -34,8 +42,23 @@
 //! use intext::engine::{Plan, PqeEngine};
 //! use intext::extensional::pqe_extensional;
 //! use intext::numeric::BigRational;
-//! use intext::query::{pqe_brute_force, HQuery};
-//! use intext::tid::{complete_database, uniform_tid};
+//! use intext::query::{pqe_brute_force, HQuery, Query};
+//! use intext::tid::{complete_database, uniform_tid, Vocabulary};
+//!
+//! // Open with a *parsed* query: any UCQ text over a named vocabulary
+//! // (two unary relations + k binary ones). This one is Dalvi–Suciu
+//! // safe but not H-shaped, so the planner gives it a lifted PTIME
+//! // plan; the unsafe variant would ground to a lineage OBDD instead.
+//! let voc = Vocabulary::new(
+//!     vec!["Author".into(), "Cited".into()],
+//!     vec!["Wrote".into()],
+//! ).unwrap();
+//! let parsed = Query::parse("Wrote(0,y), Cited(y)", &voc).unwrap();
+//! let papers = uniform_tid(complete_database(1, 2), BigRational::from_ratio(1, 2));
+//! let mut engine = PqeEngine::new();
+//! assert_eq!(engine.plan(&parsed, &papers), Ok(Plan::Lifted));
+//! engine.evaluate(&parsed, &papers).unwrap();
+//! assert_eq!(engine.stats().lifted_plans, 1);
 //!
 //! // Dalvi–Suciu's q9 on a complete database, every tuple with Pr = 1/2.
 //! let tid = uniform_tid(complete_database(3, 2), BigRational::from_ratio(1, 2));

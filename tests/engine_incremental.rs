@@ -264,7 +264,7 @@ proptest! {
             // Warm the live engine so the stream patches real artifacts.
             let mut live = PqeEngine::new();
             for phi in &fns {
-                live.evaluate(&HQuery::new(phi.clone()), &tid).unwrap();
+                live.evaluate(HQuery::new(phi.clone()), &tid).unwrap();
             }
 
             let mut structural = false;
@@ -331,7 +331,7 @@ fn named_k3_and_k4_functions_survive_update_streams() {
 
         let mut live = PqeEngine::new();
         for phi in &fns {
-            live.evaluate(&HQuery::new(phi.clone()), &tid).unwrap();
+            live.evaluate(HQuery::new(phi.clone()), &tid).unwrap();
         }
 
         let mut structural = false;
@@ -455,8 +455,8 @@ fn patched_caches_round_trip_through_store_and_deltas() {
     let mut live = PqeEngine::new();
     let mut replica = PqeEngine::new();
     for phi in &fns {
-        live.evaluate(&HQuery::new(phi.clone()), &tid).unwrap();
-        replica.evaluate(&HQuery::new(phi.clone()), &tid).unwrap();
+        live.evaluate(HQuery::new(phi.clone()), &tid).unwrap();
+        replica.evaluate(HQuery::new(phi.clone()), &tid).unwrap();
     }
 
     // Ship one update as a delta: export against the *pre-update* shape,

@@ -476,7 +476,7 @@ fn estimates_and_snapshots_serve_replicas() {
     // exact draw count and value bits.
     let expected: Vec<_> = fns
         .iter()
-        .map(|phi| seq.estimate(&HQuery::new(phi.clone()), &tid).unwrap())
+        .map(|phi| seq.estimate(HQuery::new(phi.clone()), &tid).unwrap())
         .collect();
     thread::scope(|scope| {
         for client in 0..CLIENTS {
@@ -484,7 +484,7 @@ fn estimates_and_snapshots_serve_replicas() {
             let (fns, expected, tid) = (&fns, &expected, &tid);
             scope.spawn(move || {
                 for (i, phi) in fns.iter().enumerate().skip(client).step_by(CLIENTS) {
-                    let e = handle.estimate(&HQuery::new(phi.clone()), tid).unwrap();
+                    let e = handle.estimate(HQuery::new(phi.clone()), tid).unwrap();
                     let want = &expected[i];
                     assert_eq!(
                         e.value.to_bits(),
@@ -560,7 +560,7 @@ fn saturation_sheds_load_only_via_typed_backpressure() {
     // Wedge the single worker, then wait for it to take the job.
     let slow = handle
         .submit(Request::Evaluate {
-            q: hard.clone(),
+            q: hard.clone().into(),
             tid: big.clone(),
         })
         .unwrap();
@@ -633,7 +633,7 @@ fn racing_bursts_never_lose_or_corrupt_a_request() {
         let mut seq = PqeEngine::new();
         fns.iter()
             .map(|phi| {
-                seq.evaluate_f64(&HQuery::new(phi.clone()), &tid)
+                seq.evaluate_f64(HQuery::new(phi.clone()), &tid)
                     .unwrap()
                     .to_bits()
             })
@@ -662,7 +662,7 @@ fn racing_bursts_never_lose_or_corrupt_a_request() {
                         .map(|_| {
                             let i = (mix(&mut state) as usize) % fns.len();
                             let req = Request::EvaluateF64 {
-                                q: HQuery::new(fns[i].clone()),
+                                q: HQuery::new(fns[i].clone()).into(),
                                 tid: tid.clone(),
                             };
                             (i, handle.submit(req))
@@ -736,10 +736,7 @@ fn concurrent_updates_keep_the_cache_bounded_and_patched_equals_fresh() {
         let mut seq = PqeEngine::new();
         reader_fns
             .iter()
-            .map(|phi| {
-                seq.evaluate(&HQuery::new(phi.clone()), &reader_tid)
-                    .unwrap()
-            })
+            .map(|phi| seq.evaluate(HQuery::new(phi.clone()), &reader_tid).unwrap())
             .collect()
     };
     thread::scope(|scope| {
@@ -807,7 +804,7 @@ fn concurrent_updates_keep_the_cache_bounded_and_patched_equals_fresh() {
             for _ in 0..3 {
                 for (phi, want) in reader_fns.iter().zip(reader_expected) {
                     let p = reader
-                        .evaluate(&HQuery::new(phi.clone()), reader_tid)
+                        .evaluate(HQuery::new(phi.clone()), reader_tid)
                         .unwrap();
                     assert_eq!(&p, want, "reader answer corrupted by concurrent updates");
                 }
@@ -858,7 +855,7 @@ fn tcp_and_unix_transports_round_trip_bit_identically() {
     let mut client = RemoteClient::connect(addr).unwrap();
     match client
         .request(&Request::Evaluate {
-            q: q.clone(),
+            q: q.clone().into(),
             tid: tid.clone(),
         })
         .unwrap()
@@ -869,7 +866,7 @@ fn tcp_and_unix_transports_round_trip_bit_identically() {
     }
     match client
         .request(&Request::EvaluateF64 {
-            q: q.clone(),
+            q: q.clone().into(),
             tid: tid.clone(),
         })
         .unwrap()
@@ -882,7 +879,7 @@ fn tcp_and_unix_transports_round_trip_bit_identically() {
     // k=2 database is a vocabulary mismatch, not a dead connection.
     let mismatch = client
         .request(&Request::Evaluate {
-            q: HQuery::new(BoolFn::from_table_u64(2, 0x6)),
+            q: HQuery::new(BoolFn::from_table_u64(2, 0x6)).into(),
             tid: tid.clone(),
         })
         .unwrap()
@@ -903,7 +900,7 @@ fn tcp_and_unix_transports_round_trip_bit_identically() {
     let mut second = RemoteClient::connect(addr).unwrap();
     match second
         .request(&Request::Batch {
-            q: q.clone(),
+            q: q.clone().into(),
             tids: vec![tid.clone(), tid.clone()],
         })
         .unwrap()
@@ -922,7 +919,7 @@ fn tcp_and_unix_transports_round_trip_bit_identically() {
         let mut unix_client = RemoteClient::connect_unix(&path).unwrap();
         match unix_client
             .request(&Request::Evaluate {
-                q: q.clone(),
+                q: q.clone().into(),
                 tid: tid.clone(),
             })
             .unwrap()
