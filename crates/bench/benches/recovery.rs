@@ -1,0 +1,160 @@
+//! E26: durability costs — what the crash-safety contract charges per
+//! update, and what recovery saves over a cold start (DESIGN.md §12).
+//!
+//! Two questions, four strategies around the same live-update workload
+//! (a remove/insert round trip of `R(0)` under the cached pure-OBDD
+//! query `h_{3,0}`, as in E23):
+//!
+//! * **WAL append overhead** — `patch_update` is E23's in-memory
+//!   incremental floor (no durability); `patch_update_wal` adds the
+//!   full durability contract per structural update: serialize the
+//!   delta (`export_delta`), append + fsync it to a real write-ahead
+//!   log *before* applying. The gap is the price of crash safety per
+//!   update — dominated by the two fsyncs, not the codec.
+//! * **Recovery vs cold compile** — `recover_N_records` rebuilds an
+//!   engine from a snapshot plus an N-record WAL replay (in-memory
+//!   backend: the number is decode + replay cost, no disk noise);
+//!   `cold_compile` is the alternative a crash forces without
+//!   durability: recompile from nothing. The acceptance shape: at
+//!   domain 16, recovery (even with a replay tail) beats the cold
+//!   compile it makes unnecessary.
+//!
+//! Every recovered engine is gated bit-identical to a fresh compile
+//! before its numbers count. See `EXPERIMENTS.md` (E26).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intext_bench::bench_tid;
+use intext_boolfn::BoolFn;
+use intext_engine::fsio::{MemFs, StorageIo};
+use intext_engine::{DurableDir, EngineConfig, PqeEngine, TupleUpdate};
+use intext_query::HQuery;
+use intext_tid::{Tid, TupleDesc, TupleId};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The id `R(0)` currently has (removal renumbers ids, so look it up).
+fn r0(tid: &Tid) -> TupleId {
+    tid.database()
+        .iter()
+        .find(|&(_, desc)| desc == TupleDesc::R(0))
+        .expect("R(0) is part of every bench instance")
+        .0
+}
+
+/// One durable structural round trip: WAL-log the remove delta, apply
+/// it, WAL-log the insert delta, apply it.
+fn durable_round_trip(engine: &mut PqeEngine, tid: &mut Tid, q: &HQuery, dir: &DurableDir) {
+    let id = r0(tid);
+    let remove = TupleUpdate::Remove { id: id.0 };
+    let delta = engine.export_delta(q, tid.database(), &remove).unwrap();
+    dir.log_delta(&delta).unwrap();
+    let (desc, p) = engine.remove_tuple(tid, id).unwrap();
+    let insert = TupleUpdate::Insert { desc };
+    let delta = engine.export_delta(q, tid.database(), &insert).unwrap();
+    dir.log_delta(&delta).unwrap();
+    engine.insert_tuple(tid, desc, p).unwrap();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    let q = HQuery::new(BoolFn::var(4, 0));
+
+    for domain in [4u32, 8, 16] {
+        let base = bench_tid(3, domain, 23);
+
+        // In-memory patch floor: E23's live-update discipline, nothing
+        // made durable.
+        g.bench_with_input(
+            BenchmarkId::new("patch_update", domain),
+            &base,
+            |b, base| {
+                let mut tid = base.clone();
+                let mut engine = PqeEngine::new();
+                engine.evaluate_f64(&q, &tid).unwrap();
+                b.iter(|| {
+                    let id = r0(&tid);
+                    let (desc, p) = engine.remove_tuple(&mut tid, id).unwrap();
+                    engine.insert_tuple(&mut tid, desc, p).unwrap();
+                    black_box(engine.cache_len())
+                });
+            },
+        );
+
+        // The same patches under the durability contract, against a
+        // real on-disk WAL: every structural update is serialized,
+        // appended, and fsynced before it is applied.
+        g.bench_with_input(
+            BenchmarkId::new("patch_update_wal", domain),
+            &base,
+            |b, base| {
+                let path = std::env::temp_dir().join(format!(
+                    "intext-recovery-bench-{}-{domain}",
+                    std::process::id()
+                ));
+                let dir = DurableDir::open(&path).unwrap();
+                let mut tid = base.clone();
+                let mut engine = PqeEngine::new();
+                engine.evaluate_f64(&q, &tid).unwrap();
+                dir.checkpoint(&engine).unwrap();
+                b.iter(|| {
+                    durable_round_trip(&mut engine, &mut tid, &q, &dir);
+                    black_box(engine.cache_len())
+                });
+                std::fs::remove_dir_all(&path).unwrap();
+            },
+        );
+
+        // Recovery: snapshot load + N-record WAL replay, over an
+        // in-memory backend so the number is pure decode + replay cost.
+        for records in [0u64, 32] {
+            let mem = Arc::new(MemFs::new());
+            let dir =
+                DurableDir::open_with("bench", Arc::clone(&mem) as Arc<dyn StorageIo>).unwrap();
+            let mut tid = base.clone();
+            let mut engine = PqeEngine::new();
+            engine.evaluate_f64(&q, &tid).unwrap();
+            dir.checkpoint(&engine).unwrap();
+            for _ in 0..records / 2 {
+                durable_round_trip(&mut engine, &mut tid, &q, &dir);
+            }
+            // Correctness gate: the recovered engine answers
+            // bit-identically to a fresh compile before it is timed.
+            let (mut recovered, report) =
+                PqeEngine::recover_with(EngineConfig::default(), &dir).unwrap();
+            assert_eq!(report.wal_records_applied, records, "clean replay");
+            assert!(report.clean(), "the bench directory is uncorrupted");
+            let mut fresh = PqeEngine::new();
+            assert_eq!(
+                recovered.evaluate_f64(&q, &tid).unwrap().to_bits(),
+                fresh.evaluate_f64(&q, &tid).unwrap().to_bits(),
+                "recovered vs fresh compile at domain {domain}"
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("recover_{records}_records"), domain),
+                &dir,
+                |b, dir| {
+                    b.iter(|| {
+                        let (engine, report) =
+                            PqeEngine::recover_with(EngineConfig::default(), dir).unwrap();
+                        black_box((engine.cache_len(), report.wal_records_applied))
+                    });
+                },
+            );
+        }
+
+        // The alternative recovery makes unnecessary: compiling the
+        // artifact from nothing.
+        g.bench_with_input(BenchmarkId::new("cold_compile", domain), &base, |b, tid| {
+            b.iter(|| {
+                let mut engine = PqeEngine::new();
+                black_box(engine.evaluate_f64(&q, tid).unwrap())
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -806,6 +806,12 @@ impl PqeEngine {
         self.stats = EngineStats::default();
     }
 
+    /// Mutable statistics access for the crate's maintenance paths
+    /// (recovery counts quarantines and replayed WAL records here).
+    pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
+    }
+
     /// Number of compiled artifacts currently cached.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
@@ -1067,7 +1073,13 @@ impl PqeEngine {
             }
             None => {
                 // Cold replica (or an unpatchable resident): compile the
-                // post-update artifact from scratch by φ's region.
+                // post-update artifact from scratch by φ's region. The
+                // superseded pre-update artifact — resident but
+                // unpatchable, e.g. deserialized without its unroll
+                // trace — is evicted by the same `patch` rekeying the
+                // incremental path uses: the delta says that shape no
+                // longer exists, so a recovered replica converges to
+                // the same cache contents as the patched source.
                 let artifact = match kind {
                     store::ArtifactKind::Obdd => Artifact::Obdd(
                         compile_degenerate_obdd(&phi, &new_db)
@@ -1078,7 +1090,7 @@ impl PqeEngine {
                             .map_err(|_| StoreError::PlanMismatch { kind, region })?,
                     ),
                 };
-                self.cache.insert(new_key, artifact)
+                self.cache.patch(&old_key, new_key, Arc::new(artifact))
             }
         };
         self.stats.cache_evictions += evicted;

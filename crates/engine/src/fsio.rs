@@ -1,0 +1,490 @@
+//! The injectable storage shim the durability layer is written against.
+//!
+//! Everything that touches disk — the write-ahead log ([`crate::wal`]),
+//! snapshot rotation and recovery ([`crate::DurableDir`],
+//! [`crate::RecoveryReport`]) — goes through
+//! one small trait, [`StorageIo`], instead of calling `std::fs`
+//! directly. Three implementations exist:
+//!
+//! * [`RealFs`] — the production backend over `std::fs`, with real
+//!   `fsync` on files and (on Unix) directories.
+//! * [`MemFs`] — an in-memory filesystem for tests: the crash-point
+//!   differential in `tests/engine_recovery.rs` enumerates hundreds of
+//!   interrupted histories, and replaying them against a `HashMap` is
+//!   what keeps that sweep fast and hermetic.
+//! * [`FaultIo`] — a deterministic fault injector wrapping any other
+//!   backend. Every operation gets a global sequence number; the
+//!   [`FaultPlan`] names the exact operation at which the simulated
+//!   machine dies (optionally leaving a torn prefix of that write on
+//!   "disk"), which syncs fail without crashing, and which reads come
+//!   back short. Tests first run a workload fault-free to *count* its
+//!   operations, then re-run it once per possible crash point — every
+//!   write boundary is enumerated instead of hoping `kill -9` gets
+//!   lucky.
+//!
+//! The trait is deliberately tiny and byte-oriented: no file handles,
+//! no seek. Each call is one whole-file or append-only action, which is
+//! exactly the granularity the WAL and snapshot protocols need and the
+//! granularity at which crash points are meaningful.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The storage operations the durability layer performs, in the
+/// granularity crash points are enumerated at.
+///
+/// Implementations must make each call atomic *from the caller's view*
+/// on success: a `write` that returns `Ok` has replaced the whole file,
+/// an `append` has added all its bytes. Torn intermediate states are
+/// the fault injector's job ([`FaultIo`]), not the backend's.
+pub trait StorageIo: Send + Sync {
+    /// The entire content of the file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or truncates `path` and writes `bytes` as its content.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to `path`, creating the file if absent.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Forces the file's content to durable storage (`fsync`).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Forces a directory's entry table to durable storage — what makes
+    /// a rename itself durable. Backends without directory sync may
+    /// no-op.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to`, replacing `to` if it exists.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Creates `path` and all missing parents as directories.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// `true` iff a file exists at `path` (never counted as a fault
+    /// point: existence probes don't mutate anything).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production backend: `std::fs` with real durability calls.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealFs;
+
+impl StorageIo for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Directories can be opened and fsynced on Unix; elsewhere the
+        // rename's durability is left to the OS (the recovery protocol
+        // tolerates a lost rename: it just recovers the older state).
+        #[cfg(unix)]
+        {
+            fs::File::open(path)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(())
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// An in-memory filesystem: a mutex-guarded `path → bytes` map.
+///
+/// Directories are implicit (any path can be written); `sync` and
+/// `sync_dir` verify the target exists and otherwise no-op — in-memory
+/// bytes are as durable as they get. The crash tests share one `MemFs`
+/// between a faulted writer and a clean recoverer via `Arc`, so the
+/// recoverer sees exactly the bytes that "survived the crash",
+/// including any torn prefix the fault injector left behind.
+#[derive(Debug, Default)]
+pub struct MemFs {
+    files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemFs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<PathBuf, Vec<u8>>> {
+        // Nothing here panics while holding the lock, but a poisoned
+        // map is still just a map.
+        self.files.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A snapshot of every file, for test assertions.
+    pub fn files(&self) -> HashMap<PathBuf, Vec<u8>> {
+        self.lock().clone()
+    }
+
+    /// Overwrites one file directly — the corruption tests' way of
+    /// flipping bytes "on disk" without going through the shim.
+    pub fn install(&self, path: impl Into<PathBuf>, bytes: Vec<u8>) {
+        self.lock().insert(path.into(), bytes);
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no such file: {}", path.display()),
+    )
+}
+
+impl StorageIo for MemFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.lock().insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.lock()
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        if self.lock().contains_key(path) {
+            Ok(())
+        } else {
+            Err(not_found(path))
+        }
+    }
+
+    fn sync_dir(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.lock();
+        let bytes = files.remove(from).ok_or_else(|| not_found(from))?;
+        files.insert(to.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.lock()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.lock().contains_key(path)
+    }
+}
+
+/// Which faults to inject, keyed by the global operation sequence
+/// number maintained by [`FaultIo`] (operation 0 is the first call).
+///
+/// `exists` probes are not operations; every other [`StorageIo`] call
+/// is exactly one, whether it succeeds or not — so an operation count
+/// captured from a fault-free run enumerates every possible crash
+/// point of that workload.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Die at this operation: the operation fails, and every later one
+    /// fails too ([`io::ErrorKind::BrokenPipe`], "injected crash"). If
+    /// the fatal operation is a `write` or `append`, the first
+    /// [`torn_bytes`](Self::torn_bytes) bytes still reach the backend —
+    /// a torn write.
+    pub crash_at_op: Option<u64>,
+    /// How many bytes of the crashing write land before the crash.
+    pub torn_bytes: usize,
+    /// Operations (by sequence number) that are syncs to fail *without*
+    /// crashing — the "disk said no but the process lives" case the
+    /// callers must surface as an error, not ignore.
+    pub fail_sync_at: Vec<u64>,
+    /// One read to truncate: `(operation, bytes returned)` — a short
+    /// read, as from a concurrently-truncated or torn file.
+    pub short_read: Option<(u64, usize)>,
+}
+
+/// Deterministic fault injection over any [`StorageIo`] backend.
+///
+/// Operations are numbered globally in call order; the [`FaultPlan`]
+/// decides each one's fate. After the crash point, *every* operation
+/// fails — the process is "dead" as far as storage is concerned, and
+/// recovery happens through a fresh, un-faulted handle to the same
+/// backend.
+pub struct FaultIo {
+    inner: Arc<dyn StorageIo>,
+    plan: FaultPlan,
+    ops: AtomicU64,
+}
+
+impl FaultIo {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: Arc<dyn StorageIo>, plan: FaultPlan) -> Self {
+        FaultIo {
+            inner,
+            plan,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Operations performed so far (failed ones included). A fault-free
+    /// run's final count enumerates the crash points of its workload.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    fn crashed(err_op: u64, plan: &FaultPlan) -> bool {
+        plan.crash_at_op.is_some_and(|at| err_op >= at)
+    }
+
+    fn injected_crash() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "injected crash")
+    }
+
+    /// Claims the next sequence number; `Err` when the machine is
+    /// already dead *before* this operation.
+    fn next_op(&self) -> io::Result<u64> {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        if self.plan.crash_at_op.is_some_and(|at| op > at) {
+            return Err(Self::injected_crash());
+        }
+        Ok(op)
+    }
+}
+
+impl StorageIo for FaultIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            return Err(Self::injected_crash());
+        }
+        let bytes = self.inner.read(path)?;
+        match self.plan.short_read {
+            Some((at, keep)) if at == op => Ok(bytes[..keep.min(bytes.len())].to_vec()),
+            _ => Ok(bytes),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            let keep = self.plan.torn_bytes.min(bytes.len());
+            if keep > 0 {
+                self.inner.write(path, &bytes[..keep])?;
+            }
+            return Err(Self::injected_crash());
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            let keep = self.plan.torn_bytes.min(bytes.len());
+            if keep > 0 {
+                self.inner.append(path, &bytes[..keep])?;
+            }
+            return Err(Self::injected_crash());
+        }
+        self.inner.append(path, bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            return Err(Self::injected_crash());
+        }
+        if self.plan.fail_sync_at.contains(&op) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            return Err(Self::injected_crash());
+        }
+        if self.plan.fail_sync_at.contains(&op) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.sync_dir(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            // A crash at a rename leaves it not-yet-happened: rename is
+            // atomic, so the torn state is simply the old name.
+            return Err(Self::injected_crash());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            return Err(Self::injected_crash());
+        }
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let op = self.next_op()?;
+        if Self::crashed(op, &self.plan) {
+            return Err(Self::injected_crash());
+        }
+        self.inner.create_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn memfs_round_trips_and_errors_are_typed() {
+        let fs = MemFs::new();
+        assert!(!fs.exists(&p("a")));
+        assert_eq!(
+            fs.read(&p("a")).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        fs.write(&p("a"), b"hello").unwrap();
+        fs.append(&p("a"), b" world").unwrap();
+        assert_eq!(fs.read(&p("a")).unwrap(), b"hello world");
+        fs.sync(&p("a")).unwrap();
+        assert_eq!(
+            fs.sync(&p("zz")).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        fs.rename(&p("a"), &p("b")).unwrap();
+        assert!(!fs.exists(&p("a")));
+        assert_eq!(fs.read(&p("b")).unwrap(), b"hello world");
+        // Appending to an absent file creates it, like O_CREAT|O_APPEND.
+        fs.append(&p("c"), b"x").unwrap();
+        assert_eq!(fs.read(&p("c")).unwrap(), b"x");
+        fs.remove(&p("c")).unwrap();
+        assert_eq!(
+            fs.remove(&p("c")).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+
+    #[test]
+    fn realfs_round_trips_in_a_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("intext-fsio-{}", std::process::id()));
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        let file = dir.join("t.bin");
+        fs.write(&file, b"abc").unwrap();
+        fs.append(&file, b"def").unwrap();
+        fs.sync(&file).unwrap();
+        fs.sync_dir(&dir).unwrap();
+        assert_eq!(fs.read(&file).unwrap(), b"abcdef");
+        let moved = dir.join("u.bin");
+        fs.rename(&file, &moved).unwrap();
+        assert!(fs.exists(&moved) && !fs.exists(&file));
+        fs.remove(&moved).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_crash_tears_the_fatal_write_and_kills_everything_after() {
+        let mem = Arc::new(MemFs::new());
+        let io = FaultIo::new(
+            mem.clone() as Arc<dyn StorageIo>,
+            FaultPlan {
+                crash_at_op: Some(1),
+                torn_bytes: 2,
+                ..FaultPlan::default()
+            },
+        );
+        io.write(&p("a"), b"first").unwrap(); // op 0: survives
+        let err = io.append(&p("a"), b"second").unwrap_err(); // op 1: torn
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Two bytes of the fatal append landed; nothing after does.
+        assert_eq!(mem.read(&p("a")).unwrap(), b"firstse");
+        assert!(io.write(&p("b"), b"x").is_err());
+        assert!(io.read(&p("a")).is_err());
+        assert!(io.sync(&p("a")).is_err());
+        assert_eq!(mem.read(&p("a")).unwrap(), b"firstse", "dead means dead");
+        assert_eq!(
+            io.ops(),
+            5,
+            "failed operations still consume sequence numbers"
+        );
+    }
+
+    #[test]
+    fn fault_free_run_counts_ops_and_injected_sync_failure_does_not_crash() {
+        let mem = Arc::new(MemFs::new());
+        let io = FaultIo::new(
+            mem.clone() as Arc<dyn StorageIo>,
+            FaultPlan {
+                fail_sync_at: vec![1],
+                short_read: Some((3, 2)),
+                ..FaultPlan::default()
+            },
+        );
+        io.write(&p("a"), b"abcdef").unwrap(); // op 0
+        let err = io.sync(&p("a")).unwrap_err(); // op 1: fails, no crash
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        io.sync(&p("a")).unwrap(); // op 2: the machine lives on
+        assert_eq!(io.read(&p("a")).unwrap(), b"ab"); // op 3: short read
+        assert_eq!(io.read(&p("a")).unwrap(), b"abcdef"); // op 4: full again
+        assert_eq!(io.ops(), 5);
+    }
+}

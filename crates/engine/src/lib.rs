@@ -110,10 +110,13 @@
 
 mod cache;
 mod engine;
+pub mod fsio;
 mod plan;
+mod recovery;
 mod sample;
 mod stats;
 pub mod store;
+pub mod wal;
 
 pub use cache::{Artifact, ArtifactCache, CacheKey};
 pub use engine::{
@@ -122,6 +125,11 @@ pub use engine::{
 };
 pub use intext_query::Query;
 pub use plan::{BatchPlan, Explanation, Plan};
+pub use recovery::{
+    DurableDir, Quarantine, RecoveryReport, SnapshotSource, SNAPSHOT_FILE, SNAPSHOT_PREV_FILE,
+    SNAPSHOT_TMP_FILE, WAL_FILE,
+};
 pub use sample::{Estimate, SamplerKind, SamplingConfig};
 pub use stats::{EngineStats, LatencyHistogram, QueryStats, RouteLatency};
 pub use store::{ArtifactKind, StoreError, TupleUpdate, FORMAT_VERSION, MAGIC};
+pub use wal::{Wal, WalCorruption, WalRecord, WalReplay};

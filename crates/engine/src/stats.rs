@@ -118,6 +118,22 @@ pub struct EngineStats {
     /// which touches no structure at all — cache keys exclude
     /// probabilities, so every artifact stays valid as-is.
     pub full_recompiles_avoided: u64,
+    /// Delta records replayed from a write-ahead log by
+    /// [`PqeEngine::recover`](crate::PqeEngine::recover) — each one an
+    /// update the crash would otherwise have lost.
+    pub wal_records_applied: u64,
+    /// Corrupt durable files (snapshot generations or WAL tails)
+    /// renamed aside during [`PqeEngine::recover`](crate::PqeEngine::recover)
+    /// instead of being trusted or deleted — the graceful-degradation
+    /// path made countable (`DESIGN.md` §12).
+    pub recovery_quarantines: u64,
+    /// Poisoned locks the serve layer recovered instead of propagating:
+    /// a worker panicked while holding the engine rw-lock, an admission
+    /// queue mutex, or a response slot, and the next caller took the
+    /// lock anyway (the engine's invariants hold under panic — see
+    /// `crates/serve/src/shared.rs`). Zero in a healthy server; the
+    /// panic-injection test pins the counter's plumbing.
+    pub lock_poisonings_recovered: u64,
     /// Per-route latency histograms: one [`LatencyHistogram`] per
     /// [`Plan`] route, fed one sample (`compile_time + eval_time`) per
     /// recorded query. Merging adds bucket counts, so a server that
@@ -365,6 +381,9 @@ impl EngineStats {
         self.patches_applied += other.patches_applied;
         self.patch_nanos += other.patch_nanos;
         self.full_recompiles_avoided += other.full_recompiles_avoided;
+        self.wal_records_applied += other.wal_records_applied;
+        self.recovery_quarantines += other.recovery_quarantines;
+        self.lock_poisonings_recovered += other.lock_poisonings_recovered;
         self.route_latency.merge(&other.route_latency);
         if other.last.is_some() {
             self.last = other.last;
@@ -391,7 +410,8 @@ impl fmt::Display for EngineStats {
              compile {:?} ({} ns), walk {} ns over {} lane-kernel call(s), \
              eval {:?}; {} extensional memo hit(s); \
              {} sample(s) drawn over {} ns; \
-             {} patch(es) over {} ns avoiding {} recompile(s)",
+             {} patch(es) over {} ns avoiding {} recompile(s); \
+             {} WAL record(s) replayed, {} quarantine(s), {} poisoning(s) recovered",
             self.queries,
             self.obdd_plans,
             self.dd_plans,
@@ -415,6 +435,9 @@ impl fmt::Display for EngineStats {
             self.patches_applied,
             self.patch_nanos,
             self.full_recompiles_avoided,
+            self.wal_records_applied,
+            self.recovery_quarantines,
+            self.lock_poisonings_recovered,
         )
     }
 }

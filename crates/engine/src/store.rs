@@ -308,7 +308,7 @@ impl From<CircuitError> for StoreError {
 /// Not cryptographic: the checksum guards against bit rot and truncation,
 /// not against an adversary forging a semantically wrong circuit (no
 /// checksum could; see `DESIGN.md` §5 on the trust model).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

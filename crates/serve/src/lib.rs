@@ -54,7 +54,7 @@ pub mod wire;
 pub use error::ServeError;
 #[cfg(unix)]
 pub use net::listen_unix;
-pub use net::{listen_tcp, BoundAddr, ListenerHandle, RemoteClient};
+pub use net::{listen_tcp, BoundAddr, ClientError, ListenerHandle, RemoteClient, RetryPolicy};
 pub use queue::{AdmissionQueue, Job, JobId, SubmitError};
 pub use server::{PendingResponse, Request, Response, ServeConfig, ServeHandle, Server};
 pub use shared::SharedEngine;

@@ -25,6 +25,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -235,12 +236,46 @@ struct ServerShared {
     /// here; [`ServeHandle::stats`] adds the engine's own write-path
     /// counters on top.
     served: Mutex<EngineStats>,
+    /// Deterministic fault injection: the next `panic_next` executed
+    /// jobs panic inside the worker (under `catch_unwind`), so the
+    /// crash tests can exercise the [`ServeError::WorkerPanicked`]
+    /// containment path at will. `0` in production.
+    panic_next: AtomicU32,
     config: ServeConfig,
 }
 
 impl ServerShared {
     fn served(&self) -> MutexGuard<'_, EngineStats> {
         self.served.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims one injected panic, if any are armed, and panics. Runs
+    /// inside the worker's `catch_unwind`, so each injection costs
+    /// exactly one request.
+    fn consume_injected_panic(&self) {
+        let mut armed = self.panic_next.load(Ordering::Relaxed);
+        while armed > 0 {
+            match self.panic_next.compare_exchange(
+                armed,
+                armed - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => panic!("injected worker panic (fault harness)"),
+                Err(current) => armed = current,
+            }
+        }
+    }
+
+    /// Merged totals: engine write-path counters + every worker's
+    /// evaluation counters + the lock-poisoning recoveries observed by
+    /// the engine lock and the admission queue.
+    fn merged_stats(&self) -> EngineStats {
+        let mut stats = self.engine.engine_stats();
+        stats.merge(&self.served());
+        stats.lock_poisonings_recovered +=
+            self.engine.lock_poisonings_recovered() + self.queue.lock_poisonings_recovered();
+        stats
     }
 }
 
@@ -267,6 +302,7 @@ impl Server {
             engine: SharedEngine::new(engine),
             queue: AdmissionQueue::new(config.queue_capacity),
             served: Mutex::new(EngineStats::default()),
+            panic_next: AtomicU32::new(0),
             config,
         });
         let workers = (0..config.workers.max(1))
@@ -299,9 +335,7 @@ impl Server {
     /// stats.
     pub fn shutdown(mut self) -> EngineStats {
         self.shutdown_inner();
-        let mut stats = self.shared.engine.engine_stats();
-        stats.merge(&self.shared.served());
-        stats
+        self.shared.merged_stats()
     }
 
     fn shutdown_inner(&mut self) {
@@ -346,6 +380,7 @@ impl Server {
         request: &Request,
         stats: &mut EngineStats,
     ) -> Result<Response, ServeError> {
+        shared.consume_injected_panic();
         match request {
             Request::Evaluate { q, tid } => {
                 let prepared = shared.engine.prepare(q, tid)?;
@@ -628,12 +663,21 @@ impl ServeHandle {
 
     /// Server totals: the engine's write-path counters (compiles,
     /// evictions, memo builds) merged with every worker's evaluation
-    /// counters. For a quiesced server fed the same requests, the count
-    /// fields equal a sequential engine's.
+    /// counters, plus the lock-poisoning recoveries
+    /// ([`EngineStats::lock_poisonings_recovered`]). For a quiesced
+    /// server fed the same requests, the count fields equal a
+    /// sequential engine's.
     pub fn stats(&self) -> EngineStats {
-        let mut stats = self.shared.engine.engine_stats();
-        stats.merge(&self.shared.served());
-        stats
+        self.shared.merged_stats()
+    }
+
+    /// Fault injection for the crash tests: the next `jobs` executed
+    /// jobs panic inside their worker. Each injected panic is
+    /// contained by `catch_unwind` and resolves its request as
+    /// [`ServeError::WorkerPanicked`]; the worker loop, the queue, and
+    /// every other request are untouched.
+    pub fn inject_worker_panics(&self, jobs: u32) {
+        self.shared.panic_next.fetch_add(jobs, Ordering::Relaxed);
     }
 
     /// The shared engine, for mutation endpoints (live tuple updates,

@@ -13,7 +13,8 @@
 //! sequential engine running the same requests reports, which is what
 //! lets the differential harness assert stats equality.
 
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use intext_engine::{
     EngineError, EngineStats, LoadReport, PqeEngine, PreparedQuery, StoreError, TupleUpdate,
@@ -27,6 +28,11 @@ use intext_tid::{Database, Tid, TidError, TupleDesc, TupleId};
 /// locking contract.
 pub struct SharedEngine {
     inner: RwLock<PqeEngine>,
+    /// Times a lock acquisition recovered from poisoning (a holder
+    /// panicked). Recovery used to be silent; counting it is what lets
+    /// the panic-injection tests assert the containment actually
+    /// happened instead of trusting it.
+    poisonings: AtomicU64,
 }
 
 impl SharedEngine {
@@ -35,6 +41,7 @@ impl SharedEngine {
     pub fn new(engine: PqeEngine) -> Self {
         SharedEngine {
             inner: RwLock::new(engine),
+            poisonings: AtomicU64::new(0),
         }
     }
 
@@ -140,17 +147,37 @@ impl SharedEngine {
         f(&self.read())
     }
 
+    /// Runs `f` under the write lock — the mutation escape hatch
+    /// (e.g. [`PqeEngine::reset_stats`], durable checkpoints, fault
+    /// injection in the crash tests).
+    pub fn with_engine_mut<R>(&self, f: impl FnOnce(&mut PqeEngine) -> R) -> R {
+        f(&mut self.write())
+    }
+
+    /// How many lock acquisitions recovered from poisoning. Surfaced
+    /// as [`EngineStats::lock_poisonings_recovered`] in the serve
+    /// layer's merged stats; a quiet server reports `0`.
+    pub fn lock_poisonings_recovered(&self) -> u64 {
+        self.poisonings.load(Ordering::Relaxed)
+    }
+
     fn read(&self) -> RwLockReadGuard<'_, PqeEngine> {
         // Lock poisoning means a worker panicked mid-call. The engine's
         // own structures are exception-safe (cache inserts are single
         // HashMap operations), so the state is usable; recovering here
         // is what turns a contained panic into one failed request
         // instead of a poisoned — hence deadlocked-looking — server.
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        self.inner.read().unwrap_or_else(|poisoned| {
+            self.poisonings.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
     }
 
     fn write(&self) -> RwLockWriteGuard<'_, PqeEngine> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        self.inner.write().unwrap_or_else(|poisoned| {
+            self.poisonings.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
     }
 }
 
@@ -199,5 +226,29 @@ mod tests {
 
     fn answers_reference(q: &HQuery, tid: &Tid) -> BigRational {
         PqeEngine::new().evaluate(q, tid).unwrap()
+    }
+
+    #[test]
+    fn poisoned_locks_recover_and_are_counted() {
+        let shared = SharedEngine::new(PqeEngine::new());
+        assert_eq!(shared.lock_poisonings_recovered(), 0);
+        // Panic while holding the write lock: the one way to poison an
+        // RwLock (reader panics don't poison it).
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.with_engine_mut(|_| panic!("injected panic under the write lock"));
+        }));
+        assert!(unwound.is_err());
+        // Every subsequent acquisition recovers instead of failing, the
+        // engine still answers correctly, and the recoveries are
+        // counted rather than silent.
+        let q = HQuery::new(phi9());
+        let tid = uniform_tid(complete_database(3, 1), half());
+        let mut local = EngineStats::default();
+        let prepared = shared.prepare(&Query::from(&q), &tid).unwrap();
+        assert_eq!(
+            prepared.eval_exact(&tid, 0, &mut local),
+            answers_reference(&q, &tid)
+        );
+        assert!(shared.lock_poisonings_recovered() >= 1);
     }
 }

@@ -35,7 +35,17 @@ use crate::server::{Request, Response};
 /// [`Region::GroundCircuit`], and
 /// [`EngineError::GroundingTooLarge`]. Version 1 peers reject the new
 /// tag byte instead of misreading it.
-pub const PROTOCOL_VERSION: u8 = 2;
+///
+/// Version 3 (crash-safe serving): every frame — request, response,
+/// and error — carries a little-endian `u64` **request id** right
+/// after the opcode. The server echoes the request's id in its reply,
+/// which is what makes a reconnect-and-resend safe: evaluation is
+/// pure, so a [`RemoteClient`](crate::net::RemoteClient) that loses
+/// the connection mid-exchange re-sends the *same* id over a fresh
+/// connection (an idempotent retry) and rejects any reply whose id
+/// does not match the request in flight. Version 2 peers reject v3
+/// frames as malformed instead of misreading the id bytes as a body.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Largest accepted frame payload (64 MiB): big enough for any
 /// realistic snapshot, small enough that a hostile length prefix
@@ -55,6 +65,16 @@ pub enum WireError {
     BadValue(&'static str),
     /// The length prefix exceeds [`MAX_FRAME_LEN`].
     FrameTooLarge(u32),
+    /// The peer disconnected mid-frame after `bytes_read` bytes of the
+    /// frame had arrived. Unlike the other variants this is not a
+    /// protocol violation but a *retryable* transport loss: the frame
+    /// never completed, so resending the same request id over a fresh
+    /// connection cannot double-apply anything.
+    ConnectionLost {
+        /// Bytes of the frame (length prefix + payload) received
+        /// before the stream ended.
+        bytes_read: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -69,6 +89,9 @@ impl std::fmt::Display for WireError {
                     f,
                     "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
                 )
+            }
+            WireError::ConnectionLost { bytes_read } => {
+                write!(f, "connection lost mid-frame after {bytes_read} byte(s)")
             }
         }
     }
@@ -104,8 +127,11 @@ struct Writer {
 }
 
 impl Writer {
-    fn with_opcode(op: u8) -> Self {
-        Writer { buf: vec![op] }
+    /// A frame payload header: opcode, then the v3 request id.
+    fn with_opcode(op: u8, id: u64) -> Self {
+        let mut w = Writer { buf: vec![op] };
+        w.u64(id);
+        w
     }
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -430,27 +456,30 @@ fn get_usize(r: &mut Reader) -> Result<usize, WireError> {
 
 // ---------------------------------------------------------- frame codecs
 
-/// Encodes a request into one frame payload (opcode + body).
-pub fn encode_request(req: &Request) -> Vec<u8> {
+/// Encodes a request into one frame payload (opcode + request id +
+/// body). The id is the client's to choose; the server echoes it in
+/// the reply frame, which is what lets a reconnecting client resend
+/// under the same id and pair replies with requests.
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
     let mut w;
     match req {
         Request::Evaluate { q, tid } => {
-            w = Writer::with_opcode(OP_EVALUATE);
+            w = Writer::with_opcode(OP_EVALUATE, id);
             put_query(&mut w, q);
             put_tid(&mut w, tid);
         }
         Request::EvaluateF64 { q, tid } => {
-            w = Writer::with_opcode(OP_EVALUATE_F64);
+            w = Writer::with_opcode(OP_EVALUATE_F64, id);
             put_query(&mut w, q);
             put_tid(&mut w, tid);
         }
         Request::Estimate { q, tid } => {
-            w = Writer::with_opcode(OP_ESTIMATE);
+            w = Writer::with_opcode(OP_ESTIMATE, id);
             put_query(&mut w, q);
             put_tid(&mut w, tid);
         }
         Request::Batch { q, tids } => {
-            w = Writer::with_opcode(OP_BATCH);
+            w = Writer::with_opcode(OP_BATCH, id);
             put_query(&mut w, q);
             w.u32(u32::try_from(tids.len()).expect("batch fits u32"));
             for tid in tids {
@@ -458,7 +487,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::BatchF64 { q, tids, shards } => {
-            w = Writer::with_opcode(OP_BATCH_F64);
+            w = Writer::with_opcode(OP_BATCH_F64, id);
             put_query(&mut w, q);
             put_usize(&mut w, *shards);
             w.u32(u32::try_from(tids.len()).expect("batch fits u32"));
@@ -466,17 +495,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_tid(&mut w, tid);
             }
         }
-        Request::Snapshot => w = Writer::with_opcode(OP_SNAPSHOT),
-        Request::Ping => w = Writer::with_opcode(OP_PING),
+        Request::Snapshot => w = Writer::with_opcode(OP_SNAPSHOT, id),
+        Request::Ping => w = Writer::with_opcode(OP_PING, id),
     }
     w.buf
 }
 
-/// Decodes one frame payload into a request (total: every malformed
-/// byte is a typed [`WireError`]).
-pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+/// Decodes one frame payload into its request id and request (total:
+/// every malformed byte is a typed [`WireError`]).
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
     let mut r = Reader::new(payload);
     let op = r.u8()?;
+    let id = r.u64()?;
     let req = match op {
         OP_EVALUATE => Request::Evaluate {
             q: get_query(&mut r)?,
@@ -514,51 +544,53 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         other => return Err(WireError::BadOpcode(other)),
     };
     r.finish()?;
-    Ok(req)
+    Ok((id, req))
 }
 
-/// Encodes a successful response into one frame payload.
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+/// Encodes a successful response into one frame payload, echoing the
+/// request's id.
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
     let mut w;
     match resp {
         Response::Exact(p) => {
-            w = Writer::with_opcode(OP_RESP_EXACT);
+            w = Writer::with_opcode(OP_RESP_EXACT, id);
             put_rational(&mut w, p);
         }
         Response::F64(v) => {
-            w = Writer::with_opcode(OP_RESP_F64);
+            w = Writer::with_opcode(OP_RESP_F64, id);
             w.f64(*v);
         }
         Response::Estimate(e) => {
-            w = Writer::with_opcode(OP_RESP_ESTIMATE);
+            w = Writer::with_opcode(OP_RESP_ESTIMATE, id);
             put_estimate(&mut w, e);
         }
         Response::Batch(ps) => {
-            w = Writer::with_opcode(OP_RESP_BATCH);
+            w = Writer::with_opcode(OP_RESP_BATCH, id);
             w.u32(u32::try_from(ps.len()).expect("batch fits u32"));
             for p in ps {
                 put_rational(&mut w, p);
             }
         }
         Response::BatchF64(vs) => {
-            w = Writer::with_opcode(OP_RESP_BATCH_F64);
+            w = Writer::with_opcode(OP_RESP_BATCH_F64, id);
             w.u32(u32::try_from(vs.len()).expect("batch fits u32"));
             for &v in vs {
                 w.f64(v);
             }
         }
         Response::Snapshot(bytes) => {
-            w = Writer::with_opcode(OP_RESP_SNAPSHOT);
+            w = Writer::with_opcode(OP_RESP_SNAPSHOT, id);
             w.bytes(bytes);
         }
-        Response::Pong => w = Writer::with_opcode(OP_RESP_PONG),
+        Response::Pong => w = Writer::with_opcode(OP_RESP_PONG, id),
     }
     w.buf
 }
 
-/// Encodes a typed rejection into one frame payload.
-pub fn encode_error(err: &ServeError) -> Vec<u8> {
-    let mut w = Writer::with_opcode(OP_RESP_ERROR);
+/// Encodes a typed rejection into one frame payload, echoing the
+/// request's id.
+pub fn encode_error(id: u64, err: &ServeError) -> Vec<u8> {
+    let mut w = Writer::with_opcode(OP_RESP_ERROR, id);
     match err {
         ServeError::QueueFull { capacity } => {
             w.u8(1);
@@ -603,10 +635,12 @@ pub fn encode_error(err: &ServeError) -> Vec<u8> {
     w.buf
 }
 
-/// Decodes one frame payload into a response or a typed rejection.
-pub fn decode_reply(payload: &[u8]) -> Result<Result<Response, ServeError>, WireError> {
+/// Decodes one frame payload into its echoed request id and a
+/// response or typed rejection.
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, Result<Response, ServeError>), WireError> {
     let mut r = Reader::new(payload);
     let op = r.u8()?;
+    let id = r.u64()?;
     let reply = match op {
         OP_RESP_EXACT => Ok(Response::Exact(get_rational(&mut r)?)),
         OP_RESP_F64 => Ok(Response::F64(r.f64()?)),
@@ -661,7 +695,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Result<Response, ServeError>, Wire
         other => return Err(WireError::BadOpcode(other)),
     };
     r.finish()?;
-    Ok(reply)
+    Ok((id, reply))
 }
 
 #[cfg(test)]
@@ -703,12 +737,14 @@ mod tests {
             Request::Snapshot,
             Request::Ping,
         ];
-        for req in &requests {
-            let bytes = encode_request(req);
-            let back = decode_request(&bytes).unwrap();
+        for (i, req) in requests.iter().enumerate() {
+            let id = 0xA5A5_0000 + i as u64;
+            let bytes = encode_request(id, req);
+            let (back_id, back) = decode_request(&bytes).unwrap();
+            assert_eq!(back_id, id, "request id lost in transit");
             // Request has no PartialEq (Tid doesn't); compare re-encodings,
             // which are canonical.
-            assert_eq!(encode_request(&back), bytes);
+            assert_eq!(encode_request(id, &back), bytes);
         }
     }
 
@@ -721,9 +757,10 @@ mod tests {
             q,
             tid: sample_tid(),
         };
-        let bytes = encode_request(&req);
-        let back = decode_request(&bytes).unwrap();
-        assert_eq!(encode_request(&back), bytes);
+        let bytes = encode_request(7, &req);
+        let (id, back) = decode_request(&bytes).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(encode_request(7, &back), bytes);
         let Request::Evaluate { q: decoded, .. } = back else {
             panic!("request changed shape over the wire");
         };
@@ -738,20 +775,24 @@ mod tests {
         let good = {
             let voc = Vocabulary::h(1);
             let q = Query::parse("R(x),S1(x,y),T(y)", &voc).unwrap();
-            encode_request(&Request::Evaluate {
-                q,
-                tid: sample_tid(),
-            })
+            encode_request(
+                0,
+                &Request::Evaluate {
+                    q,
+                    tid: sample_tid(),
+                },
+            )
         };
-        // An unknown query tag is rejected, not misread.
+        // An unknown query tag is rejected, not misread. (Payload
+        // layout: opcode, 8 id bytes, then the query tag.)
         let mut bad_tag = good.clone();
-        bad_tag[1] = 7;
+        bad_tag[9] = 7;
         assert_eq!(
             decode_request(&bad_tag).unwrap_err(),
             WireError::BadValue("query tag")
         );
         // Corrupting the text bytes funnels through the parser.
-        let mut w = Writer::with_opcode(OP_EVALUATE);
+        let mut w = Writer::with_opcode(OP_EVALUATE, 0);
         w.u8(1); // general tag
         w.u8(2);
         put_str(&mut w, "R");
@@ -764,7 +805,7 @@ mod tests {
             WireError::BadValue("query text")
         );
         // A vocabulary with duplicate names is rejected before parsing.
-        let mut w = Writer::with_opcode(OP_EVALUATE);
+        let mut w = Writer::with_opcode(OP_EVALUATE, 0);
         w.u8(1);
         w.u8(2);
         put_str(&mut w, "R");
@@ -777,7 +818,7 @@ mod tests {
             WireError::BadValue("vocabulary")
         );
         // Non-UTF-8 name bytes are a typed error, not a panic.
-        let mut w = Writer::with_opcode(OP_EVALUATE);
+        let mut w = Writer::with_opcode(OP_EVALUATE, 0);
         w.u8(1);
         w.u8(2);
         w.bytes(&[0xFF, 0xFE]);
@@ -799,8 +840,10 @@ mod tests {
             tuples: 4096,
             budget: 2048,
         });
-        let bytes = encode_error(&err);
-        assert_eq!(decode_reply(&bytes).unwrap().unwrap_err(), err);
+        let bytes = encode_error(42, &err);
+        let (id, reply) = decode_reply(&bytes).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(reply.unwrap_err(), err);
     }
 
     #[test]
@@ -834,12 +877,14 @@ mod tests {
                 budget: 20,
             })),
         ];
-        for reply in &replies {
+        for (i, reply) in replies.iter().enumerate() {
+            let id = u64::MAX - i as u64;
             let bytes = match reply {
-                Ok(resp) => encode_response(resp),
-                Err(err) => encode_error(err),
+                Ok(resp) => encode_response(id, resp),
+                Err(err) => encode_error(id, err),
             };
-            let back = decode_reply(&bytes).unwrap();
+            let (back_id, back) = decode_reply(&bytes).unwrap();
+            assert_eq!(back_id, id, "reply id lost in transit");
             match (reply, &back) {
                 (Ok(Response::Exact(a)), Ok(Response::Exact(b))) => assert_eq!(a, b),
                 (Ok(Response::F64(a)), Ok(Response::F64(b))) => {
@@ -871,8 +916,8 @@ mod tests {
             sampler: Some(SamplerKind::KarpLuby),
             deadline_hit: true,
         };
-        let bytes = encode_response(&Response::Estimate(e));
-        match decode_reply(&bytes).unwrap().unwrap() {
+        let bytes = encode_response(3, &Response::Estimate(e));
+        match decode_reply(&bytes).unwrap().1.unwrap() {
             Response::Estimate(back) => {
                 assert_eq!(back.value.to_bits(), e.value.to_bits());
                 assert_eq!(back.eps.to_bits(), e.eps.to_bits());
@@ -889,22 +934,36 @@ mod tests {
     #[test]
     fn malformed_frames_are_typed_errors_not_panics() {
         assert_eq!(decode_request(&[]).unwrap_err(), WireError::Truncated);
+        // An unknown opcode with a complete id is a typed rejection…
+        let mut unknown = vec![0x99];
+        unknown.extend_from_slice(&0u64.to_le_bytes());
         assert_eq!(
-            decode_request(&[0x99]).unwrap_err(),
+            decode_request(&unknown).unwrap_err(),
             WireError::BadOpcode(0x99)
         );
+        // …and a frame cut inside the request id is truncated, not
+        // misread (the id is part of every v3 frame).
         assert_eq!(
             decode_request(&[OP_PING, 0xFF]).unwrap_err(),
+            WireError::Truncated
+        );
+        let mut trailing = vec![OP_PING];
+        trailing.extend_from_slice(&9u64.to_le_bytes());
+        trailing.push(0xFF);
+        assert_eq!(
+            decode_request(&trailing).unwrap_err(),
             WireError::TrailingBytes
         );
         // A hostile tuple count cannot force a huge allocation.
-        // (Leading 0 after the opcode: the H-query tag.)
-        let mut bad = vec![OP_EVALUATE, 0, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        // (Leading 0 after the opcode + id: the H-query tag.)
+        let mut bad = vec![OP_EVALUATE];
+        bad.extend_from_slice(&0u64.to_le_bytes()); // request id
+        bad.extend_from_slice(&[0, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         bad.extend_from_slice(&[1, 4, 0, 0, 0]); // k=1, domain=4
         bad.extend_from_slice(&u32::MAX.to_le_bytes()); // "4 billion tuples"
         assert_eq!(decode_request(&bad).unwrap_err(), WireError::Truncated);
         // Zero denominators are rejected, not a divide-by-zero panic.
-        let mut w = Writer::with_opcode(OP_RESP_EXACT);
+        let mut w = Writer::with_opcode(OP_RESP_EXACT, 0);
         w.u8(0);
         w.u32(1);
         w.u32(5); // numerator 5

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Crash loop: SIGKILL the durable demo at random points, then prove
+# recovery (DESIGN.md §12).
+#
+# `tests/engine_recovery.rs` enumerates crash points deterministically
+# through the in-memory fault layer; this script is the end-to-end
+# complement on the real filesystem and the real binary. It runs
+# `intext-serve --demo --wal` (a fixed-seed stream of WAL-logged live
+# updates with periodic atomic checkpoints) to completion once as the
+# reference, then starts the same workload over a persistent directory
+# and `kill -9`s it at a random moment, over and over. After every kill
+# the recover-and-verify mode must succeed — `--recover` replays
+# snapshot + WAL and exits nonzero unless every recovered artifact is
+# byte-identical to a fresh compile. Finally one full run over the
+# crash-scarred directory must print exactly the reference's `answer`
+# lines: whatever the kills tore, the engine's answers are unchanged.
+#
+# Usage: bash scripts/crash-loop.sh   (from the repo root; CI runs it)
+#   CRASH_LOOP_ITERATIONS=N   number of SIGKILLs (default 8)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=target/release/intext-serve
+ITERATIONS="${CRASH_LOOP_ITERATIONS:-8}"
+
+if [ ! -x "$BIN" ]; then
+    echo "crash-loop: building $BIN"
+    cargo build --release --bin intext-serve --locked
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# Reference: the workload run to completion in a pristine directory.
+"$BIN" --demo --wal "$work/reference" > "$work/reference.out"
+grep '^answer' "$work/reference.out" > "$work/reference.answers"
+echo "crash-loop: reference run complete ($(wc -l < "$work/reference.answers") answers)"
+
+for i in $(seq 1 "$ITERATIONS"); do
+    # Start the durable demo over the persistent directory and SIGKILL
+    # it after a random 5–84 ms — early kills land in recovery or the
+    # first checkpoint, later ones mid-WAL-append or mid-rotation.
+    delay="$(printf '0.0%02d' $((RANDOM % 80 + 5)))"
+    "$BIN" --demo --wal "$work/crashed" > "$work/run-$i.out" 2>&1 &
+    pid=$!
+    sleep "$delay"
+    kill -9 "$pid" 2>/dev/null || true
+    set +e
+    wait "$pid"
+    status=$?
+    set -e
+    if [ "$status" -eq 0 ]; then
+        # The kill missed and the run completed: its answers must
+        # already match the reference.
+        grep '^answer' "$work/run-$i.out" | diff - "$work/reference.answers" \
+            || { echo "crash-loop: completed run $i diverged"; exit 1; }
+    elif [ "$status" -ne 137 ]; then
+        echo "crash-loop: run $i exited $status (expected 0 or SIGKILL/137)"
+        cat "$work/run-$i.out"
+        exit 1
+    fi
+    # Whatever the kill left behind, recovery must succeed and verify
+    # byte-identity against fresh compiles (nonzero exit otherwise).
+    "$BIN" --recover --wal "$work/crashed" > "$work/recover-$i.out" \
+        || { echo "crash-loop: recovery $i failed"; cat "$work/recover-$i.out"; exit 1; }
+done
+
+# One full run over the crash-scarred directory: it must complete and
+# answer exactly like the never-crashed reference.
+"$BIN" --demo --wal "$work/crashed" > "$work/final.out"
+grep '^answer' "$work/final.out" | diff - "$work/reference.answers" \
+    || { echo "crash-loop: final run diverged from the reference"; exit 1; }
+grep '^recovery' "$work"/recover-*.out | sed 's/^/crash-loop: /'
+echo "crash-loop: survived $ITERATIONS SIGKILLs; recovered answers match the reference run"

@@ -950,3 +950,57 @@ fn tcp_and_unix_transports_round_trip_bit_identically() {
     listener.stop();
     server.shutdown();
 }
+
+/// Fault injection (PR 10): a worker panic costs exactly one request —
+/// typed [`ServeError::WorkerPanicked`], never a hang or a wrong
+/// answer — and a panic that poisons the engine lock is recovered
+/// *and counted* (`EngineStats::lock_poisonings_recovered`), not
+/// silently swallowed. Every request after either fault still answers
+/// bit-identically to a sequential engine.
+#[test]
+fn injected_panics_cost_one_request_and_poisonings_are_counted() {
+    let mut state = common::BASE_SEED ^ 0xFA17;
+    let tid = sized_tid(&mut state, 2, 2, 5);
+    let q = HQuery::new(BoolFn::from_table_u64(3, 0x96));
+    let expected = PqeEngine::new().evaluate(&q, &tid).unwrap();
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let handle = server.handle();
+
+    // Three armed panics, three requests: each resolves as
+    // WorkerPanicked (the worker loop survives every one of them).
+    handle.inject_worker_panics(3);
+    for round in 0..3 {
+        let err = handle.evaluate(&q, &tid).unwrap_err();
+        assert_eq!(err, ServeError::WorkerPanicked, "round {round}");
+    }
+
+    // The pool is intact: the very next request succeeds, bit-identical
+    // to the sequential reference.
+    assert_eq!(handle.evaluate(&q, &tid).unwrap(), expected);
+    assert_eq!(handle.stats().lock_poisonings_recovered, 0);
+
+    // Now poison the engine lock itself: panic while holding the write
+    // guard (the injected panics above run outside the lock and cannot
+    // poison it — this is the other failure mode).
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle
+            .engine()
+            .with_engine_mut(|_| panic!("injected panic under the engine write lock"));
+    }));
+    assert!(unwound.is_err());
+
+    // Every path still works over the poisoned-and-recovered lock, and
+    // the recovery is observable in the merged stats.
+    assert_eq!(handle.evaluate(&q, &tid).unwrap(), expected);
+    assert!(
+        handle.stats().lock_poisonings_recovered >= 1,
+        "poison recovery happened but was not counted"
+    );
+    let final_stats = server.shutdown();
+    assert!(final_stats.lock_poisonings_recovered >= 1);
+}
